@@ -1,0 +1,361 @@
+(* agingfp — command-line front-end to the aging-aware floorplanner.
+
+   Subcommands:
+     list            show the Table-I benchmark suite
+     remap           run the full Algorithm-1 flow on a benchmark or DSL file
+     mttf            report the baseline (aging-unaware) MTTF breakdown
+     heatmap         print stress and thermal maps before/after re-mapping *)
+
+open Agingfp_cgrra
+module Placer = Agingfp_place.Placer
+module Analysis = Agingfp_timing.Analysis
+module Thermal = Agingfp_thermal.Model
+module Mttf = Agingfp_aging.Mttf
+module Remap = Agingfp_floorplan.Remap
+module Rotation = Agingfp_floorplan.Rotation
+module Related = Agingfp_floorplan.Related
+module Rotation_mod = Agingfp_floorplan.Rotation
+module Paths = Agingfp_floorplan.Paths
+module Candidates = Agingfp_floorplan.Candidates
+module Ilp_model = Agingfp_floorplan.Ilp_model
+module Lp_format = Agingfp_lp.Lp_format
+module Router = Agingfp_route.Router
+module Ascii_table = Agingfp_util.Ascii_table
+
+let setup_logs level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+(* ---------- design loading ---------- *)
+
+let load_design ?design_file ?(techmap = false) benchmark source dim =
+  match design_file with
+  | Some path -> Serial.load_design path
+  | None -> (
+  match (benchmark, source) with
+  | Some name, None -> (
+    if name = "tiny" then Ok (Benchmarks.tiny ())
+    else
+      match Benchmarks.find name with
+      | Some spec -> Ok (Benchmarks.generate spec)
+      | None -> Error (Printf.sprintf "unknown benchmark %S (try `agingfp list`)" name))
+  | None, Some path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | source ->
+      let fabric = Fabric.create ~dim in
+      Agingfp_hls.Compile.compile ~techmap ~fabric ~name:(Filename.basename path) source
+    | exception Sys_error msg -> Error msg)
+  | Some _, Some _ -> Error "pass either --benchmark or --source, not both"
+  | None, None -> Error "one of --benchmark, --source or --design is required")
+
+let mode_of_string = function
+  | "freeze" -> Ok Rotation.Freeze
+  | "rotate" -> Ok Rotation.Rotate
+  | s -> Error (Printf.sprintf "unknown mode %S (freeze|rotate)" s)
+
+(* ---------- subcommand bodies ---------- *)
+
+let cmd_list () =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (s : Benchmarks.spec) ->
+           [|
+             s.Benchmarks.bname;
+             string_of_int s.Benchmarks.contexts;
+             Printf.sprintf "%dx%d" s.Benchmarks.dim s.Benchmarks.dim;
+             string_of_int s.Benchmarks.total_ops;
+             Benchmarks.usage_to_string s.Benchmarks.usage;
+             Printf.sprintf "%.2f" s.Benchmarks.paper_freeze;
+             Printf.sprintf "%.2f" s.Benchmarks.paper_rotate;
+           |])
+         Benchmarks.table1)
+  in
+  print_endline
+    (Ascii_table.render
+       ~header:[| "name"; "ctx"; "fabric"; "PE#"; "usage"; "paper-freeze"; "paper-rotate" |]
+       rows);
+  0
+
+let cmd_mttf benchmark source dim =
+  match load_design benchmark source dim with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok design ->
+    let baseline = Placer.aging_unaware design in
+    let b = Mttf.of_mapping design baseline in
+    Format.printf "%a@." Design.pp design;
+    Format.printf "baseline CPD        : %.3f ns@." (Analysis.cpd design baseline);
+    Format.printf "max accum. stress   : %.3f@." (Stress.max_accumulated design baseline);
+    Format.printf "mean accum. stress  : %.3f@." (Stress.mean_accumulated design baseline);
+    Format.printf "MTTF                : %.3g s (%.2f years)@." b.Mttf.mttf_s
+      (b.Mttf.mttf_s /. 3.156e7);
+    Format.printf "critical PE         : %d (duty %.3f, %.1f C)@." b.Mttf.critical_pe
+      b.Mttf.critical_duty
+      (b.Mttf.critical_temp_k -. 273.15);
+    0
+
+let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
+    techmap =
+  match
+    (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s)
+  with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    1
+  | Ok design, Ok mode ->
+    (match save_design with
+    | Some path -> (
+      match Serial.save_design path design with
+      | Ok () -> Format.printf "design written to %s@." path
+      | Error msg -> prerr_endline msg)
+    | None -> ());
+    let baseline = Placer.aging_unaware design in
+    let r = Remap.solve ~mode design baseline in
+    let imp = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
+    Format.printf "%a@." Design.pp design;
+    if not quiet then begin
+      Format.printf "@.accumulated stress before:@.%s@."
+        (Stress.heatmap design baseline);
+      Format.printf "@.accumulated stress after:@.%s@."
+        (Stress.heatmap design r.Remap.mapping)
+    end;
+    Format.printf "@.ST_target           : %.3f (lower bound %.3f, baseline max %.3f)@."
+      r.Remap.st_target r.Remap.st_lower_bound r.Remap.st_up;
+    Format.printf "CPD                 : %.3f ns -> %.3f ns@." r.Remap.baseline_cpd_ns
+      r.Remap.new_cpd_ns;
+    Format.printf "MTTF increase       : %.2fx@." imp;
+    if not r.Remap.improved then
+      Format.printf "(no delay-clean floorplan found; baseline kept)@.";
+    (match save_floorplan with
+    | Some path -> (
+      match Serial.save_mapping path r.Remap.mapping with
+      | Ok () -> Format.printf "floorplan written to %s@." path
+      | Error msg -> prerr_endline msg)
+    | None -> ());
+    0
+
+let cmd_heatmap benchmark source dim mode_s =
+  match (load_design benchmark source dim, mode_of_string mode_s) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    1
+  | Ok design, Ok mode ->
+    let baseline = Placer.aging_unaware design in
+    let r = Remap.solve ~mode design baseline in
+    let dim = Fabric.dim (Design.fabric design) in
+    Format.printf "stress before:@.%s@.@." (Stress.heatmap design baseline);
+    Format.printf "stress after:@.%s@.@." (Stress.heatmap design r.Remap.mapping);
+    Format.printf "temperature before (C):@.%s@.@."
+      (Thermal.heatmap ~dim (Thermal.pe_temperatures design baseline));
+    Format.printf "temperature after (C):@.%s@."
+      (Thermal.heatmap ~dim (Thermal.pe_temperatures design r.Remap.mapping));
+    0
+
+let cmd_related benchmark source dim =
+  match load_design benchmark source dim with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok design ->
+    let baseline = Placer.aging_unaware design in
+    let base = (Mttf.of_mapping design baseline).Mttf.mttf_s in
+    let diversified =
+      (Mttf.of_duty design (Related.module_diversification_duty design baseline)).Mttf.mttf_s
+    in
+    let cycled =
+      (Mttf.of_duty design (Related.rotation_cycling_duty design baseline)).Mttf.mttf_s
+    in
+    let r = Remap.solve ~mode:Rotation.Rotate design baseline in
+    let ours = (Mttf.of_mapping design r.Remap.mapping).Mttf.mttf_s in
+    Format.printf "%a@.@." Design.pp design;
+    Format.printf "MTTF relative to the aging-unaware baseline:@.";
+    Format.printf "  baseline                      1.00x@.";
+    Format.printf "  module diversification [4,8]  %.2fx@." (diversified /. base);
+    Format.printf "  rotation cycling [10]         %.2fx@." (cycled /. base);
+    Format.printf "  MILP re-mapping (this work)   %.2fx@." (ours /. base);
+    0
+
+let cmd_export_lp benchmark source dim mode_s out =
+  match (load_design benchmark source dim, mode_of_string mode_s) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    1
+  | Ok design, Ok mode ->
+    let baseline = Placer.aging_unaware design in
+    let reference, frozen = Rotation_mod.reference mode design baseline in
+    let monitored = Paths.monitored design baseline in
+    let candidates = Candidates.build design reference ~frozen ~monitored in
+    let committed = Array.make (Fabric.num_pes (Design.fabric design)) 0.0 in
+    Array.iteri
+      (fun ctx pins ->
+        List.iter
+          (fun (op, pe) ->
+            committed.(pe) <- committed.(pe) +. Stress.op_stress design ~ctx ~op)
+          pins)
+      frozen;
+    let st_target = Remap.step1_lower_bound design baseline in
+    let inst =
+      Ilp_model.build design ~baseline:reference ~st_target ~candidates ~monitored
+        ~contexts:(List.init (Design.num_contexts design) (fun i -> i))
+        ~committed
+    in
+    (match Lp_format.write_file out (Ilp_model.model inst) with
+    | Ok () ->
+      Format.printf
+        "formulation (3) at ST_target = %.3f written to %s (%d binaries, %d rows)@."
+        st_target out (Ilp_model.num_binaries inst) (Ilp_model.num_rows inst);
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1)
+
+let cmd_route benchmark source dim capacity mode_s =
+  match (load_design benchmark source dim, mode_of_string mode_s) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    1
+  | Ok design, Ok mode ->
+    let baseline = Placer.aging_unaware design in
+    let remapped = (Remap.solve ~mode design baseline).Remap.mapping in
+    let params = { Router.default_params with Router.capacity } in
+    Format.printf "%a — routing with %d tracks/channel@.@." Design.pp design capacity;
+    List.iter
+      (fun (label, mapping) ->
+        let results = Router.route_all ~params design mapping in
+        Format.printf "%s floorplan:@." label;
+        Array.iteri
+          (fun c (r : Router.result) ->
+            Format.printf
+              "  ctx %2d: %3d nets, detour %.3f, peak channel use %d, overused %d@."
+              c (Array.length r.Router.nets) (Router.detour_factor r)
+              r.Router.max_channel_usage r.Router.overused_channels)
+          results;
+        Format.printf "  model CPD %.3f ns, routed CPD %.3f ns@.@."
+          (Analysis.cpd design mapping)
+          (Router.routed_cpd design results))
+      [ ("baseline", baseline); ("re-mapped", remapped) ];
+    0
+
+(* ---------- cmdliner wiring ---------- *)
+
+open Cmdliner
+
+let benchmark_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name (B1..B27 or tiny).")
+
+let source_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "source" ] ~docv:"FILE" ~doc:"Behavioural DSL source file.")
+
+let dim_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "d"; "dim" ] ~docv:"N" ~doc:"Fabric dimension for --source (NxN).")
+
+let mode_arg =
+  Arg.(
+    value & opt string "rotate"
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Critical-path handling: freeze or rotate.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Skip the stress heatmaps.")
+
+let design_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "design" ] ~docv:"FILE" ~doc:"Load a serialized design instead.")
+
+let save_design_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-design" ] ~docv:"FILE" ~doc:"Serialize the input design.")
+
+let save_floorplan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-floorplan" ] ~docv:"FILE" ~doc:"Serialize the re-mapped floorplan.")
+
+let techmap_arg =
+  Arg.(
+    value & flag
+    & info [ "techmap" ]
+        ~doc:"Fuse ALU->DMU chains into single PEs during HLS (--source only).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let with_logs verbose f =
+  setup_logs (if verbose then Some Logs.Debug else Some Logs.Warning);
+  f
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"Show the Table-I benchmark suite")
+    Term.(const (fun verbose -> with_logs verbose (cmd_list ())) $ verbose_arg)
+
+let mttf_cmd =
+  Cmd.v (Cmd.info "mttf" ~doc:"Baseline MTTF of the aging-unaware floorplan")
+    Term.(
+      const (fun verbose b s d -> with_logs verbose (cmd_mttf b s d))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg)
+
+let remap_cmd =
+  Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
+    Term.(
+      const (fun verbose b s d m q df sd sf tm ->
+          with_logs verbose (cmd_remap b s d m q df sd sf tm))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
+      $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg)
+
+let out_arg =
+  Arg.(
+    value & opt string "model.lp"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output LP file path.")
+
+let export_lp_cmd =
+  Cmd.v
+    (Cmd.info "export-lp"
+       ~doc:"Write the formulation-(3) MILP in CPLEX LP format")
+    Term.(
+      const (fun verbose b s d m o -> with_logs verbose (cmd_export_lp b s d m o))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ out_arg)
+
+let capacity_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "capacity" ] ~docv:"N" ~doc:"Routing tracks per channel.")
+
+let route_cmd =
+  Cmd.v (Cmd.info "route" ~doc:"Route the floorplans through the channel model")
+    Term.(
+      const (fun verbose b s d c m -> with_logs verbose (cmd_route b s d c m))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ capacity_arg $ mode_arg)
+
+let related_cmd =
+  Cmd.v
+    (Cmd.info "related" ~doc:"Compare against prior aging-mitigation strategies")
+    Term.(
+      const (fun verbose b s d -> with_logs verbose (cmd_related b s d))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg)
+
+let heatmap_cmd =
+  Cmd.v (Cmd.info "heatmap" ~doc:"Stress and thermal maps before/after re-mapping")
+    Term.(
+      const (fun verbose b s d m -> with_logs verbose (cmd_heatmap b s d m))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg)
+
+let main_cmd =
+  let doc = "MILP-based aging-aware floorplanner for multi-context CGRRAs" in
+  Cmd.group (Cmd.info "agingfp" ~version:"1.0.0" ~doc)
+    [ list_cmd; mttf_cmd; remap_cmd; heatmap_cmd; related_cmd; export_lp_cmd; route_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,44 @@
+(* Fig. 2a of the paper: accumulated stress maps of the aging-unaware
+   floorplan (concentrated in one corner, max 4-ish units) versus the
+   aging-aware floorplan (leveled across the fabric) — plus the
+   corresponding thermal maps from the HotSpot-style model.
+
+   Run with: dune exec examples/stress_heatmap.exe *)
+
+open Agingfp_cgrra
+module Placer = Agingfp_place.Placer
+module Thermal = Agingfp_thermal.Model
+module Remap = Agingfp_floorplan.Remap
+module Rotation = Agingfp_floorplan.Rotation
+
+let () =
+  let design = Benchmarks.tiny () in
+  let baseline = Placer.aging_unaware design in
+  let result = Remap.solve ~mode:Rotation.Rotate design baseline in
+  let remapped = result.Remap.mapping in
+  let dim = Fabric.dim (Design.fabric design) in
+
+  Format.printf "=== per-context stress, aging-unaware floorplan ===@.";
+  Array.iteri
+    (fun c ctx_map ->
+      Format.printf "context %d:@." c;
+      Array.iteri
+        (fun pe s ->
+          if pe mod dim = 0 && pe > 0 then Format.printf "@.";
+          if s = 0.0 then Format.printf "   . " else Format.printf "%4.2f " s)
+        ctx_map;
+      Format.printf "@.@.")
+    (Stress.per_context design baseline);
+
+  Format.printf "=== accumulated stress: aging-unaware ===@.%s@.@."
+    (Stress.heatmap design baseline);
+  Format.printf "=== accumulated stress: aging-aware ===@.%s@.@."
+    (Stress.heatmap design remapped);
+  Format.printf "max accumulated stress: %.2f -> %.2f@.@."
+    (Stress.max_accumulated design baseline)
+    (Stress.max_accumulated design remapped);
+
+  Format.printf "=== temperature (C): aging-unaware ===@.%s@.@."
+    (Thermal.heatmap ~dim (Thermal.pe_temperatures design baseline));
+  Format.printf "=== temperature (C): aging-aware ===@.%s@."
+    (Thermal.heatmap ~dim (Thermal.pe_temperatures design remapped))

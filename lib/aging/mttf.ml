@@ -1,0 +1,70 @@
+open Agingfp_cgrra
+module Thermal = Agingfp_thermal.Model
+
+type breakdown = {
+  mttf_s : float;
+  critical_pe : int;
+  critical_duty : float;
+  critical_temp_k : float;
+}
+
+let duties design mapping =
+  let acc = Stress.accumulated design mapping in
+  let c = float_of_int (Design.num_contexts design) in
+  Array.map (fun s -> s /. c) acc
+
+let of_mapping ?nbti ?thermal design mapping =
+  let duty = duties design mapping in
+  let temps = Thermal.pe_temperatures ?params:thermal design mapping in
+  let best = ref { mttf_s = infinity; critical_pe = -1; critical_duty = 0.0; critical_temp_k = 0.0 } in
+  Array.iteri
+    (fun pe d ->
+      if d > 0.0 then begin
+        let t = Nbti.time_to_fail ?params:nbti ~temp_k:temps.(pe) d in
+        if t < !best.mttf_s then
+          best := { mttf_s = t; critical_pe = pe; critical_duty = d; critical_temp_k = temps.(pe) }
+      end)
+    duty;
+  !best
+
+let of_mapping_paper_variant ?nbti ?thermal design mapping =
+  let duty = duties design mapping in
+  let temps = Thermal.pe_temperatures ?params:thermal design mapping in
+  let hottest = ref 0 in
+  Array.iteri (fun pe t -> if t > temps.(!hottest) then hottest := pe) temps;
+  let pe = !hottest in
+  {
+    mttf_s = Nbti.time_to_fail ?params:nbti ~temp_k:temps.(pe) duty.(pe);
+    critical_pe = pe;
+    critical_duty = duty.(pe);
+    critical_temp_k = temps.(pe);
+  }
+
+let of_duty ?nbti ?thermal design duty =
+  let params =
+    match thermal with Some p -> p | None -> Thermal.default_params
+  in
+  let dim = Fabric.dim (Design.fabric design) in
+  let power =
+    Array.map
+      (fun d -> params.Thermal.p_leak +. (params.Thermal.p_active *. d))
+      duty
+  in
+  let temps = Thermal.steady_state ~params ~dim power in
+  let best =
+    ref { mttf_s = infinity; critical_pe = -1; critical_duty = 0.0; critical_temp_k = 0.0 }
+  in
+  Array.iteri
+    (fun pe d ->
+      if d > 0.0 then begin
+        let t = Nbti.time_to_fail ?params:nbti ~temp_k:temps.(pe) d in
+        if t < !best.mttf_s then
+          best := { mttf_s = t; critical_pe = pe; critical_duty = d; critical_temp_k = temps.(pe) }
+      end)
+    duty;
+  !best
+
+let improvement ?nbti ?thermal design ~baseline ~remapped =
+  let before = of_mapping ?nbti ?thermal design baseline in
+  let after = of_mapping ?nbti ?thermal design remapped in
+  after.mttf_s /. before.mttf_s

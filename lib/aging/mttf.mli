@@ -1,0 +1,56 @@
+(** Mean Time To Failure of a floorplanned design (paper §III).
+
+    The device fails when its worst PE fails; a PE's failure time
+    follows the NBTI model under the PE's effective duty cycle
+    (accumulated stress / context count) and its steady-state
+    temperature from the thermal model. *)
+
+open Agingfp_cgrra
+
+type breakdown = {
+  mttf_s : float;          (** device MTTF in seconds *)
+  critical_pe : int;       (** the PE that fails first *)
+  critical_duty : float;
+  critical_temp_k : float;
+}
+
+val of_mapping :
+  ?nbti:Nbti.params ->
+  ?thermal:Agingfp_thermal.Model.params ->
+  Design.t ->
+  Mapping.t ->
+  breakdown
+(** Min over PEs of the NBTI failure time. PEs with zero stress never
+    fail; a design whose every PE is idle reports [infinity]. *)
+
+val of_mapping_paper_variant :
+  ?nbti:Nbti.params ->
+  ?thermal:Agingfp_thermal.Model.params ->
+  Design.t ->
+  Mapping.t ->
+  breakdown
+(** The paper's §III procedure verbatim: pick the PE with the maximum
+    temperature and evaluate its failure time (rather than minimizing
+    over PEs). Exposed for comparison; the two variants agree when
+    the hottest PE is also the most stressed, which is the common
+    case. *)
+
+val of_duty :
+  ?nbti:Nbti.params ->
+  ?thermal:Agingfp_thermal.Model.params ->
+  Design.t ->
+  float array ->
+  breakdown
+(** MTTF of an arbitrary per-PE duty profile (used for time-shared
+    strategies such as module diversification, where the effective
+    duty is an average over several configurations). Temperatures are
+    computed from the duty-implied power map. *)
+
+val improvement :
+  ?nbti:Nbti.params ->
+  ?thermal:Agingfp_thermal.Model.params ->
+  Design.t ->
+  baseline:Mapping.t ->
+  remapped:Mapping.t ->
+  float
+(** MTTF increase factor — the quantity Table I reports. *)

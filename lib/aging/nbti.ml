@@ -1,0 +1,35 @@
+type params = {
+  a_nbti : float;
+  n_exp : float;
+  ea_ev : float;
+  vth0 : float;
+  fail_frac : float;
+}
+
+let boltzmann_ev = 8.617333262e-5
+
+let default_params =
+  { a_nbti = 0.0204; n_exp = 0.25; ea_ev = 0.10; vth0 = 0.45; fail_frac = 0.10 }
+
+let vth_shift ?(params = default_params) ~duty ~temp_k time_s =
+  if duty < 0.0 || time_s < 0.0 then invalid_arg "Nbti.vth_shift: negative input";
+  if duty = 0.0 || time_s = 0.0 then 0.0
+  else
+    params.a_nbti
+    *. ((duty *. time_s) ** params.n_exp)
+    *. exp (-.params.ea_ev /. (boltzmann_ev *. temp_k))
+    *. params.vth0
+
+let time_to_fail ?(params = default_params) ~temp_k duty =
+  if duty < 0.0 then invalid_arg "Nbti.time_to_fail: negative duty";
+  if duty = 0.0 then infinity
+  else begin
+    (* fail_frac = a * (duty * t)^n * exp(-Ea/kT)  =>
+       t = (fail_frac / (a * exp(-Ea/kT)))^(1/n) / duty *)
+    let arrhenius = exp (-.params.ea_ev /. (boltzmann_ev *. temp_k)) in
+    let base = params.fail_frac /. (params.a_nbti *. arrhenius) in
+    (base ** (1.0 /. params.n_exp)) /. duty
+  end
+
+let shift_curve ?(params = default_params) ~duty ~temp_k times_s =
+  Array.map (fun t -> vth_shift ~params ~duty ~temp_k t) times_s

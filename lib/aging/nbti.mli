@@ -1,0 +1,38 @@
+(** NBTI threshold-voltage degradation — Eq. (1) of the paper:
+
+    {v V_th_shift(t) = A_NBTI * (SR * t)^n * exp(-Ea / kT) * V_th0 v}
+
+    where [SR] is the effective duty cycle of the transistor (the
+    PE's accumulated stress divided by the context count), [n] the
+    fabrication time exponent, [Ea] the activation energy and [T]
+    the PE temperature. Failure is declared when the shift reaches
+    [fail_frac * V_th0] (10% in the paper, citing Srinivasan et
+    al.). *)
+
+type params = {
+  a_nbti : float;     (** technology-dependent prefactor *)
+  n_exp : float;      (** time exponent n, typically 0.16–0.25 *)
+  ea_ev : float;      (** activation energy in eV *)
+  vth0 : float;       (** starting threshold voltage, V *)
+  fail_frac : float;  (** failing V_th shift as a fraction of vth0 *)
+}
+
+val default_params : params
+(** n = 0.25, Ea = 0.10 eV, fail at 10% shift; [a_nbti] calibrated so
+    a fully-stressed PE at 80 °C fails after roughly a decade. *)
+
+val boltzmann_ev : float
+(** k in eV/K. *)
+
+val vth_shift : ?params:params -> duty:float -> temp_k:float -> float -> float
+(** [vth_shift ~duty ~temp_k time_s] is the shift (V) after [time_s] seconds of operation
+    at the given duty cycle and temperature. *)
+
+val time_to_fail : ?params:params -> temp_k:float -> float -> float
+(** [time_to_fail ~temp_k duty] solves Eq. (1) for the time at which
+    the shift reaches the failure fraction. [infinity] when
+    [duty = 0]. *)
+
+val shift_curve :
+  ?params:params -> duty:float -> temp_k:float -> float array -> float array
+(** Sampled V_th shift trajectory — the curves of Fig. 2b. *)

@@ -1,0 +1,175 @@
+module Rng = Agingfp_util.Rng
+
+type usage = Low | Medium | High
+
+type spec = {
+  bname : string;
+  contexts : int;
+  dim : int;
+  total_ops : int;
+  usage : usage;
+  paper_freeze : float;
+  paper_rotate : float;
+}
+
+let usage_to_string = function Low -> "low" | Medium -> "medium" | High -> "high"
+
+let row bname contexts dim total_ops usage paper_freeze paper_rotate =
+  { bname; contexts; dim; total_ops; usage; paper_freeze; paper_rotate }
+
+(* Table I verbatim: (contexts, fabric) × {low, medium, high} with the
+   paper's PE counts and reported MTTF-increase factors. *)
+let table1 =
+  [|
+    row "B1" 4 4 24 Low 1.94 1.94;
+    row "B2" 4 8 79 Low 2.17 2.17;
+    row "B3" 4 16 192 Low 2.26 2.28;
+    row "B4" 8 4 44 Low 2.77 2.80;
+    row "B5" 8 8 142 Low 2.69 2.89;
+    row "B6" 8 16 534 Low 2.93 3.39;
+    row "B7" 16 4 88 Low 3.76 3.85;
+    row "B8" 16 8 259 Low 3.19 3.79;
+    row "B9" 16 16 1011 Low 3.35 3.73;
+    row "B10" 4 4 35 Medium 1.67 1.67;
+    row "B11" 4 8 148 Medium 1.44 1.82;
+    row "B12" 4 16 451 Medium 1.54 1.77;
+    row "B13" 8 4 62 Medium 2.05 2.36;
+    row "B14" 8 8 280 Medium 1.97 2.84;
+    row "B15" 8 16 1101 Medium 1.93 2.97;
+    row "B16" 16 4 147 Medium 2.89 3.18;
+    row "B17" 16 8 531 Medium 2.62 2.94;
+    row "B18" 16 16 2165 Medium 2.39 3.08;
+    row "B19" 4 4 52 High 1.18 1.52;
+    row "B20" 4 8 175 High 1.27 1.70;
+    row "B21" 4 16 554 High 1.76 2.00;
+    row "B22" 8 4 87 High 1.56 2.06;
+    row "B23" 8 8 327 High 1.48 1.98;
+    row "B24" 8 16 1521 High 1.59 2.05;
+    row "B25" 16 4 193 High 1.61 2.06;
+    row "B26" 16 8 737 High 1.95 2.31;
+    row "B27" 16 16 3089 High 2.07 2.44;
+  |]
+
+let find name = Array.find_opt (fun s -> s.bname = name) table1
+
+(* Split [total] ops across [contexts] contexts: even base, ±20%
+   jitter, clamped to the fabric capacity, with the residue spread
+   over contexts that still have room. *)
+let context_sizes rng ~contexts ~capacity ~total =
+  if total > contexts * capacity then
+    invalid_arg "Benchmarks.context_sizes: design does not fit fabric";
+  if total < 3 * contexts then
+    invalid_arg "Benchmarks.context_sizes: need at least 3 ops per context";
+  let base = total / contexts in
+  let sizes =
+    Array.init contexts (fun _ ->
+        let jitter = (base / 5) + 1 in
+        let s = base - jitter + Rng.int rng ((2 * jitter) + 1) in
+        max 3 (min capacity s))
+  in
+  (* Repair the sum. *)
+  let diff () = total - Array.fold_left ( + ) 0 sizes in
+  let idx = ref 0 in
+  while diff () <> 0 do
+    let d = diff () in
+    let i = !idx mod contexts in
+    if d > 0 && sizes.(i) < capacity then sizes.(i) <- sizes.(i) + 1
+    else if d < 0 && sizes.(i) > 3 then sizes.(i) <- sizes.(i) - 1;
+    incr idx
+  done;
+  sizes
+
+let alu_kinds = [| Op.Add; Op.Sub; Op.Mul; Op.And_; Op.Or_; Op.Xor_; Op.Cmp |]
+let dmu_kinds = [| Op.Shift; Op.Mux; Op.Pack; Op.Load; Op.Store |]
+let bitwidths = [| 8; 16; 24; 32 |]
+
+(* One context's DFG: a layered DAG
+     inputs -> compute layer(s) -> outputs
+   with exactly one DMU-heavy compute layer so every path engages at
+   most one DMU op and fits the clock period. *)
+let gen_context rng ~num_ops =
+  let n_in = max 1 (num_ops / 5) in
+  let n_out = max 1 (num_ops / 7) in
+  let n_mid = num_ops - n_in - n_out in
+  let n_layers = if n_mid <= 4 then 1 else if n_mid <= 24 then 2 else 3 in
+  let mid_sizes = Array.make n_layers (n_mid / n_layers) in
+  mid_sizes.(0) <- mid_sizes.(0) + (n_mid mod n_layers);
+  let dmu_layer = Rng.int rng n_layers in
+  (* Build node list layer by layer. *)
+  let next_id = ref 0 in
+  let fresh kind bw =
+    let id = !next_id in
+    incr next_id;
+    Op.make ~id ~kind ~bitwidth:bw
+  in
+  let input_layer =
+    Array.to_list (Array.init n_in (fun _ -> fresh Op.Input (Rng.pick rng bitwidths)))
+  in
+  let mid_layers =
+    Array.to_list
+      (Array.mapi
+         (fun l size ->
+           Array.to_list
+             (Array.init size (fun _ ->
+                  let kind =
+                    if l = dmu_layer then Rng.pick rng dmu_kinds
+                    else Rng.pick rng alu_kinds
+                  in
+                  fresh kind (Rng.pick rng bitwidths))))
+         mid_sizes)
+  in
+  let output_layer =
+    Array.to_list (Array.init n_out (fun _ -> fresh Op.Output (Rng.pick rng bitwidths)))
+  in
+  let layers = input_layer :: (mid_layers @ [ output_layer ]) in
+  let ops =
+    Array.of_list (List.concat layers)
+  in
+  (* Edges: every non-source op draws 1-2 predecessors from the
+     previous layer; then every op without a successor (other than
+     outputs) feeds a random node of the next layer. *)
+  let edges = Hashtbl.create (Array.length ops * 2) in
+  let add_edge u v = if not (Hashtbl.mem edges (u, v)) then Hashtbl.add edges (u, v) () in
+  let rec wire = function
+    | [] | [ _ ] -> ()
+    | prev :: (cur :: _ as rest) ->
+      let prev_arr = Array.of_list (List.map (fun (o : Op.t) -> o.Op.id) prev) in
+      List.iter
+        (fun (o : Op.t) ->
+          let npred = 1 + Rng.int rng 2 in
+          for _ = 1 to npred do
+            add_edge (Rng.pick rng prev_arr) o.Op.id
+          done)
+        cur;
+      (* Give dangling producers a consumer. *)
+      let cur_arr = Array.of_list (List.map (fun (o : Op.t) -> o.Op.id) cur) in
+      Array.iter
+        (fun u ->
+          let has_succ = Hashtbl.fold (fun (a, _) () acc -> acc || a = u) edges false in
+          if not has_succ then add_edge u (Rng.pick rng cur_arr))
+        prev_arr;
+      wire rest
+  in
+  wire layers;
+  Dfg.create ~ops ~edges:(Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+
+let seed_of_name name =
+  (* Stable small hash of the benchmark name. *)
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) name;
+  !h land 0xFFFFFF
+
+let generate ?seed spec =
+  let seed = match seed with Some s -> s | None -> seed_of_name spec.bname in
+  let rng = Rng.create seed in
+  let fabric = Fabric.create ~dim:spec.dim in
+  let sizes =
+    context_sizes rng ~contexts:spec.contexts ~capacity:(Fabric.num_pes fabric)
+      ~total:spec.total_ops
+  in
+  let contexts = Array.map (fun num_ops -> gen_context rng ~num_ops) sizes in
+  Design.create ~name:spec.bname ~fabric contexts
+
+let tiny () =
+  let spec = row "tiny" 4 4 28 Low 0.0 0.0 in
+  generate ~seed:7 spec

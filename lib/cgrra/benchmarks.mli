@@ -1,0 +1,43 @@
+(** The 27-benchmark suite of Table I.
+
+    The paper's B1–B27 are proprietary C benchmarks characterized only
+    by their context count, fabric size and total PE (operation)
+    count. This module regenerates synthetic designs that match those
+    observables exactly, deterministically from a per-benchmark seed
+    (see DESIGN.md §2 for the substitution rationale).
+
+    Generated DFGs are layered DAGs whose depth respects the single-
+    cycle-per-context timing budget: every source-to-sink path engages
+    at most one DMU-class operation, so path delays fit the 5 ns clock
+    with realistic wire slack — the same property HLS context division
+    enforces on the real device. *)
+
+type usage = Low | Medium | High
+
+type spec = {
+  bname : string;
+  contexts : int;
+  dim : int;            (** fabric is [dim × dim] *)
+  total_ops : int;      (** Table I "PE #" *)
+  usage : usage;
+  paper_freeze : float; (** Table I MTTF increase, Freeze column *)
+  paper_rotate : float; (** Table I MTTF increase, Rotate column *)
+}
+
+val table1 : spec array
+(** All 27 rows of Table I in benchmark order B1..B27. *)
+
+val find : string -> spec option
+(** Look up a spec by name, e.g. ["B14"]. *)
+
+val usage_to_string : usage -> string
+
+val generate : ?seed:int -> spec -> Design.t
+(** Deterministic synthesis of a design matching [spec]. The default
+    seed is derived from the benchmark name so that repeated runs and
+    different processes agree. The result satisfies
+    [Design.total_ops = spec.total_ops] and fits the fabric. *)
+
+val tiny : unit -> Design.t
+(** A 4-context 4×4 toy design mirroring Fig. 2a — used by tests,
+    examples and the quickstart. *)

@@ -1,0 +1,55 @@
+type t = {
+  alu_delay_ns : float;
+  dmu_delay_ns : float;
+  io_delay_ns : float;
+  clock_period_ns : float;
+  unit_wire_delay_ns : float;
+}
+
+let default =
+  {
+    alu_delay_ns = 0.87;
+    dmu_delay_ns = 3.14;
+    io_delay_ns = 0.30;
+    clock_period_ns = 5.0;
+    unit_wire_delay_ns = 0.12;
+  }
+
+(* Relative effort of each operation class on its engaged unit. The
+   paper characterizes one ALU and one DMU figure; the class factor
+   models the spread between a logic op and a multiply without
+   departing from those anchors. *)
+let class_factor (kind : Op.kind) =
+  match kind with
+  | Op.Mul -> 1.35
+  | Op.Add | Op.Sub | Op.Cmp -> 1.0
+  | Op.And_ | Op.Or_ | Op.Xor_ -> 0.7
+  | Op.Shift -> 1.0
+  | Op.Mux -> 0.75
+  | Op.Pack -> 0.85
+  | Op.Load | Op.Store -> 1.0
+  | Op.Fused -> 1.0
+  | Op.Input | Op.Output -> 1.0
+
+let bitwidth_factor bw = 0.75 +. (0.25 *. float_of_int bw /. 32.0)
+
+let pe_delay_ns t (op : Op.t) =
+  if Op.is_io op.Op.kind then t.io_delay_ns
+  else begin
+    let base =
+      match op.Op.kind with
+      (* A fused op runs the ALU and the DMU of one PE in series. *)
+      | Op.Fused -> t.alu_delay_ns +. t.dmu_delay_ns
+      | _ -> (
+        match Op.unit_of_kind op.Op.kind with
+        | Op.Alu -> t.alu_delay_ns
+        | Op.Dmu -> t.dmu_delay_ns)
+    in
+    base *. class_factor op.Op.kind *. bitwidth_factor op.Op.bitwidth
+  end
+
+let stress_rate t op =
+  let sr = pe_delay_ns t op /. t.clock_period_ns in
+  if sr > 1.0 then 1.0 else sr
+
+let wire_delay_ns t len = t.unit_wire_delay_ns *. float_of_int len

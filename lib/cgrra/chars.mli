@@ -1,0 +1,33 @@
+(** Device characterization: delays, clock, wire model.
+
+    Default numbers follow the paper (§III and §V.B): ALU delay
+    0.87 ns, DMU delay 3.14 ns, HLS target frequency 200 MHz (5 ns
+    clock). The unit wire delay is the buffered-wire proportionality
+    constant between Manhattan length (in PE pitches) and delay. *)
+
+type t = {
+  alu_delay_ns : float;
+  dmu_delay_ns : float;
+  io_delay_ns : float;      (** port ops: small pass-through delay *)
+  clock_period_ns : float;
+  unit_wire_delay_ns : float;  (** delay per PE-pitch of buffered wire *)
+}
+
+val default : t
+(** ALU 0.87 ns, DMU 3.14 ns, clock 5 ns (200 MHz), I/O 0.30 ns,
+    unit wire delay 0.12 ns per PE pitch. *)
+
+val pe_delay_ns : t -> Op.t -> float
+(** Combinational delay of the engaged PE unit. The characterized
+    ALU/DMU figure is scaled by operation class (a multiply engages
+    the ALU longer than a logic op) and bitwidth, reflecting the
+    paper's remark that different operations of different bitwidths
+    produce different stress times. *)
+
+val stress_rate : t -> Op.t -> float
+(** Duty cycle SR = engaged-unit delay / clock period (paper §III).
+    Always in (0, 1] for a well-formed characterization. *)
+
+val wire_delay_ns : t -> int -> float
+(** [wire_delay_ns t len] is the buffered-wire delay of a route of
+    Manhattan length [len] (in PE pitches). *)

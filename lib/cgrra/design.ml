@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  fabric : Fabric.t;
+  contexts : Dfg.t array;
+  chars : Chars.t;
+}
+
+let create ?(chars = Chars.default) ~name ~fabric contexts =
+  if Array.length contexts = 0 then invalid_arg "Design.create: no contexts";
+  Array.iter
+    (fun dfg ->
+      if Dfg.num_ops dfg > Fabric.num_pes fabric then
+        invalid_arg "Design.create: context larger than fabric")
+    contexts;
+  { name; fabric; contexts; chars }
+
+let name t = t.name
+let fabric t = t.fabric
+let chars t = t.chars
+let num_contexts t = Array.length t.contexts
+let context t i = t.contexts.(i)
+let contexts t = Array.copy t.contexts
+
+let total_ops t = Array.fold_left (fun acc d -> acc + Dfg.num_ops d) 0 t.contexts
+
+let utilization t =
+  float_of_int (total_ops t)
+  /. (float_of_int (num_contexts t) *. float_of_int (Fabric.num_pes t.fabric))
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a, %d contexts, %d ops (util %.1f%%)" t.name Fabric.pp
+    t.fabric (num_contexts t) (total_ops t)
+    (100.0 *. utilization t)

@@ -1,0 +1,29 @@
+(** A complete multi-context design: fabric + one DFG per context +
+    device characterization.
+
+    This is the object handed from the "commercial flow" stand-in
+    (HLS + placer) to the aging-aware floorplanner. *)
+
+type t
+
+val create : ?chars:Chars.t -> name:string -> fabric:Fabric.t -> Dfg.t array -> t
+(** [create ~name ~fabric contexts] — @raise Invalid_argument if any
+    context has more operations than the fabric has PEs, or there are
+    no contexts. [chars] defaults to {!Chars.default}. *)
+
+val name : t -> string
+val fabric : t -> Fabric.t
+val chars : t -> Chars.t
+val num_contexts : t -> int
+val context : t -> int -> Dfg.t
+val contexts : t -> Dfg.t array
+
+val total_ops : t -> int
+(** Σ over contexts of the context's operation count — the paper's
+    "PE#" column in Table I. *)
+
+val utilization : t -> float
+(** [total_ops / (num_contexts * num_pes)] — the fabric usage rate
+    that Table I's super-columns (low/medium/high) are bucketed by. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type t = {
+  ops : Op.t array;
+  preds : int list array;
+  succs : int list array;
+  topo : int array;
+}
+
+let compute_topo n preds succs =
+  (* Kahn's algorithm; detects cycles. *)
+  let indeg = Array.map List.length preds in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!k) <- u;
+    incr k;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      succs.(u)
+  done;
+  if !k <> n then invalid_arg "Dfg.create: graph has a cycle";
+  order
+
+let create ~ops ~edges =
+  let n = Array.length ops in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Dfg.create: edge endpoint out of range";
+      if u = v then invalid_arg "Dfg.create: self edge";
+      if Hashtbl.mem seen (u, v) then invalid_arg "Dfg.create: duplicate edge";
+      Hashtbl.add seen (u, v) ();
+      succs.(u) <- v :: succs.(u);
+      preds.(v) <- u :: preds.(v))
+    edges;
+  let topo = compute_topo n preds succs in
+  { ops; preds; succs; topo }
+
+let num_ops t = Array.length t.ops
+
+let num_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+
+let op t i = t.ops.(i)
+let ops t = Array.copy t.ops
+
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+let sources t =
+  let acc = ref [] in
+  for i = num_ops t - 1 downto 0 do
+    if t.preds.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let sinks t =
+  let acc = ref [] in
+  for i = num_ops t - 1 downto 0 do
+    if t.succs.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let topological_order t = Array.copy t.topo
+
+let iter_edges t f =
+  Array.iteri (fun u vs -> List.iter (fun v -> f u v) vs) t.succs
+
+let pp ppf t =
+  Format.fprintf ppf "dfg: %d ops, %d edges" (num_ops t) (num_edges t)

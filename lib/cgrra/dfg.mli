@@ -1,0 +1,35 @@
+(** Per-context dataflow graph.
+
+    Each context executes one DFG in a single clock cycle; nodes are
+    operations bound to PEs and edges are PE-to-PE wires. Timing paths
+    (§V.B of the paper) run from graph sources (primary inputs) to
+    sinks (primary outputs). *)
+
+type t
+
+val create : ops:Op.t array -> edges:(int * int) list -> t
+(** Node [i] is [ops.(i)]; edges are (producer, consumer) pairs.
+    @raise Invalid_argument on out-of-range endpoints, self edges,
+    duplicate edges or cycles. *)
+
+val num_ops : t -> int
+val num_edges : t -> int
+
+val op : t -> int -> Op.t
+val ops : t -> Op.t array
+(** A copy of the node array. *)
+
+val preds : t -> int -> int list
+val succs : t -> int -> int list
+
+val sources : t -> int list
+(** Nodes with no predecessors — path start points. *)
+
+val sinks : t -> int list
+(** Nodes with no successors — path end points. *)
+
+val topological_order : t -> int array
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+let shape_of (o : Op.t) =
+  if Op.is_io o.Op.kind then "ellipse"
+  else match Op.unit_of_kind o.Op.kind with Op.Alu -> "box" | Op.Dmu -> "diamond"
+
+let dfg ?(name = "dfg") d =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "digraph %s {\n  rankdir=TB;\n  node [fontsize=10];\n" name;
+  Array.iter
+    (fun (o : Op.t) ->
+      Printf.bprintf buf "  n%d [label=\"%s#%d\\n<%d>\" shape=%s];\n" o.Op.id
+        (Op.kind_to_string o.Op.kind) o.Op.id o.Op.bitwidth (shape_of o))
+    (Dfg.ops d);
+  Dfg.iter_edges d (fun u v -> Printf.bprintf buf "  n%d -> n%d;\n" u v);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let floorplan design mapping =
+  let fabric = Design.fabric design in
+  let dim = Fabric.dim fabric in
+  let acc = Stress.accumulated design mapping in
+  let max_acc = max 1e-9 (Array.fold_left max 0.0 acc) in
+  let occupants = Array.make (Fabric.num_pes fabric) [] in
+  for ctx = Design.num_contexts design - 1 downto 0 do
+    let dfg = Design.context design ctx in
+    for op = 0 to Dfg.num_ops dfg - 1 do
+      let pe = Mapping.pe_of mapping ~ctx ~op in
+      occupants.(pe) <- Printf.sprintf "c%d:%d" ctx op :: occupants.(pe)
+    done
+  done;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "graph floorplan {\n  node [shape=box fontsize=9];\n";
+  for pe = 0 to Fabric.num_pes fabric - 1 do
+    let c = Fabric.coord_of_pe fabric pe in
+    let heat = int_of_float (9.0 *. acc.(pe) /. max_acc) in
+    let label =
+      if occupants.(pe) = [] then Printf.sprintf "PE%d" pe
+      else Printf.sprintf "PE%d\\n%s" pe (String.concat " " occupants.(pe))
+    in
+    Printf.bprintf buf
+      "  pe%d [label=\"%s\" pos=\"%d,%d!\" style=filled fillcolor=\"/blues9/%d\"];\n" pe
+      label c.Agingfp_util.Coord.x (dim - 1 - c.Agingfp_util.Coord.y) (max 1 heat)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  try
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+    Ok ()
+  with Sys_error msg -> Error msg

@@ -1,0 +1,13 @@
+(** Graphviz DOT export for inspection and documentation.
+
+    [dfg] renders one context's dataflow graph (ALU ops as boxes, DMU
+    ops as diamonds, I/O as ellipses). [floorplan] renders the fabric
+    as a grid cluster with each cell labelled by the operations bound
+    to it across contexts and colored by accumulated stress. *)
+
+val dfg : ?name:string -> Dfg.t -> string
+
+val floorplan : Design.t -> Mapping.t -> string
+
+val write_file : string -> string -> (unit, string) result
+(** Generic text-to-file helper for the exports above. *)

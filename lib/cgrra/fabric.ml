@@ -1,0 +1,39 @@
+module Coord = Agingfp_util.Coord
+
+type t = { dim : int }
+
+let create ~dim =
+  if dim <= 0 then invalid_arg "Fabric.create: dim must be positive";
+  { dim }
+
+let dim t = t.dim
+let num_pes t = t.dim * t.dim
+
+let coord_of_pe t pe =
+  if pe < 0 || pe >= num_pes t then invalid_arg "Fabric.coord_of_pe: out of range";
+  Coord.make (pe mod t.dim) (pe / t.dim)
+
+let in_bounds t (c : Coord.t) =
+  c.Coord.x >= 0 && c.Coord.x < t.dim && c.Coord.y >= 0 && c.Coord.y < t.dim
+
+let pe_of_coord t c =
+  if not (in_bounds t c) then invalid_arg "Fabric.pe_of_coord: out of bounds";
+  (c.Coord.y * t.dim) + c.Coord.x
+
+let distance t a b = Coord.manhattan (coord_of_pe t a) (coord_of_pe t b)
+
+let pes_within t pe r =
+  let c = coord_of_pe t pe in
+  let acc = ref [] in
+  for q = num_pes t - 1 downto 0 do
+    if Coord.manhattan c (coord_of_pe t q) <= r then acc := q :: !acc
+  done;
+  List.stable_sort
+    (fun a b ->
+      let da = distance t pe a and db = distance t pe b in
+      if da <> db then Int.compare da db else Int.compare a b)
+    !acc
+
+let center t = Coord.make (t.dim / 2) (t.dim / 2)
+
+let pp ppf t = Format.fprintf ppf "fabric %dx%d (%d PEs)" t.dim t.dim (num_pes t)

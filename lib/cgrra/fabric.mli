@@ -1,0 +1,31 @@
+(** The CGRRA fabric: a [dim × dim] grid of processing elements.
+
+    PEs are identified by dense integer ids in row-major order;
+    geometric reasoning converts to {!Agingfp_util.Coord.t}. The paper
+    evaluates square fabrics (4×4, 8×8, 16×16). *)
+
+type t
+
+val create : dim:int -> t
+(** A square [dim × dim] fabric. *)
+
+val dim : t -> int
+val num_pes : t -> int
+
+val coord_of_pe : t -> int -> Agingfp_util.Coord.t
+val pe_of_coord : t -> Agingfp_util.Coord.t -> int
+(** @raise Invalid_argument if the coordinate is out of bounds. *)
+
+val in_bounds : t -> Agingfp_util.Coord.t -> bool
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between two PEs, in PE pitches. *)
+
+val pes_within : t -> int -> int -> int list
+(** [pes_within t pe r] lists all PE ids at Manhattan distance ≤ [r]
+    from [pe], ordered by distance then id — candidate sets for the
+    pruned MILP formulation. *)
+
+val center : t -> Agingfp_util.Coord.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type t = int array array
+
+let create f design =
+  Array.init (Design.num_contexts design) (fun c ->
+      Array.init (Dfg.num_ops (Design.context design c)) (fun o -> f c o))
+
+let of_arrays arrays = Array.map Array.copy arrays
+
+let pe_of t ~ctx ~op = t.(ctx).(op)
+
+let set t ~ctx ~op ~pe =
+  Array.mapi
+    (fun c row ->
+      if c = ctx then begin
+        let row' = Array.copy row in
+        row'.(op) <- pe;
+        row'
+      end
+      else row)
+    t
+
+let copy t = Array.map Array.copy t
+
+let num_contexts t = Array.length t
+
+let context_array t c = Array.copy t.(c)
+
+let validate design t =
+  let fabric = Design.fabric design in
+  let npes = Fabric.num_pes fabric in
+  if Array.length t <> Design.num_contexts design then
+    Error "mapping context count mismatch"
+  else begin
+    let err = ref None in
+    Array.iteri
+      (fun c row ->
+        if !err = None then begin
+          let dfg = Design.context design c in
+          if Array.length row <> Dfg.num_ops dfg then
+            err := Some (Printf.sprintf "context %d: op count mismatch" c)
+          else begin
+            let seen = Array.make npes (-1) in
+            Array.iteri
+              (fun o pe ->
+                if !err = None then
+                  if pe < 0 || pe >= npes then
+                    err := Some (Printf.sprintf "context %d op %d: PE %d out of range" c o pe)
+                  else if seen.(pe) >= 0 then
+                    err :=
+                      Some
+                        (Printf.sprintf "context %d: ops %d and %d share PE %d" c
+                           seen.(pe) o pe)
+                  else seen.(pe) <- o)
+              row
+          end
+        end)
+      t;
+    match !err with None -> Ok () | Some msg -> Error msg
+  end
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun r1 r2 -> r1 = r2) a b
+
+let used_pes t ~ctx = List.sort_uniq Int.compare (Array.to_list t.(ctx))
+
+let pp ppf t =
+  Array.iteri
+    (fun c row ->
+      if c > 0 then Format.pp_print_newline ppf ();
+      Format.fprintf ppf "ctx %d:" c;
+      Array.iteri (fun o pe -> Format.fprintf ppf " %d->%d" o pe) row)
+    t

@@ -1,0 +1,37 @@
+(** Operation-to-PE binding for every context — a floorplan.
+
+    The paper's decision object: the aging-unaware flow produces one,
+    and the MILP re-mapping produces a better one. A mapping is valid
+    when every operation sits on an in-range PE and no two operations
+    of the same context share a PE (a PE executes at most one
+    operation per clock cycle). *)
+
+type t
+
+val create : (int -> int -> int) -> Design.t -> t
+(** [create f design] builds the mapping with [f ctx op] as the PE of
+    operation [op] in context [ctx]. *)
+
+val of_arrays : int array array -> t
+(** Takes ownership of a copy. *)
+
+val pe_of : t -> ctx:int -> op:int -> int
+
+val set : t -> ctx:int -> op:int -> pe:int -> t
+(** Functional update (copies the touched context only). *)
+
+val copy : t -> t
+
+val num_contexts : t -> int
+val context_array : t -> int -> int array
+(** Copy of the op→PE array for one context. *)
+
+val validate : Design.t -> t -> (unit, string) result
+(** Shape, range and one-op-per-PE-per-context checks. *)
+
+val equal : t -> t -> bool
+
+val used_pes : t -> ctx:int -> int list
+(** Sorted distinct PEs used by a context. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type unit_kind = Alu | Dmu
+
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | And_
+  | Or_
+  | Xor_
+  | Cmp
+  | Shift
+  | Mux
+  | Pack
+  | Load
+  | Store
+  | Fused
+  | Input
+  | Output
+
+type t = { id : int; kind : kind; bitwidth : int }
+
+let make ~id ~kind ~bitwidth =
+  if bitwidth <= 0 then invalid_arg "Op.make: bitwidth must be positive";
+  { id; kind; bitwidth }
+
+let unit_of_kind = function
+  | Add | Sub | Mul | And_ | Or_ | Xor_ | Cmp -> Alu
+  | Shift | Mux | Pack | Load | Store | Fused | Input | Output -> Dmu
+
+let all_kinds =
+  [|
+    Add; Sub; Mul; And_; Or_; Xor_; Cmp; Shift; Mux; Pack; Load; Store; Fused; Input;
+    Output;
+  |]
+
+let kind_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor_ -> "xor"
+  | Cmp -> "cmp"
+  | Shift -> "shift"
+  | Mux -> "mux"
+  | Pack -> "pack"
+  | Load -> "load"
+  | Store -> "store"
+  | Fused -> "fused"
+  | Input -> "input"
+  | Output -> "output"
+
+let kind_of_string s =
+  Array.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let is_io = function Input | Output -> true | _ -> false
+
+let pp ppf t = Format.fprintf ppf "%s#%d<%d>" (kind_to_string t.kind) t.id t.bitwidth
+
+let equal a b = a.id = b.id && a.kind = b.kind && a.bitwidth = b.bitwidth

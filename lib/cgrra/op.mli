@@ -1,0 +1,50 @@
+(** Operations executed by CGRRA processing elements.
+
+    A PE contains an Arithmetic Logic Unit (ALU) and a Data
+    Manipulation Unit (DMU); every scheduled operation engages one of
+    the two, and the engaged unit's combinational delay determines
+    both the contribution to path delay and the stress rate (duty
+    cycle) of the PE in that context (paper §III). *)
+
+type unit_kind = Alu | Dmu
+
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | And_
+  | Or_
+  | Xor_
+  | Cmp           (** comparison / relational *)
+  | Shift         (** barrel shift — data manipulation *)
+  | Mux           (** select — data manipulation *)
+  | Pack          (** bit-field pack/unpack — data manipulation *)
+  | Load
+  | Store
+  | Fused         (** an ALU op chained into the DMU of the same PE —
+                      produced by technology mapping (the STP PE holds
+                      both units in series) *)
+  | Input         (** primary-input port op *)
+  | Output        (** primary-output port op *)
+
+type t = { id : int; kind : kind; bitwidth : int }
+
+val make : id:int -> kind:kind -> bitwidth:int -> t
+
+val unit_of_kind : kind -> unit_kind
+(** Which PE unit the operation engages. Arithmetic and logic map to
+    the ALU; shifts, selects, packing and memory-port data movement
+    map to the DMU. I/O port ops are modelled as (cheap) DMU usage. *)
+
+val all_kinds : kind array
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}. *)
+
+val is_io : kind -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

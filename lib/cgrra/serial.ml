@@ -1,0 +1,199 @@
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let design_to_string design =
+  let buf = Buffer.create 4096 in
+  buf_addf buf "agingfp-design v1\n";
+  buf_addf buf "name %s\n" (Design.name design);
+  buf_addf buf "fabric %d\n" (Fabric.dim (Design.fabric design));
+  let c = Design.chars design in
+  buf_addf buf "chars %.9g %.9g %.9g %.9g %.9g\n" c.Chars.alu_delay_ns c.Chars.dmu_delay_ns
+    c.Chars.io_delay_ns c.Chars.clock_period_ns c.Chars.unit_wire_delay_ns;
+  buf_addf buf "contexts %d\n" (Design.num_contexts design);
+  for i = 0 to Design.num_contexts design - 1 do
+    let dfg = Design.context design i in
+    buf_addf buf "context %d ops %d edges %d\n" i (Dfg.num_ops dfg) (Dfg.num_edges dfg);
+    Array.iter
+      (fun (o : Op.t) ->
+        buf_addf buf "op %d %s %d\n" o.Op.id (Op.kind_to_string o.Op.kind) o.Op.bitwidth)
+      (Dfg.ops dfg);
+    Dfg.iter_edges dfg (fun u v -> buf_addf buf "edge %d %d\n" u v)
+  done;
+  buf_addf buf "end\n";
+  Buffer.contents buf
+
+(* ---------- reader ---------- *)
+
+exception Parse_error of int * string
+
+let failf line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+type reader = { lines : string array; mutable pos : int }
+
+let next r =
+  let rec skip () =
+    if r.pos >= Array.length r.lines then failf r.pos "unexpected end of input"
+    else begin
+      let line = String.trim r.lines.(r.pos) in
+      r.pos <- r.pos + 1;
+      if line = "" then skip () else (line, r.pos)
+    end
+  in
+  skip ()
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failf line "expected integer, got %S" s
+
+let float_of line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failf line "expected number, got %S" s
+
+let design_of_string text =
+  let r = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
+  try
+    let header, ln = next r in
+    if header <> "agingfp-design v1" then failf ln "unknown design header %S" header;
+    let name_line, ln = next r in
+    let name =
+      match words name_line with
+      | "name" :: rest when rest <> [] -> String.concat " " rest
+      | _ -> failf ln "expected 'name <string>'"
+    in
+    let fabric_line, ln = next r in
+    let dim =
+      match words fabric_line with
+      | [ "fabric"; d ] -> int_of ln d
+      | _ -> failf ln "expected 'fabric <dim>'"
+    in
+    if dim <= 0 || dim > 1024 then failf ln "fabric dimension out of range";
+    let chars_line, ln = next r in
+    let chars =
+      match words chars_line with
+      | [ "chars"; a; d; io; clk; uw ] ->
+        {
+          Chars.alu_delay_ns = float_of ln a;
+          dmu_delay_ns = float_of ln d;
+          io_delay_ns = float_of ln io;
+          clock_period_ns = float_of ln clk;
+          unit_wire_delay_ns = float_of ln uw;
+        }
+      | _ -> failf ln "expected 'chars <5 numbers>'"
+    in
+    let contexts_line, ln = next r in
+    let ncontexts =
+      match words contexts_line with
+      | [ "contexts"; n ] -> int_of ln n
+      | _ -> failf ln "expected 'contexts <count>'"
+    in
+    if ncontexts <= 0 || ncontexts > 4096 then failf ln "context count out of range";
+    let contexts =
+      Array.init ncontexts (fun expect ->
+          let ctx_line, ln = next r in
+          let nops, nedges =
+            match words ctx_line with
+            | [ "context"; i; "ops"; n; "edges"; m ] ->
+              if int_of ln i <> expect then failf ln "context index mismatch";
+              (int_of ln n, int_of ln m)
+            | _ -> failf ln "expected 'context <i> ops <n> edges <m>'"
+          in
+          let ops =
+            Array.init nops (fun expect_id ->
+                let op_line, ln = next r in
+                match words op_line with
+                | [ "op"; id; kind; bw ] ->
+                  let id = int_of ln id in
+                  if id <> expect_id then failf ln "op id mismatch";
+                  let kind =
+                    match Op.kind_of_string kind with
+                    | Some k -> k
+                    | None -> failf ln "unknown op kind %S" kind
+                  in
+                  Op.make ~id ~kind ~bitwidth:(int_of ln bw)
+                | _ -> failf ln "expected 'op <id> <kind> <bitwidth>'")
+          in
+          let edges =
+            List.init nedges (fun _ ->
+                let edge_line, ln = next r in
+                match words edge_line with
+                | [ "edge"; u; v ] -> (int_of ln u, int_of ln v)
+                | _ -> failf ln "expected 'edge <from> <to>'")
+          in
+          try Dfg.create ~ops ~edges
+          with Invalid_argument msg -> failf ln "bad context: %s" msg)
+    in
+    let end_line, ln = next r in
+    if end_line <> "end" then failf ln "expected 'end'";
+    (try Ok (Design.create ~chars ~name ~fabric:(Fabric.create ~dim) contexts)
+     with Invalid_argument msg -> Error msg)
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+(* ---------- mappings ---------- *)
+
+let mapping_to_string mapping =
+  let buf = Buffer.create 1024 in
+  buf_addf buf "agingfp-mapping v1\n";
+  buf_addf buf "contexts %d\n" (Mapping.num_contexts mapping);
+  for c = 0 to Mapping.num_contexts mapping - 1 do
+    let row = Mapping.context_array mapping c in
+    buf_addf buf "context %d %d\n" c (Array.length row);
+    buf_addf buf "%s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int row)))
+  done;
+  buf_addf buf "end\n";
+  Buffer.contents buf
+
+let mapping_of_string text =
+  let r = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
+  try
+    let header, ln = next r in
+    if header <> "agingfp-mapping v1" then failf ln "unknown mapping header %S" header;
+    let contexts_line, ln = next r in
+    let ncontexts =
+      match words contexts_line with
+      | [ "contexts"; n ] -> int_of ln n
+      | _ -> failf ln "expected 'contexts <count>'"
+    in
+    if ncontexts <= 0 || ncontexts > 4096 then failf ln "context count out of range";
+    let arrays =
+      Array.init ncontexts (fun expect ->
+          let ctx_line, ln = next r in
+          let nops =
+            match words ctx_line with
+            | [ "context"; i; n ] ->
+              if int_of ln i <> expect then failf ln "context index mismatch";
+              int_of ln n
+            | _ -> failf ln "expected 'context <i> <n>'"
+          in
+          let row_line, ln = next r in
+          let pes = List.map (int_of ln) (words row_line) in
+          if List.length pes <> nops then failf ln "expected %d PEs" nops;
+          Array.of_list pes)
+    in
+    let end_line, ln = next r in
+    if end_line <> "end" then failf ln "expected 'end'";
+    Ok (Mapping.of_arrays arrays)
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+(* ---------- files ---------- *)
+
+let write_file path contents =
+  try
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error msg -> Error msg
+
+let save_design path design = write_file path (design_to_string design)
+
+let load_design path = Result.bind (read_file path) design_of_string
+
+let save_mapping path mapping = write_file path (mapping_to_string mapping)
+
+let load_mapping path = Result.bind (read_file path) mapping_of_string

@@ -1,0 +1,40 @@
+(** Plain-text serialization of designs and floorplans.
+
+    A stable, line-oriented format so that floorplans can be produced
+    by one tool invocation and consumed by another (e.g. place once,
+    re-map many times, archive the accepted floorplan next to the
+    bitstream). The format is versioned; readers reject unknown
+    versions with a useful error.
+
+    Design format sketch:
+    {v
+    agingfp-design v1
+    name <string>
+    fabric <dim>
+    chars <alu_ns> <dmu_ns> <io_ns> <clock_ns> <unit_wire_ns>
+    contexts <count>
+    context <index> ops <n> edges <m>
+    op <id> <kind> <bitwidth>
+    edge <from> <to>
+    end
+    v}
+
+    Mappings serialize per context as a PE list in operation order. *)
+
+val design_to_string : Design.t -> string
+
+val design_of_string : string -> (Design.t, string) result
+(** Errors carry a line number. Round-trip law:
+    [design_of_string (design_to_string d)] reproduces [d] up to
+    physical equality of contents. *)
+
+val mapping_to_string : Mapping.t -> string
+
+val mapping_of_string : string -> (Mapping.t, string) result
+(** The result is shape-checked only on read; validate against the
+    intended design with {!Mapping.validate}. *)
+
+val save_design : string -> Design.t -> (unit, string) result
+val load_design : string -> (Design.t, string) result
+val save_mapping : string -> Mapping.t -> (unit, string) result
+val load_mapping : string -> (Mapping.t, string) result

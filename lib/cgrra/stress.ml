@@ -1,0 +1,38 @@
+module Ascii_table = Agingfp_util.Ascii_table
+
+let op_stress design ~ctx ~op =
+  let dfg = Design.context design ctx in
+  Chars.stress_rate (Design.chars design) (Dfg.op dfg op)
+
+let per_context design mapping =
+  let npes = Fabric.num_pes (Design.fabric design) in
+  Array.init (Design.num_contexts design) (fun c ->
+      let map = Array.make npes 0.0 in
+      let dfg = Design.context design c in
+      for o = 0 to Dfg.num_ops dfg - 1 do
+        let pe = Mapping.pe_of mapping ~ctx:c ~op:o in
+        map.(pe) <- map.(pe) +. op_stress design ~ctx:c ~op:o
+      done;
+      map)
+
+let accumulated design mapping =
+  let npes = Fabric.num_pes (Design.fabric design) in
+  let acc = Array.make npes 0.0 in
+  Array.iter
+    (fun ctx_map -> Array.iteri (fun pe s -> acc.(pe) <- acc.(pe) +. s) ctx_map)
+    (per_context design mapping);
+  acc
+
+let max_accumulated design mapping =
+  Array.fold_left max 0.0 (accumulated design mapping)
+
+let mean_accumulated design mapping =
+  let acc = accumulated design mapping in
+  Array.fold_left ( +. ) 0.0 acc /. float_of_int (Array.length acc)
+
+let heatmap design mapping =
+  let fabric = Design.fabric design in
+  let acc = accumulated design mapping in
+  Ascii_table.render_grid ~w:(Fabric.dim fabric) ~h:(Fabric.dim fabric) (fun x y ->
+      let pe = Fabric.pe_of_coord fabric (Agingfp_util.Coord.make x y) in
+      if acc.(pe) = 0.0 then "." else Printf.sprintf "%.2f" acc.(pe))

@@ -1,0 +1,26 @@
+(** Stress-time accounting (paper §III).
+
+    The stress rate of an operation is its engaged-unit duty cycle;
+    the accumulated stress time of a PE is the sum of the stress
+    rates of the operations bound to it over all contexts. The PE
+    with the highest accumulated stress bounds the device MTTF. *)
+
+val per_context : Design.t -> Mapping.t -> float array array
+(** [per_context d m] is a [contexts × PEs] matrix of stress times
+    (duty-cycle units, one clock cycle per context). *)
+
+val accumulated : Design.t -> Mapping.t -> float array
+(** Per-PE accumulated stress over all contexts — the quantity the
+    MILP budget [ST_target] constrains. *)
+
+val max_accumulated : Design.t -> Mapping.t -> float
+(** The paper's [ST_up]: the highest accumulated stress of any PE. *)
+
+val mean_accumulated : Design.t -> Mapping.t -> float
+(** The paper's [ST_low]: total stress averaged over all fabric PEs. *)
+
+val op_stress : Design.t -> ctx:int -> op:int -> float
+(** [ST(OP_ij)]: the stress an operation contributes wherever bound. *)
+
+val heatmap : Design.t -> Mapping.t -> string
+(** ASCII rendering of the accumulated stress map (Fig. 2a style). *)

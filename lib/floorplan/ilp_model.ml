@@ -1,0 +1,231 @@
+open Agingfp_cgrra
+module Expr = Agingfp_lp.Expr
+module Model = Agingfp_lp.Model
+module Analysis = Agingfp_timing.Analysis
+
+type encoding = Displacement | Exact_abs | Hybrid
+
+type objective = Null | Min_displacement
+
+type instance = {
+  lp : Model.t;
+  design : Design.t;
+  contexts : int list;
+  candidates : Candidates.t;
+  frozen_pins : (int * int) list array;  (* ctx -> (op, pe) *)
+  vars : (int * int * int, int) Hashtbl.t;  (* (ctx, op, pe) -> var *)
+  nbin : int;
+}
+
+let model t = t.lp
+
+let var t ~ctx ~op ~pe = Hashtbl.find_opt t.vars (ctx, op, pe)
+
+let num_binaries t = t.nbin
+let num_rows t = Model.num_constraints t.lp
+
+(* Reference position of an op: its frozen pin when pinned, otherwise
+   its baseline PE. Displacement is measured against the baseline PE
+   (pins have zero displacement by construction). *)
+let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
+    ~st_target ~candidates ~monitored ~contexts ~committed =
+  let lp = Model.create () in
+  let fabric = Design.fabric design in
+  let npes = Fabric.num_pes fabric in
+  let vars = Hashtbl.create 4096 in
+  let nbin = ref 0 in
+  let frozen_pins =
+    Array.init (Design.num_contexts design) (fun ctx ->
+        if not (List.mem ctx contexts) then []
+        else begin
+          let dfg = Design.context design ctx in
+          let acc = ref [] in
+          for op = Dfg.num_ops dfg - 1 downto 0 do
+            if Candidates.is_frozen candidates ~ctx ~op then
+              acc := (op, List.hd (Candidates.get candidates ~ctx ~op)) :: !acc
+          done;
+          !acc
+        end)
+  in
+  let frozen_pe_of = Hashtbl.create 64 in
+  List.iter
+    (fun ctx ->
+      List.iter (fun (op, pe) -> Hashtbl.replace frozen_pe_of (ctx, op) pe) frozen_pins.(ctx))
+    contexts;
+  (* Binaries + assignment rows. *)
+  let stress_terms = Array.make npes [] in
+  let capacity_terms = Hashtbl.create 256 in  (* (ctx, pe) -> vars *)
+  List.iter
+    (fun ctx ->
+      let dfg = Design.context design ctx in
+      for op = 0 to Dfg.num_ops dfg - 1 do
+        if not (Candidates.is_frozen candidates ~ctx ~op) then begin
+          let st_op = Stress.op_stress design ~ctx ~op in
+          let cands = Candidates.get candidates ~ctx ~op in
+          let terms =
+            List.map
+              (fun pe ->
+                let v = Model.add_binary ~name:(Printf.sprintf "x_%d_%d_%d" ctx op pe) lp in
+                incr nbin;
+                Hashtbl.replace vars (ctx, op, pe) v;
+                stress_terms.(pe) <- (st_op, v) :: stress_terms.(pe);
+                let key = (ctx, pe) in
+                let cur = try Hashtbl.find capacity_terms key with Not_found -> [] in
+                Hashtbl.replace capacity_terms key (v :: cur);
+                Expr.var v)
+              cands
+          in
+          ignore (Model.add_constraint lp (Expr.sum terms) Model.Eq 1.0)
+        end
+      done)
+    contexts;
+  (* Capacity: one op per PE per context. *)
+  Hashtbl.iter
+    (fun (_ctx, _pe) vs ->
+      match vs with
+      | [] | [ _ ] -> ()
+      | vs ->
+        ignore
+          (Model.add_constraint lp (Expr.sum (List.map Expr.var vs)) Model.Le 1.0))
+    capacity_terms;
+  (* Stress budget per PE. *)
+  for pe = 0 to npes - 1 do
+    match stress_terms.(pe) with
+    | [] -> ()
+    | terms ->
+      let lhs = Expr.sum (List.map (fun (c, v) -> Expr.var ~coef:c v) terms) in
+      ignore (Model.add_constraint lp lhs Model.Le (st_target -. committed.(pe)))
+  done;
+  (* Geometry helpers. *)
+  let coord pe = Fabric.coord_of_pe fabric pe in
+  let ref_pe ctx op =
+    match Hashtbl.find_opt frozen_pe_of (ctx, op) with
+    | Some pe -> pe
+    | None -> Mapping.pe_of baseline ~ctx ~op
+  in
+  let displacement_expr ctx op =
+    (* Σ_k dist(baseline, k) x_k ; zero for frozen ops. *)
+    if Candidates.is_frozen candidates ~ctx ~op then Expr.zero
+    else begin
+      let orig = Mapping.pe_of baseline ~ctx ~op in
+      Expr.sum
+        (List.map
+           (fun pe ->
+             let d = Fabric.distance fabric orig pe in
+             if d = 0 then Expr.zero
+             else Expr.var ~coef:(float_of_int d) (Hashtbl.find vars (ctx, op, pe)))
+           (Candidates.get candidates ~ctx ~op))
+    end
+  in
+  let coord_expr ctx op axis =
+    (* Linear expression of the op's x (or y) coordinate. *)
+    match Hashtbl.find_opt frozen_pe_of (ctx, op) with
+    | Some pe ->
+      let c = coord pe in
+      Expr.const (float_of_int (match axis with `X -> c.Agingfp_util.Coord.x | `Y -> c.Agingfp_util.Coord.y))
+    | None ->
+      Expr.sum
+        (List.map
+           (fun pe ->
+             let c = coord pe in
+             let v = float_of_int (match axis with `X -> c.Agingfp_util.Coord.x | `Y -> c.Agingfp_util.Coord.y) in
+             if v = 0.0 then Expr.zero
+             else Expr.var ~coef:v (Hashtbl.find vars (ctx, op, pe)))
+           (Candidates.get candidates ~ctx ~op))
+  in
+  (* Path rows. *)
+  let add_exact_path ctx (b : Paths.budgeted) =
+    let nodes = b.Paths.path.Analysis.nodes in
+    let total = ref Expr.zero in
+    for i = 0 to Array.length nodes - 2 do
+      let u = nodes.(i) and v = nodes.(i + 1) in
+      List.iter
+        (fun axis ->
+          let w = Model.add_var ~lb:0.0 lp in
+          let cu = coord_expr ctx u axis and cv = coord_expr ctx v axis in
+          (* w >= cu - cv  and  w >= cv - cu *)
+          ignore
+            (Model.add_constraint lp (Expr.sub (Expr.sub cu cv) (Expr.var w)) Model.Le 0.0);
+          ignore
+            (Model.add_constraint lp (Expr.sub (Expr.sub cv cu) (Expr.var w)) Model.Le 0.0);
+          total := Expr.add !total (Expr.var w))
+        [ `X; `Y ]
+    done;
+    ignore (Model.add_constraint lp !total Model.Le (float_of_int b.Paths.wire_budget))
+  in
+  let add_displacement_path ~fallback ctx (b : Paths.budgeted) =
+    let nodes = b.Paths.path.Analysis.nodes in
+    let n = Array.length nodes in
+    (* Reference wire length with frozen pins applied. *)
+    let ref_wl = ref 0 in
+    for i = 0 to n - 2 do
+      ref_wl := !ref_wl + Fabric.distance fabric (ref_pe ctx nodes.(i)) (ref_pe ctx nodes.(i + 1))
+    done;
+    let rhs = b.Paths.wire_budget - !ref_wl in
+    if rhs < 0 && fallback then
+      (* Conservative bound cannot hold even with zero displacement:
+         fall back to the exact encoding for this path. *)
+      add_exact_path ctx b
+    else begin
+      let lhs = ref Expr.zero in
+      Array.iteri
+        (fun i op ->
+          let c = if i = 0 || i = n - 1 then 1.0 else 2.0 in
+          lhs := Expr.add !lhs (Expr.scale c (displacement_expr ctx op)))
+        nodes;
+      ignore (Model.add_constraint lp !lhs Model.Le (float_of_int rhs))
+    end
+  in
+  List.iter
+    (fun ctx ->
+      List.iter
+        (fun b ->
+          match encoding with
+          | Displacement -> add_displacement_path ~fallback:false ctx b
+          | Exact_abs -> add_exact_path ctx b
+          | Hybrid -> add_displacement_path ~fallback:true ctx b)
+        monitored.(ctx))
+    contexts;
+  (* Objective. *)
+  (match objective with
+  | Null -> Model.set_objective lp Model.Minimize Expr.zero
+  | Min_displacement ->
+    let total = ref Expr.zero in
+    List.iter
+      (fun ctx ->
+        let dfg = Design.context design ctx in
+        for op = 0 to Dfg.num_ops dfg - 1 do
+          total := Expr.add !total (displacement_expr ctx op)
+        done)
+      contexts;
+    Model.set_objective lp Model.Minimize !total);
+  { lp; design; contexts; candidates; frozen_pins; vars; nbin = !nbin }
+
+let extract t ~values base_mapping =
+  let arrays =
+    Array.init (Design.num_contexts t.design) (fun c -> Mapping.context_array base_mapping c)
+  in
+  List.iter
+    (fun ctx ->
+      let dfg = Design.context t.design ctx in
+      for op = 0 to Dfg.num_ops dfg - 1 do
+        let pe =
+          if Candidates.is_frozen t.candidates ~ctx ~op then
+            List.hd (Candidates.get t.candidates ~ctx ~op)
+          else begin
+            let best = ref (-1) and best_v = ref neg_infinity in
+            List.iter
+              (fun cand ->
+                let v = values (Hashtbl.find t.vars (ctx, op, cand)) in
+                if v > !best_v then begin
+                  best := cand;
+                  best_v := v
+                end)
+              (Candidates.get t.candidates ~ctx ~op);
+            !best
+          end
+        in
+        arrays.(ctx).(op) <- pe
+      done)
+    t.contexts;
+  Mapping.of_arrays arrays

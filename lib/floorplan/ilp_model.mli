@@ -1,0 +1,60 @@
+(** Builder for the paper's formulation (3).
+
+    Variables: one binary [OP_ijk] per (context i, operation j,
+    candidate PE k). Constraints:
+
+    - assignment: every unfrozen operation binds to exactly one PE;
+    - capacity: at most one operation per PE per context;
+    - stress budget: each PE's accumulated stress (committed + frozen
+      + newly assigned) stays within [st_target];
+    - path wire-length budgets (Eq. 5) in one of two encodings.
+
+    The [Displacement] encoding bounds each monitored path's wire
+    length by its reference length plus the endpoint displacements
+    (triangle inequality — conservative, one row per path). The
+    [Exact_abs] encoding introduces auxiliary |Δx|,|Δy| variables per
+    hop and is exact but larger. [Hybrid] (the default) uses
+    displacement rows everywhere they can possibly be satisfied and
+    falls back to exact rows for the (rare) paths whose reference
+    positions already exceed the budget after critical-path
+    rotation. *)
+
+open Agingfp_cgrra
+
+type encoding = Displacement | Exact_abs | Hybrid
+
+type objective = Null | Min_displacement
+(** [Null] is the paper's "ObjFunc: Null"; [Min_displacement] keeps
+    re-binding local, which empirically spares the post-remap CPD
+    check. Either way the formulation's feasibility set is
+    unchanged. *)
+
+type instance
+
+val build :
+  ?encoding:encoding ->
+  ?objective:objective ->
+  Design.t ->
+  baseline:Mapping.t ->
+  st_target:float ->
+  candidates:Candidates.t ->
+  monitored:Paths.budgeted list array ->
+  contexts:int list ->
+  committed:float array ->
+  instance
+(** [committed] is per-PE stress already accounted for outside this
+    instance: frozen pins of every context plus contexts solved
+    earlier in a per-context decomposition. *)
+
+val model : instance -> Agingfp_lp.Model.t
+
+val extract : instance -> values:(int -> float) -> Mapping.t -> Mapping.t
+(** Overwrite the modeled contexts of the given mapping with the
+    solved assignment (frozen pins included). Binaries are rounded to
+    the nearest candidate; the caller revalidates the mapping. *)
+
+val var : instance -> ctx:int -> op:int -> pe:int -> int option
+(** The binary's model variable, when (ctx, op, pe) was instantiated. *)
+
+val num_binaries : instance -> int
+val num_rows : instance -> int

@@ -1,0 +1,113 @@
+open Agingfp_cgrra
+module Analysis = Agingfp_timing.Analysis
+module Nbti = Agingfp_aging.Nbti
+module Thermal = Agingfp_thermal.Model
+
+type strategy =
+  | Static of Mapping.t
+  | Periodic of (epoch:int -> wear:float array -> Mapping.t)
+
+type outcome = {
+  failed_at_years : float option;
+  epochs_run : int;
+  final_max_shift_v : float;
+  final_wear : float array;
+}
+
+let year_seconds = 3.156e7
+
+let simulate ?nbti ?thermal design ~epochs ~epoch_years strategy =
+  let nbti_params = match nbti with Some p -> p | None -> Nbti.default_params in
+  let npes = Fabric.num_pes (Design.fabric design) in
+  let contexts = float_of_int (Design.num_contexts design) in
+  let epoch_s = epoch_years *. year_seconds in
+  let fail_shift = nbti_params.Nbti.fail_frac *. nbti_params.Nbti.vth0 in
+  (* Accumulated stress time per PE, in seconds. *)
+  let wear = Array.make npes 0.0 in
+  let max_shift = ref 0.0 in
+  let failed_at = ref None in
+  let epoch = ref 0 in
+  while !failed_at = None && !epoch < epochs do
+    let mapping =
+      match strategy with
+      | Static m -> m
+      | Periodic f -> f ~epoch:!epoch ~wear:(Array.copy wear)
+    in
+    let duty =
+      Array.map (fun s -> s /. contexts) (Stress.accumulated design mapping)
+    in
+    let temps = Thermal.pe_temperatures ?params:thermal design mapping in
+    (* Shift of PE i at accumulated stress S (seconds), Eq. (1):
+       shift = A * S^n * exp(-Ea/kT) * Vth0. *)
+    let shift_of pe s =
+      if s <= 0.0 then 0.0
+      else
+        nbti_params.Nbti.a_nbti
+        *. (s ** nbti_params.Nbti.n_exp)
+        *. exp (-.nbti_params.Nbti.ea_ev /. (Nbti.boltzmann_ev *. temps.(pe)))
+        *. nbti_params.Nbti.vth0
+    in
+    (* Advance one epoch, detecting the first in-epoch failure. *)
+    let earliest_fail = ref infinity in
+    for pe = 0 to npes - 1 do
+      let s_end = wear.(pe) +. (duty.(pe) *. epoch_s) in
+      let shift_end = shift_of pe s_end in
+      if shift_end >= fail_shift && duty.(pe) > 0.0 then begin
+        (* Invert Eq. (1) for the in-epoch failure time. *)
+        let arrhenius =
+          exp (-.nbti_params.Nbti.ea_ev /. (Nbti.boltzmann_ev *. temps.(pe)))
+        in
+        let s_fail =
+          (nbti_params.Nbti.fail_frac /. (nbti_params.Nbti.a_nbti *. arrhenius))
+          ** (1.0 /. nbti_params.Nbti.n_exp)
+        in
+        let dt = (s_fail -. wear.(pe)) /. duty.(pe) in
+        let dt = max 0.0 dt in
+        earliest_fail := min !earliest_fail dt
+      end
+    done;
+    if !earliest_fail < infinity then begin
+      failed_at :=
+        Some (((float_of_int !epoch *. epoch_s) +. !earliest_fail) /. year_seconds);
+      (* Account wear up to the failure instant. *)
+      for pe = 0 to npes - 1 do
+        wear.(pe) <- wear.(pe) +. (duty.(pe) *. !earliest_fail)
+      done
+    end
+    else
+      for pe = 0 to npes - 1 do
+        wear.(pe) <- wear.(pe) +. (duty.(pe) *. epoch_s)
+      done;
+    for pe = 0 to npes - 1 do
+      max_shift := max !max_shift (shift_of pe wear.(pe))
+    done;
+    incr epoch
+  done;
+  {
+    failed_at_years = !failed_at;
+    epochs_run = !epoch;
+    final_max_shift_v = !max_shift;
+    final_wear = wear;
+  }
+
+let wear_aware_strategy ?refine_params design ~baseline ~start =
+  let baseline_cpd = Analysis.cpd design baseline in
+  let frozen = Rotation.freeze_plan design start in
+  let monitored = Paths.monitored design baseline in
+  let contexts = float_of_int (Design.num_contexts design) in
+  Periodic
+    (fun ~epoch:_ ~wear ->
+      (* Normalize wear (seconds of stress) into the same unit as one
+         round of accumulated context stress, so the refiner weighs
+         past wear against the stress the next epoch will add. *)
+      let total = Array.fold_left ( +. ) 0.0 wear in
+      if total <= 0.0 then start
+      else begin
+        let scale = contexts /. Agingfp_util.Stats.fmax wear in
+        let initial = Array.map (fun w -> w *. scale) wear in
+        let refined, _ =
+          Refine.improve ?params:refine_params ~initial design ~baseline_cpd ~frozen
+            ~monitored start
+        in
+        refined
+      end)

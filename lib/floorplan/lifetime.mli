@@ -1,0 +1,56 @@
+(** Lifetime simulation with optional periodic wear-aware re-mapping.
+
+    The paper produces one static aging-aware floorplan. A natural
+    extension (and the regime its related work [3], [8] operates in)
+    is to re-map {e periodically}, steering each epoch's stress away
+    from the PEs that already accumulated the most wear. This module
+    simulates a device's life in epochs:
+
+    - per epoch, every PE accumulates stress time
+      [duty * epoch_seconds] under the epoch's mapping (Eq. (1)'s
+      [ST] is additive in time);
+    - V_th shift follows Eq. (1) on the accumulated stress with the
+      epoch's steady-state temperature;
+    - the device fails in the epoch where some PE's shift crosses the
+      failure threshold (position within the epoch interpolated by
+      inverting Eq. (1));
+    - a [Periodic] strategy may produce a new delay-clean mapping at
+      each epoch boundary, seeing the accumulated wear.
+
+    All re-mapping strategies built here preserve the no-CPD-increase
+    guarantee (they move through {!Refine} with the baseline CPD and
+    path budgets as guards). *)
+
+open Agingfp_cgrra
+
+type strategy =
+  | Static of Mapping.t
+  | Periodic of (epoch:int -> wear:float array -> Mapping.t)
+      (** [wear] is the accumulated stress time per PE, in seconds. *)
+
+type outcome = {
+  failed_at_years : float option;  (** None = survived the horizon *)
+  epochs_run : int;
+  final_max_shift_v : float;
+  final_wear : float array;
+}
+
+val simulate :
+  ?nbti:Agingfp_aging.Nbti.params ->
+  ?thermal:Agingfp_thermal.Model.params ->
+  Design.t ->
+  epochs:int ->
+  epoch_years:float ->
+  strategy ->
+  outcome
+
+val wear_aware_strategy :
+  ?refine_params:Refine.params ->
+  Design.t ->
+  baseline:Mapping.t ->
+  start:Mapping.t ->
+  strategy
+(** A [Periodic] strategy: each epoch starts from [start] (typically
+    the aging-aware floorplan) and re-levels against the normalized
+    accumulated wear using {!Refine.improve}, guarded by [baseline]'s
+    CPD and path budgets. *)

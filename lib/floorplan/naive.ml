@@ -1,0 +1,41 @@
+open Agingfp_cgrra
+module Rng = Agingfp_util.Rng
+
+let spread ?(seed = 31) design _baseline =
+  let rng = Rng.create seed in
+  let npes = Fabric.num_pes (Design.fabric design) in
+  let committed = Array.make npes 0.0 in
+  let arrays =
+    Array.init (Design.num_contexts design) (fun ctx ->
+        Array.make (Dfg.num_ops (Design.context design ctx)) (-1))
+  in
+  (* Longest-processing-time-first over all contexts: heaviest ops
+     grab the globally least-loaded PE still free in their context. *)
+  let all_ops =
+    Array.of_list
+      (List.concat_map
+         (fun ctx ->
+           List.init
+             (Dfg.num_ops (Design.context design ctx))
+             (fun op -> (ctx, op, Stress.op_stress design ~ctx ~op)))
+         (List.init (Design.num_contexts design) (fun i -> i)))
+  in
+  Rng.shuffle rng all_ops;
+  Array.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) all_ops;
+  let used = Array.init (Design.num_contexts design) (fun _ -> Array.make npes false) in
+  Array.iter
+    (fun (ctx, op, st_op) ->
+      let best = ref (-1) in
+      for pe = 0 to npes - 1 do
+        if (not used.(ctx).(pe)) && (!best < 0 || committed.(pe) < committed.(!best)) then
+          best := pe
+      done;
+      arrays.(ctx).(op) <- !best;
+      used.(ctx).(!best) <- true;
+      committed.(!best) <- committed.(!best) +. st_op)
+    all_ops;
+  let mapping = Mapping.of_arrays arrays in
+  (match Mapping.validate design mapping with
+  | Ok () -> ()
+  | Error msg -> failwith ("Naive.spread produced invalid mapping: " ^ msg));
+  mapping

@@ -1,0 +1,18 @@
+(** Delay-unaware naive spreading — the strawman of paper §IV.
+
+    "Intuitively, this could be achieved by spreading the PE usage as
+    much as possible. This naïve approach, however, can cause
+    significant delay increase due to longer wire lengths."
+
+    This module implements that strawman: a best-fit-decreasing
+    balancer that minimizes the maximum accumulated stress while
+    completely ignoring path delays. The [ablation-naive] bench uses
+    it to demonstrate the CPD blow-up that motivates the paper's
+    delay-aware formulation. *)
+
+open Agingfp_cgrra
+
+val spread : ?seed:int -> Design.t -> Mapping.t -> Mapping.t
+(** Rebind every operation to level accumulated stress; the result is
+    a valid mapping with (near-)minimal max stress and arbitrary
+    wire lengths. *)

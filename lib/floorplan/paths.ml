@@ -1,0 +1,31 @@
+open Agingfp_cgrra
+module Analysis = Agingfp_timing.Analysis
+
+type budgeted = { path : Analysis.path; wire_budget : int; baseline_wire : int }
+
+type params = { within : float; max_paths : int }
+
+let default_params = { within = 0.2; max_paths = 48 }
+
+let budget_of_path design mapping ~cpd path =
+  let chars = Design.chars design in
+  let pe_delay = Analysis.pe_delay_sum design path in
+  let budget_ns = cpd -. pe_delay in
+  let uwd = chars.Chars.unit_wire_delay_ns in
+  let wire_budget = int_of_float (floor ((budget_ns /. uwd) +. 1e-9)) in
+  let baseline_wire = Analysis.wire_length design mapping path in
+  (* The baseline mapping meets the CPD by definition, so its wire
+     usage never exceeds the budget. *)
+  let wire_budget = max wire_budget baseline_wire in
+  { path; wire_budget; baseline_wire }
+
+let monitored ?(params = default_params) design mapping =
+  let cpd = Analysis.cpd design mapping in
+  Array.init (Design.num_contexts design) (fun ctx ->
+      let paths =
+        Analysis.monitored_paths design mapping ~ctx ~within:params.within
+          ~max_paths:params.max_paths ()
+      in
+      List.map (budget_of_path design mapping ~cpd) paths)
+
+let slack b = b.wire_budget - b.baseline_wire

@@ -1,0 +1,40 @@
+(** Path delay constraint generation (Algorithm 1, step 2.2).
+
+    Every monitored timing path receives a wire-length budget derived
+    from Eq. (5):
+
+    {v Σ wire_length(OP) <= (CPD - Σ PEdelay(OP)) / unit_wire_delay v}
+
+    where CPD is the {e original} design critical path delay. The
+    monitored set is the paper's default filter: paths whose baseline
+    delay is within 20% of the CPD, found by best-first longest-path
+    enumeration, capped per context. *)
+
+open Agingfp_cgrra
+module Analysis := Agingfp_timing.Analysis
+
+type budgeted = {
+  path : Analysis.path;
+  wire_budget : int;
+      (** max total Manhattan wire length allowed on this path *)
+  baseline_wire : int;
+      (** wire length under the baseline mapping; always <= budget *)
+}
+
+type params = {
+  within : float;       (** monitor paths within this fraction of CPD *)
+  max_paths : int;      (** cap per context *)
+}
+
+val default_params : params
+(** within = 0.2, max_paths = 48. *)
+
+val budget_of_path : Design.t -> Mapping.t -> cpd:float -> Analysis.path -> budgeted
+(** Budget for one explicit path under the given original CPD. *)
+
+val monitored : ?params:params -> Design.t -> Mapping.t -> budgeted list array
+(** Per-context budgeted monitored paths of the baseline mapping. *)
+
+val slack : budgeted -> int
+(** [wire_budget - baseline_wire]: how much extra wire the path can
+    absorb — 0 for critical paths. *)

@@ -1,0 +1,144 @@
+open Agingfp_cgrra
+module Expr = Agingfp_lp.Expr
+module Model = Agingfp_lp.Model
+module Milp = Agingfp_lp.Milp
+module Analysis = Agingfp_timing.Analysis
+
+type result = {
+  mapping : Mapping.t option;
+  max_stress : float;
+  binaries : int;
+  rows : int;
+}
+
+let solve ?(milp = { Milp.default_params with node_limit = 400; first_solution = false })
+    ?(freeze_critical = true) design baseline =
+  let fabric = Design.fabric design in
+  let npes = Fabric.num_pes fabric in
+  let ncontexts = Design.num_contexts design in
+  let frozen =
+    if freeze_critical then Rotation.freeze_plan design baseline
+    else Array.make ncontexts []
+  in
+  let monitored = Paths.monitored design baseline in
+  (* Unlimited candidates: every PE for every unfrozen operation. *)
+  let cand_params = { Candidates.max_candidates = 0; unmonitored_radius = 4 * npes } in
+  let candidates = Candidates.build ~params:cand_params design baseline ~frozen ~monitored in
+  let committed = Array.make npes 0.0 in
+  Array.iteri
+    (fun ctx pins ->
+      List.iter
+        (fun (op, pe) -> committed.(pe) <- committed.(pe) +. Stress.op_stress design ~ctx ~op)
+        pins)
+    frozen;
+  let lp = Model.create () in
+  let t_var = Model.add_var ~name:"max_stress" lp in
+  let vars = Hashtbl.create 4096 in
+  let nbin = ref 0 in
+  let stress_terms = Array.make npes [] in
+  for ctx = 0 to ncontexts - 1 do
+    let dfg = Design.context design ctx in
+    let capacity = Array.make npes [] in
+    for op = 0 to Dfg.num_ops dfg - 1 do
+      if not (Candidates.is_frozen candidates ~ctx ~op) then begin
+        let st_op = Stress.op_stress design ~ctx ~op in
+        let terms =
+          List.map
+            (fun pe ->
+              let v = Model.add_binary lp in
+              incr nbin;
+              Hashtbl.replace vars (ctx, op, pe) v;
+              stress_terms.(pe) <- (st_op, v) :: stress_terms.(pe);
+              capacity.(pe) <- v :: capacity.(pe);
+              Expr.var v)
+            (Candidates.get candidates ~ctx ~op)
+        in
+        ignore (Model.add_constraint lp (Expr.sum terms) Model.Eq 1.0)
+      end
+    done;
+    Array.iter
+      (fun vs ->
+        match vs with
+        | [] | [ _ ] -> ()
+        | vs -> ignore (Model.add_constraint lp (Expr.sum (List.map Expr.var vs)) Model.Le 1.0))
+      capacity
+  done;
+  (* Σ st·x − t ≤ −committed(pe): t dominates every accumulated load. *)
+  for pe = 0 to npes - 1 do
+    let lhs =
+      Expr.sub
+        (Expr.sum (List.map (fun (c, v) -> Expr.var ~coef:c v) stress_terms.(pe)))
+        (Expr.var t_var)
+    in
+    ignore (Model.add_constraint lp lhs Model.Le (-.committed.(pe)))
+  done;
+  (* Exact path-delay rows (Eq. 5), |Δx| + |Δy| per hop. *)
+  let coord_expr ctx op axis =
+    if Candidates.is_frozen candidates ~ctx ~op then begin
+      let pe = List.hd (Candidates.get candidates ~ctx ~op) in
+      let c = Fabric.coord_of_pe fabric pe in
+      Expr.const
+        (float_of_int (match axis with `X -> c.Agingfp_util.Coord.x | `Y -> c.Agingfp_util.Coord.y))
+    end
+    else
+      Expr.sum
+        (List.map
+           (fun pe ->
+             let c = Fabric.coord_of_pe fabric pe in
+             let v =
+               float_of_int (match axis with `X -> c.Agingfp_util.Coord.x | `Y -> c.Agingfp_util.Coord.y)
+             in
+             if v = 0.0 then Expr.zero else Expr.var ~coef:v (Hashtbl.find vars (ctx, op, pe)))
+           (Candidates.get candidates ~ctx ~op))
+  in
+  Array.iteri
+    (fun ctx budgeted ->
+      List.iter
+        (fun (b : Paths.budgeted) ->
+          let nodes = b.Paths.path.Analysis.nodes in
+          let total = ref Expr.zero in
+          for i = 0 to Array.length nodes - 2 do
+            List.iter
+              (fun axis ->
+                let w = Model.add_var ~lb:0.0 lp in
+                let cu = coord_expr ctx nodes.(i) axis
+                and cv = coord_expr ctx nodes.(i + 1) axis in
+                ignore (Model.add_constraint lp (Expr.sub (Expr.sub cu cv) (Expr.var w)) Model.Le 0.0);
+                ignore (Model.add_constraint lp (Expr.sub (Expr.sub cv cu) (Expr.var w)) Model.Le 0.0);
+                total := Expr.add !total (Expr.var w))
+              [ `X; `Y ]
+          done;
+          ignore (Model.add_constraint lp !total Model.Le (float_of_int b.Paths.wire_budget)))
+        budgeted)
+    monitored;
+  Model.set_objective lp Model.Minimize (Expr.var t_var);
+  let rows = Model.num_constraints lp in
+  match Milp.solve ~params:milp lp with
+  | Milp.Feasible sol ->
+    let arrays =
+      Array.init ncontexts (fun ctx ->
+          let dfg = Design.context design ctx in
+          Array.init (Dfg.num_ops dfg) (fun op ->
+              if Candidates.is_frozen candidates ~ctx ~op then
+                List.hd (Candidates.get candidates ~ctx ~op)
+              else begin
+                let best = ref (-1) and best_v = ref neg_infinity in
+                List.iter
+                  (fun pe ->
+                    let v = sol.Agingfp_lp.Simplex.values.(Hashtbl.find vars (ctx, op, pe)) in
+                    if v > !best_v then begin
+                      best := pe;
+                      best_v := v
+                    end)
+                  (Candidates.get candidates ~ctx ~op);
+                !best
+              end))
+    in
+    {
+      mapping = Some (Mapping.of_arrays arrays);
+      max_stress = sol.Agingfp_lp.Simplex.values.(t_var);
+      binaries = !nbin;
+      rows;
+    }
+  | Milp.Infeasible | Milp.Unknown ->
+    { mapping = None; max_stress = nan; binaries = !nbin; rows }

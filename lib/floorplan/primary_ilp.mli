@@ -1,0 +1,29 @@
+(** The primary (monolithic, unrelaxed) ILP of paper §V.A.
+
+    Minimizes the maximum accumulated stress directly — binaries for
+    {e every} (operation, PE) pair, no candidate pruning, no LP
+    pre-mapping — subject to assignment, capacity, frozen critical
+    paths and exact path-delay rows. The paper reports that this
+    formulation "does not scale well" (no solution within 5 days on
+    larger benchmarks); the [ablation-ilp] bench reproduces that
+    scaling cliff against the two-step MILP on instances small enough
+    for both to finish. *)
+
+open Agingfp_cgrra
+
+type result = {
+  mapping : Mapping.t option;  (** [None] when the budget ran out *)
+  max_stress : float;          (** objective value when solved *)
+  binaries : int;
+  rows : int;
+}
+
+val solve :
+  ?milp:Agingfp_lp.Milp.params ->
+  ?freeze_critical:bool ->
+  Design.t ->
+  Mapping.t ->
+  result
+(** Solve the primary ILP against a baseline mapping.
+    [freeze_critical] (default true) pins critical-path operations as
+    constraint (2) of the paper requires. *)

@@ -1,0 +1,66 @@
+open Agingfp_cgrra
+module Coord = Agingfp_util.Coord
+
+(* Rigidly transform the whole mapping by [o] with one global
+   translation, so every configuration's accumulated stress map is an
+   isometric copy of the baseline's (the configuration is "the same
+   floorplan, re-oriented", as module diversification swaps whole
+   configurations). Returns None when the footprint cannot be
+   translated in bounds (cannot happen on square fabrics, kept for
+   safety). *)
+let transform_mapping design mapping o =
+  let fabric = Design.fabric design in
+  let dim = Fabric.dim fabric in
+  let transformed =
+    Array.init (Design.num_contexts design) (fun ctx ->
+        let row = Mapping.context_array mapping ctx in
+        Array.map
+          (fun pe -> Coord.transform o (Fabric.coord_of_pe fabric pe))
+          row)
+  in
+  let all = Array.to_list transformed |> Array.concat |> Array.to_list in
+  if all = [] then Some (Mapping.copy mapping)
+  else begin
+    let mn, mx = Coord.bounding_box all in
+    let ext = Coord.sub mx mn in
+    if ext.Coord.x >= dim || ext.Coord.y >= dim then None
+    else begin
+      let arrays =
+        Array.map
+          (Array.map (fun p -> Fabric.pe_of_coord fabric (Coord.sub p mn)))
+          transformed
+      in
+      Some (Mapping.of_arrays arrays)
+    end
+  end
+
+let configurations design mapping ~n =
+  let n = max 1 (min 8 n) in
+  let rec collect i acc =
+    if i >= 8 || List.length acc >= n then List.rev acc
+    else begin
+      match transform_mapping design mapping Coord.all_orientations.(i) with
+      | Some m when Mapping.validate design m = Ok () -> collect (i + 1) (m :: acc)
+      | Some _ | None -> collect (i + 1) acc
+    end
+  in
+  collect 0 []
+
+let effective_duty design configs =
+  let npes = Fabric.num_pes (Design.fabric design) in
+  let acc = Array.make npes 0.0 in
+  let k = float_of_int (List.length configs) in
+  let c = float_of_int (Design.num_contexts design) in
+  List.iter
+    (fun m ->
+      Array.iteri
+        (fun pe s -> acc.(pe) <- acc.(pe) +. (s /. (c *. k)))
+        (Stress.accumulated design m))
+    configs;
+  acc
+
+let module_diversification_duty design mapping =
+  effective_duty design (configurations design mapping ~n:2)
+
+let rotation_cycling_duty design mapping =
+  effective_duty design (configurations design mapping ~n:8)

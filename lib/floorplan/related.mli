@@ -1,0 +1,36 @@
+(** Related-work aging-mitigation strategies, for comparison benches.
+
+    The paper's §I/§IV position its contribution against two families
+    of prior CGRRA techniques; both are reproduced here so the
+    comparison can be run rather than cited:
+
+    - {b Module diversification} (Zhang et al. [4], [8]): keep the
+      original floorplan but periodically swap between a small set of
+      rigidly transformed configurations. Each configuration has
+      exactly the baseline CPD (rigid transforms preserve all wire
+      lengths), and the effective per-PE duty is the average over the
+      set — stress is time-shared, not re-optimized.
+    - {b Rotation cycling} (Gu et al. [10]): the same idea with the
+      full set of 8 orientations.
+
+    Both return the effective duty profile; MTTF follows via
+    {!Agingfp_aging.Mttf.of_duty}. Neither strategy can beat leveling
+    the floorplan itself when spare PEs exist — which is the paper's
+    argument, and the [ablation-related] bench shows it. *)
+
+open Agingfp_cgrra
+
+val configurations : Design.t -> Mapping.t -> n:int -> Mapping.t list
+(** Up to [n] (at most 8) rigidly transformed, in-bounds copies of the
+    baseline floorplan — the original orientation first. All have the
+    baseline's CPD exactly. *)
+
+val effective_duty : Design.t -> Mapping.t list -> float array
+(** Per-PE duty averaged over equal time shares of the given
+    configurations. *)
+
+val module_diversification_duty : Design.t -> Mapping.t -> float array
+(** Two-configuration swap, as in module diversification. *)
+
+val rotation_cycling_duty : Design.t -> Mapping.t -> float array
+(** Swap across all 8 orientations, as in rotation-based mapping. *)

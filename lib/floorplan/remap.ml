@@ -1,0 +1,606 @@
+open Agingfp_cgrra
+module Analysis = Agingfp_timing.Analysis
+module Milp = Agingfp_lp.Milp
+
+let src = Logs.Src.create "agingfp.remap" ~doc:"Aging-aware remapping"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type strategy = Monolithic | Per_context | Auto
+
+type step1_method = Greedy_pack | Exact_matching | Milp_relax
+
+type params = {
+  seed : int;
+  encoding : Ilp_model.encoding;
+  objective : Ilp_model.objective;
+  strategy : strategy;
+  step1 : step1_method;
+  candidate_params : Candidates.params;
+  path_params : Paths.params;
+  milp : Milp.params;
+  bisect_iters : int;
+  delta_steps : int;
+  max_outer : int;
+  monolithic_var_limit : int;
+  refine : bool;
+  refine_params : Refine.params;
+}
+
+let default_params =
+  {
+    seed = 20200310;
+    encoding = Ilp_model.Hybrid;
+    objective = Ilp_model.Min_displacement;
+    strategy = Auto;
+    step1 = Greedy_pack;
+    candidate_params = Candidates.default_params;
+    path_params = Paths.default_params;
+    milp = { Milp.default_params with node_limit = 120 };
+    bisect_iters = 8;
+    delta_steps = 16;
+    max_outer = 24;
+    monolithic_var_limit = 1200;
+    refine = true;
+    refine_params = Refine.default_params;
+  }
+
+type result = {
+  mapping : Mapping.t;
+  st_target : float;
+  st_lower_bound : float;
+  st_up : float;
+  outer_iterations : int;
+  baseline_cpd_ns : float;
+  new_cpd_ns : float;
+  improved : bool;
+}
+
+let empty_plan design : Rotation.plan = Array.make (Design.num_contexts design) []
+
+let frozen_stress design (plan : Rotation.plan) =
+  let acc = Array.make (Fabric.num_pes (Design.fabric design)) 0.0 in
+  Array.iteri
+    (fun ctx pins ->
+      List.iter
+        (fun (op, pe) -> acc.(pe) <- acc.(pe) +. Stress.op_stress design ~ctx ~op)
+        pins)
+    plan;
+  acc
+
+(* ---------- greedy feasibility probe / structured rounding ---------- *)
+
+(* Best-fit-decreasing packing of the unfrozen ops of [ctx] under the
+   residual budgets, optionally guided by LP values. Mutates
+   [committed] and [assignment] on success only. *)
+let pack_context design ~candidates ~st_target ~committed ~lp_value ctx assignment =
+  let dfg = Design.context design ctx in
+  let n = Dfg.num_ops dfg in
+  let npes = Array.length committed in
+  (* Working copy of the residual budgets; committed is only updated
+     on success. occupant maps PE -> op (-1 free, -2 frozen pin). *)
+  let resid = Array.copy committed in
+  let occupant = Array.make npes (-1) in
+  for op = 0 to n - 1 do
+    if Candidates.is_frozen candidates ~ctx ~op then
+      occupant.(List.hd (Candidates.get candidates ~ctx ~op)) <- -2
+  done;
+  let order = Array.init n (fun i -> i) in
+  let stress op = Stress.op_stress design ~ctx ~op in
+  Array.sort (fun a b -> Float.compare (stress b) (stress a)) order;
+  let local = Array.make n (-1) in
+  let fits op pe = resid.(pe) +. stress op <= st_target +. 1e-9 in
+  let place op pe =
+    local.(op) <- pe;
+    occupant.(pe) <- op;
+    resid.(pe) <- resid.(pe) +. stress op
+  in
+  let unplace op pe =
+    local.(op) <- -1;
+    occupant.(pe) <- -1;
+    resid.(pe) <- resid.(pe) -. stress op
+  in
+  let try_direct op =
+    let best = ref (-1) in
+    let best_key = ref (neg_infinity, neg_infinity) in
+    List.iter
+      (fun pe ->
+        if occupant.(pe) = -1 && fits op pe then begin
+          (* Prefer high LP value, then low residual load. *)
+          let key = (lp_value op pe, -.resid.(pe)) in
+          if compare key !best_key > 0 then begin
+            best := pe;
+            best_key := key
+          end
+        end)
+      (Candidates.get candidates ~ctx ~op);
+    if !best < 0 then false
+    else begin
+      place op !best;
+      true
+    end
+  in
+  (* One-level ejection chain: free one of [op]'s candidate PEs by
+     relocating its (lighter, non-frozen) occupant to another of that
+     occupant's own candidates. Essential at high fabric utilization,
+     where the stress-aware candidate sets overlap heavily. *)
+  let try_eject op =
+    let rec scan = function
+      | [] -> false
+      | pe :: rest ->
+        let victim = occupant.(pe) in
+        if victim < 0 then scan rest
+        else begin
+          unplace victim pe;
+          (* Reserve the freed PE so the victim cannot re-take it. *)
+          occupant.(pe) <- -3;
+          if not (fits op pe) then begin
+            occupant.(pe) <- -1;
+            place victim pe;
+            scan rest
+          end
+          else if try_direct victim then begin
+            occupant.(pe) <- -1;
+            place op pe;
+            true
+          end
+          else begin
+            occupant.(pe) <- -1;
+            place victim pe;
+            scan rest
+          end
+        end
+    in
+    scan (Candidates.get candidates ~ctx ~op)
+  in
+  let ok = ref true in
+  Array.iter
+    (fun op ->
+      if !ok && not (Candidates.is_frozen candidates ~ctx ~op) then
+        if not (try_direct op || try_eject op) then ok := false)
+    order;
+  if not !ok then false
+  else begin
+    for op = 0 to n - 1 do
+      if Candidates.is_frozen candidates ~ctx ~op then
+        assignment.(op) <- List.hd (Candidates.get candidates ~ctx ~op)
+      else assignment.(op) <- local.(op)
+    done;
+    for op = 0 to n - 1 do
+      if not (Candidates.is_frozen candidates ~ctx ~op) then
+        committed.(assignment.(op)) <- committed.(assignment.(op)) +. stress op
+    done;
+    true
+  end
+
+(* Exact wire-length check of the monitored paths for one context. *)
+let paths_ok design mapping monitored ctx =
+  List.for_all
+    (fun (b : Paths.budgeted) ->
+      Analysis.wire_length design mapping b.Paths.path <= b.Paths.wire_budget)
+    monitored.(ctx)
+
+(* ---------- per-context MILP solve ---------- *)
+
+let solve_context params design baseline ~candidates ~monitored ~st_target ~committed
+    ctx current =
+  (* Fast path: LP relaxation + structured rounding; fall back to the
+     paper's two-step MILP when rounding misses or breaks a path
+     budget. *)
+  let inst =
+    Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
+      ~baseline ~st_target ~candidates ~monitored ~contexts:[ ctx ] ~committed
+  in
+  let lp_model = Ilp_model.model inst in
+  let try_rounding lp_value =
+    let committed' = Array.copy committed in
+    let dfg = Design.context design ctx in
+    let assignment = Array.make (Dfg.num_ops dfg) (-1) in
+    if pack_context design ~candidates ~st_target ~committed:committed' ~lp_value ctx
+         assignment
+    then begin
+      let arrays =
+        Array.init (Design.num_contexts design) (fun c ->
+            if c = ctx then assignment else Mapping.context_array current c)
+      in
+      let mapping = Mapping.of_arrays arrays in
+      if paths_ok design mapping monitored ctx then begin
+        Array.blit committed' 0 committed 0 (Array.length committed);
+        Some mapping
+      end
+      else None
+    end
+    else None
+  in
+  let lp_status = Agingfp_lp.Simplex.solve lp_model in
+  match lp_status with
+  | Agingfp_lp.Simplex.Infeasible
+  | Agingfp_lp.Simplex.Unbounded
+  | Agingfp_lp.Simplex.Iteration_limit ->
+    (* The residual budget cannot host this context at all. *)
+    None
+  | Agingfp_lp.Simplex.Optimal sol -> (
+    (* Guide the rounding pass with the fractional relaxation. *)
+    let lp_value op pe =
+      match Ilp_model.var inst ~ctx ~op ~pe with
+      | Some v -> sol.Agingfp_lp.Simplex.values.(v)
+      | None -> 0.0
+    in
+    match try_rounding lp_value with
+    | Some mapping -> Some mapping
+    | None when Ilp_model.num_binaries inst > 1200 ->
+      (* Every branch-and-bound node re-solves the LP from scratch;
+         on large per-context models a failed attempt must stay cheap
+         (Algorithm 1 simply relaxes ST_target by Δ and retries, and
+         the refinement pass recovers leveling quality afterwards). *)
+      None
+    | None -> (
+    (* Branch & bound re-solves an LP per node; keep the per-context
+       fallback budget small — Δ-relaxation plus refinement recover
+       quality more cheaply than deep search. *)
+    let fallback_params =
+      { params.milp with Milp.node_limit = min params.milp.Milp.node_limit 24 }
+    in
+    match Milp.relax_and_fix ~params:fallback_params lp_model with
+    | Milp.Feasible sol ->
+      let mapping =
+        Ilp_model.extract inst ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v)) current
+      in
+      if not (paths_ok design mapping monitored ctx) then None
+      else begin
+        (* Commit the assigned stress. *)
+        let dfg = Design.context design ctx in
+        for op = 0 to Dfg.num_ops dfg - 1 do
+          if not (Candidates.is_frozen candidates ~ctx ~op) then begin
+            let pe = Mapping.pe_of mapping ~ctx ~op in
+            committed.(pe) <- committed.(pe) +. Stress.op_stress design ~ctx ~op
+          end
+        done;
+        Some mapping
+      end
+    | Milp.Infeasible | Milp.Unknown -> None))
+
+(* ---------- whole-design attempt at one ST_target ---------- *)
+
+let context_order design candidates =
+  let order = Array.init (Design.num_contexts design) (fun i -> i) in
+  let weight ctx =
+    let dfg = Design.context design ctx in
+    let acc = ref 0.0 in
+    for op = 0 to Dfg.num_ops dfg - 1 do
+      if not (Candidates.is_frozen candidates ~ctx ~op) then
+        acc := !acc +. Stress.op_stress design ~ctx ~op
+    done;
+    !acc
+  in
+  let weights = Array.map weight order in
+  Array.sort (fun a b -> Float.compare weights.(b) weights.(a)) order;
+  order
+
+let estimate_binaries design candidates =
+  let total = ref 0 in
+  for ctx = 0 to Design.num_contexts design - 1 do
+    let dfg = Design.context design ctx in
+    for op = 0 to Dfg.num_ops dfg - 1 do
+      if not (Candidates.is_frozen candidates ~ctx ~op) then
+        total := !total + List.length (Candidates.get candidates ~ctx ~op)
+    done
+  done;
+  !total
+
+let attempt params design baseline ~candidates ~monitored ~frozen ~st_target =
+  let monolithic =
+    match params.strategy with
+    | Monolithic -> true
+    | Per_context -> false
+    | Auto -> estimate_binaries design candidates <= params.monolithic_var_limit
+  in
+  let committed = frozen_stress design frozen in
+  let all_contexts = List.init (Design.num_contexts design) (fun i -> i) in
+  let all_paths_ok mapping =
+    List.for_all (fun ctx -> paths_ok design mapping monitored ctx) all_contexts
+  in
+  (* Sequential LP-guided rounding over every context; shared by both
+     strategies as the fast integerization path. A failed context is
+     promoted to the front and the pass retried — sequential packing
+     order, not joint infeasibility, is the usual culprit. *)
+  let round_pass lp_value order =
+    let committed' = Array.copy committed in
+    let arrays =
+      Array.init (Design.num_contexts design) (fun c -> Mapping.context_array baseline c)
+    in
+    let failed = ref (-1) in
+    Array.iter
+      (fun ctx ->
+        if !failed < 0 then
+          if
+            not
+              (pack_context design ~candidates ~st_target ~committed:committed'
+                 ~lp_value:(lp_value ctx) ctx arrays.(ctx))
+          then failed := ctx)
+      order;
+    if !failed >= 0 then Error !failed
+    else begin
+      let mapping = Mapping.of_arrays arrays in
+      if all_paths_ok mapping then Ok mapping else Error (-1)
+    end
+  in
+  let round_all lp_value =
+    let base_order = context_order design candidates in
+    let rec retry order tries =
+      match round_pass lp_value order with
+      | Ok mapping -> Some mapping
+      | Error failed ->
+        if tries = 0 || failed < 0 then None
+        else begin
+          let promoted =
+            Array.of_list
+              (failed :: List.filter (fun c -> c <> failed) (Array.to_list order))
+          in
+          retry promoted (tries - 1)
+        end
+    in
+    retry base_order 2
+  in
+  if monolithic then (
+    let inst =
+      Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
+        ~baseline ~st_target ~candidates ~monitored ~contexts:all_contexts ~committed
+    in
+    let lp_model = Ilp_model.model inst in
+    match Agingfp_lp.Simplex.solve lp_model with
+    | Agingfp_lp.Simplex.Infeasible -> None
+    | Agingfp_lp.Simplex.Unbounded | Agingfp_lp.Simplex.Iteration_limit ->
+      round_all (fun _ _ _ -> 0.0)
+    | Agingfp_lp.Simplex.Optimal sol -> (
+      let lp_value ctx op pe =
+        match Ilp_model.var inst ~ctx ~op ~pe with
+        | Some v -> sol.Agingfp_lp.Simplex.values.(v)
+        | None -> 0.0
+      in
+      match round_all lp_value with
+      | Some mapping -> Some mapping
+      | None -> (
+        match Milp.relax_and_fix ~params:params.milp lp_model with
+        | Milp.Feasible sol ->
+          let mapping =
+            Ilp_model.extract inst
+              ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v))
+              baseline
+          in
+          if all_paths_ok mapping then Some mapping else None
+        | Milp.Infeasible | Milp.Unknown -> None)))
+  else begin
+    let pass order =
+      let committed' = Array.copy committed in
+      let current = ref baseline in
+      let failed = ref (-1) in
+      Array.iter
+        (fun ctx ->
+          if !failed < 0 then begin
+            match
+              solve_context params design baseline ~candidates ~monitored ~st_target
+                ~committed:committed' ctx !current
+            with
+            | Some mapping -> current := mapping
+            | None -> failed := ctx
+          end)
+        order;
+      if !failed < 0 then Ok !current else Error !failed
+    in
+    let rec retry order tries =
+      match pass order with
+      | Ok mapping -> Some mapping
+      | Error failed ->
+        if tries = 0 then None
+        else begin
+          let promoted =
+            Array.of_list
+              (failed :: List.filter (fun c -> c <> failed) (Array.to_list order))
+          in
+          retry promoted (tries - 1)
+        end
+    in
+    retry (context_order design candidates) 2
+  end
+
+(* ---------- Step 1: ST_target lower bound ---------- *)
+
+let step1_lower_bound ?(params = default_params) design baseline =
+  let st_up = Stress.max_accumulated design baseline in
+  let st_low = Stress.mean_accumulated design baseline in
+  if st_up -. st_low < 1e-9 then st_up
+  else begin
+    let frozen = empty_plan design in
+    let monitored = Array.make (Design.num_contexts design) [] in
+    (* Step 1 is delay-unaware: every PE is a legal target, so the
+       feasibility probe must not inherit the delay-driven candidate
+       cap (capped, overlapping sets make high-utilization instances
+       spuriously infeasible and collapse the bound to ST_up). *)
+    let step1_cand_params =
+      { params.candidate_params with Candidates.max_candidates = 0 }
+    in
+    let candidates =
+      Candidates.build ~params:step1_cand_params design baseline ~frozen ~monitored
+    in
+    let feasible st =
+      match params.step1 with
+      | Exact_matching ->
+        (* Per context, "each unfrozen op gets a distinct PE within the
+           residual budget" is a bipartite perfect-matching question —
+           exact given the committed loads of earlier contexts. *)
+        let npes = Fabric.num_pes (Design.fabric design) in
+        let committed = Array.make npes 0.0 in
+        let ok = ref true in
+        for ctx = 0 to Design.num_contexts design - 1 do
+          if !ok then begin
+            let dfg = Design.context design ctx in
+            let n = Dfg.num_ops dfg in
+            let g = Agingfp_util.Bipartite.create ~n_left:n ~n_right:npes in
+            (* Prefer lightly-loaded PEs: adjacency in committed order. *)
+            let pe_order = Array.init npes (fun i -> i) in
+            Array.sort (fun a b -> Float.compare committed.(a) committed.(b)) pe_order;
+            for op = 0 to n - 1 do
+              let st_op = Stress.op_stress design ~ctx ~op in
+              Array.iter
+                (fun pe ->
+                  if committed.(pe) +. st_op <= st +. 1e-9 then
+                    Agingfp_util.Bipartite.add_edge g op pe)
+                pe_order
+            done;
+            let m = Agingfp_util.Bipartite.solve g in
+            if Agingfp_util.Bipartite.matching_size m < n then ok := false
+            else
+              Array.iteri
+                (fun op pe ->
+                  committed.(pe) <-
+                    committed.(pe) +. Stress.op_stress design ~ctx ~op)
+                m
+          end
+        done;
+        !ok
+      | Greedy_pack ->
+        let committed = Array.make (Fabric.num_pes (Design.fabric design)) 0.0 in
+        let ok = ref true in
+        for ctx = 0 to Design.num_contexts design - 1 do
+          if !ok then begin
+            let dfg = Design.context design ctx in
+            let assignment = Array.make (Dfg.num_ops dfg) (-1) in
+            if
+              not
+                (pack_context design ~candidates ~st_target:st ~committed
+                   ~lp_value:(fun _ _ -> 0.0) ctx assignment)
+            then ok := false
+          end
+        done;
+        !ok
+      | Milp_relax ->
+        attempt
+          { params with strategy = Auto }
+          design baseline ~candidates ~monitored ~frozen ~st_target:st
+        <> None
+    in
+    (* Invariant: lo infeasible, hi feasible. *)
+    if feasible st_low then st_low
+    else begin
+      let lo = ref st_low and hi = ref st_up in
+      for _ = 1 to params.bisect_iters do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if feasible mid then hi := mid else lo := mid
+      done;
+      !hi
+    end
+  end
+
+(* ---------- Algorithm 1 main loop ---------- *)
+
+let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~frozen =
+  let monitored = Paths.monitored ~params:params.path_params design baseline in
+  let candidates =
+    Candidates.build ~params:params.candidate_params design reference ~frozen ~monitored
+  in
+  let floor_stress = Array.fold_left max 0.0 (frozen_stress design frozen) in
+  let delta = max ((st_up -. lb) /. float_of_int params.delta_steps) (0.01 *. st_up +. 1e-9) in
+  let start = max lb floor_stress in
+  let rec loop st iter =
+    if iter > params.max_outer then None
+    else begin
+      Log.debug (fun k ->
+          k "%s: attempt %d with ST_target = %.3f (up %.3f)" (Design.name design) iter st
+            st_up);
+      match attempt params design reference ~candidates ~monitored ~frozen ~st_target:st with
+      | Some mapping -> (
+        match Mapping.validate design mapping with
+        | Error msg ->
+          (* A solver bug must not end the search; relax and retry. *)
+          Log.err (fun k -> k "invalid remapped floorplan: %s" msg);
+          loop (st +. delta) (iter + 1)
+        | Ok () ->
+          let new_cpd = Analysis.cpd design mapping in
+          if new_cpd <= baseline_cpd +. 1e-9 then Some (mapping, st, iter, new_cpd)
+          else begin
+            Log.debug (fun k ->
+                k "CPD check failed (%.3f > %.3f); relaxing ST_target" new_cpd baseline_cpd);
+            loop (st +. delta) (iter + 1)
+          end)
+      | None -> loop (st +. delta) (iter + 1)
+    end
+  in
+  match loop start 1 with
+  | Some (mapping, st, iters, new_cpd) ->
+    let mapping, new_cpd =
+      if not params.refine then (mapping, new_cpd)
+      else begin
+        (* Greedy post-pass: shave the hotspot further under the same
+           timing guards. Never worse than the MILP floorplan. *)
+        let refined, stats =
+          Refine.improve ~params:params.refine_params design ~baseline_cpd ~frozen
+            ~monitored mapping
+        in
+        if stats.Refine.moves_accepted = 0 then (mapping, new_cpd)
+        else (refined, Analysis.cpd design refined)
+      end
+    in
+    {
+      mapping;
+      st_target = st;
+      st_lower_bound = lb;
+      st_up;
+      outer_iterations = iters;
+      baseline_cpd_ns = baseline_cpd;
+      new_cpd_ns = new_cpd;
+      improved = true;
+    }
+  | None ->
+    Log.warn (fun k ->
+        k "%s: no delay-clean aging-aware floorplan found; keeping baseline"
+          (Design.name design));
+    {
+      mapping = baseline;
+      st_target = st_up;
+      st_lower_bound = lb;
+      st_up;
+      outer_iterations = params.max_outer;
+      baseline_cpd_ns = baseline_cpd;
+      new_cpd_ns = baseline_cpd;
+      improved = false;
+    }
+
+let run_mode params design baseline ~baseline_cpd ~st_up ~lb m =
+  (* The reference floorplan: the baseline itself (Freeze), or each
+     context rigidly re-oriented (Rotate) — identical path delays
+     either way. All candidate/displacement geometry is relative to
+     the reference; CPD acceptance is always against the baseline. *)
+  let reference, frozen = Rotation.reference ~seed:params.seed m design baseline in
+  solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~frozen
+
+let solve_both ?(params = default_params) design baseline =
+  (match Mapping.validate design baseline with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Remap.solve_both: invalid baseline: " ^ msg));
+  let baseline_cpd = Analysis.cpd design baseline in
+  let st_up = Stress.max_accumulated design baseline in
+  let lb = step1_lower_bound ~params design baseline in
+  let frozen_res = run_mode params design baseline ~baseline_cpd ~st_up ~lb Rotation.Freeze in
+  let rotated = run_mode params design baseline ~baseline_cpd ~st_up ~lb Rotation.Rotate in
+  (* The complete method: rotation widens the search space, but a
+     particular re-orientation can still lose to the identity
+     orientation; keep whichever floorplan levels stress further
+     (Table I's Rotate column is never worse than Freeze). *)
+  let score r = Stress.max_accumulated design r.mapping in
+  let rotate_best =
+    if score rotated <= score frozen_res +. 1e-9 then rotated else frozen_res
+  in
+  (frozen_res, rotate_best)
+
+let solve ?(params = default_params) ~mode design baseline =
+  match mode with
+  | Rotation.Freeze ->
+    (match Mapping.validate design baseline with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Remap.solve: invalid baseline: " ^ msg));
+    let baseline_cpd = Analysis.cpd design baseline in
+    let st_up = Stress.max_accumulated design baseline in
+    let lb = step1_lower_bound ~params design baseline in
+    run_mode params design baseline ~baseline_cpd ~st_up ~lb Rotation.Freeze
+  | Rotation.Rotate -> snd (solve_both ~params design baseline)

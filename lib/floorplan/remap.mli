@@ -1,0 +1,76 @@
+(** Algorithm 1: the aging-aware re-mapping design flow.
+
+    Pipeline (paper §V):
+    + Step 1 — binary search for the accumulated-stress lower bound
+      [ST_target], executing the delay-unaware relaxation of (3);
+    + Step 2.1 — critical-path constraint generation ({!Rotation});
+    + Step 2.2 — path wire-length budgets ({!Paths});
+    + Step 2.3 — iterate the two-step MILP, relaxing [ST_target] by Δ
+      until a floorplan exists {e and} the exact re-computed CPD does
+      not exceed the original CPD.
+
+    Two solve strategies: [Monolithic] builds one MILP over all
+    contexts (the paper's formulation verbatim); [Per_context] solves
+    contexts sequentially against residual per-PE stress budgets —
+    the scaling decomposition of DESIGN.md §5. [Auto] picks by
+    problem size. *)
+
+open Agingfp_cgrra
+
+type strategy = Monolithic | Per_context | Auto
+
+type step1_method =
+  | Greedy_pack     (** best-fit-decreasing feasibility probe (fast) *)
+  | Exact_matching  (** Hopcroft–Karp perfect matching per context —
+                        exact given earlier contexts' commitments *)
+  | Milp_relax      (** the paper's two-step MILP on the delay-unaware model *)
+
+type params = {
+  seed : int;
+  encoding : Ilp_model.encoding;
+  objective : Ilp_model.objective;
+  strategy : strategy;
+  step1 : step1_method;
+  candidate_params : Candidates.params;
+  path_params : Paths.params;
+  milp : Agingfp_lp.Milp.params;
+  bisect_iters : int;
+  delta_steps : int;   (** Δ = (ST_up − lower bound) / delta_steps *)
+  max_outer : int;     (** bound on Δ-relaxation iterations *)
+  monolithic_var_limit : int;  (** Auto: monolithic below this many binaries *)
+  refine : bool;
+      (** run the {!Refine} local-search post-pass on success (an
+          extension beyond the paper; disable to reproduce the bare
+          Algorithm 1) *)
+  refine_params : Refine.params;
+}
+
+val default_params : params
+
+type result = {
+  mapping : Mapping.t;
+  st_target : float;      (** final accepted budget *)
+  st_lower_bound : float; (** Step 1 result *)
+  st_up : float;          (** baseline max accumulated stress *)
+  outer_iterations : int;
+  baseline_cpd_ns : float;
+  new_cpd_ns : float;
+  improved : bool;
+      (** false when every attempt failed and the baseline mapping is
+          returned unchanged *)
+}
+
+val step1_lower_bound : ?params:params -> Design.t -> Mapping.t -> float
+(** The delay-unaware [ST_target] lower bound (Algorithm 1 line 2). *)
+
+val solve : ?params:params -> mode:Rotation.mode -> Design.t -> Mapping.t -> result
+(** Run the full flow against an aging-unaware baseline mapping. The
+    returned mapping is always valid and its CPD never exceeds the
+    baseline CPD. [Rotate] is the complete method: it also evaluates
+    the identity (freeze) orientation and keeps whichever floorplan
+    levels stress further, so Rotate is never worse than Freeze. *)
+
+val solve_both : ?params:params -> Design.t -> Mapping.t -> result * result
+(** [(freeze, rotate)] sharing the Step-1 search and the freeze run —
+    what Table I reports per benchmark, at roughly half the cost of
+    two independent {!solve} calls. *)

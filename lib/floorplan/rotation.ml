@@ -1,0 +1,126 @@
+open Agingfp_cgrra
+module Analysis = Agingfp_timing.Analysis
+module Coord = Agingfp_util.Coord
+module Rng = Agingfp_util.Rng
+
+type mode = Freeze | Rotate
+
+type plan = (int * int) list array
+
+let critical_ops design mapping ~ctx =
+  let paths = Analysis.critical_paths design mapping ~ctx in
+  List.sort_uniq Int.compare
+    (List.concat_map (fun (p : Analysis.path) -> Array.to_list p.Analysis.nodes) paths)
+
+let freeze_plan design mapping =
+  Array.init (Design.num_contexts design) (fun ctx ->
+      List.map
+        (fun op -> (op, Mapping.pe_of mapping ~ctx ~op))
+        (critical_ops design mapping ~ctx))
+
+let allowed_orientation_counts ~contexts =
+  let lo = contexts / 8 in
+  let hi = if contexts mod 8 = 0 then max lo 1 else lo + 1 in
+  if contexts <= 8 then (0, 1) else (lo, hi)
+
+(* Rigidly transform coordinates by [o]; returns the origin-normalized
+   shape and its extent. Rigidity preserves every pairwise Manhattan
+   distance, hence every path delay of the context. *)
+let oriented_shape o coords =
+  let transformed = Coord.transform_all o coords in
+  let normalized, _ = Coord.normalize transformed in
+  let _, ext = Coord.bounding_box normalized in
+  (normalized, ext)
+
+let rotate_reference ?(seed = 77) design mapping =
+  let fabric = Design.fabric design in
+  let dim = Fabric.dim fabric in
+  let contexts = Design.num_contexts design in
+  let rng = Rng.create seed in
+  let _, hi = allowed_orientation_counts ~contexts in
+  let used = Array.make 8 0 in
+  (* Greedy overlap minimization: contexts in descending critical-op
+     count; [claims] counts how often each PE hosts a pinned critical
+     op so far. *)
+  let claims = Array.make (Fabric.num_pes fabric) 0 in
+  let ctx_critical = Array.init contexts (fun ctx -> critical_ops design mapping ~ctx) in
+  let order = Array.init contexts (fun i -> i) in
+  Array.sort
+    (fun a b -> Int.compare (List.length ctx_critical.(b)) (List.length ctx_critical.(a)))
+    order;
+  let ref_arrays =
+    Array.init contexts (fun ctx -> Mapping.context_array mapping ctx)
+  in
+  let pins = Array.make contexts [] in
+  Array.iter
+    (fun ctx ->
+      let dfg = Design.context design ctx in
+      let n = Dfg.num_ops dfg in
+      if n = 0 then pins.(ctx) <- []
+      else begin
+        let all_ops = List.init n (fun i -> i) in
+        let coords =
+          List.map (fun op -> Fabric.coord_of_pe fabric (Mapping.pe_of mapping ~ctx ~op)) all_ops
+        in
+        let crit = ctx_critical.(ctx) in
+        let is_crit = Array.make n false in
+        List.iter (fun op -> is_crit.(op) <- true) crit;
+        let orig_min, _ = Coord.bounding_box coords in
+        (* Sweep allowed orientations x in-bounds translations of the
+           whole context; cost = pinned-PE overlap of the critical
+           ops, tie-broken by smallest displacement of the shape. *)
+        let best = ref None in
+        for oi = 0 to 7 do
+          if used.(oi) < hi then begin
+            let o = Coord.all_orientations.(oi) in
+            let shape, ext = oriented_shape o coords in
+            for ox = 0 to dim - 1 - ext.Coord.x do
+              for oy = 0 to dim - 1 - ext.Coord.y do
+                let off = Coord.make ox oy in
+                let cost = ref 0 in
+                List.iteri
+                  (fun i p ->
+                    if is_crit.(i) then begin
+                      let pe = Fabric.pe_of_coord fabric (Coord.add p off) in
+                      cost := !cost + claims.(pe)
+                    end)
+                  shape;
+                let disturb = abs (ox - orig_min.Coord.x) + abs (oy - orig_min.Coord.y) in
+                let key = (!cost, disturb) in
+                let better =
+                  match !best with
+                  | None -> true
+                  | Some (bk, _, _, _) ->
+                    compare key bk < 0
+                    || (compare key bk = 0 && Rng.bool rng)
+                  in
+                if better then best := Some (key, oi, shape, off)
+              done
+            done
+          end
+        done;
+        match !best with
+        | None -> failwith "Rotation.rotate_reference: no orientation available"
+        | Some (_, oi, shape, off) ->
+          used.(oi) <- used.(oi) + 1;
+          List.iteri
+            (fun i p ->
+              let pe = Fabric.pe_of_coord fabric (Coord.add p off) in
+              ref_arrays.(ctx).(i) <- pe;
+              if is_crit.(i) then claims.(pe) <- claims.(pe) + 1)
+            shape;
+          pins.(ctx) <- List.map (fun op -> (op, ref_arrays.(ctx).(op))) crit
+      end)
+    order;
+  let reference = Mapping.of_arrays ref_arrays in
+  (match Mapping.validate design reference with
+  | Ok () -> ()
+  | Error msg -> failwith ("Rotation.rotate_reference: invalid reference: " ^ msg));
+  (reference, pins)
+
+let reference ?seed mode design mapping =
+  match mode with
+  | Freeze -> (Mapping.copy mapping, freeze_plan design mapping)
+  | Rotate -> rotate_reference ?seed design mapping
+
+let plan ?seed mode design mapping = snd (reference ?seed mode design mapping)

@@ -1,0 +1,50 @@
+(** Critical-path constraint generation (Algorithm 1, step 2.1).
+
+    In [Freeze] mode every operation on a context's critical path(s)
+    is pinned to its original PE. In [Rotate] mode each context is
+    rigidly re-oriented — one of the 8 unique orientations of
+    Fig. 4a, plus an in-bounds translation — so that the critical
+    paths of different contexts overlap on as few PEs as possible;
+    the critical-path operations are then pinned at their re-oriented
+    positions. Rigid re-orientation preserves every pairwise
+    Manhattan distance, so all path delays (critical or not) are
+    exactly preserved, and the re-oriented context is a sound
+    reference floorplan for the MILP's candidate and displacement
+    geometry.
+
+    Orientation selection follows the paper's balance rule: all
+    distinct when the context count is at most 8, otherwise each
+    orientation is used either ⌊C/8⌋ or ⌊C/8⌋+1 times (exactly C/8
+    when 8 divides C). Among allowed orientations the planner
+    greedily minimizes accumulated critical-path overlap, with seeded
+    random tie-breaking. *)
+
+open Agingfp_cgrra
+
+type mode = Freeze | Rotate
+
+type plan = (int * int) list array
+(** Per context: the frozen (op, pe) pairs. *)
+
+val critical_ops : Design.t -> Mapping.t -> ctx:int -> int list
+(** Distinct operations lying on some critical path of the context. *)
+
+val freeze_plan : Design.t -> Mapping.t -> plan
+(** All critical operations pinned to their original PEs. *)
+
+val rotate_reference : ?seed:int -> Design.t -> Mapping.t -> Mapping.t * plan
+(** The re-oriented reference mapping (every context rigidly
+    transformed) and the pins of the critical operations at their
+    re-oriented positions. The reference mapping is valid and has
+    exactly the baseline's CPD. *)
+
+val reference : ?seed:int -> mode -> Design.t -> Mapping.t -> Mapping.t * plan
+(** [Freeze] keeps the baseline as reference with original-position
+    pins; [Rotate] is {!rotate_reference}. *)
+
+val plan : ?seed:int -> mode -> Design.t -> Mapping.t -> plan
+(** Pins only, discarding the reference mapping. *)
+
+val allowed_orientation_counts : contexts:int -> int * int
+(** [(lo, hi)] usage bounds per orientation implied by the paper's
+    rule (see above); [(0, 1)] when [contexts <= 8]. *)

@@ -1,0 +1,43 @@
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr | Lt | Gt | Eq
+
+type expr =
+  | Int of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | Select of expr * expr * expr
+
+type stmt = Input of string * int | Let of string * expr | Output of string * expr
+
+type program = stmt list
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Eq -> "=="
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var v -> Format.pp_print_string ppf v
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Select (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let pp_stmt ppf = function
+  | Input (n, w) -> Format.fprintf ppf "input %s : %d;" n w
+  | Let (n, e) -> Format.fprintf ppf "let %s = %a;" n pp_expr e
+  | Output (n, e) -> Format.fprintf ppf "output %s = %a;" n pp_expr e
+
+let pp_program ppf p =
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_newline ppf ();
+      pp_stmt ppf s)
+    p

@@ -1,0 +1,35 @@
+(** Abstract syntax of the behavioural input language.
+
+    A deliberately small, synthesizable subset of C expressions —
+    straight-line dataflow over declared inputs, intermediate [let]
+    bindings and [output] assignments — mirroring the ANSI-C entry
+    point of the paper's CAD flow (Fig. 1, Fig. 3). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Eq
+
+type expr =
+  | Int of int                      (** literal, folded into ops *)
+  | Var of string
+  | Binop of binop * expr * expr
+  | Select of expr * expr * expr    (** c ? a : b — a DMU mux *)
+
+type stmt =
+  | Input of string * int           (** name, bitwidth *)
+  | Let of string * expr
+  | Output of string * expr
+
+type program = stmt list
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_program : Format.formatter -> program -> unit

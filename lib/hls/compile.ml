@@ -1,0 +1,233 @@
+open Agingfp_cgrra
+
+type graph = Graph.t = { ops : Op.t array; edges : (int * int) list }
+
+(* Elaboration result for one expression: either a graph node or a
+   folded compile-time constant. *)
+type value = Node of int | Const of int
+
+let kind_of_binop (op : Ast.binop) : Op.kind =
+  match op with
+  | Ast.Add -> Op.Add
+  | Ast.Sub -> Op.Sub
+  | Ast.Mul -> Op.Mul
+  | Ast.And -> Op.And_
+  | Ast.Or -> Op.Or_
+  | Ast.Xor -> Op.Xor_
+  | Ast.Shl | Ast.Shr -> Op.Shift
+  | Ast.Lt | Ast.Gt | Ast.Eq -> Op.Cmp
+
+let fold_binop (op : Ast.binop) a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.And -> a land b
+  | Ast.Or -> a lor b
+  | Ast.Xor -> a lxor b
+  | Ast.Shl -> a lsl min b 62
+  | Ast.Shr -> a asr min b 62
+  | Ast.Lt -> if a < b then 1 else 0
+  | Ast.Gt -> if a > b then 1 else 0
+  | Ast.Eq -> if a = b then 1 else 0
+
+let const_width v =
+  let v = abs v in
+  let rec bits acc n = if n = 0 then max acc 8 else bits (acc + 1) (n lsr 1) in
+  min 32 (bits 0 v)
+
+exception Elab_error of string
+
+let elaborate program =
+  let nodes = ref [] in
+  let nnodes = ref 0 in
+  let edges = ref [] in
+  let widths = Hashtbl.create 64 in
+  let env = Hashtbl.create 64 in
+  let fresh kind bw preds =
+    let id = !nnodes in
+    incr nnodes;
+    nodes := Op.make ~id ~kind ~bitwidth:bw :: !nodes;
+    Hashtbl.replace widths id bw;
+    (* An op consuming the same value on both operands is one wire. *)
+    List.iter
+      (fun p -> edges := (p, id) :: !edges)
+      (List.sort_uniq Int.compare preds);
+    id
+  in
+  let width_of = function Node id -> Hashtbl.find widths id | Const v -> const_width v in
+  let rec eval expr =
+    match expr with
+    | Ast.Int v -> Const v
+    | Ast.Var name -> (
+      match Hashtbl.find_opt env name with
+      | Some v -> v
+      | None -> raise (Elab_error (Printf.sprintf "undefined name %s" name)))
+    | Ast.Binop (op, a, b) -> (
+      match (eval a, eval b) with
+      | Const x, Const y -> Const (fold_binop op x y)
+      | (va, vb) -> (
+        let bw = max (width_of va) (width_of vb) in
+        let preds =
+          List.filter_map (function Node id -> Some id | Const _ -> None) [ va; vb ]
+        in
+        Node (fresh (kind_of_binop op) bw preds)))
+    | Ast.Select (c, a, b) -> (
+      match eval c with
+      | Const v -> if v <> 0 then eval a else eval b
+      | Node cid -> (
+        let va = eval a and vb = eval b in
+        let bw = max (width_of va) (width_of vb) in
+        let preds =
+          cid :: List.filter_map (function Node id -> Some id | Const _ -> None) [ va; vb ]
+        in
+        Node (fresh Op.Mux bw preds)))
+  in
+  try
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Ast.Input (name, bw) ->
+          if Hashtbl.mem env name then
+            raise (Elab_error (Printf.sprintf "duplicate name %s" name));
+          Hashtbl.replace env name (Node (fresh Op.Input bw []))
+        | Ast.Let (name, expr) ->
+          if Hashtbl.mem env name then
+            raise (Elab_error (Printf.sprintf "duplicate name %s" name));
+          Hashtbl.replace env name (eval expr)
+        | Ast.Output (name, expr) -> (
+          if Hashtbl.mem env name then
+            raise (Elab_error (Printf.sprintf "duplicate name %s" name));
+          match eval expr with
+          | Const _ -> raise (Elab_error (Printf.sprintf "output %s is a constant" name))
+          | Node id ->
+            let bw = Hashtbl.find widths id in
+            Hashtbl.replace env name (Node (fresh Op.Output bw [ id ]))))
+      program;
+    if !nnodes = 0 then Error "empty program"
+    else begin
+      let has_output =
+        List.exists (fun (o : Op.t) -> o.Op.kind = Op.Output) !nodes
+      in
+      if not has_output then Error "program has no outputs"
+      else Ok { Graph.ops = Array.of_list (List.rev !nodes); edges = List.rev !edges }
+    end
+  with Elab_error msg -> Error msg
+
+let schedule ?(chars = Chars.default) ?(wire_estimate = 1.5) ~fabric ~name graph =
+  let n = Array.length graph.ops in
+  let capacity = Fabric.num_pes fabric in
+  let budget = chars.Chars.clock_period_ns in
+  let hop = wire_estimate *. chars.Chars.unit_wire_delay_ns in
+  let preds = Array.make n [] in
+  List.iter (fun (u, v) -> preds.(v) <- u :: preds.(v)) graph.edges;
+  (* Kahn topological order over the whole program graph. *)
+  let succs = Array.make n [] in
+  List.iter (fun (u, v) -> succs.(u) <- v :: succs.(u)) graph.edges;
+  let indeg = Array.map List.length preds in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let topo = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    topo := u :: !topo;
+    incr seen;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      succs.(u)
+  done;
+  if !seen <> n then Error "dataflow graph has a cycle"
+  else begin
+    let topo = List.rev !topo in
+    let ctx_of = Array.make n (-1) in
+    let arrival = Array.make n 0.0 in
+    let count = Hashtbl.create 16 in
+    let ctx_count c = try Hashtbl.find count c with Not_found -> 0 in
+    let error = ref None in
+    List.iter
+      (fun op ->
+        if !error = None then begin
+          let delay = Chars.pe_delay_ns chars graph.ops.(op) in
+          let earliest =
+            List.fold_left (fun acc p -> max acc ctx_of.(p)) 0 preds.(op)
+          in
+          (* First context where both the PE budget and the timing
+             budget hold. Predecessors in earlier contexts are
+             registered, contributing no combinational delay. *)
+          let rec place c =
+            if c > earliest + n then begin
+              error := Some "operation chain does not fit any context";
+              ()
+            end
+            else begin
+              let arr =
+                List.fold_left
+                  (fun acc p ->
+                    if ctx_of.(p) = c then max acc (arrival.(p) +. hop) else acc)
+                  0.0 preds.(op)
+                +. delay
+              in
+              if arr > budget && arr > delay then place (c + 1)
+              else if arr > budget then
+                error := Some "single operation exceeds the clock period"
+              else if ctx_count c >= capacity then place (c + 1)
+              else begin
+                ctx_of.(op) <- c;
+                arrival.(op) <- arr;
+                Hashtbl.replace count c (ctx_count c + 1)
+              end
+            end
+          in
+          place earliest
+        end)
+      topo;
+    match !error with
+    | Some msg -> Error msg
+    | None ->
+      let ncontexts = 1 + Array.fold_left max 0 ctx_of in
+      (* Renumber ops per context and keep only intra-context edges. *)
+      let local_id = Array.make n (-1) in
+      let per_ctx_ops = Array.make ncontexts [] in
+      List.iter
+        (fun op ->
+          let c = ctx_of.(op) in
+          per_ctx_ops.(c) <- op :: per_ctx_ops.(c))
+        (List.rev topo);
+      let contexts =
+        Array.mapi
+          (fun c members ->
+            let members = Array.of_list members in
+            Array.iteri (fun i op -> local_id.(op) <- i) members;
+            let ops =
+              Array.mapi
+                (fun i op ->
+                  let o = graph.ops.(op) in
+                  Op.make ~id:i ~kind:o.Op.kind ~bitwidth:o.Op.bitwidth)
+                members
+            in
+            let edges =
+              List.filter_map
+                (fun (u, v) ->
+                  if ctx_of.(u) = c && ctx_of.(v) = c then
+                    Some (local_id.(u), local_id.(v))
+                  else None)
+                graph.edges
+            in
+            Dfg.create ~ops ~edges)
+          per_ctx_ops
+      in
+      Ok (Design.create ~chars ~name ~fabric contexts)
+  end
+
+let compile ?chars ?(techmap = false) ~fabric ~name source =
+  match Parser.parse source with
+  | Error msg -> Error msg
+  | Ok program -> (
+    match elaborate program with
+    | Error msg -> Error msg
+    | Ok graph ->
+      let graph = if techmap then fst (Techmap.fuse graph) else graph in
+      schedule ?chars ~fabric ~name graph)

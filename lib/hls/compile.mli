@@ -1,0 +1,44 @@
+(** Elaboration + scheduling: the HLS phase of the paper's flow.
+
+    [elaborate] lowers a parsed program to one whole-program dataflow
+    graph (constant folding included — literals configure operations
+    rather than occupying PEs). [schedule] then divides it into
+    contexts under the two resources that define a multi-context
+    CGRRA: PE count per context, and the single-cycle path-delay
+    budget ("the number of contexts is determined by the desired
+    latency of the circuit and vice versa", §II). Values crossing a
+    context boundary are held in PE registers, so a consumer in a
+    later context starts a fresh combinational path. *)
+
+open Agingfp_cgrra
+
+type graph = Graph.t = {
+  ops : Op.t array;
+  edges : (int * int) list;  (** producer → consumer *)
+}
+
+val elaborate : Ast.program -> (graph, string) result
+(** Errors: undefined or duplicated names, outputs of constants,
+    empty programs. *)
+
+val schedule :
+  ?chars:Chars.t ->
+  ?wire_estimate:float ->
+  fabric:Fabric.t ->
+  name:string ->
+  graph ->
+  (Design.t, string) result
+(** Resource- and timing-constrained list scheduling.
+    [wire_estimate] (default 1.5) is the assumed Manhattan hop length
+    used while budgeting intra-context paths before placement.
+    Fails when a single operation chain cannot fit any context. *)
+
+val compile :
+  ?chars:Chars.t ->
+  ?techmap:bool ->
+  fabric:Fabric.t ->
+  name:string ->
+  string ->
+  (Design.t, string) result
+(** Parse, elaborate, optionally technology-map ({!Techmap.fuse},
+    [techmap] defaults to false) and schedule a source string. *)

@@ -1,0 +1,5 @@
+open Agingfp_cgrra
+
+type t = { ops : Op.t array; edges : (int * int) list }
+
+let _ = fun (t : t) -> t.ops

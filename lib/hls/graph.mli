@@ -1,0 +1,9 @@
+(** The whole-program dataflow graph shared by elaboration,
+    technology mapping and scheduling. *)
+
+open Agingfp_cgrra
+
+type t = {
+  ops : Op.t array;
+  edges : (int * int) list;  (** producer → consumer *)
+}

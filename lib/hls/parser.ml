@@ -1,0 +1,324 @@
+type token =
+  | Tident of string
+  | Tint of int
+  | Tinput
+  | Tlet
+  | Toutput
+  | Tcolon
+  | Tsemi
+  | Tcomma
+  | Teq        (* = *)
+  | Teqeq      (* == *)
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tamp
+  | Tbar
+  | Tcaret
+  | Tlt
+  | Tgt
+  | Tshl
+  | Tshr
+  | Tquestion
+  | Tlparen
+  | Trparen
+  | Teof
+
+exception Error of string
+
+let fail line msg = raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+(* ---------- lexer ---------- *)
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+      incr line;
+      incr i
+    | '/' when peek 1 = Some '/' ->
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '0' .. '9' ->
+      let start = !i in
+      while !i < n && (match src.[!i] with '0' .. '9' -> true | _ -> false) do
+        incr i
+      done;
+      emit (Tint (int_of_string (String.sub src start (!i - start))))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let start = !i in
+      while
+        !i < n
+        && match src.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+      do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      emit
+        (match word with
+        | "input" -> Tinput
+        | "let" -> Tlet
+        | "output" -> Toutput
+        | _ -> Tident word)
+    | ';' ->
+      emit Tsemi;
+      incr i
+    | ',' ->
+      emit Tcomma;
+      incr i
+    | ':' ->
+      emit Tcolon;
+      incr i
+    | '?' ->
+      emit Tquestion;
+      incr i
+    | '(' ->
+      emit Tlparen;
+      incr i
+    | ')' ->
+      emit Trparen;
+      incr i
+    | '+' ->
+      emit Tplus;
+      incr i
+    | '-' ->
+      emit Tminus;
+      incr i
+    | '*' ->
+      emit Tstar;
+      incr i
+    | '&' ->
+      emit Tamp;
+      incr i
+    | '|' ->
+      emit Tbar;
+      incr i
+    | '^' ->
+      emit Tcaret;
+      incr i
+    | '=' when peek 1 = Some '=' ->
+      emit Teqeq;
+      i := !i + 2
+    | '=' ->
+      emit Teq;
+      incr i
+    | '<' when peek 1 = Some '<' ->
+      emit Tshl;
+      i := !i + 2
+    | '<' ->
+      emit Tlt;
+      incr i
+    | '>' when peek 1 = Some '>' ->
+      emit Tshr;
+      i := !i + 2
+    | '>' ->
+      emit Tgt;
+      incr i
+    | c -> fail !line (Printf.sprintf "unexpected character %C" c))
+  done;
+  emit Teof;
+  List.rev !tokens
+
+(* ---------- parser ---------- *)
+
+type state = { mutable toks : (token * int) list }
+
+let current st = match st.toks with [] -> (Teof, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: tl -> st.toks <- tl
+
+let expect st tok msg =
+  let t, ln = current st in
+  if t = tok then advance st else fail ln msg
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_or st in
+  match current st with
+  | Tquestion, _ ->
+    advance st;
+    let a = parse_expr st in
+    (match current st with
+    | Tcolon, _ ->
+      advance st;
+      let b = parse_expr st in
+      Ast.Select (cond, a, b)
+    | _, ln -> fail ln "expected ':' in conditional")
+  | _ -> cond
+
+and parse_or st =
+  let rec loop acc =
+    match current st with
+    | Tbar, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Or, acc, parse_xor st))
+    | _ -> acc
+  in
+  loop (parse_xor st)
+
+and parse_xor st =
+  let rec loop acc =
+    match current st with
+    | Tcaret, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Xor, acc, parse_and st))
+    | _ -> acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    match current st with
+    | Tamp, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.And, acc, parse_cmp st))
+    | _ -> acc
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_shift st in
+  match current st with
+  | Tlt, _ ->
+    advance st;
+    Ast.Binop (Ast.Lt, lhs, parse_shift st)
+  | Tgt, _ ->
+    advance st;
+    Ast.Binop (Ast.Gt, lhs, parse_shift st)
+  | Teqeq, _ ->
+    advance st;
+    Ast.Binop (Ast.Eq, lhs, parse_shift st)
+  | _ -> lhs
+
+and parse_shift st =
+  let rec loop acc =
+    match current st with
+    | Tshl, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Shl, acc, parse_add st))
+    | Tshr, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Shr, acc, parse_add st))
+    | _ -> acc
+  in
+  loop (parse_add st)
+
+and parse_add st =
+  let rec loop acc =
+    match current st with
+    | Tplus, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, acc, parse_mul st))
+    | Tminus, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, acc, parse_mul st))
+    | _ -> acc
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop acc =
+    match current st with
+    | Tstar, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, acc, parse_primary st))
+    | _ -> acc
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match current st with
+  | Tint v, _ ->
+    advance st;
+    Ast.Int v
+  | Tident v, _ ->
+    advance st;
+    Ast.Var v
+  | Tlparen, _ ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen "expected ')'";
+    e
+  | Tminus, _ ->
+    (* Unary minus on a literal only. *)
+    advance st;
+    (match current st with
+    | Tint v, _ ->
+      advance st;
+      Ast.Int (-v)
+    | _, ln -> fail ln "unary '-' applies to literals only")
+  | _, ln -> fail ln "expected expression"
+
+let parse_stmt st =
+  match current st with
+  | Tinput, _ ->
+    advance st;
+    let rec names acc =
+      match current st with
+      | Tident n, _ ->
+        advance st;
+        let width =
+          match current st with
+          | Tcolon, _ ->
+            advance st;
+            (match current st with
+            | Tint w, ln ->
+              advance st;
+              if w <= 0 || w > 64 then fail ln "bitwidth out of range";
+              w
+            | _, ln -> fail ln "expected bitwidth")
+          | _ -> 32
+        in
+        let acc = Ast.Input (n, width) :: acc in
+        (match current st with
+        | Tcomma, _ ->
+          advance st;
+          names acc
+        | _ -> acc)
+      | _, ln -> fail ln "expected input name"
+    in
+    let decls = List.rev (names []) in
+    expect st Tsemi "expected ';'";
+    decls
+  | Tlet, _ ->
+    advance st;
+    (match current st with
+    | Tident n, _ ->
+      advance st;
+      expect st Teq "expected '='";
+      let e = parse_expr st in
+      expect st Tsemi "expected ';'";
+      [ Ast.Let (n, e) ]
+    | _, ln -> fail ln "expected identifier after 'let'")
+  | Toutput, _ ->
+    advance st;
+    (match current st with
+    | Tident n, _ ->
+      advance st;
+      expect st Teq "expected '='";
+      let e = parse_expr st in
+      expect st Tsemi "expected ';'";
+      [ Ast.Output (n, e) ]
+    | _, ln -> fail ln "expected identifier after 'output'")
+  | _, ln -> fail ln "expected 'input', 'let' or 'output'"
+
+let parse src =
+  try
+    let st = { toks = tokenize src } in
+    let rec loop acc =
+      match current st with
+      | Teof, _ -> List.rev acc
+      | _ -> loop (List.rev_append (parse_stmt st) acc)
+    in
+    Ok (loop [])
+  with Error msg -> Result.Error msg

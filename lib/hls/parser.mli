@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the behavioural DSL.
+
+    Syntax (one statement per [;]):
+    {v
+      input  x : 16;          // bitwidth optional, default 32
+      let    t = x * 3 + y;
+      output o = t >> 2;
+      // line comments
+    v}
+
+    Operators by increasing precedence: [?:], [|], [^], [&],
+    [< > ==], [<< >>], [+ -], [*]; parentheses as usual. *)
+
+val parse : string -> (Ast.program, string) result
+(** Errors carry a line number and a short description. *)

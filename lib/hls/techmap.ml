@@ -1,0 +1,77 @@
+open Agingfp_cgrra
+
+let is_alu_compute (o : Op.t) =
+  (not (Op.is_io o.Op.kind)) && Op.unit_of_kind o.Op.kind = Op.Alu
+
+let is_dmu_compute (o : Op.t) =
+  (not (Op.is_io o.Op.kind))
+  && Op.unit_of_kind o.Op.kind = Op.Dmu
+  && o.Op.kind <> Op.Fused
+
+let fusible_pairs (g : Graph.t) =
+  let n = Array.length g.Graph.ops in
+  let succs = Array.make n [] in
+  List.iter (fun (u, v) -> succs.(u) <- v :: succs.(u)) g.Graph.edges;
+  let taken = Array.make n false in
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    if (not taken.(u)) && is_alu_compute g.Graph.ops.(u) then begin
+      match succs.(u) with
+      | [ v ] when (not taken.(v)) && is_dmu_compute g.Graph.ops.(v) ->
+        taken.(u) <- true;
+        taken.(v) <- true;
+        pairs := (u, v) :: !pairs
+      | _ -> ()
+    end
+  done;
+  List.rev !pairs
+
+let fuse (g : Graph.t) =
+  let pairs = fusible_pairs g in
+  if pairs = [] then (g, 0)
+  else begin
+    let n = Array.length g.Graph.ops in
+    (* producer -> consumer it melts into; consumers become Fused. *)
+    let melted_into = Array.make n (-1) in
+    let becomes_fused = Array.make n false in
+    List.iter
+      (fun (u, v) ->
+        melted_into.(u) <- v;
+        becomes_fused.(v) <- true)
+      pairs;
+    (* Dense renumbering of surviving nodes. *)
+    let new_id = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if melted_into.(i) < 0 then begin
+        new_id.(i) <- !next;
+        incr next
+      end
+    done;
+    let ops =
+      Array.of_list
+        (List.filter_map
+           (fun i ->
+             if melted_into.(i) < 0 then begin
+               let o = g.Graph.ops.(i) in
+               let kind = if becomes_fused.(i) then Op.Fused else o.Op.kind in
+               Some (Op.make ~id:new_id.(i) ~kind ~bitwidth:o.Op.bitwidth)
+             end
+             else None)
+           (List.init n (fun i -> i)))
+    in
+    (* Re-target edges: the producer's inputs feed the fused node; the
+       producer->consumer edge disappears. *)
+    let target i = if melted_into.(i) >= 0 then melted_into.(i) else i in
+    let edges =
+      List.filter_map
+        (fun (u, v) ->
+          let v' = target v in
+          let u' = target u in
+          if u' = v' then None (* the melted edge itself *)
+          else Some (new_id.(u'), new_id.(v')))
+        g.Graph.edges
+    in
+    let edges = List.sort_uniq compare edges in
+    ({ Graph.ops; edges }, List.length pairs)
+  end

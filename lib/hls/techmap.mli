@@ -1,0 +1,24 @@
+(** Technology mapping onto the PE micro-architecture.
+
+    The STP-style PE contains an ALU feeding a DMU in series, so an
+    arithmetic operation whose only consumer is a data-manipulation
+    operation can execute inside a single PE in one cycle (the paper's
+    Phase 1 includes exactly this "technology mapping onto the PEs").
+    Fusing such pairs reduces the operation count — hence PE demand
+    and inter-PE wires — at the cost of a longer per-PE engaged path
+    (the fused op stresses both units).
+
+    The pass is a greedy, non-overlapping rewrite over the
+    whole-program dataflow graph, applied between elaboration and
+    scheduling. *)
+
+val fuse : Graph.t -> Graph.t * int
+(** [fuse g] merges every ALU-class node whose single consumer is a
+    (non-fused) DMU-class compute node into that consumer, which
+    becomes an {!Op.Fused} node inheriting both operand sets. Returns
+    the rewritten graph and the number of pairs fused. Node ids are
+    re-densified. *)
+
+val fusible_pairs : Graph.t -> (int * int) list
+(** The (producer, consumer) pairs {!fuse} would merge — exposed for
+    reports and tests. *)

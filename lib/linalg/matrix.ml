@@ -1,0 +1,86 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive size";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- 1.0
+  done;
+  m
+
+let of_arrays arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let cols = Array.length arr.(0) in
+  if cols = 0 then invalid_arg "Matrix.of_arrays: empty row";
+  let m = create ~rows ~cols in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> cols then invalid_arg "Matrix.of_arrays: ragged rows";
+      Array.blit row 0 m.data (i * cols) cols)
+    arr;
+  m
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+let add_to m i j v = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. v
+
+let copy m = { m with data = Array.copy m.data }
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: size mismatch";
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. v.(j))
+      done;
+      !acc)
+
+let transpose m =
+  let r = create ~rows:m.cols ~cols:m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set r j i (get m i j)
+    done
+  done;
+  r
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.pp_print_newline ppf ();
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.pp_print_string ppf " ";
+      Format.fprintf ppf "%10.4f" (get m i j)
+    done
+  done
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let swap_rows m i j =
+  if i <> j then
+    for k = 0 to m.cols - 1 do
+      let t = get m i k in
+      set m i k (get m j k);
+      set m j k t
+    done
+
+let scale_row m i a =
+  let base = i * m.cols in
+  for k = 0 to m.cols - 1 do
+    m.data.(base + k) <- m.data.(base + k) *. a
+  done
+
+let axpy_row m ~src ~dst a =
+  if a <> 0.0 then begin
+    let sb = src * m.cols and db = dst * m.cols in
+    for k = 0 to m.cols - 1 do
+      m.data.(db + k) <- m.data.(db + k) +. (a *. m.data.(sb + k))
+    done
+  end

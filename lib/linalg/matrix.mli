@@ -1,0 +1,41 @@
+(** Dense row-major float matrices.
+
+    Sized for the thermal solver (a few hundred nodes) and the simplex
+    tableau; not a general-purpose BLAS. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix. *)
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Copies its input; rows must be non-empty and of equal length. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] is [set m i j (get m i j +. v)]. *)
+
+val copy : t -> t
+
+val mul_vec : t -> float array -> float array
+(** Matrix–vector product; the vector length must equal [cols]. *)
+
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val row : t -> int -> float array
+(** Copy of row [i]. *)
+
+val swap_rows : t -> int -> int -> unit
+
+val scale_row : t -> int -> float -> unit
+
+val axpy_row : t -> src:int -> dst:int -> float -> unit
+(** [axpy_row m ~src ~dst a] adds [a * row src] to [row dst]. *)

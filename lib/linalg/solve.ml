@@ -1,0 +1,109 @@
+exception Singular
+
+let eps = 1e-12
+
+let lu a0 b =
+  let n = Matrix.rows a0 in
+  if Matrix.cols a0 <> n then invalid_arg "Solve.lu: matrix not square";
+  if Array.length b <> n then invalid_arg "Solve.lu: size mismatch";
+  let a = Matrix.copy a0 in
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest |entry| of column k to row k. *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float (Matrix.get a i k) > abs_float (Matrix.get a !piv k) then piv := i
+    done;
+    if abs_float (Matrix.get a !piv k) < eps then raise Singular;
+    if !piv <> k then begin
+      Matrix.swap_rows a k !piv;
+      let t = x.(k) in
+      x.(k) <- x.(!piv);
+      x.(!piv) <- t
+    end;
+    let akk = Matrix.get a k k in
+    for i = k + 1 to n - 1 do
+      let f = Matrix.get a i k /. akk in
+      if f <> 0.0 then begin
+        Matrix.axpy_row a ~src:k ~dst:i (-.f);
+        x.(i) <- x.(i) -. (f *. x.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get a i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get a i i
+  done;
+  x
+
+let cholesky a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Solve.cholesky: matrix not square";
+  if Array.length b <> n then invalid_arg "Solve.cholesky: size mismatch";
+  let l = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Matrix.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then raise Singular;
+        Matrix.set l i j (sqrt !acc)
+      end
+      else Matrix.set l i j (!acc /. Matrix.get l j j)
+    done
+  done;
+  (* Forward substitution: L y = b. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Matrix.get l i k *. y.(k))
+    done;
+    y.(i) <- !acc /. Matrix.get l i i
+  done;
+  (* Back substitution: L^T x = y. *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get l k i *. x.(k))
+    done;
+    x.(i) <- !acc /. Matrix.get l i i
+  done;
+  x
+
+let gauss_seidel ?(max_iter = 10_000) ?(tol = 1e-9) a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Solve.gauss_seidel: matrix not square";
+  if Array.length b <> n then invalid_arg "Solve.gauss_seidel: size mismatch";
+  let x = Array.make n 0.0 in
+  let rec iterate iter =
+    if iter >= max_iter then x
+    else begin
+      let delta = ref 0.0 in
+      for i = 0 to n - 1 do
+        let acc = ref b.(i) in
+        for j = 0 to n - 1 do
+          if j <> i then acc := !acc -. (Matrix.get a i j *. x.(j))
+        done;
+        let aii = Matrix.get a i i in
+        if abs_float aii < eps then raise Singular;
+        let xi = !acc /. aii in
+        delta := max !delta (abs_float (xi -. x.(i)));
+        x.(i) <- xi
+      done;
+      if !delta < tol then x else iterate (iter + 1)
+    end
+  in
+  iterate 0
+
+let residual_norm a x b =
+  let ax = Matrix.mul_vec a x in
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := max !acc (abs_float (v -. b.(i)))) ax;
+  !acc

@@ -1,0 +1,26 @@
+(** Linear system solvers for the compact thermal model.
+
+    The thermal conductance matrix is symmetric positive definite, so
+    Cholesky is the primary path; LU with partial pivoting covers the
+    general case; Gauss–Seidel offers an iterative alternative for
+    large grids. *)
+
+exception Singular
+(** Raised when a factorization encounters a (numerically) zero pivot. *)
+
+val lu : Matrix.t -> float array -> float array
+(** [lu a b] solves [a x = b] by LU with partial pivoting. [a] must be
+    square; it is not modified. @raise Singular on singular input. *)
+
+val cholesky : Matrix.t -> float array -> float array
+(** [cholesky a b] solves [a x = b] for symmetric positive-definite
+    [a]. @raise Singular if [a] is not positive definite. *)
+
+val gauss_seidel :
+  ?max_iter:int -> ?tol:float -> Matrix.t -> float array -> float array
+(** Iterative solve; converges for diagonally dominant systems such as
+    grid Laplacians. Defaults: [max_iter = 10_000], [tol = 1e-9]
+    (max-norm of the residual update). *)
+
+val residual_norm : Matrix.t -> float array -> float array -> float
+(** [residual_norm a x b] is [max_i |(a x - b)_i|]. *)

@@ -1,0 +1,99 @@
+let var_name v = Printf.sprintf "x%d" v
+
+let float_lit f =
+  (* LP format accepts plain decimal notation; avoid exponents for the
+     magnitudes this library produces. *)
+  if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let expr_terms_string e =
+  let terms = Expr.terms e in
+  if terms = [] then "0 x0"
+  else begin
+    let buf = Buffer.create 128 in
+    List.iteri
+      (fun i (v, c) ->
+        if i = 0 then begin
+          if c < 0.0 then Buffer.add_string buf "- ";
+          if abs_float c <> 1.0 then begin
+            Buffer.add_string buf (float_lit (abs_float c));
+            Buffer.add_char buf ' '
+          end
+        end
+        else begin
+          Buffer.add_string buf (if c < 0.0 then " - " else " + ");
+          if abs_float c <> 1.0 then begin
+            Buffer.add_string buf (float_lit (abs_float c));
+            Buffer.add_char buf ' '
+          end
+        end;
+        Buffer.add_string buf (var_name v))
+      terms;
+    Buffer.contents buf
+  end
+
+let to_string model =
+  let buf = Buffer.create 4096 in
+  let dir, obj = Model.objective model in
+  Buffer.add_string buf
+    (match dir with Model.Minimize -> "Minimize\n" | Model.Maximize -> "Maximize\n");
+  Buffer.add_string buf (" obj: " ^ expr_terms_string obj ^ "\n");
+  Buffer.add_string buf "Subject To\n";
+  Model.iter_constraints model (fun i lhs rel rhs ->
+      let op = match rel with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=" in
+      Buffer.add_string buf
+        (Printf.sprintf " c%d: %s %s %s\n" i (expr_terms_string lhs) op (float_lit rhs)));
+  (* Bounds: LP format defaults to 0 <= x < +inf. *)
+  let bounds = Buffer.create 512 in
+  for v = 0 to Model.num_vars model - 1 do
+    let lb = Model.var_lb model v and ub = Model.var_ub model v in
+    let binary = Model.var_kind model v = Model.Integer && lb = 0.0 && ub = 1.0 in
+    if not binary then begin
+      if lb = ub then
+        Buffer.add_string bounds (Printf.sprintf " %s = %s\n" (var_name v) (float_lit lb))
+      else begin
+        if lb = neg_infinity && ub = infinity then
+          Buffer.add_string bounds (Printf.sprintf " %s free\n" (var_name v))
+        else begin
+          if lb <> 0.0 then
+            Buffer.add_string bounds
+              (if lb = neg_infinity then
+                 Printf.sprintf " -inf <= %s\n" (var_name v)
+               else Printf.sprintf " %s >= %s\n" (var_name v) (float_lit lb));
+          if ub <> infinity then
+            Buffer.add_string bounds
+              (Printf.sprintf " %s <= %s\n" (var_name v) (float_lit ub))
+        end
+      end
+    end
+  done;
+  if Buffer.length bounds > 0 then begin
+    Buffer.add_string buf "Bounds\n";
+    Buffer.add_buffer buf bounds
+  end;
+  (* Integer sections. *)
+  let binaries = Buffer.create 256 in
+  let generals = Buffer.create 256 in
+  for v = 0 to Model.num_vars model - 1 do
+    if Model.var_kind model v = Model.Integer then begin
+      if Model.var_lb model v = 0.0 && Model.var_ub model v = 1.0 then
+        Buffer.add_string binaries (Printf.sprintf " %s\n" (var_name v))
+      else Buffer.add_string generals (Printf.sprintf " %s\n" (var_name v))
+    end
+  done;
+  if Buffer.length binaries > 0 then begin
+    Buffer.add_string buf "Binary\n";
+    Buffer.add_buffer buf binaries
+  end;
+  if Buffer.length generals > 0 then begin
+    Buffer.add_string buf "General\n";
+    Buffer.add_buffer buf generals
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let write_file path model =
+  try
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string model));
+    Ok ()
+  with Sys_error msg -> Error msg

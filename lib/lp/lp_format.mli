@@ -1,0 +1,16 @@
+(** CPLEX LP-format export.
+
+    Serializes a {!Model.t} in the textual LP format understood by
+    CPLEX, Gurobi, GLPK, SCIP, lp_solve and HiGHS, so any model built
+    by this library — in particular the paper's formulation (3) — can
+    be inspected by hand or cross-checked against an external solver
+    (the paper's own setup was CPLEX via PuLP). *)
+
+val to_string : Model.t -> string
+(** Sections emitted: objective ([Minimize]/[Maximize]), [Subject To],
+    [Bounds] (only for variables whose bounds differ from the default
+    [0 <= x]), [General]/[Binary] for integer variables, [End].
+    Variables are named [x0], [x1], … by index; a sanitized model
+    name comment is included when variables were named. *)
+
+val write_file : string -> Model.t -> (unit, string) result

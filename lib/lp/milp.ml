@@ -1,0 +1,135 @@
+let src = Logs.Src.create "agingfp.milp" ~doc:"Branch and bound MILP"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = Feasible of Simplex.solution | Infeasible | Unknown
+
+type params = {
+  lp_params : Simplex.params;
+  node_limit : int;
+  integrality_tol : float;
+  first_solution : bool;
+}
+
+let default_params =
+  {
+    lp_params = Simplex.default_params;
+    node_limit = 2000;
+    integrality_tol = 1e-6;
+    first_solution = true;
+  }
+
+let pp_result ppf = function
+  | Feasible s -> Format.fprintf ppf "feasible (obj = %g)" s.objective
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unknown -> Format.pp_print_string ppf "unknown (budget exhausted)"
+
+(* Most fractional integer variable, or None if all integral. *)
+let fractional_var params int_vars (sol : Simplex.solution) =
+  let best = ref None in
+  let best_frac = ref params.integrality_tol in
+  List.iter
+    (fun v ->
+      let x = sol.values.(v) in
+      let frac = abs_float (x -. Float.round x) in
+      if frac > !best_frac then begin
+        best := Some v;
+        best_frac := frac
+      end)
+    int_vars;
+  !best
+
+let solution_sign dir = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0
+
+let solve ?(params = default_params) model0 =
+  let model = Model.copy model0 in
+  let int_vars = Model.integer_vars model in
+  let dir, _ = Model.objective model in
+  let sign = solution_sign dir in
+  let nodes = ref 0 in
+  let incumbent = ref None in
+  let budget_hit = ref false in
+  let better obj =
+    match !incumbent with
+    | None -> true
+    | Some (s : Simplex.solution) -> sign *. obj < (sign *. s.objective) -. 1e-9
+  in
+  (* DFS; bounds are mutated on [model] and restored on unwind. *)
+  let rec node () =
+    if !nodes >= params.node_limit then budget_hit := true
+    else begin
+      incr nodes;
+      match Simplex.solve ~params:params.lp_params model with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded ->
+        (* An unbounded relaxation of a bounded-binary model signals a
+           modelling error; treat the node as hopeless. *)
+        Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
+      | Simplex.Iteration_limit -> budget_hit := true
+      | Simplex.Optimal sol ->
+        if not (better sol.objective) then ()
+        else begin
+          match fractional_var params int_vars sol with
+          | None -> incumbent := Some sol
+          | Some v ->
+            let x = sol.values.(v) in
+            let lb = Model.var_lb model v and ub = Model.var_ub model v in
+            let explore_down () =
+              Model.set_bounds model v ~lb ~ub:(Float.of_int (int_of_float (floor x)));
+              node ();
+              Model.set_bounds model v ~lb ~ub
+            in
+            let explore_up () =
+              Model.set_bounds model v ~lb:(Float.of_int (int_of_float (ceil x))) ~ub;
+              node ();
+              Model.set_bounds model v ~lb ~ub
+            in
+            let stop () = params.first_solution && !incumbent <> None in
+            (* Explore the child nearest the relaxed value first. *)
+            if x -. floor x > 0.5 then begin
+              explore_up ();
+              if not (stop ()) then explore_down ()
+            end
+            else begin
+              explore_down ();
+              if not (stop ()) then explore_up ()
+            end
+        end
+    end
+  in
+  node ();
+  match !incumbent with
+  | Some sol -> Feasible sol
+  | None -> if !budget_hit then Unknown else Infeasible
+
+let relax_and_fix ?(threshold = 0.95) ?(params = default_params) model0 =
+  match Simplex.solve ~params:params.lp_params model0 with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded | Simplex.Iteration_limit -> Unknown
+  | Simplex.Optimal relaxed ->
+    let int_vars = Model.integer_vars model0 in
+    let fixed = Model.copy model0 in
+    let nfixed = ref 0 in
+    List.iter
+      (fun v ->
+        if relaxed.values.(v) > threshold && Model.var_ub fixed v >= 1.0 then begin
+          Model.fix_var fixed v 1.0;
+          incr nfixed
+        end)
+      int_vars;
+    Log.debug (fun k ->
+        k "relax-and-fix: pre-mapped %d of %d binaries" !nfixed (List.length int_vars));
+    let validate = function
+      | Feasible sol as r ->
+        (match Model.check_feasible model0 (fun v -> sol.values.(v)) with
+        | Ok () -> r
+        | Error msg ->
+          Log.err (fun k -> k "relax-and-fix produced invalid solution: %s" msg);
+          Unknown)
+      | r -> r
+    in
+    (match solve ~params fixed with
+    | Feasible sol -> validate (Feasible sol)
+    | Infeasible | Unknown ->
+      (* The aggressive pre-mapping can over-constrain; retry without it. *)
+      validate (solve ~params model0))

@@ -1,0 +1,41 @@
+(** Mixed-integer solving on top of {!Simplex}.
+
+    Two entry points:
+
+    - {!solve}: branch & bound with most-fractional branching and a
+      node budget.
+    - {!relax_and_fix}: the paper's two-step MILP (§V.B Step 1) —
+      solve the LP relaxation, pre-map every binary whose relaxed
+      value exceeds a threshold (0.95 in the paper) to 1, then run
+      branch & bound on the residual problem. Falls back to plain
+      branch & bound when the pre-mapping makes the residual
+      infeasible. *)
+
+type result =
+  | Feasible of Simplex.solution
+      (** Integer-feasible; optimal when the search ran to completion
+          with an objective, first-found otherwise. *)
+  | Infeasible
+  | Unknown  (** Budget exhausted before any integer solution. *)
+
+type params = {
+  lp_params : Simplex.params;
+  node_limit : int;
+  integrality_tol : float;
+  first_solution : bool;
+      (** Stop at the first integer-feasible node. The floorplanner's
+          formulation (3) has a null objective, so any feasible point
+          is as good as any other; this is the default. *)
+}
+
+val default_params : params
+
+val solve : ?params:params -> Model.t -> result
+(** Branch & bound. The input model is not modified. *)
+
+val relax_and_fix : ?threshold:float -> ?params:params -> Model.t -> result
+(** [threshold] defaults to 0.95 as in the paper. The input model is
+    not modified; reported solutions are checked against the original
+    model before being returned. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,167 @@
+type relation = Le | Ge | Eq
+
+type kind = Continuous | Integer
+
+type direction = Minimize | Maximize
+
+type var_info = {
+  mutable lb : float;
+  mutable ub : float;
+  vkind : kind;
+  name : string;
+}
+
+type row = { lhs : Expr.t; rel : relation; rhs : float }
+
+type t = {
+  mutable vars : var_info array;
+  mutable nvars : int;
+  mutable rows : row array;
+  mutable nrows : int;
+  mutable obj_dir : direction;
+  mutable obj : Expr.t;
+}
+
+let create () =
+  {
+    vars = Array.make 16 { lb = 0.; ub = 0.; vkind = Continuous; name = "" };
+    nvars = 0;
+    rows = Array.make 16 { lhs = Expr.zero; rel = Eq; rhs = 0. };
+    nrows = 0;
+    obj_dir = Minimize;
+    obj = Expr.zero;
+  }
+
+let grow_vars m =
+  if m.nvars = Array.length m.vars then begin
+    let bigger = Array.make (2 * m.nvars) m.vars.(0) in
+    Array.blit m.vars 0 bigger 0 m.nvars;
+    m.vars <- bigger
+  end
+
+let grow_rows m =
+  if m.nrows = Array.length m.rows then begin
+    let bigger = Array.make (2 * m.nrows) m.rows.(0) in
+    Array.blit m.rows 0 bigger 0 m.nrows;
+    m.rows <- bigger
+  end
+
+let add_var ?(name = "") ?(lb = 0.0) ?(ub = infinity) ?(kind = Continuous) m =
+  if lb > ub then invalid_arg "Model.add_var: lb > ub";
+  grow_vars m;
+  let id = m.nvars in
+  m.vars.(id) <- { lb; ub; vkind = kind; name };
+  m.nvars <- id + 1;
+  id
+
+let add_binary ?name m = add_var ?name ~lb:0.0 ~ub:1.0 ~kind:Integer m
+
+let add_constraint ?name:_ m lhs rel rhs =
+  grow_rows m;
+  let c = Expr.constant lhs in
+  let lhs = Expr.sub lhs (Expr.const c) in
+  let id = m.nrows in
+  m.rows.(id) <- { lhs; rel; rhs = rhs -. c };
+  m.nrows <- id + 1;
+  id
+
+let set_objective m dir e =
+  m.obj_dir <- dir;
+  m.obj <- e
+
+let fix_var m v x =
+  let info = m.vars.(v) in
+  info.lb <- x;
+  info.ub <- x
+
+let set_bounds m v ~lb ~ub =
+  if lb > ub then invalid_arg "Model.set_bounds: lb > ub";
+  let info = m.vars.(v) in
+  info.lb <- lb;
+  info.ub <- ub
+
+let num_vars m = m.nvars
+let num_constraints m = m.nrows
+let var_lb m v = m.vars.(v).lb
+let var_ub m v = m.vars.(v).ub
+let var_kind m v = m.vars.(v).vkind
+let var_name m v = m.vars.(v).name
+let objective m = (m.obj_dir, m.obj)
+
+let constraint_row m i =
+  let r = m.rows.(i) in
+  (r.lhs, r.rel, r.rhs)
+
+let iter_constraints m f =
+  for i = 0 to m.nrows - 1 do
+    let r = m.rows.(i) in
+    f i r.lhs r.rel r.rhs
+  done
+
+let integer_vars m =
+  let acc = ref [] in
+  for v = m.nvars - 1 downto 0 do
+    match m.vars.(v).vkind with Integer -> acc := v :: !acc | Continuous -> ()
+  done;
+  !acc
+
+let copy m =
+  let nv = max 16 m.nvars in
+  let vars =
+    Array.init nv (fun i ->
+        if i < m.nvars then { m.vars.(i) with lb = m.vars.(i).lb }
+        else { lb = 0.; ub = 0.; vkind = Continuous; name = "" })
+  in
+  let nr = max 16 m.nrows in
+  let rows =
+    Array.init nr (fun i ->
+        if i < m.nrows then m.rows.(i) else { lhs = Expr.zero; rel = Eq; rhs = 0. })
+  in
+  { m with vars; rows }
+
+let check_feasible ?(tol = 1e-6) m assignment =
+  let violation = ref None in
+  (try
+     for v = 0 to m.nvars - 1 do
+       let x = assignment v in
+       let info = m.vars.(v) in
+       if x < info.lb -. tol || x > info.ub +. tol then begin
+         violation :=
+           Some
+             (Printf.sprintf "var %d (%s) = %g outside [%g, %g]" v info.name x
+                info.lb info.ub);
+         raise Exit
+       end;
+       (match info.vkind with
+       | Integer ->
+         if abs_float (x -. Float.round x) > tol then begin
+           violation := Some (Printf.sprintf "var %d (%s) = %g not integral" v info.name x);
+           raise Exit
+         end
+       | Continuous -> ())
+     done;
+     for i = 0 to m.nrows - 1 do
+       let r = m.rows.(i) in
+       let v = Expr.eval assignment r.lhs in
+       let ok =
+         match r.rel with
+         | Le -> v <= r.rhs +. tol
+         | Ge -> v >= r.rhs -. tol
+         | Eq -> abs_float (v -. r.rhs) <= tol
+       in
+       if not ok then begin
+         violation :=
+           Some
+             (Printf.sprintf "constraint %d: lhs = %g, rel %s, rhs = %g" i v
+                (match r.rel with Le -> "<=" | Ge -> ">=" | Eq -> "=")
+                r.rhs);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !violation with None -> Ok () | Some msg -> Error msg
+
+let pp_stats ppf m =
+  let nint = List.length (integer_vars m) in
+  Format.fprintf ppf "model: %d vars (%d integer), %d constraints" m.nvars nint
+    m.nrows

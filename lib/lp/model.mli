@@ -1,0 +1,65 @@
+(** Mutable MILP model builder.
+
+    A model is a set of bounded variables (continuous or integer),
+    linear constraints and an optional linear objective. The builder
+    mirrors the structure of formulation (3) in the paper: binaries
+    [OP_ijk] with assignment, stress-budget and path-length rows. *)
+
+type t
+
+type relation = Le | Ge | Eq
+
+type kind = Continuous | Integer
+(** [Integer] restricted to [{0,1}] bounds gives the paper's binary
+    [OP_ijk] variables. *)
+
+type direction = Minimize | Maximize
+
+val create : unit -> t
+
+val add_var :
+  ?name:string -> ?lb:float -> ?ub:float -> ?kind:kind -> t -> int
+(** Fresh variable index. Defaults: [lb = 0.], [ub = infinity],
+    [kind = Continuous]. [lb] may be [neg_infinity]. *)
+
+val add_binary : ?name:string -> t -> int
+(** Integer variable with bounds [0, 1]. *)
+
+val add_constraint : ?name:string -> t -> Expr.t -> relation -> float -> int
+(** [add_constraint m lhs rel rhs] adds [lhs rel rhs]; the constant
+    term of [lhs] is folded into [rhs]. Returns the row index. *)
+
+val set_objective : t -> direction -> Expr.t -> unit
+(** Default objective is [Minimize zero] — the paper's "ObjFunc: Null"
+    feasibility form. The constant term is reported back in objective
+    values but does not affect optimization. *)
+
+val fix_var : t -> int -> float -> unit
+(** Pin a variable by setting both bounds — used for frozen
+    critical-path operations and the two-step pre-mapping. *)
+
+val set_bounds : t -> int -> lb:float -> ub:float -> unit
+
+(** {2 Accessors (consumed by the solver)} *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_lb : t -> int -> float
+val var_ub : t -> int -> float
+val var_kind : t -> int -> kind
+val var_name : t -> int -> string
+val objective : t -> direction * Expr.t
+val constraint_row : t -> int -> Expr.t * relation * float
+val iter_constraints : t -> (int -> Expr.t -> relation -> float -> unit) -> unit
+val integer_vars : t -> int list
+
+val copy : t -> t
+(** Deep copy; branching in the MILP search mutates bounds on copies. *)
+
+val check_feasible : ?tol:float -> t -> (int -> float) -> (unit, string) result
+(** Validate a full assignment against bounds, integrality and every
+    constraint. [tol] defaults to [1e-6]. The [Error] carries a
+    human-readable description of the first violation. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: variable/constraint/integer counts. *)

@@ -1,0 +1,485 @@
+let src = Logs.Src.create "agingfp.simplex" ~doc:"LP simplex solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type solution = { values : float array; objective : float; iterations : int }
+
+type status = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+
+type params = {
+  max_iterations : int;
+  feasibility_tol : float;
+  optimality_tol : float;
+  refactor_every : int;
+}
+
+let default_params =
+  {
+    max_iterations = 0;
+    feasibility_tol = 1e-7;
+    optimality_tol = 1e-7;
+    refactor_every = 500;
+  }
+
+let pp_status ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal (obj = %g, %d iters)" s.objective s.iterations
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
+
+(* Internal solver state. Columns 0..n-1 are the model's structural
+   variables, n..n+m-1 the per-row slacks, and n+m.. the phase-1
+   artificials (created only for rows whose slack cannot absorb the
+   initial residual). The basis inverse is dense. *)
+type state = {
+  m : int;
+  ncols : int;
+  col_rows : int array array;
+  col_coefs : float array array;
+  lb : float array;
+  ub : float array;
+  b : float array;
+  binv : float array array;
+  basis : int array;
+  pos_in_basis : int array;
+  x_b : float array;
+  vals : float array;        (* value of each nonbasic column *)
+  n_artificial_base : int;   (* first artificial column index *)
+  params : params;
+}
+
+let col_dot st y j =
+  let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
+  let acc = ref 0.0 in
+  for k = 0 to Array.length rows - 1 do
+    acc := !acc +. (y.(rows.(k)) *. coefs.(k))
+  done;
+  !acc
+
+(* w = B^-1 * A_e *)
+let ftran st j w =
+  Array.fill w 0 st.m 0.0;
+  let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
+  for k = 0 to Array.length rows - 1 do
+    let r = rows.(k) and a = coefs.(k) in
+    if a <> 0.0 then
+      for i = 0 to st.m - 1 do
+        w.(i) <- w.(i) +. (st.binv.(i).(r) *. a)
+      done
+  done
+
+exception Singular_basis
+
+(* Recompute B^-1 from scratch by Gauss-Jordan and refresh the basic
+   values from the nonbasic assignment; fights numerical drift. *)
+let refactorize st =
+  let m = st.m in
+  let bmat = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    let j = st.basis.(i) in
+    let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
+    for k = 0 to Array.length rows - 1 do
+      bmat.(rows.(k)).(i) <- coefs.(k)
+    done
+  done;
+  let inv = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    inv.(i).(i) <- 1.0
+  done;
+  for k = 0 to m - 1 do
+    let piv = ref k in
+    for i = k + 1 to m - 1 do
+      if abs_float bmat.(i).(k) > abs_float bmat.(!piv).(k) then piv := i
+    done;
+    if abs_float bmat.(!piv).(k) < 1e-11 then raise Singular_basis;
+    if !piv <> k then begin
+      let t = bmat.(k) in
+      bmat.(k) <- bmat.(!piv);
+      bmat.(!piv) <- t;
+      let t = inv.(k) in
+      inv.(k) <- inv.(!piv);
+      inv.(!piv) <- t
+    end;
+    let d = bmat.(k).(k) in
+    for c = 0 to m - 1 do
+      bmat.(k).(c) <- bmat.(k).(c) /. d;
+      inv.(k).(c) <- inv.(k).(c) /. d
+    done;
+    for i = 0 to m - 1 do
+      if i <> k then begin
+        let f = bmat.(i).(k) in
+        if f <> 0.0 then
+          for c = 0 to m - 1 do
+            bmat.(i).(c) <- bmat.(i).(c) -. (f *. bmat.(k).(c));
+            inv.(i).(c) <- inv.(i).(c) -. (f *. inv.(k).(c))
+          done
+      end
+    done
+  done;
+  for i = 0 to m - 1 do
+    Array.blit inv.(i) 0 st.binv.(i) 0 m
+  done;
+  (* x_B = B^-1 (b - sum over nonbasic columns of A_j v_j) *)
+  let rhs = Array.copy st.b in
+  for j = 0 to st.ncols - 1 do
+    if st.pos_in_basis.(j) < 0 && st.vals.(j) <> 0.0 then begin
+      let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
+      for k = 0 to Array.length rows - 1 do
+        rhs.(rows.(k)) <- rhs.(rows.(k)) -. (coefs.(k) *. st.vals.(j))
+      done
+    end
+  done;
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    for r = 0 to m - 1 do
+      acc := !acc +. (st.binv.(i).(r) *. rhs.(r))
+    done;
+    st.x_b.(i) <- !acc
+  done
+
+type phase_result = Phase_optimal of int | Phase_unbounded | Phase_iter_limit
+
+(* Optimize the given cost vector from the current basis. *)
+let optimize st cost max_iter =
+  let m = st.m in
+  let w = Array.make m 0.0 in
+  let y = Array.make m 0.0 in
+  let opt_tol = st.params.optimality_tol in
+  let piv_tol = 1e-9 in
+  let degen = ref 0 in
+  let bland = ref false in
+  let rec loop iter =
+    if iter >= max_iter then Phase_iter_limit
+    else begin
+      if iter > 0 && iter mod st.params.refactor_every = 0 then refactorize st;
+      (* Dual vector y = c_B^T B^-1. *)
+      Array.fill y 0 m 0.0;
+      for i = 0 to m - 1 do
+        let cb = cost.(st.basis.(i)) in
+        if cb <> 0.0 then begin
+          let row = st.binv.(i) in
+          for k = 0 to m - 1 do
+            y.(k) <- y.(k) +. (cb *. row.(k))
+          done
+        end
+      done;
+      (* Pricing: find entering column and its movement direction. *)
+      let best = ref (-1) in
+      let best_dir = ref 1.0 in
+      let best_score = ref opt_tol in
+      (try
+         for j = 0 to st.ncols - 1 do
+           if st.pos_in_basis.(j) < 0 && st.lb.(j) < st.ub.(j) then begin
+             let d = cost.(j) -. col_dot st y j in
+             let v = st.vals.(j) in
+             let at_lb = st.lb.(j) > neg_infinity && v <= st.lb.(j) +. 1e-12 in
+             let at_ub = st.ub.(j) < infinity && v >= st.ub.(j) -. 1e-12 in
+             let candidate_dir =
+               if at_lb && at_ub then None
+               else if at_lb then (if d < -.opt_tol then Some 1.0 else None)
+               else if at_ub then (if d > opt_tol then Some (-1.0) else None)
+               else if abs_float d > opt_tol then Some (if d < 0.0 then 1.0 else -1.0)
+               else None
+             in
+             match candidate_dir with
+             | None -> ()
+             | Some dir ->
+               if !bland then begin
+                 best := j;
+                 best_dir := dir;
+                 raise Exit
+               end
+               else if abs_float d > !best_score then begin
+                 best := j;
+                 best_dir := dir;
+                 best_score := abs_float d
+               end
+           end
+         done
+       with Exit -> ());
+      if !best < 0 then Phase_optimal iter
+      else begin
+        let e = !best and dir = !best_dir in
+        ftran st e w;
+        (* Ratio test over the basic variables, plus the entering
+           variable's own bound range (a "bound flip"). *)
+        let t_limit =
+          if st.lb.(e) > neg_infinity && st.ub.(e) < infinity then st.ub.(e) -. st.lb.(e)
+          else infinity
+        in
+        let t_best = ref t_limit in
+        let leaving = ref (-1) in
+        let leaving_w = ref 0.0 in
+        for i = 0 to m - 1 do
+          let delta = dir *. w.(i) in
+          if delta > piv_tol then begin
+            let lo = st.lb.(st.basis.(i)) in
+            if lo > neg_infinity then begin
+              let t = (st.x_b.(i) -. lo) /. delta in
+              let t = if t < 0.0 then 0.0 else t in
+              if t < !t_best -. 1e-12 || (t <= !t_best && abs_float delta > abs_float !leaving_w) then begin
+                t_best := t;
+                leaving := i;
+                leaving_w := delta
+              end
+            end
+          end
+          else if delta < -.piv_tol then begin
+            let hi = st.ub.(st.basis.(i)) in
+            if hi < infinity then begin
+              let t = (st.x_b.(i) -. hi) /. delta in
+              let t = if t < 0.0 then 0.0 else t in
+              if t < !t_best -. 1e-12 || (t <= !t_best && abs_float delta > abs_float !leaving_w) then begin
+                t_best := t;
+                leaving := i;
+                leaving_w := delta
+              end
+            end
+          end
+        done;
+        if !t_best = infinity then Phase_unbounded
+        else begin
+          let t = !t_best in
+          if t <= st.params.feasibility_tol then incr degen else degen := 0;
+          if !degen > 200 then bland := true;
+          if !degen = 0 then bland := false;
+          if !leaving < 0 then begin
+            (* Bound flip: the entering variable crosses to its other
+               bound without any basis change. *)
+            st.vals.(e) <- (if dir > 0.0 then st.ub.(e) else st.lb.(e));
+            for i = 0 to m - 1 do
+              st.x_b.(i) <- st.x_b.(i) -. (t *. dir *. w.(i))
+            done;
+            loop (iter + 1)
+          end
+          else begin
+            let r = !leaving in
+            let lv = st.basis.(r) in
+            let leave_val = if dir *. w.(r) > 0.0 then st.lb.(lv) else st.ub.(lv) in
+            st.vals.(lv) <- leave_val;
+            st.pos_in_basis.(lv) <- -1;
+            for i = 0 to m - 1 do
+              if i <> r then st.x_b.(i) <- st.x_b.(i) -. (t *. dir *. w.(i))
+            done;
+            st.x_b.(r) <- st.vals.(e) +. (dir *. t);
+            st.basis.(r) <- e;
+            st.pos_in_basis.(e) <- r;
+            (* Product-form update of B^-1. *)
+            let wr = w.(r) in
+            let row_r = st.binv.(r) in
+            for k = 0 to m - 1 do
+              row_r.(k) <- row_r.(k) /. wr
+            done;
+            for i = 0 to m - 1 do
+              if i <> r && w.(i) <> 0.0 then begin
+                let f = w.(i) in
+                let row_i = st.binv.(i) in
+                for k = 0 to m - 1 do
+                  row_i.(k) <- row_i.(k) -. (f *. row_r.(k))
+                done
+              end
+            done;
+            loop (iter + 1)
+          end
+        end
+      end
+    end
+  in
+  loop 0
+
+let nearest_bound lb ub = if lb > neg_infinity then lb else if ub < infinity then ub else 0.0
+
+let solve ?(params = default_params) model =
+  let n = Model.num_vars model in
+  let m = Model.num_constraints model in
+  let dir, obj = Model.objective model in
+  let sign = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
+  if m = 0 then begin
+    (* No constraints: each variable sits at its cost-optimal bound. *)
+    let values = Array.make n 0.0 in
+    let unbounded = ref false in
+    for v = 0 to n - 1 do
+      let c = sign *. Expr.coef obj v in
+      let lo = Model.var_lb model v and hi = Model.var_ub model v in
+      if c > 0.0 then
+        if lo > neg_infinity then values.(v) <- lo else unbounded := true
+      else if c < 0.0 then
+        if hi < infinity then values.(v) <- hi else unbounded := true
+      else values.(v) <- nearest_bound lo hi
+    done;
+    if !unbounded then Unbounded
+    else
+      Optimal
+        { values; objective = Expr.eval (fun v -> values.(v)) obj; iterations = 0 }
+  end
+  else begin
+    (* Assemble sparse structural columns. *)
+    let acc_rows = Array.make n [] in
+    let acc_coefs = Array.make n [] in
+    let b = Array.make m 0.0 in
+    let slack_lb = Array.make m 0.0 in
+    let slack_ub = Array.make m 0.0 in
+    Model.iter_constraints model (fun i lhs rel rhs ->
+        b.(i) <- rhs;
+        (match rel with
+        | Model.Le ->
+          slack_lb.(i) <- 0.0;
+          slack_ub.(i) <- infinity
+        | Model.Ge ->
+          slack_lb.(i) <- neg_infinity;
+          slack_ub.(i) <- 0.0
+        | Model.Eq ->
+          slack_lb.(i) <- 0.0;
+          slack_ub.(i) <- 0.0);
+        List.iter
+          (fun (v, c) ->
+            acc_rows.(v) <- i :: acc_rows.(v);
+            acc_coefs.(v) <- c :: acc_coefs.(v))
+          (Expr.terms lhs));
+    (* Column table: structural, slack, then artificials (filled below). *)
+    let max_cols = n + m + m in
+    let col_rows = Array.make max_cols [||] in
+    let col_coefs = Array.make max_cols [||] in
+    let lb = Array.make max_cols 0.0 in
+    let ub = Array.make max_cols 0.0 in
+    for v = 0 to n - 1 do
+      col_rows.(v) <- Array.of_list (List.rev acc_rows.(v));
+      col_coefs.(v) <- Array.of_list (List.rev acc_coefs.(v));
+      lb.(v) <- Model.var_lb model v;
+      ub.(v) <- Model.var_ub model v
+    done;
+    for i = 0 to m - 1 do
+      col_rows.(n + i) <- [| i |];
+      col_coefs.(n + i) <- [| 1.0 |];
+      lb.(n + i) <- slack_lb.(i);
+      ub.(n + i) <- slack_ub.(i)
+    done;
+    let vals = Array.make max_cols 0.0 in
+    for v = 0 to n - 1 do
+      vals.(v) <- nearest_bound lb.(v) ub.(v)
+    done;
+    (* Residual of each row once structurals sit at their initial
+       bounds; the slack absorbs it when its bounds allow, otherwise
+       an artificial variable is created. *)
+    let resid = Array.copy b in
+    for v = 0 to n - 1 do
+      if vals.(v) <> 0.0 then begin
+        let rows = col_rows.(v) and coefs = col_coefs.(v) in
+        for k = 0 to Array.length rows - 1 do
+          resid.(rows.(k)) <- resid.(rows.(k)) -. (coefs.(k) *. vals.(v))
+        done
+      end
+    done;
+    let basis = Array.make m (-1) in
+    let pos_in_basis = Array.make max_cols (-1) in
+    let x_b = Array.make m 0.0 in
+    let n_art = ref 0 in
+    let binv = Array.make_matrix m m 0.0 in
+    for i = 0 to m - 1 do
+      if resid.(i) >= slack_lb.(i) -. 1e-12 && resid.(i) <= slack_ub.(i) +. 1e-12 then begin
+        basis.(i) <- n + i;
+        pos_in_basis.(n + i) <- i;
+        x_b.(i) <- resid.(i);
+        binv.(i).(i) <- 1.0
+      end
+      else begin
+        let sigma = if resid.(i) >= 0.0 then 1.0 else -1.0 in
+        let j = n + m + !n_art in
+        incr n_art;
+        col_rows.(j) <- [| i |];
+        col_coefs.(j) <- [| sigma |];
+        lb.(j) <- 0.0;
+        ub.(j) <- infinity;
+        basis.(i) <- j;
+        pos_in_basis.(j) <- i;
+        x_b.(i) <- abs_float resid.(i);
+        binv.(i).(i) <- sigma
+      end
+    done;
+    let ncols = n + m + !n_art in
+    let params =
+      if params.max_iterations > 0 then params
+      else { params with max_iterations = (50 * (m + n)) + 5000 }
+    in
+    let st =
+      {
+        m;
+        ncols;
+        col_rows;
+        col_coefs;
+        lb;
+        ub;
+        b;
+        binv;
+        basis;
+        pos_in_basis;
+        x_b;
+        vals;
+        n_artificial_base = n + m;
+        params;
+      }
+    in
+    let run () =
+      (* Phase 1: drive the artificials to zero. *)
+      let art_total () =
+        let acc = ref 0.0 in
+        for i = 0 to m - 1 do
+          if st.basis.(i) >= st.n_artificial_base then acc := !acc +. st.x_b.(i)
+        done;
+        for j = st.n_artificial_base to ncols - 1 do
+          if st.pos_in_basis.(j) < 0 then acc := !acc +. st.vals.(j)
+        done;
+        !acc
+      in
+      let phase1_needed = !n_art > 0 && art_total () > st.params.feasibility_tol in
+      let phase1 =
+        if not phase1_needed then Phase_optimal 0
+        else begin
+          let cost1 = Array.make ncols 0.0 in
+          for j = st.n_artificial_base to ncols - 1 do
+            cost1.(j) <- 1.0
+          done;
+          optimize st cost1 st.params.max_iterations
+        end
+      in
+      match phase1 with
+      | Phase_iter_limit -> Iteration_limit
+      | Phase_unbounded ->
+        (* Phase 1 is bounded below by zero; reaching here indicates
+           numerical failure. Report infeasible conservatively. *)
+        Log.warn (fun k -> k "phase 1 reported unbounded: numerical trouble");
+        Infeasible
+      | Phase_optimal it1 ->
+        if !n_art > 0 && art_total () > st.params.feasibility_tol *. 100.0 then Infeasible
+        else begin
+          (* Lock artificials out of the problem. *)
+          for j = st.n_artificial_base to ncols - 1 do
+            st.ub.(j) <- 0.0;
+            if st.pos_in_basis.(j) < 0 then st.vals.(j) <- 0.0
+          done;
+          let cost2 = Array.make ncols 0.0 in
+          for v = 0 to n - 1 do
+            cost2.(v) <- sign *. Expr.coef obj v
+          done;
+          match optimize st cost2 (st.params.max_iterations - it1) with
+          | Phase_iter_limit -> Iteration_limit
+          | Phase_unbounded -> Unbounded
+          | Phase_optimal it2 ->
+            let values = Array.make n 0.0 in
+            for v = 0 to n - 1 do
+              values.(v) <-
+                (let p = st.pos_in_basis.(v) in
+                 if p >= 0 then st.x_b.(p) else st.vals.(v))
+            done;
+            Optimal
+              {
+                values;
+                objective = Expr.eval (fun v -> values.(v)) obj;
+                iterations = it1 + it2;
+              }
+        end
+    in
+    try run () with Singular_basis ->
+      Log.warn (fun k -> k "singular basis encountered");
+      Infeasible
+  end

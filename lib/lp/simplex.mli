@@ -1,0 +1,42 @@
+(** Bounded-variable revised simplex.
+
+    Solves the continuous relaxation of a {!Model.t}: variable bounds
+    are handled implicitly (no explicit rows for [0 <= OP_ijk <= 1]),
+    which keeps the basis small — the row count is exactly the number
+    of model constraints. Infeasibility is detected with a classic
+    artificial-variable phase 1; the basis inverse is maintained
+    densely with periodic refactorization.
+
+    This is the stand-in for CPLEX's barrier/simplex in the paper's
+    flow. It is adequate for the instance sizes produced by the
+    candidate-pruned formulations (thousands of columns, around a
+    thousand rows). *)
+
+type solution = {
+  values : float array;  (** indexed by model variable *)
+  objective : float;     (** objective value incl. constant term *)
+  iterations : int;
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type params = {
+  max_iterations : int;      (** 0 means automatic: [50 * (m + n) + 5000] *)
+  feasibility_tol : float;
+  optimality_tol : float;
+  refactor_every : int;
+}
+
+val default_params : params
+
+val solve : ?params:params -> Model.t -> status
+(** Solve the LP relaxation (integrality of [Integer] variables is
+    ignored). Fixed variables ([lb = ub]) are honoured, so the paper's
+    frozen critical-path operations and two-step pre-mapping are
+    expressed by {!Model.fix_var} before calling [solve]. *)
+
+val pp_status : Format.formatter -> status -> unit

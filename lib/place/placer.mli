@@ -1,0 +1,41 @@
+(** Aging-unaware baseline placement — the stand-in for the
+    commercial Musketeer P&R flow (paper Phase 1).
+
+    Each context is placed independently: a greedy corner-packing
+    constructive pass followed by simulated annealing that minimizes
+    a compactness + wirelength cost. Like the commercial tool, the
+    result concentrates operations in the same fabric corner in every
+    context, which is precisely the stress-accumulation behaviour the
+    aging-aware re-mapping then repairs (Fig. 2a, top row). *)
+
+open Agingfp_cgrra
+
+type params = {
+  seed : int;
+  sa_moves : int;        (** annealing moves per context *)
+  start_temp : float;
+  cooling : float;       (** geometric factor per temperature step *)
+  moves_per_temp : int;
+  corner_weight : float; (** compactness pull toward the origin corner *)
+  wire_weight : float;
+}
+
+val default_params : params
+
+val greedy : ?seed:int -> Design.t -> Mapping.t
+(** Constructive corner packing: operations in topological order grab
+    the free PE minimizing distance to their placed predecessors plus
+    a corner bias and a small per-context tie-breaking noise (real
+    netlists never yield pixel-identical context layouts). Always
+    valid. *)
+
+val anneal : ?params:params -> Design.t -> Mapping.t -> Mapping.t
+(** Simulated-annealing refinement of a valid mapping (relocations
+    and swaps within each context). Deterministic given [params.seed]. *)
+
+val aging_unaware : ?params:params -> Design.t -> Mapping.t
+(** [greedy] followed by [anneal] — the paper's baseline floorplan. *)
+
+val context_cost : Design.t -> Mapping.t -> int -> float
+(** The cost the annealer optimizes for one context (corner
+    compactness + total wirelength), exposed for tests and benches. *)

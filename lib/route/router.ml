@@ -1,0 +1,196 @@
+open Agingfp_cgrra
+module Coord = Agingfp_util.Coord
+module Heap = Agingfp_util.Heap
+
+type params = {
+  capacity : int;
+  max_iterations : int;
+  present_factor : float;
+  history_factor : float;
+}
+
+let default_params =
+  { capacity = 4; max_iterations = 24; present_factor = 2.0; history_factor = 0.4 }
+
+type net = { ctx : int; src_op : int; dst_op : int; src_pe : int; dst_pe : int }
+
+type result = {
+  nets : net array;
+  routes : int array array;
+  overused_channels : int;
+  max_channel_usage : int;
+  total_routed_length : int;
+  total_manhattan : int;
+  iterations : int;
+}
+
+(* Channel ids: horizontal segments first (between (x,y) and (x+1,y)),
+   then vertical ones (between (x,y) and (x,y+1)). *)
+let num_channels dim = 2 * dim * (dim - 1)
+
+let channel_of dim a b =
+  let ax = a mod dim and ay = a / dim in
+  let bx = b mod dim and by = b / dim in
+  if ay = by && abs (ax - bx) = 1 then (ay * (dim - 1)) + min ax bx
+  else if ax = bx && abs (ay - by) = 1 then
+    (dim * (dim - 1)) + (min ay by * dim) + ax
+  else invalid_arg "Router.channel_of: cells not adjacent"
+
+let neighbours dim cell =
+  let x = cell mod dim and y = cell / dim in
+  List.filter_map
+    (fun (dx, dy) ->
+      let nx = x + dx and ny = y + dy in
+      if nx >= 0 && nx < dim && ny >= 0 && ny < dim then Some ((ny * dim) + nx) else None)
+    [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+
+(* Dijkstra from src to dst under the current channel costs. *)
+let shortest_path dim cost src dst =
+  let n = dim * dim in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let heap = Heap.create (fun (a, _) (b, _) -> Float.compare a b) in
+  dist.(src) <- 0.0;
+  Heap.push heap (0.0, src);
+  let finished = ref false in
+  while not (!finished || Heap.is_empty heap) do
+    match Heap.pop heap with
+    | None -> finished := true
+    | Some (d, u) ->
+      if u = dst then finished := true
+      else if d <= dist.(u) +. 1e-12 then
+        List.iter
+          (fun v ->
+            let c = d +. cost (channel_of dim u v) in
+            if c < dist.(v) -. 1e-12 then begin
+              dist.(v) <- c;
+              pred.(v) <- u;
+              Heap.push heap (c, v)
+            end)
+          (neighbours dim u)
+  done;
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk acc cell = if cell = src then cell :: acc else walk (cell :: acc) pred.(cell) in
+    Some (Array.of_list (walk [] dst))
+  end
+
+let route_channels dim route =
+  let acc = ref [] in
+  for i = 0 to Array.length route - 2 do
+    acc := channel_of dim route.(i) route.(i + 1) :: !acc
+  done;
+  !acc
+
+let route_context ?(params = default_params) design mapping ~ctx =
+  let fabric = Design.fabric design in
+  let dim = Fabric.dim fabric in
+  let dfg = Design.context design ctx in
+  let nets = ref [] in
+  Dfg.iter_edges dfg (fun u v ->
+      let src_pe = Mapping.pe_of mapping ~ctx ~op:u in
+      let dst_pe = Mapping.pe_of mapping ~ctx ~op:v in
+      if src_pe = dst_pe then
+        invalid_arg "Router.route_context: zero-length net (ops share a PE)";
+      nets := { ctx; src_op = u; dst_op = v; src_pe; dst_pe } :: !nets);
+  let nets = Array.of_list (List.rev !nets) in
+  (* Longest nets first: they have the fewest detour options. *)
+  let order = Array.init (Array.length nets) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      Int.compare
+        (Fabric.distance fabric nets.(b).src_pe nets.(b).dst_pe)
+        (Fabric.distance fabric nets.(a).src_pe nets.(a).dst_pe))
+    order;
+  let nch = num_channels dim in
+  let usage = Array.make nch 0 in
+  let history = Array.make nch 0.0 in
+  let routes = Array.make (Array.length nets) [||] in
+  let cost ch =
+    let over = usage.(ch) + 1 - params.capacity in
+    1.0
+    +. (if over > 0 then params.present_factor *. float_of_int over else 0.0)
+    +. history.(ch)
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < params.max_iterations do
+    incr iterations;
+    Array.iter
+      (fun i ->
+        let net = nets.(i) in
+        (* Rip up, then re-route under current congestion. *)
+        List.iter (fun ch -> usage.(ch) <- usage.(ch) - 1) (route_channels dim routes.(i));
+        (match shortest_path dim cost net.src_pe net.dst_pe with
+        | Some route -> routes.(i) <- route
+        | None -> failwith "Router: grid disconnected (impossible)");
+        List.iter (fun ch -> usage.(ch) <- usage.(ch) + 1) (route_channels dim routes.(i)))
+      order;
+    let overused = ref false in
+    Array.iteri
+      (fun ch u ->
+        if u > params.capacity then begin
+          overused := true;
+          history.(ch) <-
+            history.(ch) +. (params.history_factor *. float_of_int (u - params.capacity))
+        end)
+      usage;
+    if not !overused then converged := true
+  done;
+  let overused_channels =
+    Array.fold_left (fun acc u -> if u > params.capacity then acc + 1 else acc) 0 usage
+  in
+  let total_routed_length =
+    Array.fold_left (fun acc r -> acc + max 0 (Array.length r - 1)) 0 routes
+  in
+  let total_manhattan =
+    Array.fold_left
+      (fun acc (n : net) -> acc + Fabric.distance fabric n.src_pe n.dst_pe)
+      0 nets
+  in
+  {
+    nets;
+    routes;
+    overused_channels;
+    max_channel_usage = Array.fold_left max 0 usage;
+    total_routed_length;
+    total_manhattan;
+    iterations = !iterations;
+  }
+
+let route_all ?params design mapping =
+  Array.init (Design.num_contexts design) (fun ctx -> route_context ?params design mapping ~ctx)
+
+let detour_factor r =
+  if r.total_manhattan = 0 then 1.0
+  else float_of_int r.total_routed_length /. float_of_int r.total_manhattan
+
+let routed_cpd design results =
+  let chars = Design.chars design in
+  let cpd = ref 0.0 in
+  Array.iteri
+    (fun ctx (r : result) ->
+      let dfg = Design.context design ctx in
+      (* Routed length per DFG edge of this context. *)
+      let lengths = Hashtbl.create 64 in
+      Array.iteri
+        (fun i (n : net) ->
+          Hashtbl.replace lengths (n.src_op, n.dst_op) (Array.length r.routes.(i) - 1))
+        r.nets;
+      let n = Dfg.num_ops dfg in
+      let arrive = Array.make n 0.0 in
+      Array.iter
+        (fun v ->
+          let own = Chars.pe_delay_ns chars (Dfg.op dfg v) in
+          let best =
+            List.fold_left
+              (fun acc p ->
+                let len = try Hashtbl.find lengths (p, v) with Not_found -> 0 in
+                max acc (arrive.(p) +. Chars.wire_delay_ns chars len))
+              0.0 (Dfg.preds dfg v)
+          in
+          arrive.(v) <- own +. best)
+        (Dfg.topological_order dfg);
+      Array.iter (fun d -> cpd := max !cpd d) arrive)
+    results;
+  !cpd

@@ -1,0 +1,60 @@
+(** Island-style inter-PE routing with negotiated congestion
+    (PathFinder-lite) — the routing half of the "Musketeer P&R"
+    stand-in.
+
+    The floorplanner reasons about wires as buffered Manhattan
+    segments; this router checks that abstraction against a physical
+    channel model: the fabric's routing graph has one bidirectional
+    channel per pair of adjacent PEs with a fixed track capacity, and
+    every DFG edge of every context is a two-pin net (contexts are
+    time-multiplexed, so each context is routed against its own copy
+    of the channels).
+
+    Routing iterates rip-up-and-reroute with Dijkstra under
+    PathFinder-style costs (base + present-congestion penalty +
+    accumulated history), until no channel is over capacity or the
+    iteration budget runs out. *)
+
+open Agingfp_cgrra
+
+type params = {
+  capacity : int;        (** tracks per channel (default 4) *)
+  max_iterations : int;  (** rip-up/re-route rounds (default 24) *)
+  present_factor : float; (** penalty per unit of present overuse *)
+  history_factor : float; (** penalty accumulation per round *)
+}
+
+val default_params : params
+
+type net = {
+  ctx : int;
+  src_op : int;
+  dst_op : int;
+  src_pe : int;
+  dst_pe : int;
+}
+
+type result = {
+  nets : net array;
+  routes : int array array;   (** per net: PE-cell path, src..dst *)
+  overused_channels : int;    (** channels above capacity at the end *)
+  max_channel_usage : int;
+  total_routed_length : int;  (** channel segments used, all nets *)
+  total_manhattan : int;      (** lower bound: sum of Manhattan distances *)
+  iterations : int;
+}
+
+val route_context : ?params:params -> Design.t -> Mapping.t -> ctx:int -> result
+(** Route every DFG edge of one context. Zero-length nets (should not
+    occur in valid mappings) are rejected with [Invalid_argument]. *)
+
+val route_all : ?params:params -> Design.t -> Mapping.t -> result array
+(** One result per context. *)
+
+val detour_factor : result -> float
+(** [total_routed_length / total_manhattan]; 1.0 = every net routed on
+    a shortest path. 0 nets yields 1.0. *)
+
+val routed_cpd : Design.t -> result array -> float
+(** Re-evaluate the design CPD with each hop's wire delay taken from
+    its routed length rather than the Manhattan estimate. *)

@@ -1,0 +1,94 @@
+open Agingfp_cgrra
+module Matrix = Agingfp_linalg.Matrix
+module Solve = Agingfp_linalg.Solve
+module Ascii_table = Agingfp_util.Ascii_table
+
+type params = {
+  ambient_k : float;
+  g_vertical : float;
+  g_lateral : float;
+  p_active : float;
+  p_leak : float;
+  capacitance : float;
+}
+
+let default_params =
+  {
+    ambient_k = 318.15;      (* 45 C package *)
+    g_vertical = 0.005;      (* ~35 K rise for a fully active PE *)
+    g_lateral = 0.010;
+    p_active = 0.16;
+    p_leak = 0.012;
+    capacitance = 0.02;
+  }
+
+let neighbours dim i =
+  let x = i mod dim and y = i / dim in
+  List.filter_map
+    (fun (dx, dy) ->
+      let nx = x + dx and ny = y + dy in
+      if nx >= 0 && nx < dim && ny >= 0 && ny < dim then Some ((ny * dim) + nx) else None)
+    [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+
+let conductance_matrix params dim =
+  let n = dim * dim in
+  let g = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    Matrix.add_to g i i params.g_vertical;
+    List.iter
+      (fun j ->
+        Matrix.add_to g i i params.g_lateral;
+        Matrix.add_to g i j (-.params.g_lateral))
+      (neighbours dim i)
+  done;
+  g
+
+let steady_state ?(params = default_params) ~dim power =
+  let n = dim * dim in
+  if Array.length power <> n then invalid_arg "Thermal.steady_state: power size mismatch";
+  let g = conductance_matrix params dim in
+  let rhs = Array.map (fun p -> p +. (params.g_vertical *. params.ambient_k)) power in
+  Solve.cholesky g rhs
+
+let transient ?(params = default_params) ~dim ~power ~t0 ~dt steps =
+  let n = dim * dim in
+  if Array.length power <> n || Array.length t0 <> n then
+    invalid_arg "Thermal.transient: size mismatch";
+  let stability = params.capacitance /. ((4.0 *. params.g_lateral) +. params.g_vertical) in
+  if dt >= stability then invalid_arg "Thermal.transient: dt violates stability bound";
+  let t = Array.copy t0 in
+  let next = Array.make n 0.0 in
+  for _ = 1 to steps do
+    for i = 0 to n - 1 do
+      let flow_out = params.g_vertical *. (t.(i) -. params.ambient_k) in
+      let lateral =
+        List.fold_left
+          (fun acc j -> acc +. (params.g_lateral *. (t.(i) -. t.(j))))
+          0.0 (neighbours dim i)
+      in
+      next.(i) <- t.(i) +. (dt /. params.capacitance *. (power.(i) -. flow_out -. lateral))
+    done;
+    Array.blit next 0 t 0 n
+  done;
+  t
+
+let power_map ?(params = default_params) design mapping =
+  let acc = Stress.accumulated design mapping in
+  let c = float_of_int (Design.num_contexts design) in
+  Array.map (fun s -> params.p_leak +. (params.p_active *. (s /. c))) acc
+
+let pe_temperatures ?(params = default_params) design mapping =
+  let dim = Fabric.dim (Design.fabric design) in
+  steady_state ~params ~dim (power_map ~params design mapping)
+
+let per_context_temperatures ?(params = default_params) design mapping =
+  let dim = Fabric.dim (Design.fabric design) in
+  Array.map
+    (fun ctx_stress ->
+      let power = Array.map (fun s -> params.p_leak +. (params.p_active *. s)) ctx_stress in
+      steady_state ~params ~dim power)
+    (Stress.per_context design mapping)
+
+let heatmap ~dim temps =
+  Ascii_table.render_grid ~w:dim ~h:dim (fun x y ->
+      Printf.sprintf "%5.1f" (temps.((y * dim) + x) -. 273.15))

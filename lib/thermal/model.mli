@@ -1,0 +1,56 @@
+(** Compact grid thermal model — the HotSpot 6.0 stand-in.
+
+    Each PE is an RC node with a lateral conductance to its four grid
+    neighbours and a vertical conductance through the package to
+    ambient. Steady state solves the SPD system [G T = P + g_v T_amb]
+    (Cholesky); a transient forward-Euler mode is provided for
+    completeness. Because a context switch happens every clock cycle
+    (ns) while thermal time constants are ms, the steady-state input
+    is the time-averaged power over all contexts (DESIGN.md §6). *)
+
+open Agingfp_cgrra
+
+type params = {
+  ambient_k : float;       (** ambient/package temperature, Kelvin *)
+  g_vertical : float;      (** PE-to-ambient conductance, W/K *)
+  g_lateral : float;       (** PE-to-neighbour conductance, W/K *)
+  p_active : float;        (** PE power at 100% duty, W *)
+  p_leak : float;          (** idle leakage power, W *)
+  capacitance : float;     (** per-node thermal capacitance, J/K *)
+}
+
+val default_params : params
+
+val power_map : ?params:params -> Design.t -> Mapping.t -> float array
+(** Per-PE time-averaged power: [p_leak + p_active * duty], where
+    duty is the accumulated stress divided by the context count. *)
+
+val steady_state : ?params:params -> dim:int -> float array -> float array
+(** [steady_state ~dim power] returns per-PE steady temperatures (K)
+    on a [dim × dim] grid. [power] has [dim * dim] entries. *)
+
+val transient :
+  ?params:params ->
+  dim:int ->
+  power:float array ->
+  t0:float array ->
+  dt:float ->
+  int ->
+  float array
+(** [transient ~dim ~power ~t0 ~dt steps] runs forward Euler from
+    initial temperatures [t0]. [dt] must
+    satisfy the stability bound [dt < C / (4 g_lateral + g_vertical)];
+    @raise Invalid_argument otherwise. *)
+
+val pe_temperatures : ?params:params -> Design.t -> Mapping.t -> float array
+(** Convenience: power map from the mapping's stress profile, then
+    steady state. This is the per-PE temperature used in the MTTF
+    computation (paper §III). *)
+
+val per_context_temperatures :
+  ?params:params -> Design.t -> Mapping.t -> float array array
+(** A thermal map per context (as HotSpot produces in the paper's
+    flow): steady state under each context's own power profile. *)
+
+val heatmap : dim:int -> float array -> string
+(** ASCII rendering in °C. *)

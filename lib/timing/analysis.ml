@@ -1,0 +1,125 @@
+open Agingfp_cgrra
+module Heap = Agingfp_util.Heap
+
+type path = { ctx : int; nodes : int array; delay_ns : float }
+
+let node_delay design ~ctx ~op =
+  Chars.pe_delay_ns (Design.chars design) (Dfg.op (Design.context design ctx) op)
+
+let wire_ns design len = Chars.wire_delay_ns (Design.chars design) len
+
+let hop_length design mapping ~ctx u v =
+  let fabric = Design.fabric design in
+  Fabric.distance fabric
+    (Mapping.pe_of mapping ~ctx ~op:u)
+    (Mapping.pe_of mapping ~ctx ~op:v)
+
+let pe_delay_sum design path =
+  Array.fold_left
+    (fun acc op -> acc +. node_delay design ~ctx:path.ctx ~op)
+    0.0 path.nodes
+
+let wire_length design mapping path =
+  let acc = ref 0 in
+  for i = 0 to Array.length path.nodes - 2 do
+    acc := !acc + hop_length design mapping ~ctx:path.ctx path.nodes.(i) path.nodes.(i + 1)
+  done;
+  !acc
+
+let path_delay design mapping path =
+  pe_delay_sum design path +. wire_ns design (wire_length design mapping path)
+
+(* Longest delay from each node to any sink, inclusive of the node's
+   own PE delay: the exact completion bound for best-first search. *)
+let delay_to_sink design mapping ctx =
+  let dfg = Design.context design ctx in
+  let n = Dfg.num_ops dfg in
+  let f = Array.make n 0.0 in
+  let topo = Dfg.topological_order dfg in
+  for i = n - 1 downto 0 do
+    let v = topo.(i) in
+    let own = node_delay design ~ctx ~op:v in
+    let best =
+      List.fold_left
+        (fun acc s ->
+          let d = wire_ns design (hop_length design mapping ~ctx v s) +. f.(s) in
+          max acc d)
+        0.0 (Dfg.succs dfg v)
+    in
+    f.(v) <- own +. best
+  done;
+  f
+
+let context_cpd design mapping ctx =
+  let dfg = Design.context design ctx in
+  let f = delay_to_sink design mapping ctx in
+  List.fold_left (fun acc s -> max acc f.(s)) 0.0 (Dfg.sources dfg)
+
+let cpd design mapping =
+  let acc = ref 0.0 in
+  for c = 0 to Design.num_contexts design - 1 do
+    acc := max !acc (context_cpd design mapping c)
+  done;
+  !acc
+
+(* Best-first enumeration of source→sink paths in non-increasing
+   delay order. A state is a reversed node prefix with [g] the delay
+   accumulated strictly before its head, and [bound = g + f(head)]
+   the exact best completion. *)
+type search_state = { bound : float; g : float; rev_nodes : int list; head : int }
+
+let k_longest design mapping ~ctx ?(min_delay = neg_infinity) k =
+  let dfg = Design.context design ctx in
+  let f = delay_to_sink design mapping ctx in
+  let heap = Heap.create (fun a b -> Float.compare b.bound a.bound) in
+  List.iter
+    (fun s -> Heap.push heap { bound = f.(s); g = 0.0; rev_nodes = [ s ]; head = s })
+    (Dfg.sources dfg);
+  let out = ref [] in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !count < k do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some st ->
+      if st.bound < min_delay then continue := false
+      else begin
+        match Dfg.succs dfg st.head with
+        | [] ->
+          (* The head is a sink: the bound is the exact path delay. *)
+          out :=
+            {
+              ctx;
+              nodes = Array.of_list (List.rev st.rev_nodes);
+              delay_ns = st.bound;
+            }
+            :: !out;
+          incr count
+        | succs ->
+          let own = node_delay design ~ctx ~op:st.head in
+          List.iter
+            (fun s ->
+              let g' =
+                st.g +. own +. wire_ns design (hop_length design mapping ~ctx st.head s)
+              in
+              Heap.push heap
+                { bound = g' +. f.(s); g = g'; rev_nodes = s :: st.rev_nodes; head = s })
+            succs
+      end
+  done;
+  List.rev !out
+
+let monitored_paths design mapping ~ctx ?(within = 0.2) ?(max_paths = 64) () =
+  let design_cpd = cpd design mapping in
+  let min_delay = (1.0 -. within) *. design_cpd in
+  k_longest design mapping ~ctx ~min_delay max_paths
+
+let critical_paths design mapping ~ctx =
+  let ctx_cpd = context_cpd design mapping ctx in
+  let paths = k_longest design mapping ~ctx ~min_delay:(ctx_cpd -. 1e-9) 64 in
+  List.filter (fun p -> p.delay_ns >= ctx_cpd -. 1e-9) paths
+
+let pp_path ppf p =
+  Format.fprintf ppf "ctx %d [%s] %.3f ns" p.ctx
+    (String.concat "->" (Array.to_list (Array.map string_of_int p.nodes)))
+    p.delay_ns

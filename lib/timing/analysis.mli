@@ -1,0 +1,54 @@
+(** Static timing analysis on placed contexts — the stand-in for the
+    paper's "commercial timing analysis tool".
+
+    Path delay follows Eq. (4): the sum of PE-internal delays along
+    the path plus buffered-wire delays, each wire delay being the
+    unit wire delay times the Manhattan distance between the driver
+    PE and the load PE on the path. Only the driver→load hop on the
+    path of interest matters (fanout shielding, §V.B). *)
+
+open Agingfp_cgrra
+
+type path = {
+  ctx : int;
+  nodes : int array;  (** DFG node ids, source to sink *)
+  delay_ns : float;   (** total path delay under the analyzed mapping *)
+}
+
+val node_delay : Design.t -> ctx:int -> op:int -> float
+(** PE-internal delay of one operation. *)
+
+val pe_delay_sum : Design.t -> path -> float
+(** Σ PEdelay over the path's operations (mapping-independent). *)
+
+val wire_length : Design.t -> Mapping.t -> path -> int
+(** Total Manhattan wire length along the path, in PE pitches. *)
+
+val path_delay : Design.t -> Mapping.t -> path -> float
+(** Recompute the delay of [path]'s node sequence under a (possibly
+    different) mapping. *)
+
+val context_cpd : Design.t -> Mapping.t -> int -> float
+(** Longest source→sink path delay within one context (DAG DP). *)
+
+val cpd : Design.t -> Mapping.t -> float
+(** Critical path delay of the design: the max over contexts —
+    the paper's CPD. *)
+
+val k_longest : Design.t -> Mapping.t -> ctx:int -> ?min_delay:float -> int -> path list
+(** [k_longest d m ~ctx k] enumerates up to [k] source→sink paths of
+    context [ctx] in exact non-increasing delay order (best-first
+    search with an exact completion bound — the "Dijkstra" path
+    filter of Algorithm 1 step 2.2). Stops early when path delay
+    drops below [min_delay]. *)
+
+val monitored_paths :
+  Design.t -> Mapping.t -> ctx:int -> ?within:float -> ?max_paths:int -> unit -> path list
+(** The paper's default path filter: all paths whose delay is within
+    [within] (default 0.2, i.e. 20%) of the design CPD, capped at
+    [max_paths] (default 64) per context. *)
+
+val critical_paths : Design.t -> Mapping.t -> ctx:int -> path list
+(** Paths achieving the context CPD (within a 1e-9 tolerance). *)
+
+val pp_path : Format.formatter -> path -> unit

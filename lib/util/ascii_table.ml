@@ -1,0 +1,65 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?align ~header rows =
+  let ncols = Array.length header in
+  let align =
+    match align with Some a -> a | None -> Array.make ncols Right
+  in
+  if Array.length align <> ncols then
+    invalid_arg "Ascii_table.render: align/header length mismatch";
+  let full_rows =
+    List.map
+      (fun row ->
+        let n = Array.length row in
+        if n > ncols then invalid_arg "Ascii_table.render: row too wide";
+        Array.init ncols (fun i -> if i < n then row.(i) else ""))
+      rows
+  in
+  let widths = Array.map String.length header in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    full_rows;
+  let line row =
+    String.concat "  " (Array.to_list (Array.mapi (fun i c -> pad align.(i) widths.(i) c) row))
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (line row))
+    full_rows;
+  Buffer.contents buf
+
+let render_grid ~w ~h cell =
+  let cells = Array.init h (fun y -> Array.init w (fun x -> cell x y)) in
+  let width =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a c -> max a (String.length c)) acc row)
+      1 cells
+  in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun y row ->
+      if y > 0 then Buffer.add_char buf '\n';
+      Array.iteri
+        (fun x c ->
+          if x > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (pad Right width c))
+        row)
+    cells;
+  Buffer.contents buf

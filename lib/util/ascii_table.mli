@@ -1,0 +1,22 @@
+(** Plain-text table rendering for benchmark harness output.
+
+    Renders a header row plus data rows with column-width alignment,
+    mirroring the layout of the paper's Table I in terminal output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align array ->
+  header:string array ->
+  string array list ->
+  string
+(** [render ~header rows] pads every column to its widest cell and
+    joins rows with a separator line below the header. Rows shorter
+    than the header are padded with empty cells; longer rows raise
+    [Invalid_argument]. Default alignment is [Right] for every
+    column. *)
+
+val render_grid : w:int -> h:int -> (int -> int -> string) -> string
+(** [render_grid ~w ~h cell] renders an [w × h] grid (row 0 on top)
+    with every cell padded to the widest cell string — used for stress
+    and thermal heatmaps (Fig. 2a). *)

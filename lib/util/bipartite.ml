@@ -1,0 +1,79 @@
+type t = {
+  n_left : int;
+  n_right : int;
+  adj : int list array;  (* reversed insertion order; reversed back in solve *)
+}
+
+let create ~n_left ~n_right =
+  if n_left < 0 || n_right < 0 then invalid_arg "Bipartite.create: negative size";
+  { n_left; n_right; adj = Array.make (max 1 n_left) [] }
+
+let add_edge t l r =
+  if l < 0 || l >= t.n_left || r < 0 || r >= t.n_right then
+    invalid_arg "Bipartite.add_edge: endpoint out of range";
+  t.adj.(l) <- r :: t.adj.(l)
+
+let infinity_dist = max_int
+
+(* Hopcroft-Karp: repeated BFS layering + DFS augmentation along
+   shortest alternating paths. *)
+let solve t =
+  let adj = Array.map List.rev t.adj in
+  let match_l = Array.make (max 1 t.n_left) (-1) in
+  let match_r = Array.make (max 1 t.n_right) (-1) in
+  let dist = Array.make (max 1 t.n_left) infinity_dist in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for l = 0 to t.n_left - 1 do
+      if match_l.(l) = -1 then begin
+        dist.(l) <- 0;
+        Queue.add l queue
+      end
+      else dist.(l) <- infinity_dist
+    done;
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      List.iter
+        (fun r ->
+          match match_r.(r) with
+          | -1 -> found := true
+          | l' ->
+            if dist.(l') = infinity_dist then begin
+              dist.(l') <- dist.(l) + 1;
+              Queue.add l' queue
+            end)
+        adj.(l)
+    done;
+    !found
+  in
+  let rec dfs l =
+    let rec try_edges = function
+      | [] ->
+        dist.(l) <- infinity_dist;
+        false
+      | r :: rest -> (
+        match match_r.(r) with
+        | -1 ->
+          match_l.(l) <- r;
+          match_r.(r) <- l;
+          true
+        | l' ->
+          if dist.(l') = dist.(l) + 1 && dfs l' then begin
+            match_l.(l) <- r;
+            match_r.(r) <- l;
+            true
+          end
+          else try_edges rest)
+    in
+    try_edges adj.(l)
+  in
+  while bfs () do
+    for l = 0 to t.n_left - 1 do
+      if match_l.(l) = -1 then ignore (dfs l)
+    done
+  done;
+  if t.n_left = 0 then [||] else match_l
+
+let matching_size m = Array.fold_left (fun acc r -> if r >= 0 then acc + 1 else acc) 0 m

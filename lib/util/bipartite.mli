@@ -1,0 +1,23 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Used by the floorplanner's delay-unaware feasibility probe: within
+    one context, "every operation gets a distinct PE whose residual
+    stress budget accepts it" is exactly a perfect-matching question
+    on the operation/PE bipartite graph. *)
+
+type t
+
+val create : n_left:int -> n_right:int -> t
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge t l r] — edges may be added in any order; duplicates are
+    harmless. @raise Invalid_argument on out-of-range endpoints. *)
+
+val solve : t -> int array
+(** Maximum-cardinality matching; the result maps each left vertex to
+    its matched right vertex or [-1]. Runs in O(E √V). Adjacency is
+    explored in insertion order, so callers can bias which right
+    vertices are preferred by adding the preferred edges first. *)
+
+val matching_size : int array -> int
+(** Number of matched left vertices in a {!solve} result. *)

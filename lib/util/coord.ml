@@ -1,0 +1,57 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let pp ppf { x; y } = Format.fprintf ppf "(%d,%d)" x y
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+
+type orientation = R0 | R90 | R180 | R270 | MR0 | MR90 | MR180 | MR270
+
+let all_orientations = [| R0; R90; R180; R270; MR0; MR90; MR180; MR270 |]
+
+let orientation_to_string = function
+  | R0 -> "R0"
+  | R90 -> "R90"
+  | R180 -> "R180"
+  | R270 -> "R270"
+  | MR0 -> "MR0"
+  | MR90 -> "MR90"
+  | MR180 -> "MR180"
+  | MR270 -> "MR270"
+
+let rotate90 { x; y } = { x = -y; y = x }
+let mirror { x; y } = { x = -x; y }
+
+let transform o p =
+  match o with
+  | R0 -> p
+  | R90 -> rotate90 p
+  | R180 -> rotate90 (rotate90 p)
+  | R270 -> rotate90 (rotate90 (rotate90 p))
+  | MR0 -> mirror p
+  | MR90 -> rotate90 (mirror p)
+  | MR180 -> rotate90 (rotate90 (mirror p))
+  | MR270 -> rotate90 (rotate90 (rotate90 (mirror p)))
+
+let transform_all o ps = List.map (transform o) ps
+
+let bounding_box = function
+  | [] -> invalid_arg "Coord.bounding_box: empty list"
+  | p :: ps ->
+    let mn = List.fold_left (fun acc q -> { x = min acc.x q.x; y = min acc.y q.y }) p ps in
+    let mx = List.fold_left (fun acc q -> { x = max acc.x q.x; y = max acc.y q.y }) p ps in
+    (mn, mx)
+
+let normalize ps =
+  let mn, _ = bounding_box ps in
+  (List.map (fun p -> sub p mn) ps, mn)

@@ -1,0 +1,52 @@
+(** Integer 2-D coordinates on the CGRRA fabric grid.
+
+    The fabric is a [w × h] grid; coordinates are zero-based with [x]
+    the column and [y] the row. All geometric reasoning in the
+    floorplanner (Manhattan wire length, the 8 critical-path
+    orientations) lives here. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val manhattan : t -> t -> int
+(** Manhattan distance |x1-x2| + |y1-y2| — the paper's wire-length
+    measure (Eq. 5). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** The 8 unique orientations of a planar shape (Fig. 4a): identity,
+    three clockwise rotations, and the mirror of each. *)
+type orientation =
+  | R0            (** original *)
+  | R90           (** 90° clockwise *)
+  | R180          (** 180° *)
+  | R270          (** 270° clockwise *)
+  | MR0           (** mirrored about the y-axis *)
+  | MR90
+  | MR180
+  | MR270
+
+val all_orientations : orientation array
+
+val orientation_to_string : orientation -> string
+
+val transform : orientation -> t -> t
+(** [transform o p] applies [o] about the origin. Rotations are
+    clockwise in screen coordinates (y grows downward). The result may
+    have negative components; callers re-translate into the fabric. *)
+
+val transform_all : orientation -> t list -> t list
+
+val normalize : t list -> t list * t
+(** [normalize ps] translates [ps] so the bounding-box corner is the
+    origin; returns the translated points and the applied offset
+    (subtract it to undo). *)
+
+val bounding_box : t list -> t * t
+(** [(min, max)] corners of a non-empty list. *)

@@ -1,0 +1,21 @@
+(** Minimal imperative binary heap, parameterized by a comparison.
+
+    Used as a max-priority queue by the K-longest-path enumerator and
+    the placer. [create cmp] orders elements so that [pop] returns the
+    {e smallest} under [cmp]; pass a reversed comparison for a
+    max-heap. *)
+
+type 'a t
+
+val create : ('a -> 'a -> int) -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

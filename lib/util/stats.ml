@@ -1,0 +1,51 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun a x -> a +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+  end
+
+let max_by f xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max_by: empty array";
+  let best = ref xs.(0) in
+  let best_v = ref (f xs.(0)) in
+  for i = 1 to Array.length xs - 1 do
+    let v = f xs.(i) in
+    if v > !best_v then begin
+      best := xs.(i);
+      best_v := v
+    end
+  done;
+  !best
+
+let fmax xs = Array.fold_left max neg_infinity xs
+let fmin xs = Array.fold_left min infinity xs
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let histogram ~bins xs =
+  if Array.length xs = 0 then [||]
+  else begin
+    let lo = fmin xs and hi = fmax xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let i = int_of_float ((x -. lo) /. width) in
+        let i = if i >= bins then bins - 1 else i in
+        counts.(i) <- counts.(i) + 1)
+      xs;
+    Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+  end

@@ -1,0 +1,20 @@
+(** Small numeric summaries used by reports and benches. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for the empty array. *)
+
+val max_by : ('a -> float) -> 'a array -> 'a
+(** Element maximizing [f]; raises [Invalid_argument] on empty input. *)
+
+val fmax : float array -> float
+val fmin : float array -> float
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for arrays of length < 2. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] returns [(lower_edge, count)] pairs covering
+    [\[min xs, max xs\]]. Empty input yields an empty array. *)

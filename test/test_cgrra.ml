@@ -1,0 +1,534 @@
+(* Tests for the CGRRA architecture model: operations, device
+   characterization, fabric geometry, DFGs, mappings, stress
+   accounting and the Table-I benchmark generator. *)
+
+open Agingfp_cgrra
+module Rng = Agingfp_util.Rng
+module Coord = Agingfp_util.Coord
+
+(* ---------- Op ---------- *)
+
+let test_op_units () =
+  Alcotest.(check bool) "add is ALU" true (Op.unit_of_kind Op.Add = Op.Alu);
+  Alcotest.(check bool) "mul is ALU" true (Op.unit_of_kind Op.Mul = Op.Alu);
+  Alcotest.(check bool) "mux is DMU" true (Op.unit_of_kind Op.Mux = Op.Dmu);
+  Alcotest.(check bool) "shift is DMU" true (Op.unit_of_kind Op.Shift = Op.Dmu);
+  Alcotest.(check bool) "load is DMU" true (Op.unit_of_kind Op.Load = Op.Dmu)
+
+let test_op_bitwidth_validation () =
+  Alcotest.check_raises "zero bitwidth"
+    (Invalid_argument "Op.make: bitwidth must be positive") (fun () ->
+      ignore (Op.make ~id:0 ~kind:Op.Add ~bitwidth:0))
+
+let test_op_io () =
+  Alcotest.(check bool) "input is io" true (Op.is_io Op.Input);
+  Alcotest.(check bool) "add is not io" false (Op.is_io Op.Add)
+
+(* ---------- Chars ---------- *)
+
+let test_chars_paper_anchors () =
+  (* The paper's characterization: ALU 0.87 ns, DMU 3.14 ns, 200 MHz. *)
+  let c = Chars.default in
+  Alcotest.(check (float 1e-9)) "ALU anchor" 0.87 c.Chars.alu_delay_ns;
+  Alcotest.(check (float 1e-9)) "DMU anchor" 3.14 c.Chars.dmu_delay_ns;
+  Alcotest.(check (float 1e-9)) "200 MHz clock" 5.0 c.Chars.clock_period_ns
+
+let test_chars_stress_rate_range () =
+  Array.iter
+    (fun kind ->
+      List.iter
+        (fun bw ->
+          let op = Op.make ~id:0 ~kind ~bitwidth:bw in
+          let sr = Chars.stress_rate Chars.default op in
+          Alcotest.(check bool)
+            (Printf.sprintf "SR in (0,1] for %s<%d>" (Op.kind_to_string kind) bw)
+            true
+            (sr > 0.0 && sr <= 1.0))
+        [ 8; 16; 32 ])
+    Op.all_kinds
+
+let test_chars_dmu_heavier_than_alu () =
+  let alu = Op.make ~id:0 ~kind:Op.Add ~bitwidth:32 in
+  let dmu = Op.make ~id:1 ~kind:Op.Shift ~bitwidth:32 in
+  Alcotest.(check bool) "DMU stresses more" true
+    (Chars.stress_rate Chars.default dmu > Chars.stress_rate Chars.default alu)
+
+let test_chars_bitwidth_monotone () =
+  let d bw = Chars.pe_delay_ns Chars.default (Op.make ~id:0 ~kind:Op.Mul ~bitwidth:bw) in
+  Alcotest.(check bool) "wider is slower" true (d 32 > d 8)
+
+let test_chars_wire_delay_linear () =
+  let c = Chars.default in
+  Alcotest.(check (float 1e-9)) "linear"
+    (2.0 *. Chars.wire_delay_ns c 3)
+    (Chars.wire_delay_ns c 6)
+
+(* ---------- Fabric ---------- *)
+
+let test_fabric_roundtrip () =
+  let f = Fabric.create ~dim:5 in
+  for pe = 0 to Fabric.num_pes f - 1 do
+    Alcotest.(check int) "roundtrip" pe (Fabric.pe_of_coord f (Fabric.coord_of_pe f pe))
+  done
+
+let test_fabric_distance () =
+  let f = Fabric.create ~dim:4 in
+  Alcotest.(check int) "corner to corner" 6 (Fabric.distance f 0 15);
+  Alcotest.(check int) "adjacent" 1 (Fabric.distance f 0 1);
+  Alcotest.(check int) "self" 0 (Fabric.distance f 7 7)
+
+let test_fabric_pes_within () =
+  let f = Fabric.create ~dim:4 in
+  let within1 = Fabric.pes_within f 5 1 in
+  Alcotest.(check int) "radius 1 from interior" 5 (List.length within1);
+  let all = Fabric.pes_within f 0 100 in
+  Alcotest.(check int) "radius covers fabric" 16 (List.length all);
+  (* Sorted by distance. *)
+  let dists = List.map (fun pe -> Fabric.distance f 0 pe) all in
+  Alcotest.(check bool) "sorted by distance" true
+    (List.sort compare dists = dists)
+
+let test_fabric_bounds () =
+  let f = Fabric.create ~dim:4 in
+  Alcotest.(check bool) "in bounds" true (Fabric.in_bounds f (Coord.make 3 3));
+  Alcotest.(check bool) "out of bounds" false (Fabric.in_bounds f (Coord.make 4 0));
+  Alcotest.check_raises "invalid coord"
+    (Invalid_argument "Fabric.pe_of_coord: out of bounds") (fun () ->
+      ignore (Fabric.pe_of_coord f (Coord.make (-1) 0)))
+
+(* ---------- Dfg ---------- *)
+
+let mk_op id kind = Op.make ~id ~kind ~bitwidth:16
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let ops = [| mk_op 0 Op.Input; mk_op 1 Op.Add; mk_op 2 Op.Mul; mk_op 3 Op.Output |] in
+  Dfg.create ~ops ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_dfg_structure () =
+  let d = diamond () in
+  Alcotest.(check int) "ops" 4 (Dfg.num_ops d);
+  Alcotest.(check int) "edges" 4 (Dfg.num_edges d);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dfg.sources d);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Dfg.sinks d);
+  Alcotest.(check (list int)) "preds of 3" [ 1; 2 ]
+    (List.sort compare (Dfg.preds d 3));
+  Alcotest.(check (list int)) "succs of 0" [ 1; 2 ]
+    (List.sort compare (Dfg.succs d 0))
+
+let test_dfg_topo_order () =
+  let d = diamond () in
+  let topo = Dfg.topological_order d in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) topo;
+  Dfg.iter_edges d (fun u v ->
+      Alcotest.(check bool) "topo respects edges" true (pos.(u) < pos.(v)))
+
+let test_dfg_cycle_rejected () =
+  let ops = [| mk_op 0 Op.Add; mk_op 1 Op.Add |] in
+  Alcotest.check_raises "cycle" (Invalid_argument "Dfg.create: graph has a cycle")
+    (fun () -> ignore (Dfg.create ~ops ~edges:[ (0, 1); (1, 0) ]))
+
+let test_dfg_bad_edges () =
+  let ops = [| mk_op 0 Op.Add |] in
+  Alcotest.check_raises "self edge" (Invalid_argument "Dfg.create: self edge")
+    (fun () -> ignore (Dfg.create ~ops ~edges:[ (0, 0) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Dfg.create: edge endpoint out of range") (fun () ->
+      ignore (Dfg.create ~ops ~edges:[ (0, 1) ]))
+
+let test_dfg_duplicate_edge () =
+  let ops = [| mk_op 0 Op.Add; mk_op 1 Op.Add |] in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Dfg.create: duplicate edge")
+    (fun () -> ignore (Dfg.create ~ops ~edges:[ (0, 1); (0, 1) ]))
+
+(* ---------- Design / Mapping ---------- *)
+
+let small_design () =
+  let fabric = Fabric.create ~dim:4 in
+  Design.create ~name:"t" ~fabric [| diamond (); diamond () |]
+
+let test_design_accessors () =
+  let d = small_design () in
+  Alcotest.(check int) "contexts" 2 (Design.num_contexts d);
+  Alcotest.(check int) "total ops" 8 (Design.total_ops d);
+  Alcotest.(check (float 1e-9)) "utilization" 0.25 (Design.utilization d)
+
+let test_design_too_large_context () =
+  let fabric = Fabric.create ~dim:1 in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Design.create: context larger than fabric") (fun () ->
+      ignore (Design.create ~name:"t" ~fabric [| diamond () |]))
+
+let test_mapping_validate_ok () =
+  let d = small_design () in
+  let m = Mapping.create (fun _ op -> op) d in
+  Alcotest.(check bool) "valid" true (Mapping.validate d m = Ok ())
+
+let test_mapping_validate_collision () =
+  let d = small_design () in
+  let m = Mapping.create (fun _ _ -> 0) d in
+  Alcotest.(check bool) "collision rejected" true (Result.is_error (Mapping.validate d m))
+
+let test_mapping_validate_range () =
+  let d = small_design () in
+  let m = Mapping.create (fun _ op -> op + 100) d in
+  Alcotest.(check bool) "range rejected" true (Result.is_error (Mapping.validate d m))
+
+let test_mapping_set_functional () =
+  let d = small_design () in
+  let m = Mapping.create (fun _ op -> op) d in
+  let m2 = Mapping.set m ~ctx:0 ~op:0 ~pe:9 in
+  Alcotest.(check int) "updated" 9 (Mapping.pe_of m2 ~ctx:0 ~op:0);
+  Alcotest.(check int) "original untouched" 0 (Mapping.pe_of m ~ctx:0 ~op:0);
+  Alcotest.(check int) "other context untouched" 0 (Mapping.pe_of m2 ~ctx:1 ~op:0)
+
+let test_mapping_used_pes () =
+  let d = small_design () in
+  let m = Mapping.create (fun _ op -> op * 2) d in
+  Alcotest.(check (list int)) "used" [ 0; 2; 4; 6 ] (Mapping.used_pes m ~ctx:0)
+
+(* ---------- Stress ---------- *)
+
+let test_stress_conservation () =
+  (* Total accumulated stress equals the sum of op stress rates,
+     independent of the mapping. *)
+  let d = small_design () in
+  let total_ops_stress =
+    List.fold_left
+      (fun acc ctx ->
+        List.fold_left
+          (fun acc op -> acc +. Stress.op_stress d ~ctx ~op)
+          acc
+          (List.init (Dfg.num_ops (Design.context d ctx)) (fun i -> i)))
+      0.0 [ 0; 1 ]
+  in
+  List.iter
+    (fun m ->
+      let acc = Stress.accumulated d m in
+      Alcotest.(check (float 1e-9)) "conserved" total_ops_stress
+        (Array.fold_left ( +. ) 0.0 acc))
+    [ Mapping.create (fun _ op -> op) d; Mapping.create (fun _ op -> 15 - op) d ]
+
+let test_stress_concentration_vs_spread () =
+  let d = small_design () in
+  let concentrated = Mapping.create (fun _ op -> op) d in
+  let spread = Mapping.create (fun ctx op -> (ctx * 8) + op) d in
+  Alcotest.(check bool) "spreading lowers max" true
+    (Stress.max_accumulated d spread < Stress.max_accumulated d concentrated);
+  Alcotest.(check (float 1e-9)) "mean unchanged"
+    (Stress.mean_accumulated d concentrated)
+    (Stress.mean_accumulated d spread)
+
+let test_stress_per_context_sums () =
+  let d = small_design () in
+  let m = Mapping.create (fun _ op -> op) d in
+  let per = Stress.per_context d m in
+  let acc = Stress.accumulated d m in
+  Array.iteri
+    (fun pe total ->
+      let summed = Array.fold_left (fun a ctx_map -> a +. ctx_map.(pe)) 0.0 per in
+      Alcotest.(check (float 1e-9)) "per-context sums to accumulated" total summed)
+    acc
+
+(* ---------- Benchmarks ---------- *)
+
+let test_benchmarks_table_shape () =
+  Alcotest.(check int) "27 rows" 27 (Array.length Benchmarks.table1);
+  Array.iter
+    (fun (s : Benchmarks.spec) ->
+      Alcotest.(check bool) "contexts in {4,8,16}" true
+        (List.mem s.Benchmarks.contexts [ 4; 8; 16 ]);
+      Alcotest.(check bool) "dim in {4,8,16}" true
+        (List.mem s.Benchmarks.dim [ 4; 8; 16 ]);
+      Alcotest.(check bool) "rotate >= freeze in paper" true
+        (s.Benchmarks.paper_rotate >= s.Benchmarks.paper_freeze))
+    Benchmarks.table1
+
+let test_benchmarks_generate_matches_spec () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Benchmarks.find name) in
+      let d = Benchmarks.generate spec in
+      Alcotest.(check int) (name ^ " total ops") spec.Benchmarks.total_ops
+        (Design.total_ops d);
+      Alcotest.(check int) (name ^ " contexts") spec.Benchmarks.contexts
+        (Design.num_contexts d);
+      Alcotest.(check int) (name ^ " fabric") spec.Benchmarks.dim
+        (Fabric.dim (Design.fabric d)))
+    [ "B1"; "B10"; "B19"; "B4"; "B13"; "B22"; "B2"; "B11"; "B20" ]
+
+let test_benchmarks_deterministic () =
+  let spec = Option.get (Benchmarks.find "B10") in
+  let d1 = Benchmarks.generate spec and d2 = Benchmarks.generate spec in
+  for c = 0 to Design.num_contexts d1 - 1 do
+    let a = Design.context d1 c and b = Design.context d2 c in
+    Alcotest.(check int) "same op count" (Dfg.num_ops a) (Dfg.num_ops b);
+    Alcotest.(check int) "same edge count" (Dfg.num_edges a) (Dfg.num_edges b);
+    Alcotest.(check bool) "same ops" true
+      (Array.for_all2 Op.equal (Dfg.ops a) (Dfg.ops b))
+  done
+
+let test_benchmarks_usage_bands () =
+  (* Within every (contexts, fabric) group, the paper's low / medium /
+     high labels must order the utilizations strictly. *)
+  List.iter
+    (fun contexts ->
+      List.iter
+        (fun dim ->
+          let util usage =
+            let spec =
+              Array.to_list Benchmarks.table1
+              |> List.find (fun (s : Benchmarks.spec) ->
+                     s.Benchmarks.contexts = contexts && s.Benchmarks.dim = dim
+                     && s.Benchmarks.usage = usage)
+            in
+            Design.utilization (Benchmarks.generate spec)
+          in
+          let lo = util Benchmarks.Low
+          and mid = util Benchmarks.Medium
+          and hi = util Benchmarks.High in
+          Alcotest.(check bool)
+            (Printf.sprintf "C%dF%d ordered" contexts dim)
+            true
+            (lo < mid && mid < hi))
+        [ 4; 8; 16 ])
+    [ 4; 8; 16 ]
+
+let test_benchmarks_unknown () =
+  Alcotest.(check bool) "find fails" true (Benchmarks.find "B99" = None)
+
+let prop_benchmark_dfgs_single_dmu_per_path =
+  (* The generator guarantees every source->sink path engages at most
+     one DMU-class compute op, keeping paths inside the clock. *)
+  QCheck2.Test.make ~name:"generated DFG paths contain at most one DMU compute op"
+    ~count:12
+    QCheck2.Gen.(int_range 0 26)
+    (fun idx ->
+      let spec = Benchmarks.table1.(idx) in
+      if spec.Benchmarks.dim > 8 then true
+      else begin
+        let d = Benchmarks.generate spec in
+        let ok = ref true in
+        for c = 0 to Design.num_contexts d - 1 do
+          let dfg = Design.context d c in
+          (* Longest DMU-count path via DP. *)
+          let n = Dfg.num_ops dfg in
+          let dmu = Array.make n 0 in
+          let topo = Dfg.topological_order dfg in
+          Array.iter
+            (fun v ->
+              let own =
+                let o = Dfg.op dfg v in
+                if (not (Op.is_io o.Op.kind)) && Op.unit_of_kind o.Op.kind = Op.Dmu
+                then 1
+                else 0
+              in
+              let best =
+                List.fold_left (fun acc p -> max acc dmu.(p)) 0 (Dfg.preds dfg v)
+              in
+              dmu.(v) <- own + best)
+            topo;
+          Array.iter (fun v -> if dmu.(v) > 1 then ok := false) dmu
+        done;
+        !ok
+      end)
+
+let prop_generated_designs_fit_fabric =
+  QCheck2.Test.make ~name:"every generated context fits its fabric" ~count:27
+    QCheck2.Gen.(int_range 0 26)
+    (fun idx ->
+      let spec = Benchmarks.table1.(idx) in
+      let d = Benchmarks.generate spec in
+      let cap = Fabric.num_pes (Design.fabric d) in
+      Array.for_all (fun dfg -> Dfg.num_ops dfg <= cap) (Design.contexts d))
+
+(* ---------- Serial ---------- *)
+
+let test_serial_design_roundtrip () =
+  let d = Benchmarks.tiny () in
+  match Serial.design_of_string (Serial.design_to_string d) with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok d2 ->
+    Alcotest.(check string) "name" (Design.name d) (Design.name d2);
+    Alcotest.(check int) "contexts" (Design.num_contexts d) (Design.num_contexts d2);
+    Alcotest.(check int) "total ops" (Design.total_ops d) (Design.total_ops d2);
+    for c = 0 to Design.num_contexts d - 1 do
+      let a = Design.context d c and b = Design.context d2 c in
+      Alcotest.(check bool) "ops equal" true
+        (Array.for_all2 Op.equal (Dfg.ops a) (Dfg.ops b));
+      Alcotest.(check int) "edges equal" (Dfg.num_edges a) (Dfg.num_edges b)
+    done;
+    let ca = Design.chars d and cb = Design.chars d2 in
+    Alcotest.(check (float 1e-12)) "chars clock" ca.Chars.clock_period_ns
+      cb.Chars.clock_period_ns
+
+let test_serial_design_roundtrip_suite () =
+  List.iter
+    (fun name ->
+      let d = Benchmarks.generate (Option.get (Benchmarks.find name)) in
+      match Serial.design_of_string (Serial.design_to_string d) with
+      | Error msg -> Alcotest.failf "%s roundtrip failed: %s" name msg
+      | Ok d2 ->
+        Alcotest.(check int) (name ^ " ops") (Design.total_ops d) (Design.total_ops d2))
+    [ "B1"; "B13" ]
+
+let test_serial_mapping_roundtrip () =
+  let d = Benchmarks.tiny () in
+  let m = Mapping.create (fun ctx op -> (op + ctx) mod 16) d in
+  match Serial.mapping_of_string (Serial.mapping_to_string m) with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok m2 -> Alcotest.(check bool) "equal" true (Mapping.equal m m2)
+
+let test_serial_rejects_garbage () =
+  Alcotest.(check bool) "empty" true (Result.is_error (Serial.design_of_string ""));
+  Alcotest.(check bool) "wrong header" true
+    (Result.is_error (Serial.design_of_string "agingfp-design v9\n"));
+  Alcotest.(check bool) "mapping garbage" true
+    (Result.is_error (Serial.mapping_of_string "agingfp-mapping v1\ncontexts x\n"))
+
+let test_serial_rejects_truncated () =
+  let d = Benchmarks.tiny () in
+  let text = Serial.design_to_string d in
+  let truncated = String.sub text 0 (String.length text / 2) in
+  Alcotest.(check bool) "truncated rejected" true
+    (Result.is_error (Serial.design_of_string truncated))
+
+let test_serial_error_mentions_line () =
+  match Serial.design_of_string "agingfp-design v1\nname t\nfabric nope\n" with
+  | Error msg ->
+    Alcotest.(check bool) "line number present" true
+      (String.length msg > 5 && String.sub msg 0 5 = "line ")
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_serial_file_roundtrip () =
+  let d = Benchmarks.tiny () in
+  let path = Filename.temp_file "agingfp" ".design" in
+  (match Serial.save_design path d with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save: %s" msg);
+  (match Serial.load_design path with
+  | Ok d2 -> Alcotest.(check int) "ops" (Design.total_ops d) (Design.total_ops d2)
+  | Error msg -> Alcotest.failf "load: %s" msg);
+  Sys.remove path
+
+let prop_serial_mapping_roundtrip =
+  QCheck2.Test.make ~name:"mapping serialization round-trips" ~count:100 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = Benchmarks.tiny () in
+      let npes = 16 in
+      let m =
+        Mapping.of_arrays
+          (Array.init (Design.num_contexts d) (fun c ->
+               let perm = Array.init npes (fun i -> i) in
+               Rng.shuffle rng perm;
+               Array.init (Dfg.num_ops (Design.context d c)) (fun op -> perm.(op))))
+      in
+      match Serial.mapping_of_string (Serial.mapping_to_string m) with
+      | Ok m2 -> Mapping.equal m m2
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "cgrra"
+    [
+      ( "op",
+        [
+          Alcotest.test_case "unit classes" `Quick test_op_units;
+          Alcotest.test_case "bitwidth validated" `Quick test_op_bitwidth_validation;
+          Alcotest.test_case "io predicate" `Quick test_op_io;
+        ] );
+      ( "chars",
+        [
+          Alcotest.test_case "paper anchors" `Quick test_chars_paper_anchors;
+          Alcotest.test_case "stress rate range" `Quick test_chars_stress_rate_range;
+          Alcotest.test_case "DMU heavier" `Quick test_chars_dmu_heavier_than_alu;
+          Alcotest.test_case "bitwidth monotone" `Quick test_chars_bitwidth_monotone;
+          Alcotest.test_case "wire delay linear" `Quick test_chars_wire_delay_linear;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "coord roundtrip" `Quick test_fabric_roundtrip;
+          Alcotest.test_case "distance" `Quick test_fabric_distance;
+          Alcotest.test_case "pes_within" `Quick test_fabric_pes_within;
+          Alcotest.test_case "bounds" `Quick test_fabric_bounds;
+        ] );
+      ( "dfg",
+        [
+          Alcotest.test_case "structure" `Quick test_dfg_structure;
+          Alcotest.test_case "topological order" `Quick test_dfg_topo_order;
+          Alcotest.test_case "cycle rejected" `Quick test_dfg_cycle_rejected;
+          Alcotest.test_case "bad edges rejected" `Quick test_dfg_bad_edges;
+          Alcotest.test_case "duplicate edge rejected" `Quick test_dfg_duplicate_edge;
+        ] );
+      ( "design+mapping",
+        [
+          Alcotest.test_case "accessors" `Quick test_design_accessors;
+          Alcotest.test_case "oversized context" `Quick test_design_too_large_context;
+          Alcotest.test_case "validate ok" `Quick test_mapping_validate_ok;
+          Alcotest.test_case "collision rejected" `Quick test_mapping_validate_collision;
+          Alcotest.test_case "range rejected" `Quick test_mapping_validate_range;
+          Alcotest.test_case "functional set" `Quick test_mapping_set_functional;
+          Alcotest.test_case "used pes" `Quick test_mapping_used_pes;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "conservation" `Quick test_stress_conservation;
+          Alcotest.test_case "concentration vs spread" `Quick
+            test_stress_concentration_vs_spread;
+          Alcotest.test_case "per-context sums" `Quick test_stress_per_context_sums;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "table shape" `Quick test_benchmarks_table_shape;
+          Alcotest.test_case "generate matches spec" `Quick
+            test_benchmarks_generate_matches_spec;
+          Alcotest.test_case "deterministic" `Quick test_benchmarks_deterministic;
+          Alcotest.test_case "usage bands" `Quick test_benchmarks_usage_bands;
+          Alcotest.test_case "unknown benchmark" `Quick test_benchmarks_unknown;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "dfg export" `Quick (fun () ->
+              let d = Benchmarks.tiny () in
+              let text = Dot.dfg (Design.context d 0) in
+              Alcotest.(check bool) "digraph" true
+                (String.length text > 20 && String.sub text 0 7 = "digraph");
+              Alcotest.(check bool) "has edges" true
+                (String.contains text '>'));
+          Alcotest.test_case "floorplan export" `Quick (fun () ->
+              let d = Benchmarks.tiny () in
+              let m = Mapping.create (fun _ op -> op) d in
+              let text = Dot.floorplan d m in
+              Alcotest.(check bool) "graph" true (String.sub text 0 5 = "graph");
+              Alcotest.(check bool) "mentions PE0" true
+                (let rec go i =
+                   i + 3 <= String.length text
+                   && (String.sub text i 3 = "PE0" || go (i + 1))
+                 in
+                 go 0));
+          Alcotest.test_case "write file" `Quick (fun () ->
+              let path = Filename.temp_file "agingfp" ".dot" in
+              (match Dot.write_file path "graph g {}\n" with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e);
+              Sys.remove path);
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "design roundtrip" `Quick test_serial_design_roundtrip;
+          Alcotest.test_case "design roundtrip suite" `Quick
+            test_serial_design_roundtrip_suite;
+          Alcotest.test_case "mapping roundtrip" `Quick test_serial_mapping_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_serial_rejects_garbage;
+          Alcotest.test_case "rejects truncated" `Quick test_serial_rejects_truncated;
+          Alcotest.test_case "error line numbers" `Quick test_serial_error_mentions_line;
+          Alcotest.test_case "file roundtrip" `Quick test_serial_file_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_benchmark_dfgs_single_dmu_per_path;
+          QCheck_alcotest.to_alcotest prop_generated_designs_fit_fabric;
+          QCheck_alcotest.to_alcotest prop_serial_mapping_roundtrip;
+        ] );
+    ]

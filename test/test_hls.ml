@@ -1,0 +1,337 @@
+(* Tests for the HLS front-end: parser, elaboration (constant folding,
+   error reporting) and the context scheduler. *)
+
+open Agingfp_cgrra
+module Parser = Agingfp_hls.Parser
+module Compile = Agingfp_hls.Compile
+module Ast = Agingfp_hls.Ast
+module Techmap = Agingfp_hls.Techmap
+module Graph = Agingfp_hls.Graph
+
+let ok_parse src =
+  match Parser.parse src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let ok_graph src =
+  match Compile.elaborate (ok_parse src) with
+  | Ok g -> g
+  | Error msg -> Alcotest.failf "elaborate error: %s" msg
+
+let count_kind (g : Compile.graph) kind =
+  Array.fold_left (fun acc (o : Op.t) -> if o.Op.kind = kind then acc + 1 else acc) 0 g.ops
+
+(* ---------- parser ---------- *)
+
+let test_parse_inputs () =
+  match ok_parse "input a, b : 16, c;" with
+  | [ Ast.Input ("a", 32); Ast.Input ("b", 16); Ast.Input ("c", 32) ] -> ()
+  | _ -> Alcotest.fail "unexpected AST"
+
+let test_parse_precedence () =
+  (* a + b * c parses as a + (b * c). *)
+  match ok_parse "input a, b, c; output y = a + b * c;" with
+  | [ _; _; _; Ast.Output ("y", Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, _, _))) ]
+    -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parse_parentheses () =
+  match ok_parse "input a, b, c; output y = (a + b) * c;" with
+  | [ _; _; _; Ast.Output (_, Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, _, _), _)) ] -> ()
+  | _ -> Alcotest.fail "parentheses ignored"
+
+let test_parse_ternary () =
+  match ok_parse "input a, b; output y = a > b ? a : b;" with
+  | [ _; _; Ast.Output (_, Ast.Select (Ast.Binop (Ast.Gt, _, _), _, _)) ] -> ()
+  | _ -> Alcotest.fail "ternary wrong"
+
+let test_parse_shift_ops () =
+  match ok_parse "input a; output y = a << 2 >> 1;" with
+  | [ _; Ast.Output (_, Ast.Binop (Ast.Shr, Ast.Binop (Ast.Shl, _, _), _)) ] -> ()
+  | _ -> Alcotest.fail "shift associativity wrong"
+
+let test_parse_comments () =
+  let p = ok_parse "// leading comment\ninput a; // trailing\noutput y = a + 1;" in
+  Alcotest.(check int) "two stmts" 2 (List.length p)
+
+let test_parse_negative_literal () =
+  match ok_parse "input a; output y = a + -3;" with
+  | [ _; Ast.Output (_, Ast.Binop (Ast.Add, _, Ast.Int (-3))) ] -> ()
+  | _ -> Alcotest.fail "negative literal"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_parse_error_line_number () =
+  match Parser.parse "input a;\noutput y = ;" with
+  | Error msg ->
+    Alcotest.(check bool) "mentions line 2" true (contains msg "line 2")
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_parse_unknown_char () =
+  Alcotest.(check bool) "rejects @" true (Result.is_error (Parser.parse "input a @;"))
+
+(* ---------- elaboration ---------- *)
+
+let test_elab_counts () =
+  let g = ok_graph "input a, b; let t = a * b; output y = t + 1;" in
+  Alcotest.(check int) "inputs" 2 (count_kind g Op.Input);
+  Alcotest.(check int) "outputs" 1 (count_kind g Op.Output);
+  Alcotest.(check int) "muls" 1 (count_kind g Op.Mul);
+  Alcotest.(check int) "adds" 1 (count_kind g Op.Add)
+
+let test_elab_constant_folding () =
+  (* 2 * 3 + 4 folds away entirely; only the op consuming `a` remains. *)
+  let g = ok_graph "input a; output y = a + (2 * 3 + 4);" in
+  Alcotest.(check int) "single add" 1 (count_kind g Op.Add);
+  Alcotest.(check int) "no mul nodes" 0 (count_kind g Op.Mul)
+
+let test_elab_select_const_cond () =
+  let g = ok_graph "input a, b; output y = 1 ? a : b;" in
+  Alcotest.(check int) "no mux" 0 (count_kind g Op.Mux)
+
+let test_elab_select_dynamic () =
+  let g = ok_graph "input a, b; output y = (a > b) ? a : b;" in
+  Alcotest.(check int) "one mux" 1 (count_kind g Op.Mux);
+  Alcotest.(check int) "one cmp" 1 (count_kind g Op.Cmp)
+
+let test_elab_undefined () =
+  match Compile.elaborate (ok_parse "output y = q + 1;") with
+  | Error msg -> Alcotest.(check bool) "mentions q" true (contains msg "q")
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_elab_duplicate () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (Result.is_error (Compile.elaborate (ok_parse "input a; let a = 1;")))
+
+let test_elab_constant_output () =
+  Alcotest.(check bool) "constant output rejected" true
+    (Result.is_error (Compile.elaborate (ok_parse "input a; output y = 2 + 3;")))
+
+let test_elab_bitwidths_propagate () =
+  let g = ok_graph "input a : 8, b : 24; output y = a + b;" in
+  let add =
+    Array.to_list g.Compile.ops |> List.find (fun (o : Op.t) -> o.Op.kind = Op.Add)
+  in
+  Alcotest.(check int) "max width" 24 add.Op.bitwidth
+
+(* ---------- scheduling ---------- *)
+
+let compile_ok ?(dim = 4) src =
+  match Compile.compile ~fabric:(Fabric.create ~dim) ~name:"t" src with
+  | Ok d -> d
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+
+let test_schedule_respects_capacity () =
+  (* 20 independent adds cannot fit a 2x2 fabric in one context. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "input a, b;\n";
+  for i = 0 to 19 do
+    Buffer.add_string buf (Printf.sprintf "output y%d = a + b;\n" i)
+  done;
+  let d = compile_ok ~dim:2 (Buffer.contents buf) in
+  Alcotest.(check bool) "multiple contexts" true (Design.num_contexts d > 1);
+  Array.iter
+    (fun dfg ->
+      Alcotest.(check bool) "fits" true (Dfg.num_ops dfg <= 4))
+    (Design.contexts d)
+
+let test_schedule_respects_clock () =
+  (* A long dependent chain must split across contexts: each context's
+     internal path delay stays within the clock period. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "input a;\nlet t0 = a + 1;\n";
+  for i = 1 to 14 do
+    Buffer.add_string buf (Printf.sprintf "let t%d = t%d * 3;\n" i (i - 1))
+  done;
+  Buffer.add_string buf "output y = t14;\n";
+  let d = compile_ok ~dim:4 (Buffer.contents buf) in
+  Alcotest.(check bool) "chain split" true (Design.num_contexts d > 1);
+  (* Static bound: per-context PE delays along any path fit the clock. *)
+  let chars = Design.chars d in
+  Array.iter
+    (fun dfg ->
+      let n = Dfg.num_ops dfg in
+      let delay = Array.make n 0.0 in
+      Array.iter
+        (fun v ->
+          let own = Chars.pe_delay_ns chars (Dfg.op dfg v) in
+          let best =
+            List.fold_left (fun acc p -> max acc delay.(p)) 0.0 (Dfg.preds dfg v)
+          in
+          delay.(v) <- own +. best)
+        (Dfg.topological_order dfg);
+      Array.iter
+        (fun dl ->
+          Alcotest.(check bool) "PE delays within clock" true
+            (dl <= chars.Chars.clock_period_ns))
+        delay)
+    (Design.contexts d)
+
+let test_schedule_dependencies_ordered () =
+  (* A consumer never lands in an earlier context than its producer:
+     verified structurally — every context DFG is acyclic (guaranteed)
+     and the design compiles; spot-check edge counts. *)
+  let d = compile_ok "input a, b; let t = a * b; let u = t + a; output y = u >> 1;" in
+  let total_edges =
+    Array.fold_left (fun acc dfg -> acc + Dfg.num_edges dfg) 0 (Design.contexts d)
+  in
+  Alcotest.(check bool) "has intra-context edges" true (total_edges > 0)
+
+let test_schedule_single_context_small () =
+  let d = compile_ok "input a, b; output y = a + b;" in
+  Alcotest.(check int) "one context" 1 (Design.num_contexts d)
+
+let test_compile_parse_error_propagates () =
+  Alcotest.(check bool) "propagates" true
+    (Result.is_error
+       (Compile.compile ~fabric:(Fabric.create ~dim:4) ~name:"t" "output y = ;"))
+
+(* ---------- technology mapping ---------- *)
+
+let test_techmap_fuses_alu_into_dmu () =
+  (* a * b feeds only a shift: one fusible pair. *)
+  let g = ok_graph "input a, b; output y = (a * b) >> 3;" in
+  let pairs = Techmap.fusible_pairs g in
+  Alcotest.(check int) "one pair" 1 (List.length pairs);
+  let g2, fused = Techmap.fuse g in
+  Alcotest.(check int) "fused count" 1 fused;
+  Alcotest.(check int) "one op fewer"
+    (Array.length g.Graph.ops - 1)
+    (Array.length g2.Graph.ops);
+  Alcotest.(check int) "fused node present" 1 (count_kind g2 Op.Fused);
+  Alcotest.(check int) "mul gone" 0 (count_kind g2 Op.Mul)
+
+let test_techmap_multi_consumer_not_fused () =
+  (* The product feeds two consumers: fusing would duplicate it. *)
+  let g = ok_graph "input a, b; let t = a * b; output y = t >> 1; output z = t >> 2;" in
+  Alcotest.(check int) "no pairs" 0 (List.length (Techmap.fusible_pairs g))
+
+let test_techmap_alu_to_alu_not_fused () =
+  let g = ok_graph "input a, b; output y = (a + b) * 3;" in
+  (* add feeds mul (both ALU): not fusible; output is IO so mul->output
+     is not fusible either. *)
+  Alcotest.(check int) "no pairs" 0 (List.length (Techmap.fusible_pairs g))
+
+let test_techmap_preserves_io_counts () =
+  let g = ok_graph "input a, b, c; output y = ((a + b) >> 1) ^ c;" in
+  let g2, _ = Techmap.fuse g in
+  Alcotest.(check int) "inputs kept" (count_kind g Op.Input) (count_kind g2 Op.Input);
+  Alcotest.(check int) "outputs kept" (count_kind g Op.Output) (count_kind g2 Op.Output)
+
+let test_techmap_compile_end_to_end () =
+  let src = "input a : 16, b : 16; output y = (a * b) >> 4;" in
+  let plain =
+    Result.get_ok (Compile.compile ~fabric:(Fabric.create ~dim:4) ~name:"t" src)
+  in
+  let mapped =
+    Result.get_ok
+      (Compile.compile ~techmap:true ~fabric:(Fabric.create ~dim:4) ~name:"t" src)
+  in
+  Alcotest.(check bool) "fewer ops" true
+    (Design.total_ops mapped < Design.total_ops plain)
+
+let test_techmap_fused_delay_in_series () =
+  let c = Chars.default in
+  let fused = Op.make ~id:0 ~kind:Op.Fused ~bitwidth:32 in
+  Alcotest.(check (float 1e-9)) "alu + dmu in series"
+    (c.Chars.alu_delay_ns +. c.Chars.dmu_delay_ns)
+    (Chars.pe_delay_ns c fused)
+
+(* ---------- properties ---------- *)
+
+(* Random program generator: a chain of lets over two inputs. *)
+let random_program seed =
+  let rng = Agingfp_util.Rng.create seed in
+  let ops = [| "+"; "-"; "*"; "&"; "|"; "^" |] in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "input a : 16, b : 16;\n";
+  let nlets = 1 + Agingfp_util.Rng.int rng 12 in
+  for i = 0 to nlets - 1 do
+    let prev1 = if i = 0 then "a" else Printf.sprintf "t%d" (Agingfp_util.Rng.int rng i) in
+    let prev2 = if Agingfp_util.Rng.bool rng then "b" else prev1 in
+    Buffer.add_string buf
+      (Printf.sprintf "let t%d = %s %s %s;\n" i prev1
+         (Agingfp_util.Rng.pick rng ops)
+         prev2)
+  done;
+  Buffer.add_string buf (Printf.sprintf "output y = t%d;\n" (nlets - 1));
+  Buffer.contents buf
+
+let prop_random_programs_compile =
+  QCheck2.Test.make ~name:"random straight-line programs compile to valid designs"
+    ~count:100 QCheck2.Gen.int (fun seed ->
+      let src = random_program seed in
+      match Compile.compile ~fabric:(Fabric.create ~dim:4) ~name:"rand" src with
+      | Error _ -> false
+      | Ok d ->
+        Design.num_contexts d >= 1
+        && Array.for_all
+             (fun dfg -> Dfg.num_ops dfg <= 16 && Dfg.num_ops dfg > 0)
+             (Design.contexts d))
+
+let prop_parse_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"parse . print . parse is identity" ~count:100 QCheck2.Gen.int
+    (fun seed ->
+      let src = random_program seed in
+      match Parser.parse src with
+      | Error _ -> false
+      | Ok p1 -> (
+        let printed = Format.asprintf "%a" Ast.pp_program p1 in
+        match Parser.parse printed with Ok p2 -> p1 = p2 | Error _ -> false))
+
+let () =
+  Alcotest.run "hls"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "inputs" `Quick test_parse_inputs;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "parentheses" `Quick test_parse_parentheses;
+          Alcotest.test_case "ternary" `Quick test_parse_ternary;
+          Alcotest.test_case "shifts" `Quick test_parse_shift_ops;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "negative literal" `Quick test_parse_negative_literal;
+          Alcotest.test_case "error line number" `Quick test_parse_error_line_number;
+          Alcotest.test_case "unknown char" `Quick test_parse_unknown_char;
+        ] );
+      ( "elaboration",
+        [
+          Alcotest.test_case "op counts" `Quick test_elab_counts;
+          Alcotest.test_case "constant folding" `Quick test_elab_constant_folding;
+          Alcotest.test_case "const select" `Quick test_elab_select_const_cond;
+          Alcotest.test_case "dynamic select" `Quick test_elab_select_dynamic;
+          Alcotest.test_case "undefined name" `Quick test_elab_undefined;
+          Alcotest.test_case "duplicate name" `Quick test_elab_duplicate;
+          Alcotest.test_case "constant output" `Quick test_elab_constant_output;
+          Alcotest.test_case "bitwidth propagation" `Quick test_elab_bitwidths_propagate;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "capacity respected" `Quick test_schedule_respects_capacity;
+          Alcotest.test_case "clock respected" `Quick test_schedule_respects_clock;
+          Alcotest.test_case "dependencies ordered" `Quick
+            test_schedule_dependencies_ordered;
+          Alcotest.test_case "small fits one context" `Quick
+            test_schedule_single_context_small;
+          Alcotest.test_case "parse errors propagate" `Quick
+            test_compile_parse_error_propagates;
+        ] );
+      ( "techmap",
+        [
+          Alcotest.test_case "fuses ALU into DMU" `Quick test_techmap_fuses_alu_into_dmu;
+          Alcotest.test_case "multi-consumer kept" `Quick
+            test_techmap_multi_consumer_not_fused;
+          Alcotest.test_case "ALU->ALU kept" `Quick test_techmap_alu_to_alu_not_fused;
+          Alcotest.test_case "io preserved" `Quick test_techmap_preserves_io_counts;
+          Alcotest.test_case "end to end" `Quick test_techmap_compile_end_to_end;
+          Alcotest.test_case "fused delay" `Quick test_techmap_fused_delay_in_series;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_programs_compile;
+          QCheck_alcotest.to_alcotest prop_parse_print_parse_roundtrip;
+        ] );
+    ]

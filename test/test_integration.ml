@@ -1,0 +1,207 @@
+(* Integration tests: the whole pipeline (DSL/HLS or generated
+   benchmarks -> placement -> timing -> Algorithm 1 -> thermal ->
+   MTTF), cross-checking module contracts against each other. *)
+
+open Agingfp_cgrra
+module Compile = Agingfp_hls.Compile
+module Placer = Agingfp_place.Placer
+module Analysis = Agingfp_timing.Analysis
+module Thermal = Agingfp_thermal.Model
+module Mttf = Agingfp_aging.Mttf
+module Remap = Agingfp_floorplan.Remap
+module Rotation = Agingfp_floorplan.Rotation
+
+let pipeline design =
+  let baseline = Placer.aging_unaware design in
+  let freeze_res, rotate_res = Remap.solve_both design baseline in
+  (baseline, freeze_res, rotate_res)
+
+let full_check name design =
+  let baseline, freeze_res, rotate_res = pipeline design in
+  List.iter
+    (fun (mname, (r : Remap.result)) ->
+      let tag = Printf.sprintf "%s/%s" name mname in
+      Alcotest.(check bool) (tag ^ " mapping valid") true
+        (Mapping.validate design r.Remap.mapping = Ok ());
+      Alcotest.(check bool) (tag ^ " CPD guarded") true
+        (Analysis.cpd design r.Remap.mapping <= Analysis.cpd design baseline +. 1e-9);
+      let imp = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
+      Alcotest.(check bool) (tag ^ " MTTF not reduced") true (imp >= 1.0 -. 1e-9))
+    [ ("freeze", freeze_res); ("rotate", rotate_res) ];
+  (baseline, rotate_res)
+
+(* ---------- end-to-end on the DSL path ---------- *)
+
+let dsl_kernel =
+  {|
+input a : 16, b : 16, c : 16, d : 16;
+let s1 = a * 3 + b * 5;
+let s2 = c * 7 + d * 9;
+let m = (s1 > s2) ? s1 : s2;
+let f = (s1 & s2) ^ (s1 | s2);
+output hi = m >> 1;
+output lo = f + m;
+|}
+
+let test_dsl_to_mttf () =
+  match Compile.compile ~fabric:(Fabric.create ~dim:4) ~name:"kernel" dsl_kernel with
+  | Error msg -> Alcotest.failf "compile: %s" msg
+  | Ok design ->
+    let _, rotate_res = full_check "dsl" design in
+    Alcotest.(check bool) "some improvement attempted" true
+      (rotate_res.Remap.st_target <= rotate_res.Remap.st_up +. 1e-9)
+
+let test_generated_suite_small () =
+  List.iter
+    (fun name ->
+      let design = Benchmarks.generate (Option.get (Benchmarks.find name)) in
+      ignore (full_check name design))
+    [ "B1"; "B10"; "B19" ]
+
+let test_eight_context_benchmark () =
+  let design = Benchmarks.generate (Option.get (Benchmarks.find "B13")) in
+  let baseline, rotate_res = full_check "B13" design in
+  let imp = Mttf.improvement design ~baseline ~remapped:rotate_res.Remap.mapping in
+  (* The paper reports 2.36x; the shape target is >1.5x on this class. *)
+  Alcotest.(check bool) "C8 medium improves >1.5x" true (imp > 1.5)
+
+(* ---------- cross-module consistency ---------- *)
+
+let test_stress_thermal_mttf_chain () =
+  (* Reducing max accumulated stress must not raise the peak
+     temperature or reduce MTTF. *)
+  let design = Benchmarks.tiny () in
+  let baseline = Placer.aging_unaware design in
+  let r = Remap.solve ~mode:Rotation.Rotate design baseline in
+  let peak m = Agingfp_util.Stats.fmax (Thermal.pe_temperatures design m) in
+  Alcotest.(check bool) "peak temperature drops" true
+    (peak r.Remap.mapping <= peak baseline +. 1e-9);
+  let before = (Mttf.of_mapping design baseline).Mttf.mttf_s in
+  let after = (Mttf.of_mapping design r.Remap.mapping).Mttf.mttf_s in
+  Alcotest.(check bool) "MTTF extends" true (after >= before)
+
+let test_improvement_matches_breakdowns () =
+  let design = Benchmarks.tiny () in
+  let baseline = Placer.aging_unaware design in
+  let r = Remap.solve ~mode:Rotation.Freeze design baseline in
+  let imp = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
+  let before = (Mttf.of_mapping design baseline).Mttf.mttf_s in
+  let after = (Mttf.of_mapping design r.Remap.mapping).Mttf.mttf_s in
+  Alcotest.(check (float 1e-9)) "ratio consistent" (after /. before) imp
+
+let test_determinism_end_to_end () =
+  let run () =
+    let design = Benchmarks.generate (Option.get (Benchmarks.find "B1")) in
+    let baseline = Placer.aging_unaware design in
+    let r = Remap.solve ~mode:Rotation.Rotate design baseline in
+    (Stress.max_accumulated design r.Remap.mapping, r.Remap.st_target)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "deterministic" true (a = b)
+
+let test_remap_conserves_stress_total () =
+  (* Re-binding moves stress around; it cannot create or destroy it. *)
+  let design = Benchmarks.tiny () in
+  let baseline = Placer.aging_unaware design in
+  let r = Remap.solve ~mode:Rotation.Rotate design baseline in
+  let total m = Array.fold_left ( +. ) 0.0 (Stress.accumulated design m) in
+  Alcotest.(check (float 1e-9)) "conserved" (total baseline) (total r.Remap.mapping)
+
+let test_remap_respects_st_target () =
+  let design = Benchmarks.tiny () in
+  let baseline = Placer.aging_unaware design in
+  let r = Remap.solve ~mode:Rotation.Rotate design baseline in
+  if r.Remap.improved then
+    Alcotest.(check bool) "max stress within accepted target" true
+      (Stress.max_accumulated design r.Remap.mapping <= r.Remap.st_target +. 1e-6)
+
+let test_techmap_pipeline () =
+  (* Technology-mapped designs run the whole flow too; fusion reduces
+     the op count, and the delay guarantee still holds. *)
+  let src =
+    "input a : 16, b : 16, c : 16; let t = (a * b) >> 3; let u = (b + c) >> 2;\n\
+     output y = t + u;"
+  in
+  let fabric () = Fabric.create ~dim:4 in
+  let plain = Result.get_ok (Compile.compile ~fabric:(fabric ()) ~name:"k" src) in
+  let mapped =
+    Result.get_ok (Compile.compile ~techmap:true ~fabric:(fabric ()) ~name:"k" src)
+  in
+  Alcotest.(check bool) "fusion shrinks design" true
+    (Design.total_ops mapped < Design.total_ops plain);
+  let baseline = Placer.aging_unaware mapped in
+  let r = Remap.solve ~mode:Rotation.Freeze mapped baseline in
+  Alcotest.(check bool) "valid" true (Mapping.validate mapped r.Remap.mapping = Ok ());
+  Alcotest.(check bool) "delay clean" true
+    (r.Remap.new_cpd_ns <= r.Remap.baseline_cpd_ns +. 1e-9)
+
+let test_serialization_through_flow () =
+  (* Archive the accepted floorplan, reload it, and get the exact same
+     MTTF — the workflow a production tool needs. *)
+  let design = Benchmarks.tiny () in
+  let baseline = Placer.aging_unaware design in
+  let r = Remap.solve ~mode:Rotation.Rotate design baseline in
+  let text = Serial.mapping_to_string r.Remap.mapping in
+  match Serial.mapping_of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok reloaded ->
+    Alcotest.(check bool) "valid against design" true
+      (Mapping.validate design reloaded = Ok ());
+    let m1 = (Mttf.of_mapping design r.Remap.mapping).Mttf.mttf_s in
+    let m2 = (Mttf.of_mapping design reloaded).Mttf.mttf_s in
+    Alcotest.(check (float 1e-9)) "identical MTTF" m1 m2
+
+(* ---------- properties ---------- *)
+
+let prop_pipeline_on_random_dsl =
+  QCheck2.Test.make ~name:"random DSL programs survive the full pipeline" ~count:20
+    QCheck2.Gen.int
+    (fun seed ->
+      let rng = Agingfp_util.Rng.create seed in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "input a : 16, b : 16;\n";
+      let n = 2 + Agingfp_util.Rng.int rng 8 in
+      for i = 0 to n - 1 do
+        let src1 = if i = 0 then "a" else Printf.sprintf "t%d" (Agingfp_util.Rng.int rng i) in
+        let op = Agingfp_util.Rng.pick rng [| "+"; "*"; "&"; "^" |] in
+        Buffer.add_string buf (Printf.sprintf "let t%d = %s %s b;\n" i src1 op)
+      done;
+      Buffer.add_string buf (Printf.sprintf "output y = t%d;\n" (n - 1));
+      match
+        Compile.compile ~fabric:(Fabric.create ~dim:4) ~name:"p" (Buffer.contents buf)
+      with
+      | Error _ -> false
+      | Ok design ->
+        let baseline = Placer.aging_unaware design in
+        let r = Remap.solve ~mode:Rotation.Freeze design baseline in
+        Mapping.validate design r.Remap.mapping = Ok ()
+        && Analysis.cpd design r.Remap.mapping
+           <= Analysis.cpd design baseline +. 1e-9)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "DSL to MTTF" `Quick test_dsl_to_mttf;
+          Alcotest.test_case "generated suite (4x4)" `Slow test_generated_suite_small;
+          Alcotest.test_case "eight contexts" `Slow test_eight_context_benchmark;
+        ] );
+      ( "tooling",
+        [
+          Alcotest.test_case "techmap pipeline" `Quick test_techmap_pipeline;
+          Alcotest.test_case "serialize/reload floorplan" `Quick
+            test_serialization_through_flow;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "stress->thermal->mttf chain" `Quick
+            test_stress_thermal_mttf_chain;
+          Alcotest.test_case "improvement ratio" `Quick test_improvement_matches_breakdowns;
+          Alcotest.test_case "determinism" `Quick test_determinism_end_to_end;
+          Alcotest.test_case "stress conserved" `Quick test_remap_conserves_stress_total;
+          Alcotest.test_case "ST_target respected" `Quick test_remap_respects_st_target;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_pipeline_on_random_dsl ] );
+    ]

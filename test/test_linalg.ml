@@ -1,0 +1,168 @@
+(* Tests for dense matrices and the linear solvers backing the
+   thermal model. *)
+
+module Matrix = Agingfp_linalg.Matrix
+module Solve = Agingfp_linalg.Solve
+module Rng = Agingfp_util.Rng
+
+let check_vec msg expected actual =
+  Alcotest.(check (array (float 1e-7))) msg expected actual
+
+(* ---------- Matrix ---------- *)
+
+let test_create_zero () =
+  let m = Matrix.create ~rows:2 ~cols:3 in
+  Alcotest.(check (float 0.)) "zero" 0.0 (Matrix.get m 1 2)
+
+let test_identity () =
+  let m = Matrix.identity 3 in
+  Alcotest.(check (float 0.)) "diag" 1.0 (Matrix.get m 1 1);
+  Alcotest.(check (float 0.)) "off-diag" 0.0 (Matrix.get m 0 2)
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_arrays: ragged rows")
+    (fun () -> ignore (Matrix.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_mul_vec () =
+  let m = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_vec "product" [| 5.; 11. |] (Matrix.mul_vec m [| 1.; 2. |])
+
+let test_transpose () =
+  let m = Matrix.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Matrix.transpose m in
+  Alcotest.(check int) "rows" 3 (Matrix.rows t);
+  Alcotest.(check (float 0.)) "entry" 6.0 (Matrix.get t 2 1)
+
+let test_row_ops () =
+  let m = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Matrix.swap_rows m 0 1;
+  Alcotest.(check (float 0.)) "swapped" 3.0 (Matrix.get m 0 0);
+  Matrix.scale_row m 0 2.0;
+  Alcotest.(check (float 0.)) "scaled" 6.0 (Matrix.get m 0 0);
+  Matrix.axpy_row m ~src:0 ~dst:1 1.0;
+  Alcotest.(check (float 0.)) "axpy" 7.0 (Matrix.get m 1 0)
+
+(* ---------- Solvers ---------- *)
+
+let random_spd rng n =
+  (* A = M^T M + n*I is symmetric positive definite. *)
+  let m = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Matrix.set m i j (Rng.float rng 2.0 -. 1.0)
+    done
+  done;
+  let a = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (Matrix.get m k i *. Matrix.get m k j)
+      done;
+      Matrix.set a i j (!acc +. if i = j then float_of_int n else 0.0)
+    done
+  done;
+  a
+
+let test_lu_known () =
+  let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  check_vec "solution" [| 1.; 2. |] (Solve.lu a [| 4.; 7. |])
+
+let test_lu_pivoting () =
+  (* Zero leading pivot forces a row swap. *)
+  let a = Matrix.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_vec "solution" [| 2.; 1. |] (Solve.lu a [| 1.; 2. |])
+
+let test_lu_singular () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Solve.Singular (fun () ->
+      ignore (Solve.lu a [| 1.; 2. |]))
+
+let test_cholesky_known () =
+  let a = Matrix.of_arrays [| [| 4.; 2. |]; [| 2.; 3. |] |] in
+  let x = Solve.cholesky a [| 8.; 7. |] in
+  check_vec "solution" [| 1.25; 1.5 |] x
+
+let test_cholesky_not_pd () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  Alcotest.check_raises "not PD" Solve.Singular (fun () ->
+      ignore (Solve.cholesky a [| 1.; 1. |]))
+
+let test_gauss_seidel_grid () =
+  (* A small diagonally dominant grid Laplacian, as in the thermal model. *)
+  let a =
+    Matrix.of_arrays
+      [|
+        [| 3.; -1.; -1.; 0. |];
+        [| -1.; 3.; 0.; -1. |];
+        [| -1.; 0.; 3.; -1. |];
+        [| 0.; -1.; -1.; 3. |];
+      |]
+  in
+  let b = [| 1.; 2.; 3.; 4. |] in
+  let x = Solve.gauss_seidel a b in
+  Alcotest.(check bool) "residual small" true (Solve.residual_norm a x b < 1e-6)
+
+let test_solvers_agree () =
+  let rng = Rng.create 12 in
+  for n = 2 to 12 do
+    let a = random_spd rng n in
+    let b = Array.init n (fun _ -> Rng.float rng 10.0) in
+    let x1 = Solve.lu a b in
+    let x2 = Solve.cholesky a b in
+    let x3 = Solve.gauss_seidel ~tol:1e-12 a b in
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check (float 1e-5)) "lu vs cholesky" v x2.(i);
+        Alcotest.(check (float 1e-4)) "lu vs gauss-seidel" v x3.(i))
+      x1
+  done
+
+let prop_lu_solves =
+  QCheck2.Test.make ~name:"LU residual is small on random SPD systems" ~count:100
+    QCheck2.Gen.(tup2 int (int_range 2 15))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = random_spd rng n in
+      let b = Array.init n (fun _ -> Rng.float rng 10.0 -. 5.0) in
+      let x = Solve.lu a b in
+      Solve.residual_norm a x b < 1e-6)
+
+let prop_cholesky_matches_lu =
+  QCheck2.Test.make ~name:"Cholesky matches LU on SPD systems" ~count:100
+    QCheck2.Gen.(tup2 int (int_range 2 15))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = random_spd rng n in
+      let b = Array.init n (fun _ -> Rng.float rng 4.0) in
+      let x1 = Solve.lu a b and x2 = Solve.cholesky a b in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-5) x1 x2)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "create zero" `Quick test_create_zero;
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "ragged rejected" `Quick test_of_arrays_ragged;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "row ops" `Quick test_row_ops;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "lu known" `Quick test_lu_known;
+          Alcotest.test_case "lu pivoting" `Quick test_lu_pivoting;
+          Alcotest.test_case "lu singular" `Quick test_lu_singular;
+          Alcotest.test_case "cholesky known" `Quick test_cholesky_known;
+          Alcotest.test_case "cholesky not PD" `Quick test_cholesky_not_pd;
+          Alcotest.test_case "gauss-seidel grid" `Quick test_gauss_seidel_grid;
+          Alcotest.test_case "solvers agree" `Quick test_solvers_agree;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_lu_solves;
+          QCheck_alcotest.to_alcotest prop_cholesky_matches_lu;
+        ] );
+    ]

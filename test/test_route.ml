@@ -1,0 +1,154 @@
+(* Tests for the PathFinder-style channel router. *)
+
+open Agingfp_cgrra
+module Router = Agingfp_route.Router
+module Placer = Agingfp_place.Placer
+module Analysis = Agingfp_timing.Analysis
+module Rng = Agingfp_util.Rng
+
+let mk_op id kind = Op.make ~id ~kind ~bitwidth:16
+
+(* A context with [edges] as the netlist, placed by [place : op -> pe]. *)
+let design_of ~dim ops edges =
+  Design.create ~name:"r" ~fabric:(Fabric.create ~dim) [| Dfg.create ~ops ~edges |]
+
+let chain_design dim =
+  (* input -> add -> output in one row. *)
+  let ops = [| mk_op 0 Op.Input; mk_op 1 Op.Add; mk_op 2 Op.Output |] in
+  design_of ~dim ops [ (0, 1); (1, 2) ]
+
+let route_valid design (r : Router.result) =
+  Array.iteri
+    (fun i route ->
+      let net = r.Router.nets.(i) in
+      Alcotest.(check int) "starts at src" net.Router.src_pe route.(0);
+      Alcotest.(check int) "ends at dst" net.Router.dst_pe route.(Array.length route - 1);
+      let fabric = Design.fabric design in
+      for k = 0 to Array.length route - 2 do
+        Alcotest.(check int) "consecutive cells adjacent" 1
+          (Fabric.distance fabric route.(k) route.(k + 1))
+      done)
+    r.Router.routes
+
+let test_route_simple_chain () =
+  let design = chain_design 4 in
+  let m = Mapping.create (fun _ op -> op) design in
+  let r = Router.route_context design m ~ctx:0 in
+  Alcotest.(check int) "2 nets" 2 (Array.length r.Router.nets);
+  Alcotest.(check int) "wirelength = manhattan" r.Router.total_manhattan
+    r.Router.total_routed_length;
+  Alcotest.(check (float 1e-9)) "detour 1.0" 1.0 (Router.detour_factor r);
+  route_valid design r
+
+let test_route_length_lower_bound () =
+  let design = chain_design 4 in
+  let m = Mapping.create (fun _ op -> op * 5) design in
+  let r = Router.route_context design m ~ctx:0 in
+  Alcotest.(check bool) "routed >= manhattan" true
+    (r.Router.total_routed_length >= r.Router.total_manhattan);
+  route_valid design r
+
+let test_route_congestion_forces_detour () =
+  (* Several parallel nets across the same cut with capacity 1: at
+     least one must detour, but all must still complete legally. *)
+  let ops =
+    Array.init 8 (fun i -> mk_op i (if i < 4 then Op.Input else Op.Output))
+  in
+  let edges = [ (0, 4); (1, 5); (2, 6); (3, 7) ] in
+  let design = design_of ~dim:4 ops edges in
+  (* Sources in column 0, sinks in column 2, all in row 0..3 -> the
+     vertical cut between columns has to carry all four nets. *)
+  let m =
+    Mapping.create
+      (fun _ op ->
+        let fabric = Design.fabric design in
+        if op < 4 then Fabric.pe_of_coord fabric (Agingfp_util.Coord.make 0 op)
+        else Fabric.pe_of_coord fabric (Agingfp_util.Coord.make 2 (op - 4)))
+      design
+  in
+  let params = { Router.default_params with Router.capacity = 1 } in
+  let r = Router.route_context ~params design m ~ctx:0 in
+  route_valid design r;
+  Alcotest.(check int) "no overuse with capacity 1" 0 r.Router.overused_channels;
+  Alcotest.(check bool) "usage within capacity" true (r.Router.max_channel_usage <= 1)
+
+let test_route_zero_length_net_rejected () =
+  let design = chain_design 4 in
+  let m = Mapping.of_arrays [| [| 0; 0; 1 |] |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Router.route_context design m ~ctx:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_route_all_contexts () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let results = Router.route_all design m in
+  Alcotest.(check int) "one per context" (Design.num_contexts design)
+    (Array.length results);
+  Array.iter (fun r -> route_valid design r) results
+
+let test_routed_cpd_ge_manhattan_cpd () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let results = Router.route_all design m in
+  Alcotest.(check bool) "routed CPD >= model CPD" true
+    (Router.routed_cpd design results >= Analysis.cpd design m -. 1e-9)
+
+let test_route_deterministic () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let a = Router.route_all design m and b = Router.route_all design m in
+  Array.iteri
+    (fun i ra ->
+      Alcotest.(check bool) "same routes" true (ra.Router.routes = b.(i).Router.routes))
+    a
+
+let test_route_generous_capacity_shortest () =
+  (* With very generous channels every net routes at Manhattan length. *)
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let params = { Router.default_params with Router.capacity = 64 } in
+  Array.iter
+    (fun r -> Alcotest.(check (float 1e-9)) "no detours" 1.0 (Router.detour_factor r))
+    (Router.route_all ~params design m)
+
+let prop_random_placements_route =
+  QCheck2.Test.make ~name:"random valid placements route legally" ~count:40
+    QCheck2.Gen.int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let design = Benchmarks.tiny () in
+      let npes = 16 in
+      let m =
+        Mapping.of_arrays
+          (Array.init (Design.num_contexts design) (fun c ->
+               let perm = Array.init npes (fun i -> i) in
+               Rng.shuffle rng perm;
+               Array.init (Dfg.num_ops (Design.context design c)) (fun op -> perm.(op))))
+      in
+      let results = Router.route_all design m in
+      Array.for_all
+        (fun (r : Router.result) ->
+          r.Router.total_routed_length >= r.Router.total_manhattan
+          && Array.for_all (fun route -> Array.length route >= 2) r.Router.routes)
+        results)
+
+let () =
+  Alcotest.run "route"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "simple chain" `Quick test_route_simple_chain;
+          Alcotest.test_case "length lower bound" `Quick test_route_length_lower_bound;
+          Alcotest.test_case "congestion detour" `Quick test_route_congestion_forces_detour;
+          Alcotest.test_case "zero-length net rejected" `Quick
+            test_route_zero_length_net_rejected;
+          Alcotest.test_case "all contexts" `Quick test_route_all_contexts;
+          Alcotest.test_case "routed CPD bound" `Quick test_routed_cpd_ge_manhattan_cpd;
+          Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+          Alcotest.test_case "generous capacity" `Quick test_route_generous_capacity_shortest;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_placements_route ]);
+    ]

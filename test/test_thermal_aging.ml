@@ -1,0 +1,272 @@
+(* Tests for the compact thermal model and the NBTI/MTTF computation. *)
+
+open Agingfp_cgrra
+module Thermal = Agingfp_thermal.Model
+module Nbti = Agingfp_aging.Nbti
+module Mttf = Agingfp_aging.Mttf
+module Placer = Agingfp_place.Placer
+
+(* ---------- thermal ---------- *)
+
+let test_zero_power_is_ambient () =
+  let p = Thermal.default_params in
+  let t = Thermal.steady_state ~dim:4 (Array.make 16 0.0) in
+  Array.iter
+    (fun temp -> Alcotest.(check (float 1e-6)) "ambient" p.Thermal.ambient_k temp)
+    t
+
+let test_uniform_power_uniform_temp () =
+  let t = Thermal.steady_state ~dim:4 (Array.make 16 0.1) in
+  let t0 = t.(0) in
+  Array.iter (fun temp -> Alcotest.(check (float 1e-6)) "uniform" t0 temp) t;
+  (* Uniform power: no lateral flow, so T = T_amb + P / g_v exactly. *)
+  let p = Thermal.default_params in
+  Alcotest.(check (float 1e-6)) "analytic"
+    (p.Thermal.ambient_k +. (0.1 /. p.Thermal.g_vertical))
+    t0
+
+let test_hotspot_peaks_at_source () =
+  let power = Array.make 16 0.0 in
+  power.(5) <- 0.2;
+  let t = Thermal.steady_state ~dim:4 power in
+  Array.iteri
+    (fun i temp ->
+      if i <> 5 then Alcotest.(check bool) "peak at source" true (temp < t.(5)))
+    t
+
+let test_hotspot_decays_with_distance () =
+  let power = Array.make 25 0.0 in
+  power.(12) <- 0.2;
+  (* center of 5x5 *)
+  let t = Thermal.steady_state ~dim:5 power in
+  Alcotest.(check bool) "neighbour hotter than corner" true (t.(11) > t.(0))
+
+let test_energy_balance () =
+  (* Steady state: total power in = total vertical flow out. *)
+  let p = Thermal.default_params in
+  let power = Array.init 16 (fun i -> 0.01 *. float_of_int i) in
+  let t = Thermal.steady_state ~dim:4 power in
+  let inflow = Array.fold_left ( +. ) 0.0 power in
+  let outflow =
+    Array.fold_left (fun acc temp -> acc +. (p.Thermal.g_vertical *. (temp -. p.Thermal.ambient_k))) 0.0 t
+  in
+  Alcotest.(check (float 1e-6)) "conserved" inflow outflow
+
+let test_transient_approaches_steady_state () =
+  let p = Thermal.default_params in
+  let power = Array.make 16 0.0 in
+  power.(0) <- 0.15;
+  let steady = Thermal.steady_state ~dim:4 power in
+  let t0 = Array.make 16 p.Thermal.ambient_k in
+  let dt = 0.9 *. p.Thermal.capacitance /. ((4.0 *. p.Thermal.g_lateral) +. p.Thermal.g_vertical) in
+  let final = Thermal.transient ~dim:4 ~power ~t0 ~dt 200_000 in
+  Array.iteri
+    (fun i temp -> Alcotest.(check (float 0.05)) "converges" steady.(i) temp)
+    final
+
+let test_transient_stability_guard () =
+  let p = Thermal.default_params in
+  let dt = 10.0 *. p.Thermal.capacitance /. p.Thermal.g_vertical in
+  Alcotest.check_raises "unstable dt"
+    (Invalid_argument "Thermal.transient: dt violates stability bound") (fun () ->
+      ignore
+        (Thermal.transient ~dim:2 ~power:(Array.make 4 0.0)
+           ~t0:(Array.make 4 300.0) ~dt 1))
+
+let test_power_map_tracks_stress () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let power = Thermal.power_map design m in
+  let acc = Stress.accumulated design m in
+  let p = Thermal.default_params in
+  Array.iteri
+    (fun pe pw ->
+      if acc.(pe) = 0.0 then
+        Alcotest.(check (float 1e-9)) "idle PE leaks only" p.Thermal.p_leak pw
+      else Alcotest.(check bool) "active PE above leakage" true (pw > p.Thermal.p_leak))
+    power
+
+let test_per_context_maps_shape () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let maps = Thermal.per_context_temperatures design m in
+  Alcotest.(check int) "one map per context" (Design.num_contexts design)
+    (Array.length maps);
+  Array.iter
+    (fun map ->
+      Alcotest.(check int) "PE-sized" (Fabric.num_pes (Design.fabric design))
+        (Array.length map))
+    maps
+
+(* ---------- NBTI ---------- *)
+
+let test_vth_shift_zero_cases () =
+  Alcotest.(check (float 0.)) "zero duty" 0.0
+    (Nbti.vth_shift ~duty:0.0 ~temp_k:350.0 1e8);
+  Alcotest.(check (float 0.)) "zero time" 0.0
+    (Nbti.vth_shift ~duty:0.5 ~temp_k:350.0 0.0)
+
+let test_vth_shift_monotone_in_time () =
+  let s t = Nbti.vth_shift ~duty:0.5 ~temp_k:350.0 t in
+  Alcotest.(check bool) "monotone" true (s 2e8 > s 1e8)
+
+let test_vth_shift_monotone_in_duty () =
+  let s d = Nbti.vth_shift ~duty:d ~temp_k:350.0 1e8 in
+  Alcotest.(check bool) "monotone" true (s 0.8 > s 0.4)
+
+let test_vth_shift_monotone_in_temp () =
+  let s t = Nbti.vth_shift ~duty:0.5 ~temp_k:t 1e8 in
+  Alcotest.(check bool) "hotter ages faster" true (s 360.0 > s 330.0)
+
+let test_time_to_fail_inverse_of_shift () =
+  (* At the failure time, the shift equals the threshold exactly. *)
+  let params = Nbti.default_params in
+  List.iter
+    (fun (duty, temp_k) ->
+      let t = Nbti.time_to_fail ~temp_k duty in
+      let shift = Nbti.vth_shift ~duty ~temp_k t in
+      Alcotest.(check (float 1e-6)) "consistent"
+        (params.Nbti.fail_frac *. params.Nbti.vth0)
+        shift)
+    [ (1.0, 353.0); (0.5, 330.0); (0.25, 320.0); (0.05, 400.0) ]
+
+let test_time_to_fail_halved_duty_doubles_life () =
+  (* From Eq. (1): t_fail is proportional to 1/duty at fixed T. *)
+  let t1 = Nbti.time_to_fail ~temp_k:350.0 0.5 in
+  let t2 = Nbti.time_to_fail ~temp_k:350.0 0.25 in
+  Alcotest.(check (float 1e-3)) "2x duty reduction = 2x life" 2.0 (t2 /. t1)
+
+let test_time_to_fail_zero_duty () =
+  Alcotest.(check bool) "immortal when idle" true
+    (Nbti.time_to_fail ~temp_k:350.0 0.0 = infinity)
+
+let test_calibration_decade_scale () =
+  (* The calibration promise in the doc: a fully stressed PE at 80 C
+     lives on the order of a decade. *)
+  let t = Nbti.time_to_fail ~temp_k:353.15 1.0 in
+  let years = t /. 3.156e7 in
+  Alcotest.(check bool) "decade order" true (years > 2.0 && years < 50.0)
+
+let test_shift_curve_matches_pointwise () =
+  let times = [| 1e7; 1e8; 1e9 |] in
+  let curve = Nbti.shift_curve ~duty:0.4 ~temp_k:345.0 times in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-12)) "pointwise" (Nbti.vth_shift ~duty:0.4 ~temp_k:345.0 t)
+        curve.(i))
+    times
+
+(* ---------- MTTF ---------- *)
+
+let test_mttf_breakdown_consistent () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let b = Mttf.of_mapping design m in
+  Alcotest.(check bool) "finite" true (b.Mttf.mttf_s < infinity);
+  Alcotest.(check bool) "critical PE in range" true
+    (b.Mttf.critical_pe >= 0 && b.Mttf.critical_pe < 16);
+  (* The breakdown must reproduce the NBTI solve for its own PE. *)
+  Alcotest.(check (float 1e-3)) "self-consistent" b.Mttf.mttf_s
+    (Nbti.time_to_fail ~temp_k:b.Mttf.critical_temp_k b.Mttf.critical_duty)
+
+let test_mttf_min_over_pes () =
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let b = Mttf.of_mapping design m in
+  let temps = Thermal.pe_temperatures design m in
+  let acc = Stress.accumulated design m in
+  let c = float_of_int (Design.num_contexts design) in
+  Array.iteri
+    (fun pe stress ->
+      if stress > 0.0 then begin
+        let t = Nbti.time_to_fail ~temp_k:temps.(pe) (stress /. c) in
+        Alcotest.(check bool) "no PE fails earlier" true (t >= b.Mttf.mttf_s -. 1e-6)
+      end)
+    acc
+
+let test_mttf_improvement_of_leveling () =
+  (* Hand-built comparison: concentrating two heavy ops on one PE vs
+     spreading them must strictly reduce MTTF. *)
+  let mk_ctx () =
+    let ops = [| Op.make ~id:0 ~kind:Op.Shift ~bitwidth:32 |] in
+    Dfg.create ~ops ~edges:[]
+  in
+  let design =
+    Design.create ~name:"lvl" ~fabric:(Fabric.create ~dim:2) [| mk_ctx (); mk_ctx () |]
+  in
+  let concentrated = Mapping.create (fun _ _ -> 0) design in
+  let spread = Mapping.create (fun ctx _ -> ctx) design in
+  let imp = Mttf.improvement design ~baseline:concentrated ~remapped:spread in
+  Alcotest.(check bool) "leveling helps" true (imp > 1.5)
+
+let test_mttf_paper_variant_agrees_roughly () =
+  (* On strongly concentrated baselines, the hottest PE is the most
+     stressed one, so the paper's variant matches min-over-PEs. *)
+  let design = Benchmarks.tiny () in
+  let m = Placer.aging_unaware design in
+  let a = Mttf.of_mapping design m in
+  let b = Mttf.of_mapping_paper_variant design m in
+  Alcotest.(check bool) "same order of magnitude" true
+    (b.Mttf.mttf_s /. a.Mttf.mttf_s < 3.0 && b.Mttf.mttf_s >= a.Mttf.mttf_s -. 1e-6)
+
+(* ---------- properties ---------- *)
+
+let prop_steady_state_monotone_in_power =
+  QCheck2.Test.make ~name:"more power => nowhere cooler" ~count:100 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Agingfp_util.Rng.create seed in
+      let p1 = Array.init 16 (fun _ -> Agingfp_util.Rng.float rng 0.1) in
+      let p2 = Array.mapi (fun i p -> if i mod 3 = 0 then p +. 0.05 else p) p1 in
+      let t1 = Thermal.steady_state ~dim:4 p1 in
+      let t2 = Thermal.steady_state ~dim:4 p2 in
+      Array.for_all2 (fun a b -> b >= a -. 1e-9) t1 t2)
+
+let prop_mttf_decreases_with_added_stress =
+  QCheck2.Test.make ~name:"adding stress never extends device life" ~count:50
+    QCheck2.Gen.(tup2 (float_range 0.1 0.9) (float_range 0.01 0.1))
+    (fun (duty, extra) ->
+      let t1 = Nbti.time_to_fail ~temp_k:345.0 duty in
+      let t2 = Nbti.time_to_fail ~temp_k:345.0 (duty +. extra) in
+      t2 <= t1)
+
+let () =
+  Alcotest.run "thermal+aging"
+    [
+      ( "thermal",
+        [
+          Alcotest.test_case "zero power ambient" `Quick test_zero_power_is_ambient;
+          Alcotest.test_case "uniform power" `Quick test_uniform_power_uniform_temp;
+          Alcotest.test_case "hotspot peak" `Quick test_hotspot_peaks_at_source;
+          Alcotest.test_case "distance decay" `Quick test_hotspot_decays_with_distance;
+          Alcotest.test_case "energy balance" `Quick test_energy_balance;
+          Alcotest.test_case "transient converges" `Slow
+            test_transient_approaches_steady_state;
+          Alcotest.test_case "stability guard" `Quick test_transient_stability_guard;
+          Alcotest.test_case "power map" `Quick test_power_map_tracks_stress;
+          Alcotest.test_case "per-context maps" `Quick test_per_context_maps_shape;
+        ] );
+      ( "nbti",
+        [
+          Alcotest.test_case "zero cases" `Quick test_vth_shift_zero_cases;
+          Alcotest.test_case "monotone in time" `Quick test_vth_shift_monotone_in_time;
+          Alcotest.test_case "monotone in duty" `Quick test_vth_shift_monotone_in_duty;
+          Alcotest.test_case "monotone in temp" `Quick test_vth_shift_monotone_in_temp;
+          Alcotest.test_case "failure-time inverse" `Quick test_time_to_fail_inverse_of_shift;
+          Alcotest.test_case "1/duty scaling" `Quick test_time_to_fail_halved_duty_doubles_life;
+          Alcotest.test_case "zero duty immortal" `Quick test_time_to_fail_zero_duty;
+          Alcotest.test_case "decade calibration" `Quick test_calibration_decade_scale;
+          Alcotest.test_case "curve pointwise" `Quick test_shift_curve_matches_pointwise;
+        ] );
+      ( "mttf",
+        [
+          Alcotest.test_case "breakdown consistent" `Quick test_mttf_breakdown_consistent;
+          Alcotest.test_case "min over PEs" `Quick test_mttf_min_over_pes;
+          Alcotest.test_case "leveling helps" `Quick test_mttf_improvement_of_leveling;
+          Alcotest.test_case "paper variant" `Quick test_mttf_paper_variant_agrees_roughly;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_steady_state_monotone_in_power;
+          QCheck_alcotest.to_alcotest prop_mttf_decreases_with_added_stress;
+        ] );
+    ]

@@ -1,0 +1,408 @@
+(* Unit and property tests for the util library: deterministic RNG,
+   coordinate geometry (the 8 orientations), stats, table rendering. *)
+
+module Rng = Agingfp_util.Rng
+module Coord = Agingfp_util.Coord
+module Stats = Agingfp_util.Stats
+module Ascii_table = Agingfp_util.Ascii_table
+module Heap = Agingfp_util.Heap
+module Bipartite = Agingfp_util.Bipartite
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  let _ = Rng.int a 100 in
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Rng.int a 9999) (Rng.int b 9999)
+
+let test_rng_split () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_uniformity () =
+  (* Coarse chi-square style sanity check on bucket counts. *)
+  let r = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket within 5% of uniform" true
+        (abs (c - (n / 10)) < n / 20))
+    buckets
+
+(* ---------- Coord ---------- *)
+
+let test_manhattan () =
+  Alcotest.(check int) "dist" 7 (Coord.manhattan (Coord.make 0 0) (Coord.make 3 4));
+  Alcotest.(check int) "symmetric" 7 (Coord.manhattan (Coord.make 3 4) (Coord.make 0 0));
+  Alcotest.(check int) "zero" 0 (Coord.manhattan (Coord.make 2 2) (Coord.make 2 2))
+
+let test_orientation_count () =
+  Alcotest.(check int) "8 orientations" 8 (Array.length Coord.all_orientations)
+
+let test_transform_preserves_distance () =
+  let p = Coord.make 2 5 and q = Coord.make 7 1 in
+  Array.iter
+    (fun o ->
+      let p' = Coord.transform o p and q' = Coord.transform o q in
+      Alcotest.(check int)
+        (Printf.sprintf "distance preserved under %s" (Coord.orientation_to_string o))
+        (Coord.manhattan p q) (Coord.manhattan p' q'))
+    Coord.all_orientations
+
+let test_transform_distinct () =
+  (* On an asymmetric shape the 8 orientations are pairwise distinct
+     (after normalization) — the paper's "8 unique orientations". *)
+  let shape = [ Coord.make 0 0; Coord.make 1 0; Coord.make 2 0; Coord.make 2 1 ] in
+  let images =
+    Array.to_list Coord.all_orientations
+    |> List.map (fun o ->
+           let ps, _ = Coord.normalize (Coord.transform_all o shape) in
+           List.sort Coord.compare ps)
+  in
+  let distinct = List.sort_uniq compare images in
+  Alcotest.(check int) "8 distinct images" 8 (List.length distinct)
+
+let test_r180_is_involution () =
+  let p = Coord.make 3 (-2) in
+  let q = Coord.transform Coord.R180 (Coord.transform Coord.R180 p) in
+  Alcotest.(check bool) "R180 twice = id" true (Coord.equal p q)
+
+let test_mirror_is_involution () =
+  let p = Coord.make 3 (-2) in
+  let q = Coord.transform Coord.MR0 (Coord.transform Coord.MR0 p) in
+  Alcotest.(check bool) "MR0 twice = id" true (Coord.equal p q)
+
+let test_normalize () =
+  let ps, off = Coord.normalize [ Coord.make 3 4; Coord.make 5 4; Coord.make 3 7 ] in
+  let mn, _ = Coord.bounding_box ps in
+  Alcotest.(check bool) "min corner at origin" true (Coord.equal mn (Coord.make 0 0));
+  Alcotest.(check bool) "offset recorded" true (Coord.equal off (Coord.make 3 4))
+
+let test_bounding_box () =
+  let mn, mx = Coord.bounding_box [ Coord.make 1 5; Coord.make 4 2; Coord.make 0 3 ] in
+  Alcotest.(check bool) "min" true (Coord.equal mn (Coord.make 0 2));
+  Alcotest.(check bool) "max" true (Coord.equal mx (Coord.make 4 5))
+
+(* ---------- Stats ---------- *)
+
+let test_mean () = check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+let test_mean_empty () = check_float "empty mean" 0.0 (Stats.mean [||])
+
+let test_geomean () = check_float "geomean" 2.0 (Stats.geomean [| 1.; 2.; 4. |])
+
+let test_max_by () =
+  Alcotest.(check int) "max_by" 3 (Stats.max_by float_of_int [| 1; 3; 2 |])
+
+let test_stddev () =
+  check_float "stddev" 2.0 (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.; 1.; 2.; 3. |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "counts sum" 4 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
+
+(* ---------- Ascii_table ---------- *)
+
+let test_table_alignment () =
+  let s =
+    Ascii_table.render ~header:[| "a"; "long" |] [ [| "10"; "x" |]; [| "2"; "yy" |] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_short_row_padded () =
+  let s = Ascii_table.render ~header:[| "a"; "b" |] [ [| "1" |] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_table_wide_row_rejected () =
+  Alcotest.check_raises "too wide" (Invalid_argument "Ascii_table.render: row too wide")
+    (fun () -> ignore (Ascii_table.render ~header:[| "a" |] [ [| "1"; "2" |] ]))
+
+let test_render_grid () =
+  let s = Ascii_table.render_grid ~w:3 ~h:2 (fun x y -> string_of_int ((y * 3) + x)) in
+  Alcotest.(check string) "grid" "0 1 2\n3 4 5" s
+
+(* ---------- Heap ---------- *)
+
+let test_heap_basic () =
+  let h = Heap.create Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "size" 5 (Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 1 again" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "exhausted" None (Heap.pop h)
+
+let test_heap_max_mode () =
+  let h = Heap.create (fun a b -> Int.compare b a) in
+  List.iter (Heap.push h) [ 2; 9; 4 ];
+  Alcotest.(check (option int)) "max first" (Some 9) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 50) (int_bound 1000))
+    (fun xs ->
+      let h = Heap.create Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let prop_heap_interleaved =
+  QCheck2.Test.make ~name:"heap invariant survives interleaved push/pop" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (int_bound 100))
+    (fun ops ->
+      let h = Heap.create Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun x ->
+          if x mod 3 = 0 && !model <> [] then begin
+            let sorted = List.sort Int.compare !model in
+            let expected = List.hd sorted in
+            model := List.tl sorted;
+            Heap.pop h = Some expected
+          end
+          else begin
+            Heap.push h x;
+            model := x :: !model;
+            true
+          end)
+        ops)
+
+(* ---------- Bipartite matching ---------- *)
+
+let test_matching_perfect () =
+  let g = Bipartite.create ~n_left:3 ~n_right:3 in
+  (* 0-{0,1}, 1-{0}, 2-{2}: perfect matching exists (0->1, 1->0, 2->2). *)
+  Bipartite.add_edge g 0 0;
+  Bipartite.add_edge g 0 1;
+  Bipartite.add_edge g 1 0;
+  Bipartite.add_edge g 2 2;
+  let m = Bipartite.solve g in
+  Alcotest.(check int) "perfect" 3 (Bipartite.matching_size m);
+  Alcotest.(check int) "1 forced to 0" 0 m.(1)
+
+let test_matching_deficient () =
+  (* Two lefts both only reach right 0: max matching 1 (Hall violation). *)
+  let g = Bipartite.create ~n_left:2 ~n_right:2 in
+  Bipartite.add_edge g 0 0;
+  Bipartite.add_edge g 1 0;
+  let m = Bipartite.solve g in
+  Alcotest.(check int) "deficient" 1 (Bipartite.matching_size m)
+
+let test_matching_empty () =
+  let g = Bipartite.create ~n_left:0 ~n_right:5 in
+  Alcotest.(check int) "empty" 0 (Bipartite.matching_size (Bipartite.solve g))
+
+let test_matching_validity () =
+  let g = Bipartite.create ~n_left:4 ~n_right:4 in
+  for l = 0 to 3 do
+    for r = 0 to 3 do
+      if (l + r) mod 2 = 0 then Bipartite.add_edge g l r
+    done
+  done;
+  let m = Bipartite.solve g in
+  (* Matched rights must be distinct and edges must exist. *)
+  let seen = Hashtbl.create 4 in
+  Array.iteri
+    (fun l r ->
+      if r >= 0 then begin
+        Alcotest.(check bool) "edge exists" true ((l + r) mod 2 = 0);
+        Alcotest.(check bool) "right distinct" false (Hashtbl.mem seen r);
+        Hashtbl.add seen r ()
+      end)
+    m
+
+(* Brute-force max matching by trying all assignments (small). *)
+let brute_matching n_left n_right edges =
+  let best = ref 0 in
+  let used = Array.make n_right false in
+  let rec go l count =
+    if l = n_left then best := max !best count
+    else begin
+      go (l + 1) count;
+      List.iter
+        (fun (a, r) ->
+          if a = l && not used.(r) then begin
+            used.(r) <- true;
+            go (l + 1) (count + 1);
+            used.(r) <- false
+          end)
+        edges
+    end
+  in
+  go 0 0;
+  !best
+
+let prop_matching_matches_brute_force =
+  QCheck2.Test.make ~name:"Hopcroft-Karp matches brute force on random graphs"
+    ~count:150 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_left = 1 + Rng.int rng 6 and n_right = 1 + Rng.int rng 6 in
+      let edges = ref [] in
+      for l = 0 to n_left - 1 do
+        for r = 0 to n_right - 1 do
+          if Rng.int rng 3 = 0 then edges := (l, r) :: !edges
+        done
+      done;
+      let g = Bipartite.create ~n_left ~n_right in
+      List.iter (fun (l, r) -> Bipartite.add_edge g l r) !edges;
+      Bipartite.matching_size (Bipartite.solve g)
+      = brute_matching n_left n_right !edges)
+
+(* ---------- Properties ---------- *)
+
+let prop_manhattan_triangle =
+  QCheck2.Test.make ~name:"manhattan satisfies triangle inequality" ~count:500
+    QCheck2.Gen.(
+      tup3
+        (tup2 (int_bound 100) (int_bound 100))
+        (tup2 (int_bound 100) (int_bound 100))
+        (tup2 (int_bound 100) (int_bound 100)))
+    (fun ((ax, ay), (bx, by), (cx, cy)) ->
+      let a = Coord.make ax ay and b = Coord.make bx by and c = Coord.make cx cy in
+      Coord.manhattan a c <= Coord.manhattan a b + Coord.manhattan b c)
+
+let prop_orientations_preserve_pairwise_distances =
+  QCheck2.Test.make ~name:"all orientations preserve pairwise Manhattan distances"
+    ~count:300
+    QCheck2.Gen.(
+      tup2 (int_bound 7)
+        (list_size (int_range 2 6) (tup2 (int_bound 20) (int_bound 20))))
+    (fun (oi, pts) ->
+      let o = Coord.all_orientations.(oi) in
+      let ps = List.map (fun (x, y) -> Coord.make x y) pts in
+      let qs = Coord.transform_all o ps in
+      List.for_all2
+        (fun p q ->
+          List.for_all2
+            (fun p' q' -> Coord.manhattan p p' = Coord.manhattan q q')
+            ps qs)
+        ps qs)
+
+let prop_shuffle_preserves_multiset =
+  QCheck2.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck2.Gen.(tup2 int (list_size (int_range 0 30) (int_bound 10)))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      Rng.shuffle (Rng.create seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "coord",
+        [
+          Alcotest.test_case "manhattan" `Quick test_manhattan;
+          Alcotest.test_case "orientation count" `Quick test_orientation_count;
+          Alcotest.test_case "transform preserves distance" `Quick
+            test_transform_preserves_distance;
+          Alcotest.test_case "8 distinct images" `Quick test_transform_distinct;
+          Alcotest.test_case "R180 involution" `Quick test_r180_is_involution;
+          Alcotest.test_case "mirror involution" `Quick test_mirror_is_involution;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "bounding box" `Quick test_bounding_box;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "mean empty" `Quick test_mean_empty;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "max_by" `Quick test_max_by;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "short row padded" `Quick test_table_short_row_padded;
+          Alcotest.test_case "wide row rejected" `Quick test_table_wide_row_rejected;
+          Alcotest.test_case "render grid" `Quick test_render_grid;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "max mode" `Quick test_heap_max_mode;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "perfect" `Quick test_matching_perfect;
+          Alcotest.test_case "deficient" `Quick test_matching_deficient;
+          Alcotest.test_case "empty" `Quick test_matching_empty;
+          Alcotest.test_case "validity" `Quick test_matching_validity;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matching_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_interleaved;
+          QCheck_alcotest.to_alcotest prop_manhattan_triangle;
+          QCheck_alcotest.to_alcotest prop_orientations_preserve_pairwise_distances;
+          QCheck_alcotest.to_alcotest prop_shuffle_preserves_multiset;
+        ] );
+    ]
