@@ -31,6 +31,9 @@ module Ilp_model = Agingfp_floorplan.Ilp_model
 module Ascii_table = Agingfp_util.Ascii_table
 module Stats = Agingfp_util.Stats
 module Coord = Agingfp_util.Coord
+module Milp = Agingfp_lp.Milp
+module LpModel = Agingfp_lp.Model
+module LpExpr = Agingfp_lp.Expr
 
 let quick = ref false
 
@@ -251,6 +254,7 @@ let bench_fig4 () =
 
 let bench_ablation_ilp () =
   header "Ablation (par. V.A): primary monolithic ILP vs two-step MILP";
+  Milp.reset_cumulative ();
   Printf.printf "%-22s %9s %6s | %9s %8s | %9s %8s\n" "instance" "binaries" "rows"
     "ILP sec" "solved" "MILP sec" "MTTFx";
   let cases =
@@ -284,7 +288,9 @@ let bench_ablation_ilp () =
     "\n(the primary ILP's binaries grow as ops x PEs x contexts; the paper reports\n";
   Printf.printf
     " it failed to finish within 5 days on larger benchmarks — here it hits the\n";
-  Printf.printf " node budget while the two-step MILP finishes every instance)\n"
+  Printf.printf " node budget while the two-step MILP finishes every instance)\n";
+  Printf.printf "\nsolver stats: %s\n"
+    (Format.asprintf "%a" Milp.pp_stats (Milp.cumulative ()))
 
 (* ---------- Ablation: naive spreading (paper par. IV) ---------- *)
 
@@ -334,6 +340,7 @@ let bench_ablation_encoding () =
 
 let bench_ablation_decomp () =
   header "Ablation (DESIGN.md par. 5): monolithic MILP vs per-context decomposition";
+  Milp.reset_cumulative ();
   Printf.printf "%-6s %-12s | %9s %9s %7s\n" "bench" "strategy" "sec" "ST" "MTTFx";
   List.iter
     (fun name ->
@@ -349,7 +356,9 @@ let bench_ablation_decomp () =
           Printf.printf "%-6s %-12s | %9.2f %9.3f %7.2f\n%!" name sname dt
             r.Remap.st_target imp)
         [ ("monolithic", Remap.Monolithic); ("per-context", Remap.Per_context) ])
-    [ "B1"; "B10"; "B13" ]
+    [ "B1"; "B10"; "B13" ];
+  Printf.printf "\nsolver stats: %s\n"
+    (Format.asprintf "%a" Milp.pp_stats (Milp.cumulative ()))
 
 (* ---------- Ablation: related-work strategies (paper refs [4],[8],[10]) ---------- *)
 
@@ -541,6 +550,143 @@ let bench_micro () =
         analyzed)
     tests
 
+(* ---------- smoke-lp: cold vs. warm branch & bound ---------- *)
+
+(* One mid-size Eq.(3)-shaped MILP (one-hot assignment rows, per-context
+   capacity rows, tight per-PE stress budgets, random costs) solved
+   twice with identical parameters except [warm_start] — machine-
+   readable trajectory record in BENCH_lp.json. *)
+let bench_smoke_lp () =
+  header "smoke-lp: presolve + warm-started B&B on an Eq.(3)-shaped MILP";
+  let contexts = 6 and ops = 10 and npes = 16 and ncand = 4 in
+  let seed = ref 987654321 in
+  let rand n =
+    seed := ((1103515245 * !seed) + 12345) land 0x3FFFFFFF;
+    !seed mod n
+  in
+  let lp = LpModel.create () in
+  let stress_terms = Array.make npes [] in
+  let cap = Hashtbl.create 64 in
+  let obj = ref LpExpr.zero in
+  let total_stress = ref 0.0 in
+  for ctx = 0 to contexts - 1 do
+    for op = 0 to ops - 1 do
+      let st_op = 0.5 +. (float_of_int (rand 100) /. 100.0) in
+      total_stress := !total_stress +. st_op;
+      let terms = ref [] in
+      let used = Array.make npes false in
+      for _ = 1 to ncand do
+        let pe = ref (rand npes) in
+        while used.(!pe) do
+          pe := (!pe + 1) mod npes
+        done;
+        used.(!pe) <- true;
+        let v = LpModel.add_binary ~name:(Printf.sprintf "x_%d_%d_%d" ctx op !pe) lp in
+        terms := LpExpr.var v :: !terms;
+        stress_terms.(!pe) <- (st_op, v) :: stress_terms.(!pe);
+        let key = (ctx, !pe) in
+        let cur = try Hashtbl.find cap key with Not_found -> [] in
+        Hashtbl.replace cap key (v :: cur);
+        obj := LpExpr.add_term !obj (float_of_int (rand 1000) /. 1000.0) v
+      done;
+      ignore (LpModel.add_constraint lp (LpExpr.sum !terms) LpModel.Eq 1.0)
+    done
+  done;
+  Hashtbl.iter
+    (fun _ vs ->
+      match vs with
+      | [] | [ _ ] -> ()
+      | vs ->
+        ignore
+          (LpModel.add_constraint lp (LpExpr.sum (List.map LpExpr.var vs)) LpModel.Le 1.0))
+    cap;
+  (* Tight budgets force fractional LP vertices, hence real branching. *)
+  let budget = !total_stress /. float_of_int npes *. 1.25 in
+  for pe = 0 to npes - 1 do
+    match stress_terms.(pe) with
+    | [] -> ()
+    | terms ->
+      let lhs = LpExpr.sum (List.map (fun (c, v) -> LpExpr.var ~coef:c v) terms) in
+      ignore (LpModel.add_constraint lp lhs LpModel.Le budget)
+  done;
+  LpModel.set_objective lp LpModel.Minimize !obj;
+  Printf.printf "instance: %d binaries, %d rows, per-PE budget %.3f\n%!"
+    (LpModel.num_vars lp) (LpModel.num_constraints lp) budget;
+  let run warm =
+    let params =
+      {
+        Milp.default_params with
+        Milp.node_limit = 400;
+        first_solution = false;
+        warm_start = warm;
+      }
+    in
+    let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
+    let objective =
+      match result with Milp.Feasible sol -> sol.Agingfp_lp.Simplex.objective | _ -> nan
+    in
+    Printf.printf "%-5s %-28s %6.3fs | %s\n%!"
+      (if warm then "warm" else "cold")
+      (Format.asprintf "%a" Milp.pp_result result)
+      dt
+      (Format.asprintf "%a" Milp.pp_stats stats);
+    (objective, stats, dt)
+  in
+  let cold_obj, cold_stats, cold_dt = run false in
+  let warm_obj, warm_stats, warm_dt = run true in
+  let row label (stats : Milp.stats) dt obj =
+    [|
+      label;
+      string_of_int stats.Milp.nodes;
+      string_of_int stats.Milp.warm_solves;
+      string_of_int stats.Milp.cold_solves;
+      string_of_int stats.Milp.lp_iterations;
+      Printf.sprintf "%.3f" dt;
+      Printf.sprintf "%.4f" obj;
+    |]
+  in
+  print_endline
+    (Ascii_table.render
+       ~header:[| "mode"; "nodes"; "warm"; "cold"; "LP iters"; "seconds"; "objective" |]
+       [ row "cold" cold_stats cold_dt cold_obj; row "warm" warm_stats warm_dt warm_obj ]);
+  if abs_float (cold_obj -. warm_obj) > 1e-6 then
+    Printf.printf "WARNING: cold and warm objectives differ (%.6f vs %.6f)\n" cold_obj
+      warm_obj;
+  if warm_stats.Milp.warm_solves = 0 then
+    Printf.printf "WARNING: warm run performed no warm solves\n";
+  let json_leg (stats : Milp.stats) dt =
+    Printf.sprintf
+      "{\"seconds\": %.4f, \"nodes\": %d, \"lp_iterations\": %d, \"warm_solves\": %d, \
+       \"cold_solves\": %d}"
+      dt stats.Milp.nodes stats.Milp.lp_iterations stats.Milp.warm_solves
+      stats.Milp.cold_solves
+  in
+  let oc = open_out "BENCH_lp.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"instance\": {\"binaries\": %d, \"rows\": %d},\n\
+    \  \"presolve\": {\"rows_removed\": %d, \"vars_fixed\": %d, \"bounds_tightened\": %d, \
+     \"probe_fixings\": %d},\n\
+    \  \"cold\": %s,\n\
+    \  \"warm\": %s,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"iteration_ratio\": %.3f\n\
+     }\n"
+    (LpModel.num_vars lp) (LpModel.num_constraints lp)
+    warm_stats.Milp.presolve.Agingfp_lp.Presolve.rows_removed
+    warm_stats.Milp.presolve.Agingfp_lp.Presolve.vars_fixed
+    warm_stats.Milp.presolve.Agingfp_lp.Presolve.bounds_tightened
+    warm_stats.Milp.presolve.Agingfp_lp.Presolve.probe_fixings
+    (json_leg cold_stats cold_dt) (json_leg warm_stats warm_dt)
+    (cold_dt /. warm_dt)
+    (float_of_int cold_stats.Milp.lp_iterations
+    /. float_of_int (max 1 warm_stats.Milp.lp_iterations));
+  close_out oc;
+  Printf.printf "wrote BENCH_lp.json (speedup %.2fx, iteration ratio %.2fx)\n%!"
+    (cold_dt /. warm_dt)
+    (float_of_int cold_stats.Milp.lp_iterations
+    /. float_of_int (max 1 warm_stats.Milp.lp_iterations))
+
 (* ---------- driver ---------- *)
 
 let all_experiments =
@@ -559,6 +705,7 @@ let all_experiments =
     ("ablation-nbti", bench_ablation_nbti);
     ("ablation-routing", bench_ablation_routing);
     ("table1-seeds", bench_table1_seeds);
+    ("smoke-lp", bench_smoke_lp);
     ("micro", bench_micro);
   ]
 

@@ -19,6 +19,7 @@ module Paths = Agingfp_floorplan.Paths
 module Candidates = Agingfp_floorplan.Candidates
 module Ilp_model = Agingfp_floorplan.Ilp_model
 module Lp_format = Agingfp_lp.Lp_format
+module Milp = Agingfp_lp.Milp
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
 
@@ -96,8 +97,27 @@ let cmd_mttf benchmark source dim =
       (b.Mttf.critical_temp_k -. 273.15);
     0
 
+let solver_stats_table () =
+  let s = Milp.cumulative () in
+  let p = s.Milp.presolve in
+  let row name v = [| name; string_of_int v |] in
+  Ascii_table.render
+    ~header:[| "solver metric"; "value" |]
+    [
+      row "B&B nodes" s.Milp.nodes;
+      row "warm LP solves" s.Milp.warm_solves;
+      row "cold LP solves" s.Milp.cold_solves;
+      row "LP iterations" s.Milp.lp_iterations;
+      row "presolve rounds" p.Agingfp_lp.Presolve.rounds;
+      row "rows removed" p.Agingfp_lp.Presolve.rows_removed;
+      row "singleton rows" p.Agingfp_lp.Presolve.singleton_rows;
+      row "vars fixed" p.Agingfp_lp.Presolve.vars_fixed;
+      row "bounds tightened" p.Agingfp_lp.Presolve.bounds_tightened;
+      row "probe fixings" p.Agingfp_lp.Presolve.probe_fixings;
+    ]
+
 let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
-    techmap =
+    techmap stats =
   match
     (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s)
   with
@@ -112,6 +132,7 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
       | Error msg -> prerr_endline msg)
     | None -> ());
     let baseline = Placer.aging_unaware design in
+    Milp.reset_cumulative ();
     let r = Remap.solve ~mode design baseline in
     let imp = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
     Format.printf "%a@." Design.pp design;
@@ -128,6 +149,7 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
     Format.printf "MTTF increase       : %.2fx@." imp;
     if not r.Remap.improved then
       Format.printf "(no delay-clean floorplan found; baseline kept)@.";
+    if stats then Format.printf "@.%s@." (solver_stats_table ());
     (match save_floorplan with
     | Some path -> (
       match Serial.save_mapping path r.Remap.mapping with
@@ -285,6 +307,13 @@ let save_floorplan_arg =
     & opt (some string) None
     & info [ "save-floorplan" ] ~docv:"FILE" ~doc:"Serialize the re-mapped floorplan.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the cumulative MILP/LP solver statistics (presolve reductions, \
+              branch & bound nodes, warm vs. cold LP solves).")
+
 let techmap_arg =
   Arg.(
     value & flag
@@ -311,10 +340,10 @@ let mttf_cmd =
 let remap_cmd =
   Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
     Term.(
-      const (fun verbose b s d m q df sd sf tm ->
-          with_logs verbose (cmd_remap b s d m q df sd sf tm))
+      const (fun verbose b s d m q df sd sf tm stats ->
+          with_logs verbose (cmd_remap b s d m q df sd sf tm stats))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
-      $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg)
+      $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg)
 
 let out_arg =
   Arg.(

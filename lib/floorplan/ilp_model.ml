@@ -15,6 +15,7 @@ type instance = {
   frozen_pins : (int * int) list array;  (* ctx -> (op, pe) *)
   vars : (int * int * int, int) Hashtbl.t;  (* (ctx, op, pe) -> var *)
   nbin : int;
+  stress_rows : (int * int) list;  (* (pe, row) of the stress-budget rows *)
 }
 
 let model t = t.lp
@@ -23,6 +24,16 @@ let var t ~ctx ~op ~pe = Hashtbl.find_opt t.vars (ctx, op, pe)
 
 let num_binaries t = t.nbin
 let num_rows t = Model.num_constraints t.lp
+
+let stress_budget_rows t = t.stress_rows
+
+(* ST_target and the committed loads enter the formulation only through
+   the stress-budget right-hand sides, so Algorithm 1's Δ-relaxation
+   loop can move the budget without rebuilding the instance. *)
+let set_st_target t ~st_target ~committed =
+  List.iter
+    (fun (pe, row) -> Model.set_rhs t.lp row (st_target -. committed.(pe)))
+    t.stress_rows
 
 (* Reference position of an op: its frozen pin when pinned, otherwise
    its baseline PE. Displacement is measured against the baseline PE
@@ -89,12 +100,14 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
           (Model.add_constraint lp (Expr.sum (List.map Expr.var vs)) Model.Le 1.0))
     capacity_terms;
   (* Stress budget per PE. *)
+  let stress_rows = ref [] in
   for pe = 0 to npes - 1 do
     match stress_terms.(pe) with
     | [] -> ()
     | terms ->
       let lhs = Expr.sum (List.map (fun (c, v) -> Expr.var ~coef:c v) terms) in
-      ignore (Model.add_constraint lp lhs Model.Le (st_target -. committed.(pe)))
+      let row = Model.add_constraint lp lhs Model.Le (st_target -. committed.(pe)) in
+      stress_rows := (pe, row) :: !stress_rows
   done;
   (* Geometry helpers. *)
   let coord pe = Fabric.coord_of_pe fabric pe in
@@ -199,7 +212,8 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
         done)
       contexts;
     Model.set_objective lp Model.Minimize !total);
-  { lp; design; contexts; candidates; frozen_pins; vars; nbin = !nbin }
+  { lp; design; contexts; candidates; frozen_pins; vars; nbin = !nbin;
+    stress_rows = !stress_rows }
 
 let extract t ~values base_mapping =
   let arrays =

@@ -58,3 +58,14 @@ val var : instance -> ctx:int -> op:int -> pe:int -> int option
 
 val num_binaries : instance -> int
 val num_rows : instance -> int
+
+val stress_budget_rows : instance -> (int * int) list
+(** [(pe, row)] pairs of the stress-budget constraints. *)
+
+val set_st_target : instance -> st_target:float -> committed:float array -> unit
+(** Rewrite the stress-budget right-hand sides for a new [st_target]
+    and committed-load vector. ST_target and [committed] only ever
+    enter the formulation through these RHS values, so an instance can
+    be rebudgeted in place across Algorithm 1's Δ-relaxation attempts
+    (and its assembled {!Agingfp_lp.Simplex.state} warm-restarted via
+    [Simplex.set_rhs] + [Simplex.reoptimize]). *)

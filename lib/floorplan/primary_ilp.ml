@@ -9,6 +9,7 @@ type result = {
   max_stress : float;
   binaries : int;
   rows : int;
+  stats : Milp.stats;
 }
 
 let solve ?(milp = { Milp.default_params with node_limit = 400; first_solution = false })
@@ -113,8 +114,8 @@ let solve ?(milp = { Milp.default_params with node_limit = 400; first_solution =
     monitored;
   Model.set_objective lp Model.Minimize (Expr.var t_var);
   let rows = Model.num_constraints lp in
-  match Milp.solve ~params:milp lp with
-  | Milp.Feasible sol ->
+  match Milp.solve_with_stats ~params:milp lp with
+  | Milp.Feasible sol, stats ->
     let arrays =
       Array.init ncontexts (fun ctx ->
           let dfg = Design.context design ctx in
@@ -139,6 +140,7 @@ let solve ?(milp = { Milp.default_params with node_limit = 400; first_solution =
       max_stress = sol.Agingfp_lp.Simplex.values.(t_var);
       binaries = !nbin;
       rows;
+      stats;
     }
-  | Milp.Infeasible | Milp.Unknown ->
-    { mapping = None; max_stress = nan; binaries = !nbin; rows }
+  | (Milp.Infeasible | Milp.Unknown), stats ->
+    { mapping = None; max_stress = nan; binaries = !nbin; rows; stats }

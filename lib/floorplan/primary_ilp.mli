@@ -16,6 +16,7 @@ type result = {
   max_stress : float;          (** objective value when solved *)
   binaries : int;
   rows : int;
+  stats : Agingfp_lp.Milp.stats;  (** presolve reductions + search counters *)
 }
 
 val solve :

@@ -1,6 +1,7 @@
 open Agingfp_cgrra
 module Analysis = Agingfp_timing.Analysis
 module Milp = Agingfp_lp.Milp
+module Simplex = Agingfp_lp.Simplex
 
 let src = Logs.Src.create "agingfp.remap" ~doc:"Aging-aware remapping"
 
@@ -173,6 +174,47 @@ let pack_context design ~candidates ~st_target ~committed ~lp_value ctx assignme
     true
   end
 
+(* ---------- warm-started solver cache ---------- *)
+
+(* ST_target and the committed loads only enter formulation (3)
+   through the stress-budget RHS, so across Algorithm 1's Δ-relaxation
+   attempts (and the ST_target bisection of Step 1's Milp_relax probe)
+   each instance is built and assembled once; later attempts rebudget
+   the rows in place and warm-restart the simplex from the previous
+   basis. *)
+type solver_cache = {
+  mutable mono : (Ilp_model.instance * Simplex.state) option;
+  per_ctx : (int, Ilp_model.instance * Simplex.state) Hashtbl.t;
+}
+
+let new_cache () = { mono = None; per_ctx = Hashtbl.create 8 }
+
+(* Rebudget a cached instance + state and re-solve its LP relaxation
+   warm; on a cache miss, [build] makes the instance and the first
+   solve runs cold. Feeds the global Milp counters either way. *)
+let cached_lp_solve ~get ~set ~build ~st_target ~committed =
+  let inst, st, fresh =
+    match get () with
+    | Some (inst, st) ->
+      Ilp_model.set_st_target inst ~st_target ~committed;
+      List.iter
+        (fun (pe, row) -> Simplex.set_rhs st row (st_target -. committed.(pe)))
+        (Ilp_model.stress_budget_rows inst);
+      (inst, st, false)
+    | None ->
+      let inst = build () in
+      let st = Simplex.assemble (Ilp_model.model inst) in
+      set (inst, st);
+      (inst, st, true)
+  in
+  let s0 = Simplex.state_stats st in
+  let status = if fresh then Simplex.solve_state st else Simplex.reoptimize st in
+  let s1 = Simplex.state_stats st in
+  Milp.note_lp_solve
+    ~warm:(s1.Simplex.warm_solves > s0.Simplex.warm_solves)
+    ~iterations:(s1.Simplex.lp_iterations - s0.Simplex.lp_iterations);
+  (inst, status)
+
 (* Exact wire-length check of the monitored paths for one context. *)
 let paths_ok design mapping monitored ctx =
   List.for_all
@@ -183,13 +225,18 @@ let paths_ok design mapping monitored ctx =
 (* ---------- per-context MILP solve ---------- *)
 
 let solve_context params design baseline ~candidates ~monitored ~st_target ~committed
-    ctx current =
+    ~cache ctx current =
   (* Fast path: LP relaxation + structured rounding; fall back to the
      paper's two-step MILP when rounding misses or breaks a path
      budget. *)
-  let inst =
-    Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
-      ~baseline ~st_target ~candidates ~monitored ~contexts:[ ctx ] ~committed
+  let inst, lp_status =
+    cached_lp_solve
+      ~get:(fun () -> Hashtbl.find_opt cache.per_ctx ctx)
+      ~set:(fun entry -> Hashtbl.replace cache.per_ctx ctx entry)
+      ~build:(fun () ->
+        Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
+          ~baseline ~st_target ~candidates ~monitored ~contexts:[ ctx ] ~committed)
+      ~st_target ~committed
   in
   let lp_model = Ilp_model.model inst in
   let try_rounding lp_value =
@@ -212,7 +259,6 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
     end
     else None
   in
-  let lp_status = Agingfp_lp.Simplex.solve lp_model in
   match lp_status with
   | Agingfp_lp.Simplex.Infeasible
   | Agingfp_lp.Simplex.Unbounded
@@ -228,11 +274,13 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
     in
     match try_rounding lp_value with
     | Some mapping -> Some mapping
-    | None when Ilp_model.num_binaries inst > 1200 ->
-      (* Every branch-and-bound node re-solves the LP from scratch;
-         on large per-context models a failed attempt must stay cheap
-         (Algorithm 1 simply relaxes ST_target by Δ and retries, and
-         the refinement pass recovers leveling quality afterwards). *)
+    | None when Ilp_model.num_binaries inst > 2400 ->
+      (* On very large per-context models a failed attempt must stay
+         cheap (Algorithm 1 simply relaxes ST_target by Δ and retries,
+         and the refinement pass recovers leveling quality afterwards).
+         With presolve + warm-started nodes the B&B fallback is cheap
+         enough to double the eligibility threshold of the cold-solve
+         era. *)
       None
     | None -> (
     (* Branch & bound re-solves an LP per node; keep the per-context
@@ -288,7 +336,8 @@ let estimate_binaries design candidates =
   done;
   !total
 
-let attempt params design baseline ~candidates ~monitored ~frozen ~st_target =
+let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_target =
+  let cache = match cache with Some c -> c | None -> new_cache () in
   let monolithic =
     match params.strategy with
     | Monolithic -> true
@@ -343,12 +392,17 @@ let attempt params design baseline ~candidates ~monitored ~frozen ~st_target =
     retry base_order 2
   in
   if monolithic then (
-    let inst =
-      Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
-        ~baseline ~st_target ~candidates ~monitored ~contexts:all_contexts ~committed
+    let inst, lp_status =
+      cached_lp_solve
+        ~get:(fun () -> cache.mono)
+        ~set:(fun entry -> cache.mono <- Some entry)
+        ~build:(fun () ->
+          Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
+            ~baseline ~st_target ~candidates ~monitored ~contexts:all_contexts ~committed)
+        ~st_target ~committed
     in
     let lp_model = Ilp_model.model inst in
-    match Agingfp_lp.Simplex.solve lp_model with
+    match lp_status with
     | Agingfp_lp.Simplex.Infeasible -> None
     | Agingfp_lp.Simplex.Unbounded | Agingfp_lp.Simplex.Iteration_limit ->
       round_all (fun _ _ _ -> 0.0)
@@ -380,7 +434,7 @@ let attempt params design baseline ~candidates ~monitored ~frozen ~st_target =
           if !failed < 0 then begin
             match
               solve_context params design baseline ~candidates ~monitored ~st_target
-                ~committed:committed' ctx !current
+                ~committed:committed' ~cache ctx !current
             with
             | Some mapping -> current := mapping
             | None -> failed := ctx
@@ -423,6 +477,9 @@ let step1_lower_bound ?(params = default_params) design baseline =
     let candidates =
       Candidates.build ~params:step1_cand_params design baseline ~frozen ~monitored
     in
+    (* One warm-started solver cache across the whole bisection — only
+       the stress-budget RHS moves between probes. *)
+    let milp_relax_cache = new_cache () in
     let feasible st =
       match params.step1 with
       | Exact_matching ->
@@ -475,7 +532,7 @@ let step1_lower_bound ?(params = default_params) design baseline =
         done;
         !ok
       | Milp_relax ->
-        attempt
+        attempt ~cache:milp_relax_cache
           { params with strategy = Auto }
           design baseline ~candidates ~monitored ~frozen ~st_target:st
         <> None
@@ -502,13 +559,18 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
   let floor_stress = Array.fold_left max 0.0 (frozen_stress design frozen) in
   let delta = max ((st_up -. lb) /. float_of_int params.delta_steps) (0.01 *. st_up +. 1e-9) in
   let start = max lb floor_stress in
+  (* Δ-relaxation attempts differ only in ST_target, i.e. in the
+     stress-budget RHS: one cache serves the entire loop warm. *)
+  let cache = new_cache () in
   let rec loop st iter =
     if iter > params.max_outer then None
     else begin
       Log.debug (fun k ->
           k "%s: attempt %d with ST_target = %.3f (up %.3f)" (Design.name design) iter st
             st_up);
-      match attempt params design reference ~candidates ~monitored ~frozen ~st_target:st with
+      match
+        attempt ~cache params design reference ~candidates ~monitored ~frozen ~st_target:st
+      with
       | Some mapping -> (
         match Mapping.validate design mapping with
         | Error msg ->

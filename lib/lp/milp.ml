@@ -9,6 +9,8 @@ type params = {
   node_limit : int;
   integrality_tol : float;
   first_solution : bool;
+  presolve : bool;
+  warm_start : bool;
 }
 
 let default_params =
@@ -17,7 +19,61 @@ let default_params =
     node_limit = 2000;
     integrality_tol = 1e-6;
     first_solution = true;
+    presolve = true;
+    warm_start = true;
   }
+
+type stats = {
+  presolve : Presolve.reductions;
+  nodes : int;
+  warm_solves : int;
+  cold_solves : int;
+  lp_iterations : int;
+}
+
+let zero_stats =
+  {
+    presolve = Presolve.no_reductions;
+    nodes = 0;
+    warm_solves = 0;
+    cold_solves = 0;
+    lp_iterations = 0;
+  }
+
+let add_stats a b =
+  {
+    presolve = Presolve.add_reductions a.presolve b.presolve;
+    nodes = a.nodes + b.nodes;
+    warm_solves = a.warm_solves + b.warm_solves;
+    cold_solves = a.cold_solves + b.cold_solves;
+    lp_iterations = a.lp_iterations + b.lp_iterations;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d nodes, %d warm / %d cold LP solves, %d LP iterations; presolve: %d rows removed, \
+     %d vars fixed, %d bounds tightened, %d probe fixings"
+    s.nodes s.warm_solves s.cold_solves s.lp_iterations s.presolve.rows_removed
+    s.presolve.vars_fixed s.presolve.bounds_tightened s.presolve.probe_fixings
+
+(* Cumulative counters across all solves since the last reset — the
+   remap pipeline runs many MILPs/LPs per floorplan, and the CLI
+   [--stats] flag and benches report the aggregate. *)
+let cum = ref zero_stats
+
+let reset_cumulative () = cum := zero_stats
+let cumulative () = !cum
+let accumulate s = cum := add_stats !cum s
+
+let note_lp_solve ~warm ~iterations =
+  cum :=
+    add_stats !cum
+      {
+        zero_stats with
+        warm_solves = (if warm then 1 else 0);
+        cold_solves = (if warm then 0 else 1);
+        lp_iterations = iterations;
+      }
 
 let pp_result ppf = function
   | Feasible s -> Format.fprintf ppf "feasible (obj = %g)" s.objective
@@ -41,72 +97,134 @@ let fractional_var params int_vars (sol : Simplex.solution) =
 
 let solution_sign dir = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0
 
-let solve ?(params = default_params) model0 =
-  let model = Model.copy model0 in
-  let int_vars = Model.integer_vars model in
-  let dir, _ = Model.objective model in
+let solve_with_stats ?(params = default_params) model0 =
+  let dir, obj0 = Model.objective model0 in
   let sign = solution_sign dir in
-  let nodes = ref 0 in
-  let incumbent = ref None in
-  let budget_hit = ref false in
-  let better obj =
-    match !incumbent with
-    | None -> true
-    | Some (s : Simplex.solution) -> sign *. obj < (sign *. s.objective) -. 1e-9
+  let presolved =
+    if params.presolve then
+      match Presolve.run model0 with
+      | Presolve.Proven_infeasible msg ->
+        Log.debug (fun k -> k "presolve proved infeasibility: %s" msg);
+        Error msg
+      | Presolve.Reduced p -> Ok (Some p)
+    else Ok None
   in
-  (* DFS; bounds are mutated on [model] and restored on unwind. *)
-  let rec node () =
-    if !nodes >= params.node_limit then budget_hit := true
-    else begin
-      incr nodes;
-      match Simplex.solve ~params:params.lp_params model with
-      | Simplex.Infeasible -> ()
-      | Simplex.Unbounded ->
-        (* An unbounded relaxation of a bounded-binary model signals a
-           modelling error; treat the node as hopeless. *)
-        Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
-      | Simplex.Iteration_limit -> budget_hit := true
-      | Simplex.Optimal sol ->
-        if not (better sol.objective) then ()
-        else begin
-          match fractional_var params int_vars sol with
-          | None -> incumbent := Some sol
-          | Some v ->
-            let x = sol.values.(v) in
-            let lb = Model.var_lb model v and ub = Model.var_ub model v in
-            let explore_down () =
-              Model.set_bounds model v ~lb ~ub:(Float.of_int (int_of_float (floor x)));
-              node ();
-              Model.set_bounds model v ~lb ~ub
-            in
-            let explore_up () =
-              Model.set_bounds model v ~lb:(Float.of_int (int_of_float (ceil x))) ~ub;
-              node ();
-              Model.set_bounds model v ~lb ~ub
-            in
-            let stop () = params.first_solution && !incumbent <> None in
-            (* Explore the child nearest the relaxed value first. *)
-            if x -. floor x > 0.5 then begin
-              explore_up ();
-              if not (stop ()) then explore_down ()
-            end
-            else begin
-              explore_down ();
-              if not (stop ()) then explore_up ()
-            end
-        end
-    end
-  in
-  node ();
-  match !incumbent with
-  | Some sol -> Feasible sol
-  | None -> if !budget_hit then Unknown else Infeasible
+  match presolved with
+  | Error _ ->
+    let s = { zero_stats with presolve = Presolve.no_reductions } in
+    accumulate s;
+    (Infeasible, s)
+  | Ok pre ->
+    let model, reductions =
+      match pre with
+      | Some p -> (Presolve.reduced p, Presolve.reductions p)
+      | None -> (Model.copy model0, Presolve.no_reductions)
+    in
+    let int_vars = Model.integer_vars model in
+    let st = Simplex.assemble ~params:params.lp_params model in
+    let nodes = ref 0 in
+    let incumbent = ref None in
+    let budget_hit = ref false in
+    let better obj =
+      match !incumbent with
+      | None -> true
+      | Some (s : Simplex.solution) -> sign *. obj < (sign *. s.objective) -. 1e-9
+    in
+    (* DFS; bounds are mutated in place (both on the reduced model and
+       the assembled solver state) and restored on unwind. Node 1 runs
+       a cold solve; every later node re-optimizes the warm state from
+       its parent's basis. *)
+    let rec node () =
+      if !nodes >= params.node_limit then budget_hit := true
+      else begin
+        incr nodes;
+        let status =
+          if !nodes = 1 || not params.warm_start then Simplex.solve_state st
+          else Simplex.reoptimize st
+        in
+        match status with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+          (* An unbounded relaxation of a bounded-binary model signals a
+             modelling error; treat the node as hopeless. *)
+          Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
+        | Simplex.Iteration_limit -> budget_hit := true
+        | Simplex.Optimal sol ->
+          if not (better sol.objective) then ()
+          else begin
+            match fractional_var params int_vars sol with
+            | None -> incumbent := Some sol
+            | Some v ->
+              let x = sol.values.(v) in
+              let lb = Model.var_lb model v and ub = Model.var_ub model v in
+              let set_bounds ~lb ~ub =
+                Model.set_bounds model v ~lb ~ub;
+                Simplex.set_var_bounds st v ~lb ~ub
+              in
+              let explore_down () =
+                set_bounds ~lb ~ub:(Float.of_int (int_of_float (floor x)));
+                node ();
+                set_bounds ~lb ~ub
+              in
+              let explore_up () =
+                set_bounds ~lb:(Float.of_int (int_of_float (ceil x))) ~ub;
+                node ();
+                set_bounds ~lb ~ub
+              in
+              let stop () = params.first_solution && !incumbent <> None in
+              (* Explore the child nearest the relaxed value first. *)
+              if x -. floor x > 0.5 then begin
+                explore_up ();
+                if not (stop ()) then explore_down ()
+              end
+              else begin
+                explore_down ();
+                if not (stop ()) then explore_up ()
+              end
+          end
+      end
+    in
+    node ();
+    let sstats = Simplex.state_stats st in
+    let stats =
+      {
+        presolve = reductions;
+        nodes = !nodes;
+        warm_solves = sstats.warm_solves;
+        cold_solves = sstats.cold_solves;
+        lp_iterations = sstats.lp_iterations;
+      }
+    in
+    accumulate stats;
+    let result =
+      match !incumbent with
+      | Some sol ->
+        (* Lift back to the original variable space and round every
+           integer variable to an exact integral value — a relaxation
+           solution within integrality_tol (e.g. 0.9999993) must not
+           leak fractional binaries downstream. *)
+        let values =
+          match pre with Some p -> Presolve.postsolve p sol.values | None -> sol.values
+        in
+        List.iter (fun v -> values.(v) <- Float.round values.(v)) (Model.integer_vars model0);
+        let objective = Expr.eval (fun v -> values.(v)) obj0 in
+        Feasible { values; objective; iterations = sol.iterations }
+      | None -> if !budget_hit then Unknown else Infeasible
+    in
+    (result, stats)
 
-let relax_and_fix ?(threshold = 0.95) ?(params = default_params) model0 =
+let solve ?params model0 = fst (solve_with_stats ?params model0)
+
+let relax_and_fix_with_stats ?(threshold = 0.95) ?(params = default_params) model0 =
   match Simplex.solve ~params:params.lp_params model0 with
-  | Simplex.Infeasible -> Infeasible
-  | Simplex.Unbounded | Simplex.Iteration_limit -> Unknown
+  | Simplex.Infeasible ->
+    note_lp_solve ~warm:false ~iterations:0;
+    (Infeasible, zero_stats)
+  | Simplex.Unbounded | Simplex.Iteration_limit ->
+    note_lp_solve ~warm:false ~iterations:0;
+    (Unknown, zero_stats)
   | Simplex.Optimal relaxed ->
+    note_lp_solve ~warm:false ~iterations:relaxed.iterations;
     let int_vars = Model.integer_vars model0 in
     let fixed = Model.copy model0 in
     let nfixed = ref 0 in
@@ -128,8 +246,12 @@ let relax_and_fix ?(threshold = 0.95) ?(params = default_params) model0 =
           Unknown)
       | r -> r
     in
-    (match solve ~params fixed with
-    | Feasible sol -> validate (Feasible sol)
-    | Infeasible | Unknown ->
+    (match solve_with_stats ~params fixed with
+    | Feasible sol, stats -> (validate (Feasible sol), stats)
+    | (Infeasible | Unknown), stats ->
       (* The aggressive pre-mapping can over-constrain; retry without it. *)
-      validate (solve ~params model0))
+      let r, stats' = solve_with_stats ~params model0 in
+      (validate r, add_stats stats stats'))
+
+let relax_and_fix ?threshold ?params model0 =
+  fst (relax_and_fix_with_stats ?threshold ?params model0)

@@ -2,14 +2,20 @@
 
     Two entry points:
 
-    - {!solve}: branch & bound with most-fractional branching and a
-      node budget.
+    - {!solve}: presolve ({!Presolve}) followed by branch & bound with
+      most-fractional branching and a node budget. The root node runs
+      a cold simplex solve; every descendant re-optimizes the same
+      warm solver state from its parent's basis (dual-simplex
+      recovery), so child nodes skip column assembly and phase 1.
     - {!relax_and_fix}: the paper's two-step MILP (§V.B Step 1) —
       solve the LP relaxation, pre-map every binary whose relaxed
       value exceeds a threshold (0.95 in the paper) to 1, then run
       branch & bound on the residual problem. Falls back to plain
       branch & bound when the pre-mapping makes the residual
-      infeasible. *)
+      infeasible.
+
+    Returned solutions are always in the original variable space with
+    integer variables rounded to exact integral values. *)
 
 type result =
   | Feasible of Simplex.solution
@@ -26,16 +32,53 @@ type params = {
       (** Stop at the first integer-feasible node. The floorplanner's
           formulation (3) has a null objective, so any feasible point
           is as good as any other; this is the default. *)
+  presolve : bool;  (** Run {!Presolve} before the search. Default [true]. *)
+  warm_start : bool;
+      (** Re-optimize child nodes from the parent basis instead of
+          solving each node cold. Default [true]. *)
 }
 
 val default_params : params
 
+(** {1 Solver statistics} *)
+
+type stats = {
+  presolve : Presolve.reductions;
+  nodes : int;          (** branch & bound nodes explored *)
+  warm_solves : int;    (** node LPs served from a parent basis *)
+  cold_solves : int;    (** full phase-1 LP solves *)
+  lp_iterations : int;  (** total simplex pivots/bound flips *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val reset_cumulative : unit -> unit
+(** Zero the process-wide cumulative counters (every [solve] /
+    [relax_and_fix] call and every {!note_lp_solve} accumulates into
+    them). *)
+
+val cumulative : unit -> stats
+
+val note_lp_solve : warm:bool -> iterations:int -> unit
+(** Record a bare {!Simplex} solve performed outside [Milp] (the remap
+    pipeline solves many standalone LP relaxations) so it shows up in
+    {!cumulative}. *)
+
+(** {1 Solving} *)
+
 val solve : ?params:params -> Model.t -> result
 (** Branch & bound. The input model is not modified. *)
+
+val solve_with_stats : ?params:params -> Model.t -> result * stats
 
 val relax_and_fix : ?threshold:float -> ?params:params -> Model.t -> result
 (** [threshold] defaults to 0.95 as in the paper. The input model is
     not modified; reported solutions are checked against the original
     model before being returned. *)
+
+val relax_and_fix_with_stats :
+  ?threshold:float -> ?params:params -> Model.t -> result * stats
 
 val pp_result : Format.formatter -> result -> unit

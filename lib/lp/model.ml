@@ -74,6 +74,10 @@ let fix_var m v x =
   info.lb <- x;
   info.ub <- x
 
+let set_rhs m i rhs =
+  if i < 0 || i >= m.nrows then invalid_arg "Model.set_rhs: bad row";
+  m.rows.(i) <- { m.rows.(i) with rhs }
+
 let set_bounds m v ~lb ~ub =
   if lb > ub then invalid_arg "Model.set_bounds: lb > ub";
   let info = m.vars.(v) in

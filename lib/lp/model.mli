@@ -40,6 +40,11 @@ val fix_var : t -> int -> float -> unit
 
 val set_bounds : t -> int -> lb:float -> ub:float -> unit
 
+val set_rhs : t -> int -> float -> unit
+(** Replace the right-hand side of an existing row — used by the
+    Δ-relaxation loop to move the stress budget without rebuilding the
+    model. *)
+
 (** {2 Accessors (consumed by the solver)} *)
 
 val num_vars : t -> int

@@ -1,0 +1,472 @@
+let src = Logs.Src.create "agingfp.presolve" ~doc:"MILP presolve"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type reductions = {
+  rounds : int;
+  rows_removed : int;
+  singleton_rows : int;
+  vars_fixed : int;
+  bounds_tightened : int;
+  probe_fixings : int;
+}
+
+let no_reductions =
+  {
+    rounds = 0;
+    rows_removed = 0;
+    singleton_rows = 0;
+    vars_fixed = 0;
+    bounds_tightened = 0;
+    probe_fixings = 0;
+  }
+
+let add_reductions a b =
+  {
+    rounds = a.rounds + b.rounds;
+    rows_removed = a.rows_removed + b.rows_removed;
+    singleton_rows = a.singleton_rows + b.singleton_rows;
+    vars_fixed = a.vars_fixed + b.vars_fixed;
+    bounds_tightened = a.bounds_tightened + b.bounds_tightened;
+    probe_fixings = a.probe_fixings + b.probe_fixings;
+  }
+
+type t = {
+  reduced_model : Model.t;
+  var_map : int array; (* original var -> reduced var, or -1 if fixed away *)
+  fixval : float array;
+  n_orig : int;
+  stats : reductions;
+}
+
+type outcome = Reduced of t | Proven_infeasible of string
+
+let reduced t = t.reduced_model
+let reductions t = t.stats
+let num_orig_vars t = t.n_orig
+
+let reduced_var t v =
+  let j = t.var_map.(v) in
+  if j < 0 then None else Some j
+
+let postsolve t values =
+  let out = Array.make t.n_orig 0.0 in
+  for v = 0 to t.n_orig - 1 do
+    let j = t.var_map.(v) in
+    out.(v) <- (if j >= 0 then values.(j) else t.fixval.(v))
+  done;
+  out
+
+exception Infeas of string
+
+(* All thresholds: [feas_tol] guards infeasibility / redundancy
+   declarations (conservative), [eps] recognizes exact structure
+   (forcing rows, unit coefficients). *)
+let feas_tol = 1e-7
+
+let eps = 1e-9
+
+let run ?(integrality_tol = 1e-9) ?(max_rounds = 10) model =
+  let n = Model.num_vars model in
+  let m = Model.num_constraints model in
+  let lb = Array.init n (Model.var_lb model) in
+  let ub = Array.init n (Model.var_ub model) in
+  let kind = Array.init n (Model.var_kind model) in
+  let live_var = Array.make n true in
+  let fixval = Array.make n 0.0 in
+  let row_terms = Array.make (max m 1) [] in
+  let row_rel = Array.make (max m 1) Model.Le in
+  let row_rhs = Array.make (max m 1) 0.0 in
+  let row_live = Array.make (max m 1) true in
+  let var_rows = Array.make (max n 1) [] in
+  Model.iter_constraints model (fun i lhs rel rhs ->
+      row_terms.(i) <- Expr.terms lhs;
+      row_rel.(i) <- rel;
+      row_rhs.(i) <- rhs;
+      List.iter (fun (v, _) -> var_rows.(v) <- i :: var_rows.(v)) (Expr.terms lhs));
+  let rows_removed = ref 0 in
+  let singleton_rows = ref 0 in
+  let vars_fixed = ref 0 in
+  let bounds_tightened = ref 0 in
+  let probe_fixings = ref 0 in
+  let changed = ref false in
+
+  (* Minimum activity of [terms] under current bounds: finite part +
+     count of infinite contributions (the standard trick to keep
+     per-variable residuals O(1)). *)
+  let min_activity terms =
+    List.fold_left
+      (fun (s, k) (v, c) ->
+        let contrib = if c > 0.0 then c *. lb.(v) else c *. ub.(v) in
+        if contrib = neg_infinity then (s, k + 1) else (s +. contrib, k))
+      (0.0, 0) terms
+  in
+  let max_activity terms =
+    List.fold_left
+      (fun (s, k) (v, c) ->
+        let contrib = if c > 0.0 then c *. ub.(v) else c *. lb.(v) in
+        if contrib = infinity then (s, k + 1) else (s +. contrib, k))
+      (0.0, 0) terms
+  in
+  let round_integer_bounds v =
+    if kind.(v) = Model.Integer then begin
+      let lo = ceil (lb.(v) -. integrality_tol) in
+      let hi = floor (ub.(v) +. integrality_tol) in
+      if lo > lb.(v) then lb.(v) <- lo;
+      if hi < ub.(v) then ub.(v) <- hi
+    end
+  in
+  let substitute v x =
+    fixval.(v) <- x;
+    live_var.(v) <- false;
+    lb.(v) <- x;
+    ub.(v) <- x;
+    incr vars_fixed;
+    changed := true;
+    List.iter
+      (fun r ->
+        if row_live.(r) then begin
+          match List.assoc_opt v row_terms.(r) with
+          | None -> ()
+          | Some c ->
+            row_rhs.(r) <- row_rhs.(r) -. (c *. x);
+            row_terms.(r) <- List.filter (fun (u, _) -> u <> v) row_terms.(r)
+        end)
+      var_rows.(v)
+  in
+  let check_var_consistent v where =
+    if lb.(v) > ub.(v) +. feas_tol then
+      raise
+        (Infeas
+           (Printf.sprintf "%s: variable %d (%s) has empty domain [%g, %g]" where v
+              (Model.var_name model v) lb.(v) ub.(v)))
+  in
+  (* Fix any variable whose domain collapsed (integers: to a single
+     integer point; continuous: to a sliver). *)
+  let fix_collapsed v =
+    if live_var.(v) then begin
+      round_integer_bounds v;
+      check_var_consistent v "bound rounding";
+      if kind.(v) = Model.Integer then begin
+        if lb.(v) = ub.(v) then substitute v lb.(v)
+      end
+      else if ub.(v) -. lb.(v) <= eps && lb.(v) > neg_infinity then
+        substitute v ((lb.(v) +. ub.(v)) /. 2.0)
+    end
+  in
+  let tighten_ub v x =
+    if x < ub.(v) -. eps then begin
+      ub.(v) <- x;
+      incr bounds_tightened;
+      changed := true;
+      fix_collapsed v;
+      true
+    end
+    else false
+  in
+  let tighten_lb v x =
+    if x > lb.(v) +. eps then begin
+      lb.(v) <- x;
+      incr bounds_tightened;
+      changed := true;
+      fix_collapsed v;
+      true
+    end
+    else false
+  in
+  let remove_row r = row_live.(r) <- false in
+
+  (* Row rules: empty / singleton / infeasible / redundant / forcing. *)
+  let process_row r =
+    if row_live.(r) then begin
+      let rhs = row_rhs.(r) in
+      match row_terms.(r) with
+      | [] ->
+        let ok =
+          match row_rel.(r) with
+          | Model.Le -> 0.0 <= rhs +. feas_tol
+          | Model.Ge -> 0.0 >= rhs -. feas_tol
+          | Model.Eq -> abs_float rhs <= feas_tol
+        in
+        if not ok then
+          raise (Infeas (Printf.sprintf "row %d reduced to 0 %s %g" r
+                           (match row_rel.(r) with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=")
+                           rhs));
+        remove_row r;
+        incr rows_removed;
+        changed := true
+      | [ (v, c) ] ->
+        (* Singleton row: absorb into the variable's bounds. *)
+        let x = rhs /. c in
+        (match row_rel.(r) with
+        | Model.Eq ->
+          if x < lb.(v) -. feas_tol || x > ub.(v) +. feas_tol then
+            raise (Infeas (Printf.sprintf "singleton row %d pins var %d outside its domain" r v));
+          if kind.(v) = Model.Integer && abs_float (x -. Float.round x) > 1e-6 then
+            raise
+              (Infeas
+                 (Printf.sprintf "singleton row %d pins integer var %d to fractional %g" r v x));
+          substitute v (if kind.(v) = Model.Integer then Float.round x else x)
+        | Model.Le ->
+          if c > 0.0 then ignore (tighten_ub v x) else ignore (tighten_lb v x);
+          check_var_consistent v "singleton row"
+        | Model.Ge ->
+          if c > 0.0 then ignore (tighten_lb v x) else ignore (tighten_ub v x);
+          check_var_consistent v "singleton row");
+        remove_row r;
+        incr rows_removed;
+        incr singleton_rows;
+        changed := true
+      | terms ->
+        let min_fin, min_inf = min_activity terms in
+        let max_fin, max_inf = max_activity terms in
+        let minact = if min_inf > 0 then neg_infinity else min_fin in
+        let maxact = if max_inf > 0 then infinity else max_fin in
+        let infeasible =
+          match row_rel.(r) with
+          | Model.Le -> minact > rhs +. feas_tol
+          | Model.Ge -> maxact < rhs -. feas_tol
+          | Model.Eq -> minact > rhs +. feas_tol || maxact < rhs -. feas_tol
+        in
+        if infeasible then
+          raise
+            (Infeas
+               (Printf.sprintf "row %d activity range [%g, %g] excludes rhs %g" r minact
+                  maxact rhs));
+        let redundant =
+          match row_rel.(r) with
+          | Model.Le -> maxact <= rhs +. feas_tol
+          | Model.Ge -> minact >= rhs -. feas_tol
+          | Model.Eq -> maxact <= rhs +. feas_tol && minact >= rhs -. feas_tol
+        in
+        if redundant then begin
+          remove_row r;
+          incr rows_removed;
+          changed := true
+        end
+        else begin
+          (* Forcing rows: the activity bound meets the rhs exactly, so
+             every variable must sit at the bound realizing it. *)
+          let forcing_min =
+            (row_rel.(r) = Model.Le || row_rel.(r) = Model.Eq)
+            && min_inf = 0
+            && min_fin >= rhs -. eps
+          in
+          let forcing_max =
+            (row_rel.(r) = Model.Ge || row_rel.(r) = Model.Eq)
+            && max_inf = 0
+            && max_fin <= rhs +. eps
+          in
+          if forcing_min then begin
+            List.iter (fun (v, c) -> substitute v (if c > 0.0 then lb.(v) else ub.(v))) terms;
+            remove_row r;
+            incr rows_removed;
+            changed := true
+          end
+          else if forcing_max then begin
+            List.iter (fun (v, c) -> substitute v (if c > 0.0 then ub.(v) else lb.(v))) terms;
+            remove_row r;
+            incr rows_removed;
+            changed := true
+          end
+        end
+    end
+  in
+
+  (* Activity-based bound tightening over one row. *)
+  let tighten_row r =
+    if row_live.(r) then begin
+      let terms = row_terms.(r) in
+      match terms with
+      | [] | [ _ ] -> ()
+      | _ ->
+        let rhs = row_rhs.(r) in
+        let min_fin, min_inf = min_activity terms in
+        let max_fin, max_inf = max_activity terms in
+        List.iter
+          (fun (v, c) ->
+            if live_var.(v) then begin
+              (* <=-direction: x_v restricted by the smallest the rest
+                 of the row can be. *)
+              if row_rel.(r) = Model.Le || row_rel.(r) = Model.Eq then begin
+                let contrib = if c > 0.0 then c *. lb.(v) else c *. ub.(v) in
+                let resid_ok =
+                  if contrib = neg_infinity then min_inf = 1 else min_inf = 0
+                in
+                if resid_ok then begin
+                  let resid = if contrib = neg_infinity then min_fin else min_fin -. contrib in
+                  let x = (rhs -. resid) /. c in
+                  if c > 0.0 then ignore (tighten_ub v x) else ignore (tighten_lb v x)
+                end
+              end;
+              (* >=-direction: mirrored with the maximum activity. *)
+              if row_rel.(r) = Model.Ge || row_rel.(r) = Model.Eq then begin
+                let contrib = if c > 0.0 then c *. ub.(v) else c *. lb.(v) in
+                let resid_ok = if contrib = infinity then max_inf = 1 else max_inf = 0 in
+                if resid_ok then begin
+                  let resid = if contrib = infinity then max_fin else max_fin -. contrib in
+                  let x = (rhs -. resid) /. c in
+                  if c > 0.0 then ignore (tighten_lb v x) else ignore (tighten_ub v x)
+                end
+              end
+            end)
+          terms
+    end
+  in
+
+  (* Probing on assignment rows (sum of unit-coefficient binaries = 1,
+     the Eq. (3) OP_ijk one-hot rows): tentatively set one binary to 1
+     — which forces its row-mates to 0 — and scan the rows touched by
+     those variables for an activity contradiction. A contradiction
+     proves the binary must be 0. *)
+  let is_binary v =
+    live_var.(v) && kind.(v) = Model.Integer && lb.(v) >= -.eps && ub.(v) <= 1.0 +. eps
+  in
+  let probe_row r =
+    if
+      row_live.(r)
+      && row_rel.(r) = Model.Eq
+      && abs_float (row_rhs.(r) -. 1.0) <= eps
+      && List.length row_terms.(r) >= 2
+      && List.for_all (fun (v, c) -> abs_float (c -. 1.0) <= eps && is_binary v) row_terms.(r)
+    then begin
+      let members = List.map fst row_terms.(r) in
+      let touched =
+        List.sort_uniq compare
+          (List.concat_map (fun v -> List.filter (fun r' -> r' <> r && row_live.(r')) var_rows.(v)) members)
+      in
+      List.iter
+        (fun v ->
+          if is_binary v then begin
+            let forced u = if u = v then Some 1.0 else if List.mem u members then Some 0.0 else None in
+            let contradiction =
+              List.exists
+                (fun r' ->
+                  let terms = row_terms.(r') in
+                  let lo, lo_inf =
+                    List.fold_left
+                      (fun (s, k) (u, c) ->
+                        match forced u with
+                        | Some x -> (s +. (c *. x), k)
+                        | None ->
+                          let contrib = if c > 0.0 then c *. lb.(u) else c *. ub.(u) in
+                          if contrib = neg_infinity then (s, k + 1) else (s +. contrib, k))
+                      (0.0, 0) terms
+                  in
+                  let hi, hi_inf =
+                    List.fold_left
+                      (fun (s, k) (u, c) ->
+                        match forced u with
+                        | Some x -> (s +. (c *. x), k)
+                        | None ->
+                          let contrib = if c > 0.0 then c *. ub.(u) else c *. lb.(u) in
+                          if contrib = infinity then (s, k + 1) else (s +. contrib, k))
+                      (0.0, 0) terms
+                  in
+                  let minact = if lo_inf > 0 then neg_infinity else lo in
+                  let maxact = if hi_inf > 0 then infinity else hi in
+                  match row_rel.(r') with
+                  | Model.Le -> minact > row_rhs.(r') +. feas_tol
+                  | Model.Ge -> maxact < row_rhs.(r') -. feas_tol
+                  | Model.Eq ->
+                    minact > row_rhs.(r') +. feas_tol || maxact < row_rhs.(r') -. feas_tol)
+                touched
+            in
+            if contradiction then begin
+              incr probe_fixings;
+              substitute v 0.0
+            end
+          end)
+        members
+    end
+  in
+
+  let rounds = ref 0 in
+  let outcome =
+    try
+      (* Initial integer bound sanitation. *)
+      for v = 0 to n - 1 do
+        fix_collapsed v
+      done;
+      let continue_ = ref true in
+      while !continue_ && !rounds < max_rounds do
+        incr rounds;
+        changed := false;
+        for r = 0 to m - 1 do
+          process_row r
+        done;
+        for r = 0 to m - 1 do
+          tighten_row r
+        done;
+        for r = 0 to m - 1 do
+          probe_row r
+        done;
+        continue_ := !changed
+      done;
+      None
+    with Infeas msg -> Some msg
+  in
+  match outcome with
+  | Some msg -> Proven_infeasible msg
+  | None ->
+    (* Rebuild a compacted model. *)
+    let var_map = Array.make n (-1) in
+    let reduced_model = Model.create () in
+    for v = 0 to n - 1 do
+      if live_var.(v) then
+        var_map.(v) <-
+          Model.add_var reduced_model ~name:(Model.var_name model v) ~lb:lb.(v)
+            ~ub:ub.(v) ~kind:kind.(v)
+    done;
+    (try
+       for r = 0 to m - 1 do
+         if row_live.(r) then begin
+           match row_terms.(r) with
+           | [] ->
+             (* Became empty during the last substitutions. *)
+             let ok =
+               match row_rel.(r) with
+               | Model.Le -> 0.0 <= row_rhs.(r) +. feas_tol
+               | Model.Ge -> 0.0 >= row_rhs.(r) -. feas_tol
+               | Model.Eq -> abs_float row_rhs.(r) <= feas_tol
+             in
+             if not ok then raise (Infeas (Printf.sprintf "row %d contradictory after substitution" r))
+           | terms ->
+             let lhs =
+               List.fold_left (fun e (v, c) -> Expr.add_term e c var_map.(v)) Expr.zero terms
+             in
+             ignore (Model.add_constraint reduced_model lhs row_rel.(r) row_rhs.(r))
+         end
+       done;
+       let dir, obj = Model.objective model in
+       let fixed_part =
+         let acc = ref (Expr.constant obj) in
+         for v = 0 to n - 1 do
+           if not live_var.(v) then begin
+             let c = Expr.coef obj v in
+             if c <> 0.0 then acc := !acc +. (c *. fixval.(v))
+           end
+         done;
+         !acc
+       in
+       let obj' =
+         List.fold_left
+           (fun e (v, c) -> if live_var.(v) then Expr.add_term e c var_map.(v) else e)
+           (Expr.const fixed_part) (Expr.terms obj)
+       in
+       Model.set_objective reduced_model dir obj';
+       let stats =
+         {
+           rounds = !rounds;
+           rows_removed = !rows_removed;
+           singleton_rows = !singleton_rows;
+           vars_fixed = !vars_fixed;
+           bounds_tightened = !bounds_tightened;
+           probe_fixings = !probe_fixings;
+         }
+       in
+       Log.debug (fun k ->
+           k "presolve: %d rounds, %d rows removed, %d vars fixed, %d bounds tightened"
+             stats.rounds stats.rows_removed stats.vars_fixed stats.bounds_tightened);
+       Reduced { reduced_model; var_map; fixval; n_orig = n; stats }
+     with Infeas msg -> Proven_infeasible msg)

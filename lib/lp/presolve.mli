@@ -1,0 +1,61 @@
+(** MILP/LP presolve.
+
+    Shrinks a {!Model.t} before handing it to {!Simplex} / {!Milp}:
+
+    - constraint-activity bound tightening (with integer rounding),
+    - singleton-row-to-bound conversion,
+    - removal of empty and redundant rows,
+    - forcing-constraint detection and fixed-variable substitution,
+    - binary probing on the Eq. (3) assignment rows
+      ([sum OP_ijk = 1] with unit coefficients over binaries).
+
+    Every reduction is feasibility-based — implied by the constraints
+    themselves — so the reduced problem has the same optimal objective
+    as the original for both the LP relaxation and the MILP, and a
+    solution of the reduced model lifts back to an original-space
+    solution via {!postsolve} that passes [Model.check_feasible]. *)
+
+type reductions = {
+  rounds : int;            (** fixpoint passes executed *)
+  rows_removed : int;      (** empty + redundant + converted rows *)
+  singleton_rows : int;    (** rows converted into variable bounds *)
+  vars_fixed : int;        (** variables substituted out *)
+  bounds_tightened : int;  (** individual bound improvements *)
+  probe_fixings : int;     (** binaries fixed by assignment-row probing *)
+}
+
+val no_reductions : reductions
+val add_reductions : reductions -> reductions -> reductions
+
+type t
+(** A presolved problem: the reduced model plus the mapping needed to
+    reconstruct original-space solutions. *)
+
+type outcome =
+  | Reduced of t
+  | Proven_infeasible of string
+      (** Presolve alone established infeasibility (activity bound or
+          empty-row contradiction); the message names the culprit. *)
+
+val run : ?integrality_tol:float -> ?max_rounds:int -> Model.t -> outcome
+(** Presolve [model]. The input model is not modified. [max_rounds]
+    bounds the outer fixpoint iteration (default 10);
+    [integrality_tol] is the tolerance for integer bound rounding
+    (default 1e-9). *)
+
+val reduced : t -> Model.t
+(** The compacted model (fresh variable/row numbering, same objective
+    direction; fixed-variable objective contributions are folded into
+    the objective constant). *)
+
+val reductions : t -> reductions
+
+val num_orig_vars : t -> int
+
+val reduced_var : t -> int -> int option
+(** [reduced_var t v] is the reduced-model index of original variable
+    [v], or [None] if it was fixed away. *)
+
+val postsolve : t -> float array -> float array
+(** Lift a reduced-space assignment (indexed by reduced variables)
+    back to the original variable space, filling in fixed values. *)

@@ -27,13 +27,20 @@ let pp_status ppf = function
   | Unbounded -> Format.pp_print_string ppf "unbounded"
   | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
 
-(* Internal solver state. Columns 0..n-1 are the model's structural
+(* Persistent solver state. Columns 0..n-1 are the model's structural
    variables, n..n+m-1 the per-row slacks, and n+m.. the phase-1
    artificials (created only for rows whose slack cannot absorb the
-   initial residual). The basis inverse is dense. *)
+   initial residual). The basis inverse is dense.
+
+   The state outlives a single solve: [solve_state] optimizes cold
+   (fresh slack/artificial basis), while [reoptimize] re-optimizes
+   after bound or RHS changes from the current basis — the branch &
+   bound hot path of the Eq. (3) MILPs. *)
 type state = {
+  n : int;                   (* structural variable count *)
   m : int;
-  ncols : int;
+  max_cols : int;
+  mutable ncols : int;       (* n + m + nart *)
   col_rows : int array array;
   col_coefs : float array array;
   lb : float array;
@@ -45,8 +52,23 @@ type state = {
   x_b : float array;
   vals : float array;        (* value of each nonbasic column *)
   n_artificial_base : int;   (* first artificial column index *)
+  mutable nart : int;
+  cost2 : float array;       (* sign-folded phase-2 cost *)
+  obj : Expr.t;
   params : params;
+  mutable n_warm : int;
+  mutable n_cold : int;
+  mutable n_iters : int;
 }
+
+type state_stats = { warm_solves : int; cold_solves : int; lp_iterations : int }
+
+let state_stats st =
+  {
+    warm_solves = st.n_warm;
+    cold_solves = st.n_cold;
+    lp_iterations = st.n_iters;
+  }
 
 let col_dot st y j =
   let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
@@ -70,9 +92,8 @@ let ftran st j w =
 
 exception Singular_basis
 
-(* Recompute B^-1 from scratch by Gauss-Jordan and refresh the basic
-   values from the nonbasic assignment; fights numerical drift. *)
-let refactorize st =
+(* Recompute B^-1 from scratch by Gauss-Jordan; fights numerical drift. *)
+let refactor_binv st =
   let m = st.m in
   let bmat = Array.make_matrix m m 0.0 in
   for i = 0 to m - 1 do
@@ -118,8 +139,12 @@ let refactorize st =
   done;
   for i = 0 to m - 1 do
     Array.blit inv.(i) 0 st.binv.(i) 0 m
-  done;
-  (* x_B = B^-1 (b - sum over nonbasic columns of A_j v_j) *)
+  done
+
+(* x_B = B^-1 (b - sum over nonbasic columns of A_j v_j); refreshes the
+   basic values from the nonbasic assignment after bound/RHS edits. *)
+let recompute_basics st =
+  let m = st.m in
   let rhs = Array.copy st.b in
   for j = 0 to st.ncols - 1 do
     if st.pos_in_basis.(j) < 0 && st.vals.(j) <> 0.0 then begin
@@ -135,6 +160,39 @@ let refactorize st =
       acc := !acc +. (st.binv.(i).(r) *. rhs.(r))
     done;
     st.x_b.(i) <- !acc
+  done
+
+let refactorize st =
+  refactor_binv st;
+  recompute_basics st
+
+(* Swap column [e] (moving in direction [dir] by step [t], with
+   w = B^-1 A_e precomputed) into basis row [r]; the leaving variable
+   becomes nonbasic at [leave_val]. Product-form update of B^-1. *)
+let apply_pivot st r e dir t leave_val w =
+  let m = st.m in
+  let lv = st.basis.(r) in
+  st.vals.(lv) <- leave_val;
+  st.pos_in_basis.(lv) <- -1;
+  for i = 0 to m - 1 do
+    if i <> r then st.x_b.(i) <- st.x_b.(i) -. (t *. dir *. w.(i))
+  done;
+  st.x_b.(r) <- st.vals.(e) +. (dir *. t);
+  st.basis.(r) <- e;
+  st.pos_in_basis.(e) <- r;
+  let wr = w.(r) in
+  let row_r = st.binv.(r) in
+  for k = 0 to m - 1 do
+    row_r.(k) <- row_r.(k) /. wr
+  done;
+  for i = 0 to m - 1 do
+    if i <> r && w.(i) <> 0.0 then begin
+      let f = w.(i) in
+      let row_i = st.binv.(i) in
+      for k = 0 to m - 1 do
+        row_i.(k) <- row_i.(k) -. (f *. row_r.(k))
+      done
+    end
   done
 
 type phase_result = Phase_optimal of int | Phase_unbounded | Phase_iter_limit
@@ -243,6 +301,7 @@ let optimize st cost max_iter =
           if t <= st.params.feasibility_tol then incr degen else degen := 0;
           if !degen > 200 then bland := true;
           if !degen = 0 then bland := false;
+          st.n_iters <- st.n_iters + 1;
           if !leaving < 0 then begin
             (* Bound flip: the entering variable crosses to its other
                bound without any basis change. *)
@@ -254,31 +313,10 @@ let optimize st cost max_iter =
           end
           else begin
             let r = !leaving in
-            let lv = st.basis.(r) in
-            let leave_val = if dir *. w.(r) > 0.0 then st.lb.(lv) else st.ub.(lv) in
-            st.vals.(lv) <- leave_val;
-            st.pos_in_basis.(lv) <- -1;
-            for i = 0 to m - 1 do
-              if i <> r then st.x_b.(i) <- st.x_b.(i) -. (t *. dir *. w.(i))
-            done;
-            st.x_b.(r) <- st.vals.(e) +. (dir *. t);
-            st.basis.(r) <- e;
-            st.pos_in_basis.(e) <- r;
-            (* Product-form update of B^-1. *)
-            let wr = w.(r) in
-            let row_r = st.binv.(r) in
-            for k = 0 to m - 1 do
-              row_r.(k) <- row_r.(k) /. wr
-            done;
-            for i = 0 to m - 1 do
-              if i <> r && w.(i) <> 0.0 then begin
-                let f = w.(i) in
-                let row_i = st.binv.(i) in
-                for k = 0 to m - 1 do
-                  row_i.(k) <- row_i.(k) -. (f *. row_r.(k))
-                done
-              end
-            done;
+            let leave_val =
+              if dir *. w.(r) > 0.0 then st.lb.(st.basis.(r)) else st.ub.(st.basis.(r))
+            in
+            apply_pivot st r e dir t leave_val w;
             loop (iter + 1)
           end
         end
@@ -288,6 +326,388 @@ let optimize st cost max_iter =
   loop 0
 
 let nearest_bound lb ub = if lb > neg_infinity then lb else if ub < infinity then ub else 0.0
+
+(* ---------- assembly and cold solve ---------- *)
+
+let assemble ?(params = default_params) model =
+  let n = Model.num_vars model in
+  let m = Model.num_constraints model in
+  let dir, obj = Model.objective model in
+  let sign = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
+  let acc_rows = Array.make (max n 1) [] in
+  let acc_coefs = Array.make (max n 1) [] in
+  let b = Array.make (max m 1) 0.0 in
+  let max_cols = n + m + m in
+  let col_rows = Array.make (max max_cols 1) [||] in
+  let col_coefs = Array.make (max max_cols 1) [||] in
+  let lb = Array.make (max max_cols 1) 0.0 in
+  let ub = Array.make (max max_cols 1) 0.0 in
+  Model.iter_constraints model (fun i lhs rel rhs ->
+      b.(i) <- rhs;
+      (match rel with
+      | Model.Le ->
+        lb.(n + i) <- 0.0;
+        ub.(n + i) <- infinity
+      | Model.Ge ->
+        lb.(n + i) <- neg_infinity;
+        ub.(n + i) <- 0.0
+      | Model.Eq ->
+        lb.(n + i) <- 0.0;
+        ub.(n + i) <- 0.0);
+      List.iter
+        (fun (v, c) ->
+          acc_rows.(v) <- i :: acc_rows.(v);
+          acc_coefs.(v) <- c :: acc_coefs.(v))
+        (Expr.terms lhs));
+  for v = 0 to n - 1 do
+    col_rows.(v) <- Array.of_list (List.rev acc_rows.(v));
+    col_coefs.(v) <- Array.of_list (List.rev acc_coefs.(v));
+    lb.(v) <- Model.var_lb model v;
+    ub.(v) <- Model.var_ub model v
+  done;
+  for i = 0 to m - 1 do
+    col_rows.(n + i) <- [| i |];
+    col_coefs.(n + i) <- [| 1.0 |]
+  done;
+  let cost2 = Array.make (max max_cols 1) 0.0 in
+  for v = 0 to n - 1 do
+    cost2.(v) <- sign *. Expr.coef obj v
+  done;
+  let params =
+    if params.max_iterations > 0 then params
+    else { params with max_iterations = (50 * (m + n)) + 5000 }
+  in
+  {
+    n;
+    m;
+    max_cols;
+    ncols = n + m;
+    col_rows;
+    col_coefs;
+    lb;
+    ub;
+    b;
+    binv = Array.make_matrix (max m 1) (max m 1) 0.0;
+    basis = Array.make (max m 1) (-1);
+    pos_in_basis = Array.make (max max_cols 1) (-1);
+    x_b = Array.make (max m 1) 0.0;
+    vals = Array.make (max max_cols 1) 0.0;
+    n_artificial_base = n + m;
+    nart = 0;
+    cost2;
+    obj;
+    params;
+    n_warm = 0;
+    n_cold = 0;
+    n_iters = 0;
+  }
+
+(* Rebuild the initial slack/artificial basis from the current bounds
+   and RHS: structurals at their nearest bound, slacks absorbing the
+   row residuals where their bounds allow, artificials elsewhere. *)
+let reset st =
+  let n = st.n and m = st.m in
+  for v = 0 to n - 1 do
+    st.vals.(v) <- nearest_bound st.lb.(v) st.ub.(v)
+  done;
+  for i = 0 to m - 1 do
+    st.vals.(n + i) <- 0.0
+  done;
+  for j = st.n_artificial_base to st.max_cols - 1 do
+    st.lb.(j) <- 0.0;
+    st.ub.(j) <- 0.0;
+    st.vals.(j) <- 0.0
+  done;
+  Array.fill st.pos_in_basis 0 st.max_cols (-1);
+  let resid = Array.copy st.b in
+  for v = 0 to n - 1 do
+    if st.vals.(v) <> 0.0 then begin
+      let rows = st.col_rows.(v) and coefs = st.col_coefs.(v) in
+      for k = 0 to Array.length rows - 1 do
+        resid.(rows.(k)) <- resid.(rows.(k)) -. (coefs.(k) *. st.vals.(v))
+      done
+    end
+  done;
+  for i = 0 to m - 1 do
+    Array.fill st.binv.(i) 0 m 0.0
+  done;
+  st.nart <- 0;
+  for i = 0 to m - 1 do
+    let slack_lb = st.lb.(n + i) and slack_ub = st.ub.(n + i) in
+    if resid.(i) >= slack_lb -. 1e-12 && resid.(i) <= slack_ub +. 1e-12 then begin
+      st.basis.(i) <- n + i;
+      st.pos_in_basis.(n + i) <- i;
+      st.x_b.(i) <- resid.(i);
+      st.binv.(i).(i) <- 1.0
+    end
+    else begin
+      let sigma = if resid.(i) >= 0.0 then 1.0 else -1.0 in
+      let j = st.n_artificial_base + st.nart in
+      st.nart <- st.nart + 1;
+      st.col_rows.(j) <- [| i |];
+      st.col_coefs.(j) <- [| sigma |];
+      st.lb.(j) <- 0.0;
+      st.ub.(j) <- infinity;
+      st.basis.(i) <- j;
+      st.pos_in_basis.(j) <- i;
+      st.x_b.(i) <- abs_float resid.(i);
+      st.binv.(i).(i) <- sigma
+    end
+  done;
+  st.ncols <- n + m + st.nart
+
+let extract_solution st ~iterations =
+  let values = Array.make st.n 0.0 in
+  for v = 0 to st.n - 1 do
+    values.(v) <-
+      (let p = st.pos_in_basis.(v) in
+       if p >= 0 then st.x_b.(p) else st.vals.(v))
+  done;
+  { values; objective = Expr.eval (fun v -> values.(v)) st.obj; iterations }
+
+(* Pin every artificial to [0,0]. Must hold on EVERY exit from
+   [solve_state] — even infeasible ones — because a later [reoptimize]
+   recomputes basic values from the same basis: an artificial left
+   basic with its phase-1 range [0, inf) would silently absorb a row
+   residual and certify an infeasible point as optimal. *)
+let lock_artificials st =
+  for j = st.n_artificial_base to st.ncols - 1 do
+    st.ub.(j) <- 0.0;
+    if st.pos_in_basis.(j) < 0 then st.vals.(j) <- 0.0
+  done
+
+let solve_state st =
+  st.n_cold <- st.n_cold + 1;
+  let iters0 = st.n_iters in
+  let m = st.m in
+  let run () =
+    reset st;
+    (* Phase 1: drive the artificials to zero. *)
+    let art_total () =
+      let acc = ref 0.0 in
+      for i = 0 to m - 1 do
+        if st.basis.(i) >= st.n_artificial_base then acc := !acc +. st.x_b.(i)
+      done;
+      for j = st.n_artificial_base to st.ncols - 1 do
+        if st.pos_in_basis.(j) < 0 then acc := !acc +. st.vals.(j)
+      done;
+      !acc
+    in
+    let phase1_needed = st.nart > 0 && art_total () > st.params.feasibility_tol in
+    let phase1 =
+      if not phase1_needed then Phase_optimal 0
+      else begin
+        let cost1 = Array.make (max st.max_cols 1) 0.0 in
+        for j = st.n_artificial_base to st.ncols - 1 do
+          cost1.(j) <- 1.0
+        done;
+        optimize st cost1 st.params.max_iterations
+      end
+    in
+    match phase1 with
+    | Phase_iter_limit -> Iteration_limit
+    | Phase_unbounded ->
+      (* Phase 1 is bounded below by zero; reaching here indicates
+         numerical failure. Report infeasible conservatively. *)
+      Log.warn (fun k -> k "phase 1 reported unbounded: numerical trouble");
+      Infeasible
+    | Phase_optimal it1 ->
+      if st.nart > 0 && art_total () > st.params.feasibility_tol *. 100.0 then Infeasible
+      else begin
+        (* Lock artificials out of the problem before phase 2. *)
+        lock_artificials st;
+        (* Grant phase 2 its own iteration floor: a long phase 1 must
+           not leave a zero/negative budget that instantly reports
+           Iteration_limit. *)
+        let phase2_budget =
+          max (st.params.max_iterations - it1) (100 + (st.params.max_iterations / 4))
+        in
+        match optimize st st.cost2 phase2_budget with
+        | Phase_iter_limit -> Iteration_limit
+        | Phase_unbounded -> Unbounded
+        | Phase_optimal _ ->
+          Optimal (extract_solution st ~iterations:(st.n_iters - iters0))
+      end
+  in
+  let result =
+    try run () with Singular_basis ->
+      Log.warn (fun k -> k "singular basis encountered");
+      Infeasible
+  in
+  lock_artificials st;
+  result
+
+(* ---------- bound / RHS edits and warm re-optimization ---------- *)
+
+let set_var_bounds st v ~lb ~ub =
+  if v < 0 || v >= st.n then invalid_arg "Simplex.set_var_bounds: not a structural var";
+  if lb > ub then invalid_arg "Simplex.set_var_bounds: lb > ub";
+  st.lb.(v) <- lb;
+  st.ub.(v) <- ub;
+  if st.pos_in_basis.(v) < 0 then begin
+    let x = st.vals.(v) in
+    st.vals.(v) <- (if x < lb then lb else if x > ub then ub else x)
+  end
+
+let set_rhs st i rhs =
+  if i < 0 || i >= st.m then invalid_arg "Simplex.set_rhs: bad row";
+  st.b.(i) <- rhs
+
+type dual_result = Dual_feasible | Dual_infeasible | Dual_stall
+
+(* Dual-simplex-style recovery: restore primal feasibility of the
+   basic values from the current basis, picking leaving rows by worst
+   bound violation and entering columns by the dual ratio test. A
+   certified "no eligible entering column" is an infeasibility proof;
+   it is confirmed once against a freshly refactorized basis before
+   being trusted. *)
+let dual_restore st =
+  let m = st.m in
+  if m = 0 then Dual_feasible
+  else begin
+    let feas_tol = st.params.feasibility_tol in
+    let piv_tol = 1e-9 in
+    let w = Array.make m 0.0 in
+    let y = Array.make m 0.0 in
+    let max_iter = (4 * (m + 1)) + 200 in
+    let rec loop iter refreshed =
+      let r = ref (-1) and worst = ref feas_tol in
+      for i = 0 to m - 1 do
+        let j = st.basis.(i) in
+        let v =
+          if st.x_b.(i) < st.lb.(j) then st.lb.(j) -. st.x_b.(i)
+          else if st.x_b.(i) > st.ub.(j) then st.x_b.(i) -. st.ub.(j)
+          else 0.0
+        in
+        if v > !worst then begin
+          r := i;
+          worst := v
+        end
+      done;
+      if !r < 0 then Dual_feasible
+      else if iter >= max_iter then Dual_stall
+      else begin
+        let r = !r in
+        let lv = st.basis.(r) in
+        let below = st.x_b.(r) < st.lb.(lv) in
+        let target = if below then st.lb.(lv) else st.ub.(lv) in
+        Array.fill y 0 m 0.0;
+        for i = 0 to m - 1 do
+          let cb = st.cost2.(st.basis.(i)) in
+          if cb <> 0.0 then begin
+            let row = st.binv.(i) in
+            for k = 0 to m - 1 do
+              y.(k) <- y.(k) +. (cb *. row.(k))
+            done
+          end
+        done;
+        let brow = st.binv.(r) in
+        let best = ref (-1) in
+        let best_ratio = ref infinity in
+        let best_alpha = ref 0.0 in
+        let best_dir = ref 1.0 in
+        for j = 0 to st.ncols - 1 do
+          if st.pos_in_basis.(j) < 0 && st.lb.(j) < st.ub.(j) then begin
+            let alpha = col_dot st brow j in
+            if abs_float alpha > piv_tol then begin
+              let v = st.vals.(j) in
+              let at_lb = st.lb.(j) > neg_infinity && v <= st.lb.(j) +. 1e-12 in
+              let at_ub = st.ub.(j) < infinity && v >= st.ub.(j) -. 1e-12 in
+              (* x_b(r) moves by -(dir * alpha) per unit step of j. *)
+              let dir =
+                if at_lb && at_ub then 0.0
+                else if at_lb then (if (if below then -.alpha else alpha) > 0.0 then 1.0 else 0.0)
+                else if at_ub then (if (if below then alpha else -.alpha) > 0.0 then -1.0 else 0.0)
+                else if below then (if alpha < 0.0 then 1.0 else -1.0)
+                else if alpha > 0.0 then 1.0
+                else -1.0
+              in
+              if dir <> 0.0 then begin
+                let d = st.cost2.(j) -. col_dot st y j in
+                let ratio = abs_float d /. abs_float alpha in
+                if
+                  ratio < !best_ratio -. 1e-12
+                  || (ratio <= !best_ratio +. 1e-12 && abs_float alpha > abs_float !best_alpha)
+                then begin
+                  best := j;
+                  best_ratio := ratio;
+                  best_alpha := alpha;
+                  best_dir := dir
+                end
+              end
+            end
+          end
+        done;
+        if !best < 0 then begin
+          if refreshed then Dual_infeasible
+          else begin
+            refactorize st;
+            loop iter true
+          end
+        end
+        else begin
+          let e = !best and dir = !best_dir in
+          ftran st e w;
+          if abs_float w.(r) < piv_tol then begin
+            if refreshed then Dual_stall
+            else begin
+              refactorize st;
+              loop iter true
+            end
+          end
+          else begin
+            let t = (st.x_b.(r) -. target) /. (dir *. w.(r)) in
+            let t = if t < 0.0 then 0.0 else t in
+            let range = st.ub.(e) -. st.lb.(e) in
+            st.n_iters <- st.n_iters + 1;
+            if range < t then begin
+              (* The entering variable hits its opposite bound before
+                 the leaving row reaches feasibility: bound flip. *)
+              st.vals.(e) <- (if dir > 0.0 then st.ub.(e) else st.lb.(e));
+              for i = 0 to m - 1 do
+                st.x_b.(i) <- st.x_b.(i) -. (range *. dir *. w.(i))
+              done;
+              loop (iter + 1) refreshed
+            end
+            else begin
+              apply_pivot st r e dir t target w;
+              loop (iter + 1) refreshed
+            end
+          end
+        end
+      end
+    in
+    loop 0 false
+  end
+
+let reoptimize st =
+  if st.n_warm = 0 && st.n_cold = 0 then solve_state st
+  else begin
+    let iters0 = st.n_iters in
+    let attempt () =
+      recompute_basics st;
+      match dual_restore st with
+      | Dual_infeasible -> Some Infeasible
+      | Dual_stall -> None
+      | Dual_feasible -> (
+        match optimize st st.cost2 st.params.max_iterations with
+        | Phase_iter_limit -> Some Iteration_limit
+        | Phase_unbounded -> Some Unbounded
+        | Phase_optimal _ ->
+          Some (Optimal (extract_solution st ~iterations:(st.n_iters - iters0))))
+    in
+    match (try attempt () with Singular_basis -> None) with
+    | Some status ->
+      st.n_warm <- st.n_warm + 1;
+      status
+    | None ->
+      (* Numerical trouble along the warm path: fall back to a cold
+         solve from a fresh slack/artificial basis. *)
+      Log.debug (fun k -> k "warm re-optimization stalled; cold restart");
+      solve_state st
+  end
+
+(* ---------- one-shot entry point ---------- *)
 
 let solve ?(params = default_params) model =
   let n = Model.num_vars model in
@@ -312,174 +732,4 @@ let solve ?(params = default_params) model =
       Optimal
         { values; objective = Expr.eval (fun v -> values.(v)) obj; iterations = 0 }
   end
-  else begin
-    (* Assemble sparse structural columns. *)
-    let acc_rows = Array.make n [] in
-    let acc_coefs = Array.make n [] in
-    let b = Array.make m 0.0 in
-    let slack_lb = Array.make m 0.0 in
-    let slack_ub = Array.make m 0.0 in
-    Model.iter_constraints model (fun i lhs rel rhs ->
-        b.(i) <- rhs;
-        (match rel with
-        | Model.Le ->
-          slack_lb.(i) <- 0.0;
-          slack_ub.(i) <- infinity
-        | Model.Ge ->
-          slack_lb.(i) <- neg_infinity;
-          slack_ub.(i) <- 0.0
-        | Model.Eq ->
-          slack_lb.(i) <- 0.0;
-          slack_ub.(i) <- 0.0);
-        List.iter
-          (fun (v, c) ->
-            acc_rows.(v) <- i :: acc_rows.(v);
-            acc_coefs.(v) <- c :: acc_coefs.(v))
-          (Expr.terms lhs));
-    (* Column table: structural, slack, then artificials (filled below). *)
-    let max_cols = n + m + m in
-    let col_rows = Array.make max_cols [||] in
-    let col_coefs = Array.make max_cols [||] in
-    let lb = Array.make max_cols 0.0 in
-    let ub = Array.make max_cols 0.0 in
-    for v = 0 to n - 1 do
-      col_rows.(v) <- Array.of_list (List.rev acc_rows.(v));
-      col_coefs.(v) <- Array.of_list (List.rev acc_coefs.(v));
-      lb.(v) <- Model.var_lb model v;
-      ub.(v) <- Model.var_ub model v
-    done;
-    for i = 0 to m - 1 do
-      col_rows.(n + i) <- [| i |];
-      col_coefs.(n + i) <- [| 1.0 |];
-      lb.(n + i) <- slack_lb.(i);
-      ub.(n + i) <- slack_ub.(i)
-    done;
-    let vals = Array.make max_cols 0.0 in
-    for v = 0 to n - 1 do
-      vals.(v) <- nearest_bound lb.(v) ub.(v)
-    done;
-    (* Residual of each row once structurals sit at their initial
-       bounds; the slack absorbs it when its bounds allow, otherwise
-       an artificial variable is created. *)
-    let resid = Array.copy b in
-    for v = 0 to n - 1 do
-      if vals.(v) <> 0.0 then begin
-        let rows = col_rows.(v) and coefs = col_coefs.(v) in
-        for k = 0 to Array.length rows - 1 do
-          resid.(rows.(k)) <- resid.(rows.(k)) -. (coefs.(k) *. vals.(v))
-        done
-      end
-    done;
-    let basis = Array.make m (-1) in
-    let pos_in_basis = Array.make max_cols (-1) in
-    let x_b = Array.make m 0.0 in
-    let n_art = ref 0 in
-    let binv = Array.make_matrix m m 0.0 in
-    for i = 0 to m - 1 do
-      if resid.(i) >= slack_lb.(i) -. 1e-12 && resid.(i) <= slack_ub.(i) +. 1e-12 then begin
-        basis.(i) <- n + i;
-        pos_in_basis.(n + i) <- i;
-        x_b.(i) <- resid.(i);
-        binv.(i).(i) <- 1.0
-      end
-      else begin
-        let sigma = if resid.(i) >= 0.0 then 1.0 else -1.0 in
-        let j = n + m + !n_art in
-        incr n_art;
-        col_rows.(j) <- [| i |];
-        col_coefs.(j) <- [| sigma |];
-        lb.(j) <- 0.0;
-        ub.(j) <- infinity;
-        basis.(i) <- j;
-        pos_in_basis.(j) <- i;
-        x_b.(i) <- abs_float resid.(i);
-        binv.(i).(i) <- sigma
-      end
-    done;
-    let ncols = n + m + !n_art in
-    let params =
-      if params.max_iterations > 0 then params
-      else { params with max_iterations = (50 * (m + n)) + 5000 }
-    in
-    let st =
-      {
-        m;
-        ncols;
-        col_rows;
-        col_coefs;
-        lb;
-        ub;
-        b;
-        binv;
-        basis;
-        pos_in_basis;
-        x_b;
-        vals;
-        n_artificial_base = n + m;
-        params;
-      }
-    in
-    let run () =
-      (* Phase 1: drive the artificials to zero. *)
-      let art_total () =
-        let acc = ref 0.0 in
-        for i = 0 to m - 1 do
-          if st.basis.(i) >= st.n_artificial_base then acc := !acc +. st.x_b.(i)
-        done;
-        for j = st.n_artificial_base to ncols - 1 do
-          if st.pos_in_basis.(j) < 0 then acc := !acc +. st.vals.(j)
-        done;
-        !acc
-      in
-      let phase1_needed = !n_art > 0 && art_total () > st.params.feasibility_tol in
-      let phase1 =
-        if not phase1_needed then Phase_optimal 0
-        else begin
-          let cost1 = Array.make ncols 0.0 in
-          for j = st.n_artificial_base to ncols - 1 do
-            cost1.(j) <- 1.0
-          done;
-          optimize st cost1 st.params.max_iterations
-        end
-      in
-      match phase1 with
-      | Phase_iter_limit -> Iteration_limit
-      | Phase_unbounded ->
-        (* Phase 1 is bounded below by zero; reaching here indicates
-           numerical failure. Report infeasible conservatively. *)
-        Log.warn (fun k -> k "phase 1 reported unbounded: numerical trouble");
-        Infeasible
-      | Phase_optimal it1 ->
-        if !n_art > 0 && art_total () > st.params.feasibility_tol *. 100.0 then Infeasible
-        else begin
-          (* Lock artificials out of the problem. *)
-          for j = st.n_artificial_base to ncols - 1 do
-            st.ub.(j) <- 0.0;
-            if st.pos_in_basis.(j) < 0 then st.vals.(j) <- 0.0
-          done;
-          let cost2 = Array.make ncols 0.0 in
-          for v = 0 to n - 1 do
-            cost2.(v) <- sign *. Expr.coef obj v
-          done;
-          match optimize st cost2 (st.params.max_iterations - it1) with
-          | Phase_iter_limit -> Iteration_limit
-          | Phase_unbounded -> Unbounded
-          | Phase_optimal it2 ->
-            let values = Array.make n 0.0 in
-            for v = 0 to n - 1 do
-              values.(v) <-
-                (let p = st.pos_in_basis.(v) in
-                 if p >= 0 then st.x_b.(p) else st.vals.(v))
-            done;
-            Optimal
-              {
-                values;
-                objective = Expr.eval (fun v -> values.(v)) obj;
-                iterations = it1 + it2;
-              }
-        end
-    in
-    try run () with Singular_basis ->
-      Log.warn (fun k -> k "singular basis encountered");
-      Infeasible
-  end
+  else solve_state (assemble ~params model)

@@ -7,6 +7,14 @@
     artificial-variable phase 1; the basis inverse is maintained
     densely with periodic refactorization.
 
+    Model assembly and optimization are split: {!assemble} builds a
+    persistent solver {!state} once, {!solve_state} optimizes it from
+    a cold slack/artificial basis, and after bound/RHS edits
+    ({!set_var_bounds}, {!set_rhs}) {!reoptimize} recovers the new
+    optimum from the previous basis with a dual-simplex-style
+    restoration pass — the branch & bound hot path of the Eq. (3)
+    MILPs re-solves children without re-running phase 1.
+
     This is the stand-in for CPLEX's barrier/simplex in the paper's
     flow. It is adequate for the instance sizes produced by the
     candidate-pruned formulations (thousands of columns, around a
@@ -37,6 +45,49 @@ val solve : ?params:params -> Model.t -> status
 (** Solve the LP relaxation (integrality of [Integer] variables is
     ignored). Fixed variables ([lb = ub]) are honoured, so the paper's
     frozen critical-path operations and two-step pre-mapping are
-    expressed by {!Model.fix_var} before calling [solve]. *)
+    expressed by {!Model.fix_var} before calling [solve].
+
+    Equivalent to [solve_state (assemble ?params model)], with a fast
+    path for constraint-free models. *)
 
 val pp_status : Format.formatter -> status -> unit
+
+(** {1 Persistent solver state (warm starts)} *)
+
+type state
+(** A solver state assembled from one model. The sparse columns are
+    built once; variable bounds and row right-hand sides can then be
+    edited in place between solves. The state does not alias the
+    source {!Model.t} — later edits to the model are not seen. *)
+
+val assemble : ?params:params -> Model.t -> state
+(** Build the solver state (sparse columns, bounds, RHS) without
+    optimizing. *)
+
+val solve_state : state -> status
+(** Cold solve: rebuild the initial slack/artificial basis for the
+    current bounds/RHS and run phase 1 + phase 2. *)
+
+val reoptimize : state -> status
+(** Re-optimize after {!set_var_bounds} / {!set_rhs} edits, starting
+    from the basis left by the previous [solve_state]/[reoptimize]
+    call (dual-simplex-style feasibility restoration, then primal
+    cleanup). Falls back to a cold {!solve_state} on the first call
+    or on numerical trouble. *)
+
+val set_var_bounds : state -> int -> lb:float -> ub:float -> unit
+(** Change the bounds of a structural (model) variable in place.
+    Raises [Invalid_argument] if the index is not a structural
+    variable or [lb > ub]. *)
+
+val set_rhs : state -> int -> float -> unit
+(** Change the right-hand side of constraint row [i] in place. *)
+
+type state_stats = {
+  warm_solves : int;   (** [reoptimize] calls served from the parent basis *)
+  cold_solves : int;   (** full phase-1 restarts (incl. warm fallbacks) *)
+  lp_iterations : int; (** total simplex pivots/bound flips *)
+}
+
+val state_stats : state -> state_stats
+(** Cumulative counters since {!assemble}. *)

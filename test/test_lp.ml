@@ -6,6 +6,7 @@ module Expr = Agingfp_lp.Expr
 module Model = Agingfp_lp.Model
 module Simplex = Agingfp_lp.Simplex
 module Milp = Agingfp_lp.Milp
+module Presolve = Agingfp_lp.Presolve
 module Lp_format = Agingfp_lp.Lp_format
 module Rng = Agingfp_util.Rng
 
@@ -348,6 +349,189 @@ let test_lp_beale_cycling () =
   | Simplex.Optimal s -> Alcotest.(check (float 1e-6)) "Beale optimum" 1.25 s.objective
   | st -> Alcotest.failf "expected optimal, got %a" Simplex.pp_status st
 
+(* ---------- Presolve ---------- *)
+
+let get_reduced = function
+  | Presolve.Reduced t -> t
+  | Presolve.Proven_infeasible r -> Alcotest.failf "unexpected infeasibility: %s" r
+
+let test_presolve_singleton_row () =
+  (* 2x <= 8 becomes the bound x <= 4; the row disappears. *)
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m (Expr.var ~coef:2.0 x) Model.Le 8.0);
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let t = get_reduced (Presolve.run m) in
+  let red = Presolve.reductions t in
+  Alcotest.(check bool) "singleton row counted" true (red.Presolve.singleton_rows >= 1);
+  Alcotest.(check int) "no rows left" 0 (Model.num_constraints (Presolve.reduced t));
+  let s = get_optimal (Simplex.solve (Presolve.reduced t)) in
+  let values = Presolve.postsolve t s.Simplex.values in
+  Alcotest.(check (float 1e-6)) "x at implied bound" 4.0 values.(x);
+  Alcotest.(check bool) "feasible on original" true
+    (Model.check_feasible m (fun v -> values.(v)) = Ok ())
+
+let test_presolve_fixed_substitution () =
+  (* 3x = 6 pins x = 2; the second row shrinks to a bound on y. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:10.0 m and y = Model.add_var ~ub:10.0 m in
+  ignore (Model.add_constraint m (Expr.var ~coef:3.0 x) Model.Eq 6.0);
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 5.0);
+  Model.set_objective m Model.Maximize (Expr.add (Expr.var x) (Expr.var y));
+  let t = get_reduced (Presolve.run m) in
+  let red = Presolve.reductions t in
+  Alcotest.(check bool) "x fixed" true (red.Presolve.vars_fixed >= 1);
+  let s = get_optimal (Simplex.solve (Presolve.reduced t)) in
+  (* Objective of the reduced model folds in the fixed contribution. *)
+  check_obj "objective carries fixed part" 5.0 s;
+  let values = Presolve.postsolve t s.Simplex.values in
+  Alcotest.(check (float 1e-6)) "x restored" 2.0 values.(x);
+  Alcotest.(check bool) "feasible on original" true
+    (Model.check_feasible m (fun v -> values.(v)) = Ok ())
+
+let test_presolve_redundant_row () =
+  (* x, y in [0,1]: x + y <= 5 can never bind. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m and y = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 5.0);
+  Model.set_objective m Model.Maximize (Expr.add (Expr.var x) (Expr.var y));
+  let t = get_reduced (Presolve.run m) in
+  Alcotest.(check bool) "row removed" true
+    ((Presolve.reductions t).Presolve.rows_removed >= 1);
+  Alcotest.(check int) "no rows left" 0 (Model.num_constraints (Presolve.reduced t))
+
+let test_presolve_forcing_row () =
+  (* x + y <= 0 with x, y >= 0 forces both to zero. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m and y = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 0.0);
+  Model.set_objective m Model.Maximize (Expr.add (Expr.var x) (Expr.var y));
+  let t = get_reduced (Presolve.run m) in
+  Alcotest.(check bool) "both fixed" true ((Presolve.reductions t).Presolve.vars_fixed >= 2);
+  let s = get_optimal (Simplex.solve (Presolve.reduced t)) in
+  let values = Presolve.postsolve t s.Simplex.values in
+  Alcotest.(check (float 0.)) "x = 0" 0.0 values.(x);
+  Alcotest.(check (float 0.)) "y = 0" 0.0 values.(y)
+
+let test_presolve_probing () =
+  (* One-hot a + b + c = 1 with b + c >= 1: setting a = 1 zeroes its
+     row-mates and contradicts the second row, so probing fixes a = 0. *)
+  let m = Model.create () in
+  let a = Model.add_binary m and b = Model.add_binary m and c = Model.add_binary m in
+  ignore
+    (Model.add_constraint m (Expr.sum [ Expr.var a; Expr.var b; Expr.var c ]) Model.Eq 1.0);
+  ignore (Model.add_constraint m (Expr.add (Expr.var b) (Expr.var c)) Model.Ge 1.0);
+  Model.set_objective m Model.Maximize
+    (Expr.sum [ Expr.var ~coef:5.0 a; Expr.var b; Expr.var c ]);
+  let t = get_reduced (Presolve.run m) in
+  Alcotest.(check bool) "probe fixed a" true
+    ((Presolve.reductions t).Presolve.probe_fixings >= 1);
+  let params = { Milp.default_params with first_solution = false } in
+  let s = get_feasible (Milp.solve ~params (Presolve.reduced t)) in
+  let values = Presolve.postsolve t s.Simplex.values in
+  Alcotest.(check (float 0.)) "a = 0" 0.0 values.(a);
+  Alcotest.(check (float 1e-6)) "objective" 1.0 s.Simplex.objective;
+  Alcotest.(check bool) "feasible on original" true
+    (Model.check_feasible m (fun v -> values.(v)) = Ok ())
+
+let test_presolve_detects_infeasible () =
+  (* x <= 1 as a bound but a row demands x >= 2. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.var x) Model.Ge 2.0);
+  match Presolve.run m with
+  | Presolve.Proven_infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "expected Proven_infeasible"
+
+let build_2var_lp ?bounds:(b' = None) (cons, bounds, obj) =
+  let bounds = match b' with Some b -> b | None -> bounds in
+  let m = Model.create () in
+  let (l0, h0), (l1, h1) = bounds in
+  let x = Model.add_var ~lb:l0 ~ub:h0 m in
+  let y = Model.add_var ~lb:l1 ~ub:h1 m in
+  List.iter
+    (fun (a, b, rel, c) ->
+      ignore
+        (Model.add_constraint m
+           (Expr.add (Expr.var ~coef:a x) (Expr.var ~coef:b y))
+           rel c))
+    cons;
+  let ox, oy = obj in
+  Model.set_objective m Model.Maximize
+    (Expr.add (Expr.var ~coef:ox x) (Expr.var ~coef:oy y));
+  m
+
+let prop_presolve_lp_roundtrip =
+  QCheck2.Test.make ~name:"presolve -> solve -> postsolve matches direct solve"
+    ~count:300 QCheck2.Gen.int (fun seed ->
+      let spec = random_2var_lp seed in
+      let m = build_2var_lp spec in
+      let direct = Simplex.solve (build_2var_lp spec) in
+      match Presolve.run m with
+      | Presolve.Proven_infeasible _ -> direct = Simplex.Infeasible
+      | Presolve.Reduced t -> (
+        match (Simplex.solve (Presolve.reduced t), direct) with
+        | Simplex.Optimal s, Simplex.Optimal d ->
+          let values = Presolve.postsolve t s.Simplex.values in
+          abs_float (s.objective -. d.objective) < 1e-6
+          && Model.check_feasible m (fun v -> values.(v)) = Ok ()
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | _ -> false))
+
+(* ---------- Simplex warm start ---------- *)
+
+let prop_reoptimize_bound_change_matches_cold =
+  (* B&B-style usage: solve, branch on x's value, re-solve warm from
+     the parent basis; a cold solve of the modified model must agree. *)
+  QCheck2.Test.make ~name:"warm reoptimize after bound change matches cold solve"
+    ~count:200 QCheck2.Gen.int (fun seed ->
+      let ((_, bounds, _) as spec) = random_2var_lp seed in
+      let st = Simplex.assemble (build_2var_lp spec) in
+      match Simplex.solve_state st with
+      | Simplex.Optimal s ->
+        let v = s.Simplex.values.(0) in
+        let (l0, h0), b1 = bounds in
+        let bounds' =
+          if seed land 1 = 0 then ((l0, Float.of_int (int_of_float v)), b1)
+          else ((Float.of_int (int_of_float (ceil v)), h0), b1)
+        in
+        let ((l0', h0'), _) = bounds' in
+        Simplex.set_var_bounds st 0 ~lb:l0' ~ub:h0';
+        let warm = Simplex.reoptimize st in
+        let cold = Simplex.solve (build_2var_lp ~bounds:(Some bounds') spec) in
+        (match (warm, cold) with
+        | Simplex.Optimal w, Simplex.Optimal c ->
+          abs_float (w.Simplex.objective -. c.Simplex.objective) < 1e-6
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | _ -> false)
+      | Simplex.Infeasible -> true
+      | _ -> false)
+
+let prop_reoptimize_rhs_change_matches_cold =
+  (* Remap-style usage: only the stress-budget RHS moves between
+     solves; the assembled state is reused with [set_rhs]. *)
+  QCheck2.Test.make ~name:"warm reoptimize after rhs change matches cold solve"
+    ~count:200 QCheck2.Gen.int (fun seed ->
+      let ((cons, bounds, obj) as spec) = random_2var_lp seed in
+      match cons with
+      | [] -> true
+      | (a, b, rel, c) :: rest ->
+        let st = Simplex.assemble (build_2var_lp spec) in
+        (match Simplex.solve_state st with
+        | Simplex.Optimal _ ->
+          let delta = if rel = Model.Le then -1.0 else 1.0 in
+          let c' = c +. delta in
+          Simplex.set_rhs st 0 c';
+          let warm = Simplex.reoptimize st in
+          let cold = Simplex.solve (build_2var_lp ((a, b, rel, c') :: rest, bounds, obj)) in
+          (match (warm, cold) with
+          | Simplex.Optimal w, Simplex.Optimal cs ->
+            abs_float (w.Simplex.objective -. cs.Simplex.objective) < 1e-6
+          | Simplex.Infeasible, Simplex.Infeasible -> true
+          | _ -> false)
+        | Simplex.Infeasible -> true
+        | _ -> false))
+
 (* ---------- MILP ---------- *)
 
 let test_milp_knapsack () =
@@ -436,6 +620,77 @@ let test_milp_mixed_integer_continuous () =
   let s = get_feasible (Milp.solve ~params m) in
   Alcotest.(check (float 1e-6)) "objective" 3.0 s.objective;
   Alcotest.(check (float 1e-6)) "x integral" 1.0 s.values.(x)
+
+let test_milp_stats_warm_branching () =
+  (* A knapsack with a fractional LP vertex: the search must branch,
+     and every node after the root must reuse the warm state. *)
+  let m = Model.create () in
+  let w = [| 5.0; 7.0; 11.0; 13.0; 3.0; 17.0; 19.0; 23.0; 9.0; 15.0 |] in
+  let xs = Array.map (fun _ -> Model.add_binary m) w in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  ignore
+    (Model.add_constraint m
+       (Expr.sum (Array.to_list (Array.mapi (fun i x -> Expr.var ~coef:w.(i) x) xs)))
+       Model.Le (total /. 2.0));
+  Model.set_objective m Model.Maximize
+    (Expr.sum
+       (Array.to_list
+          (Array.mapi (fun i x -> Expr.var ~coef:(w.(i) +. float_of_int (i mod 3)) x) xs)));
+  let params = { Milp.default_params with first_solution = false } in
+  let result, stats = Milp.solve_with_stats ~params m in
+  let s = get_feasible result in
+  Alcotest.(check bool) "search branched" true (stats.Milp.nodes > 1);
+  Alcotest.(check bool) "warm solves happened" true (stats.Milp.warm_solves > 0);
+  Alcotest.(check bool) "iterations counted" true (stats.Milp.lp_iterations > 0);
+  Array.iter
+    (fun v ->
+      let x = s.Simplex.values.(v) in
+      Alcotest.(check (float 0.)) "exactly integral" (Float.round x) x)
+    xs
+
+let prop_milp_modes_agree =
+  (* Presolve + warm start are pure accelerations: switching both off
+     must not change the optimum, and the returned incumbent must be
+     feasible for and exactly integral in the original model. *)
+  QCheck2.Test.make ~name:"presolve/warm-start do not change the B&B optimum"
+    ~count:120 QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 3 + Rng.int rng 5 in
+      let ncons = 1 + Rng.int rng 4 in
+      let cons =
+        List.init ncons (fun _ ->
+            let coefs = List.init nvars (fun v -> (v, float_of_int (Rng.int rng 7 - 3))) in
+            let rhs = float_of_int (Rng.int rng 8 - 2) in
+            let rel = if Rng.int rng 3 = 0 then Model.Ge else Model.Le in
+            (coefs, rel, rhs))
+      in
+      let obj = List.init nvars (fun v -> (v, float_of_int (Rng.int rng 11 - 5))) in
+      let build () =
+        let m = Model.create () in
+        let vars = Array.init nvars (fun _ -> Model.add_binary m) in
+        List.iter
+          (fun (coefs, rel, rhs) ->
+            let lhs = Expr.sum (List.map (fun (v, c) -> Expr.var ~coef:c vars.(v)) coefs) in
+            ignore (Model.add_constraint m lhs rel rhs))
+          cons;
+        Model.set_objective m Model.Maximize
+          (Expr.sum (List.map (fun (v, c) -> Expr.var ~coef:c vars.(v)) obj));
+        m
+      in
+      let fast = { Milp.default_params with first_solution = false } in
+      let plain = { fast with Milp.presolve = false; warm_start = false } in
+      let m = build () in
+      match (Milp.solve ~params:fast m, Milp.solve ~params:plain (build ())) with
+      | Milp.Feasible a, Milp.Feasible b ->
+        abs_float (a.Simplex.objective -. b.Simplex.objective) < 1e-6
+        && Model.check_feasible m (fun v -> a.Simplex.values.(v)) = Ok ()
+        && List.for_all
+             (fun v ->
+               let x = a.Simplex.values.(v) in
+               x = Float.round x)
+             (Model.integer_vars m)
+      | Milp.Infeasible, Milp.Infeasible -> true
+      | _ -> false)
 
 (* Brute force 0/1 enumeration for small random ILPs. *)
 let brute_force_ilp nvars cons obj =
@@ -602,6 +857,15 @@ let () =
           Alcotest.test_case "assignment-shaped" `Quick test_lp_assignment_shaped;
           Alcotest.test_case "Beale anti-cycling" `Quick test_lp_beale_cycling;
         ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "singleton row to bound" `Quick test_presolve_singleton_row;
+          Alcotest.test_case "fixed-var substitution" `Quick test_presolve_fixed_substitution;
+          Alcotest.test_case "redundant row removal" `Quick test_presolve_redundant_row;
+          Alcotest.test_case "forcing row" `Quick test_presolve_forcing_row;
+          Alcotest.test_case "binary probing" `Quick test_presolve_probing;
+          Alcotest.test_case "detects infeasibility" `Quick test_presolve_detects_infeasible;
+        ] );
       ( "milp",
         [
           Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
@@ -611,6 +875,8 @@ let () =
           Alcotest.test_case "relax-and-fix matches B&B" `Quick test_relax_and_fix_matches_bb;
           Alcotest.test_case "mixed integer/continuous" `Quick
             test_milp_mixed_integer_continuous;
+          Alcotest.test_case "stats show warm branching" `Quick
+            test_milp_stats_warm_branching;
         ] );
       ( "lp-format",
         [
@@ -623,7 +889,11 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_simplex_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_simplex_solution_feasible;
+          QCheck_alcotest.to_alcotest prop_presolve_lp_roundtrip;
+          QCheck_alcotest.to_alcotest prop_reoptimize_bound_change_matches_cold;
+          QCheck_alcotest.to_alcotest prop_reoptimize_rhs_change_matches_cold;
           QCheck_alcotest.to_alcotest prop_milp_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_milp_modes_agree;
           QCheck_alcotest.to_alcotest prop_relax_and_fix_feasible;
         ] );
     ]
