@@ -102,7 +102,7 @@ let solve_with_stats ?(params = default_params) model0 =
   let sign = solution_sign dir in
   let presolved =
     if params.presolve then
-      match Presolve.run model0 with
+      match Presolve.run ~integrality_tol:params.integrality_tol model0 with
       | Presolve.Proven_infeasible msg ->
         Log.debug (fun k -> k "presolve proved infeasibility: %s" msg);
         Error msg
@@ -216,13 +216,17 @@ let solve_with_stats ?(params = default_params) model0 =
 let solve ?params model0 = fst (solve_with_stats ?params model0)
 
 let relax_and_fix_with_stats ?(threshold = 0.95) ?(params = default_params) model0 =
+  (* The root relaxation is counted both in the returned per-call stats
+     (folded in below) and in the global cumulative counters (via
+     note_lp_solve), so the two accountings agree. *)
+  let root_stats ~iterations = { zero_stats with cold_solves = 1; lp_iterations = iterations } in
   match Simplex.solve ~params:params.lp_params model0 with
   | Simplex.Infeasible ->
     note_lp_solve ~warm:false ~iterations:0;
-    (Infeasible, zero_stats)
+    (Infeasible, root_stats ~iterations:0)
   | Simplex.Unbounded | Simplex.Iteration_limit ->
     note_lp_solve ~warm:false ~iterations:0;
-    (Unknown, zero_stats)
+    (Unknown, root_stats ~iterations:0)
   | Simplex.Optimal relaxed ->
     note_lp_solve ~warm:false ~iterations:relaxed.iterations;
     let int_vars = Model.integer_vars model0 in
@@ -246,12 +250,13 @@ let relax_and_fix_with_stats ?(threshold = 0.95) ?(params = default_params) mode
           Unknown)
       | r -> r
     in
+    let root = root_stats ~iterations:relaxed.iterations in
     (match solve_with_stats ~params fixed with
-    | Feasible sol, stats -> (validate (Feasible sol), stats)
+    | Feasible sol, stats -> (validate (Feasible sol), add_stats root stats)
     | (Infeasible | Unknown), stats ->
       (* The aggressive pre-mapping can over-constrain; retry without it. *)
       let r, stats' = solve_with_stats ~params model0 in
-      (validate r, add_stats stats stats'))
+      (validate r, add_stats root (add_stats stats stats')))
 
 let relax_and_fix ?threshold ?params model0 =
   fst (relax_and_fix_with_stats ?threshold ?params model0)

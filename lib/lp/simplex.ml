@@ -195,6 +195,17 @@ let apply_pivot st r e dir t leave_val w =
     end
   done
 
+(* Distance column [j] can travel in direction [dir] before hitting its
+   own bound, measured from vals.(j) — NOT ub - lb: after
+   [set_var_bounds] a clamped nonbasic may rest strictly between its
+   bounds, and stepping by the full range would desynchronize x_B from
+   the nonbasic assignment (or push [j] past its bound). *)
+let travel_limit st j dir =
+  if dir > 0.0 then
+    if st.ub.(j) < infinity then max 0.0 (st.ub.(j) -. st.vals.(j)) else infinity
+  else if st.lb.(j) > neg_infinity then max 0.0 (st.vals.(j) -. st.lb.(j))
+  else infinity
+
 type phase_result = Phase_optimal of int | Phase_unbounded | Phase_iter_limit
 
 (* Optimize the given cost vector from the current basis. *)
@@ -260,11 +271,9 @@ let optimize st cost max_iter =
         let e = !best and dir = !best_dir in
         ftran st e w;
         (* Ratio test over the basic variables, plus the entering
-           variable's own bound range (a "bound flip"). *)
-        let t_limit =
-          if st.lb.(e) > neg_infinity && st.ub.(e) < infinity then st.ub.(e) -. st.lb.(e)
-          else infinity
-        in
+           variable's own travel range to the bound it moves toward
+           (a "bound flip"). *)
+        let t_limit = travel_limit st e dir in
         let t_best = ref t_limit in
         let leaving = ref (-1) in
         let leaving_w = ref 0.0 in
@@ -303,8 +312,9 @@ let optimize st cost max_iter =
           if !degen = 0 then bland := false;
           st.n_iters <- st.n_iters + 1;
           if !leaving < 0 then begin
-            (* Bound flip: the entering variable crosses to its other
-               bound without any basis change. *)
+            (* Bound flip: the entering variable travels to the bound
+               in its movement direction without any basis change
+               (t = travel_limit, so snapping vals is exact). *)
             st.vals.(e) <- (if dir > 0.0 then st.ub.(e) else st.lb.(e));
             for i = 0 to m - 1 do
               st.x_b.(i) <- st.x_b.(i) -. (t *. dir *. w.(i))
@@ -658,11 +668,12 @@ let dual_restore st =
           else begin
             let t = (st.x_b.(r) -. target) /. (dir *. w.(r)) in
             let t = if t < 0.0 then 0.0 else t in
-            let range = st.ub.(e) -. st.lb.(e) in
+            let range = travel_limit st e dir in
             st.n_iters <- st.n_iters + 1;
             if range < t then begin
-              (* The entering variable hits its opposite bound before
-                 the leaving row reaches feasibility: bound flip. *)
+              (* The entering variable hits the bound in its movement
+                 direction before the leaving row reaches feasibility:
+                 bound flip (range = travel_limit, snap is exact). *)
               st.vals.(e) <- (if dir > 0.0 then st.ub.(e) else st.lb.(e));
               for i = 0 to m - 1 do
                 st.x_b.(i) <- st.x_b.(i) -. (range *. dir *. w.(i))

@@ -532,6 +532,34 @@ let prop_reoptimize_rhs_change_matches_cold =
         | Simplex.Infeasible -> true
         | _ -> false))
 
+let test_reoptimize_restored_bounds_interior () =
+  (* B&B unwind regression: max 2x + y, x,y in [0,10], x + y <= 12.
+     Cold optimum is x = 10 (nonbasic at ub). Tightening x to [0,4]
+     clamps the nonbasic to 4; restoring [0,10] then leaves it
+     strictly between its bounds, so the next warm solve must step x
+     by its distance to the bound (6), not the full range (10) —
+     the latter drove x to 12 > ub and certified an infeasible point. *)
+  let build () =
+    let m = Model.create () in
+    let x = Model.add_var ~ub:10.0 m in
+    let y = Model.add_var ~ub:10.0 m in
+    ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 12.0);
+    Model.set_objective m Model.Maximize (Expr.add (Expr.var ~coef:2.0 x) (Expr.var y));
+    m
+  in
+  let m = build () in
+  let st = Simplex.assemble m in
+  let s = get_optimal (Simplex.solve_state st) in
+  Alcotest.(check (float 1e-6)) "cold objective" 22.0 s.Simplex.objective;
+  Simplex.set_var_bounds st 0 ~lb:0.0 ~ub:4.0;
+  let s = get_optimal (Simplex.reoptimize st) in
+  Alcotest.(check (float 1e-6)) "tightened objective" 16.0 s.Simplex.objective;
+  Simplex.set_var_bounds st 0 ~lb:0.0 ~ub:10.0;
+  let s = get_optimal (Simplex.reoptimize st) in
+  Alcotest.(check (float 1e-6)) "restored objective" 22.0 s.Simplex.objective;
+  Alcotest.(check bool) "restored solution feasible" true
+    (Model.check_feasible m (fun v -> s.Simplex.values.(v)) = Ok ())
+
 (* ---------- MILP ---------- *)
 
 let test_milp_knapsack () =
@@ -856,6 +884,8 @@ let () =
           Alcotest.test_case "objective constant" `Quick test_lp_objective_constant;
           Alcotest.test_case "assignment-shaped" `Quick test_lp_assignment_shaped;
           Alcotest.test_case "Beale anti-cycling" `Quick test_lp_beale_cycling;
+          Alcotest.test_case "warm restore leaves interior nonbasic" `Quick
+            test_reoptimize_restored_bounds_interior;
         ] );
       ( "presolve",
         [
