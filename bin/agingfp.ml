@@ -4,7 +4,8 @@
      list            show the Table-I benchmark suite
      remap           run the full Algorithm-1 flow on a benchmark or DSL file
      mttf            report the baseline (aging-unaware) MTTF breakdown
-     heatmap         print stress and thermal maps before/after re-mapping *)
+     heatmap         print stress and thermal maps before/after re-mapping
+     lint            static-analyze formulation-(3) models (or an .lp file) *)
 
 open Agingfp_cgrra
 module Placer = Agingfp_place.Placer
@@ -14,11 +15,11 @@ module Mttf = Agingfp_aging.Mttf
 module Remap = Agingfp_floorplan.Remap
 module Rotation = Agingfp_floorplan.Rotation
 module Related = Agingfp_floorplan.Related
-module Rotation_mod = Agingfp_floorplan.Rotation
-module Paths = Agingfp_floorplan.Paths
-module Candidates = Agingfp_floorplan.Candidates
+module Audit = Agingfp_floorplan.Audit
 module Ilp_model = Agingfp_floorplan.Ilp_model
+module Model = Agingfp_lp.Model
 module Lp_format = Agingfp_lp.Lp_format
+module Analyze = Agingfp_lp.Analyze
 module Milp = Agingfp_lp.Milp
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
@@ -117,7 +118,7 @@ let solver_stats_table () =
     ]
 
 let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
-    techmap stats =
+    techmap stats certify =
   match
     (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s)
   with
@@ -133,7 +134,9 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
     | None -> ());
     let baseline = Placer.aging_unaware design in
     Milp.reset_cumulative ();
-    let r = Remap.solve ~mode design baseline in
+    Remap.reset_certification ();
+    let params = { Remap.default_params with Remap.certify } in
+    let r = Remap.solve ~params ~mode design baseline in
     let imp = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
     Format.printf "%a@." Design.pp design;
     if not quiet then begin
@@ -150,13 +153,27 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
     if not r.Remap.improved then
       Format.printf "(no delay-clean floorplan found; baseline kept)@.";
     if stats then Format.printf "@.%s@." (solver_stats_table ());
+    let cert_failed =
+      if not certify then false
+      else begin
+        let c = Remap.certification () in
+        Format.printf
+          "certificates        : %d LP + %d MILP checked, %d rejected@."
+          c.Remap.lp_checked c.Remap.milp_checked c.Remap.rejected;
+        List.iter
+          (fun msg -> Format.printf "  rejected: %s@." msg)
+          (List.rev c.Remap.failures);
+        c.Remap.rejected > 0
+      end
+    in
+    Format.printf "floorplan audit     : %a@." Audit.pp r.Remap.audit;
     (match save_floorplan with
     | Some path -> (
       match Serial.save_mapping path r.Remap.mapping with
       | Ok () -> Format.printf "floorplan written to %s@." path
       | Error msg -> prerr_endline msg)
     | None -> ());
-    0
+    if cert_failed || not (Audit.ok r.Remap.audit) then 1 else 0
 
 let cmd_heatmap benchmark source dim mode_s =
   match (load_design benchmark source dim, mode_of_string mode_s) with
@@ -206,23 +223,7 @@ let cmd_export_lp benchmark source dim mode_s out =
     1
   | Ok design, Ok mode ->
     let baseline = Placer.aging_unaware design in
-    let reference, frozen = Rotation_mod.reference mode design baseline in
-    let monitored = Paths.monitored design baseline in
-    let candidates = Candidates.build design reference ~frozen ~monitored in
-    let committed = Array.make (Fabric.num_pes (Design.fabric design)) 0.0 in
-    Array.iteri
-      (fun ctx pins ->
-        List.iter
-          (fun (op, pe) ->
-            committed.(pe) <- committed.(pe) +. Stress.op_stress design ~ctx ~op)
-          pins)
-      frozen;
-    let st_target = Remap.step1_lower_bound design baseline in
-    let inst =
-      Ilp_model.build design ~baseline:reference ~st_target ~candidates ~monitored
-        ~contexts:(List.init (Design.num_contexts design) (fun i -> i))
-        ~committed
-    in
+    let inst, st_target = Remap.build_formulation ~mode design baseline in
     (match Lp_format.write_file out (Ilp_model.model inst) with
     | Ok () ->
       Format.printf
@@ -232,6 +233,52 @@ let cmd_export_lp benchmark source dim mode_s out =
     | Error msg ->
       prerr_endline msg;
       1)
+
+(* Lint one model; prints Error/Warning diagnostics plus a summary
+   line and returns [true] when the model is free of Error severity. *)
+let lint_model name model =
+  let diags = Analyze.lint model in
+  Format.printf "%-10s %a@." name Analyze.pp_summary diags;
+  List.iter
+    (fun (d : Analyze.diagnostic) ->
+      match d.Analyze.severity with
+      | Analyze.Error | Analyze.Warning -> Format.printf "  %a@." Analyze.pp_diagnostic d
+      | Analyze.Info -> ())
+    diags;
+  Analyze.errors diags = []
+
+let cmd_lint benchmark source dim mode_s all lp_file =
+  match lp_file with
+  | Some path -> (
+    match Lp_format.read_file path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok model -> if lint_model (Filename.basename path) model then 0 else 1)
+  | None -> (
+    match mode_of_string mode_s with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok mode ->
+      let lint_design design =
+        let baseline = Placer.aging_unaware design in
+        let inst, _st = Remap.build_formulation ~mode design baseline in
+        lint_model (Design.name design) (Ilp_model.model inst)
+      in
+      if all then begin
+        let clean = ref true in
+        let check design = if not (lint_design design) then clean := false in
+        check (Benchmarks.tiny ());
+        Array.iter (fun spec -> check (Benchmarks.generate spec)) Benchmarks.table1;
+        if !clean then 0 else 1
+      end
+      else (
+        match load_design benchmark source dim with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok design -> if lint_design design then 0 else 1))
 
 let cmd_route benchmark source dim capacity mode_s =
   match (load_design benchmark source dim, mode_of_string mode_s) with
@@ -320,6 +367,14 @@ let techmap_arg =
     & info [ "techmap" ]
         ~doc:"Fuse ALU->DMU chains into single PEs during HLS (--source only).")
 
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"Re-verify every optimal LP point and MILP result in exact rational \
+              arithmetic as the flow runs; exit non-zero if any certificate is \
+              rejected or the final floorplan audit fails.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -340,10 +395,11 @@ let mttf_cmd =
 let remap_cmd =
   Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
     Term.(
-      const (fun verbose b s d m q df sd sf tm stats ->
-          with_logs verbose (cmd_remap b s d m q df sd sf tm stats))
+      const (fun verbose b s d m q df sd sf tm stats certify ->
+          with_logs verbose (cmd_remap b s d m q df sd sf tm stats certify))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
-      $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg)
+      $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg
+      $ certify_arg)
 
 let out_arg =
   Arg.(
@@ -369,6 +425,27 @@ let route_cmd =
       const (fun verbose b s d c m -> with_logs verbose (cmd_route b s d c m))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ capacity_arg $ mode_arg)
 
+let lint_all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ] ~doc:"Lint every bundled benchmark (tiny plus B1..B27).")
+
+let lp_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lp-file" ] ~docv:"FILE" ~doc:"Lint a CPLEX-LP-format model file instead.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static-analyze a formulation-(3) model (or an .lp file) for \
+             inconsistent bounds, degenerate rows, and conditioning problems")
+    Term.(
+      const (fun verbose b s d m all lp -> with_logs verbose (cmd_lint b s d m all lp))
+      $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ lint_all_arg
+      $ lp_file_arg)
+
 let related_cmd =
   Cmd.v
     (Cmd.info "related" ~doc:"Compare against prior aging-mitigation strategies")
@@ -385,6 +462,9 @@ let heatmap_cmd =
 let main_cmd =
   let doc = "MILP-based aging-aware floorplanner for multi-context CGRRAs" in
   Cmd.group (Cmd.info "agingfp" ~version:"1.0.0" ~doc)
-    [ list_cmd; mttf_cmd; remap_cmd; heatmap_cmd; related_cmd; export_lp_cmd; route_cmd ]
+    [
+      list_cmd; mttf_cmd; remap_cmd; heatmap_cmd; related_cmd; export_lp_cmd; route_cmd;
+      lint_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,165 @@
+open Agingfp_cgrra
+module Analysis = Agingfp_timing.Analysis
+
+type code =
+  | Invalid_mapping
+  | Frozen_pin_moved
+  | Path_over_budget
+  | Cpd_increased
+  | Stress_over_budget
+
+type violation = { code : code; where : string; message : string }
+
+type report = {
+  violations : violation list;
+  cpd_ns : float;
+  baseline_cpd_ns : float;
+  max_stress : float;
+  st_target : float;
+  pins_checked : int;
+  paths_checked : int;
+}
+
+let ok r = r.violations = []
+
+let code_label = function
+  | Invalid_mapping -> "invalid-mapping"
+  | Frozen_pin_moved -> "frozen-pin-moved"
+  | Path_over_budget -> "path-over-budget"
+  | Cpd_increased -> "cpd-increased"
+  | Stress_over_budget -> "stress-over-budget"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s[%s]: %s" (code_label v.code) v.where v.message
+
+let pp ppf r =
+  if ok r then
+    Format.fprintf ppf
+      "audit clean: CPD %.3f <= %.3f ns, max stress %.4f <= ST_target %.4f, %d \
+       pins, %d paths"
+      r.cpd_ns r.baseline_cpd_ns r.max_stress r.st_target r.pins_checked
+      r.paths_checked
+  else begin
+    Format.fprintf ppf "audit FAILED (%d violation%s):" (List.length r.violations)
+      (if List.length r.violations = 1 then "" else "s");
+    List.iter (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v) r.violations
+  end
+
+let run ?(tol = 1e-6) design ~baseline_cpd ~st_target ~frozen ~monitored mapping =
+  let violations = ref [] in
+  let add code where fmt =
+    Format.kasprintf
+      (fun message -> violations := { code; where; message } :: !violations)
+      fmt
+  in
+  let fabric = Design.fabric design in
+  let npes = Fabric.num_pes fabric in
+  let nctx = Design.num_contexts design in
+  (* -- Structure: every op on exactly one in-range PE, one op per PE
+        per context. Checked directly on the context arrays rather
+        than through [Mapping.validate] so the audit does not lean on
+        the code path under test. -- *)
+  let structurally_sound = ref true in
+  if Mapping.num_contexts mapping <> nctx then begin
+    structurally_sound := false;
+    add Invalid_mapping "shape" "mapping has %d contexts, design has %d"
+      (Mapping.num_contexts mapping) nctx
+  end
+  else
+    for ctx = 0 to nctx - 1 do
+      let dfg = Design.context design ctx in
+      let arr = Mapping.context_array mapping ctx in
+      if Array.length arr <> Dfg.num_ops dfg then begin
+        structurally_sound := false;
+        add Invalid_mapping
+          (Printf.sprintf "ctx %d" ctx)
+          "context maps %d ops, DFG has %d" (Array.length arr) (Dfg.num_ops dfg)
+      end
+      else begin
+        let owner = Array.make npes (-1) in
+        Array.iteri
+          (fun op pe ->
+            if pe < 0 || pe >= npes then begin
+              structurally_sound := false;
+              add Invalid_mapping
+                (Printf.sprintf "ctx %d op %d" ctx op)
+                "PE %d out of range [0, %d)" pe npes
+            end
+            else if owner.(pe) >= 0 then
+              add Invalid_mapping
+                (Printf.sprintf "ctx %d op %d" ctx op)
+                "PE %d already hosts op %d of the same context" pe owner.(pe)
+            else owner.(pe) <- op)
+          arr
+      end
+    done;
+  if not !structurally_sound then
+    (* Timing/stress recomputation would index out of bounds on a
+       malformed mapping; report what we have. *)
+    {
+      violations = List.rev !violations;
+      cpd_ns = nan;
+      baseline_cpd_ns = baseline_cpd;
+      max_stress = nan;
+      st_target;
+      pins_checked = 0;
+      paths_checked = 0;
+    }
+  else begin
+    (* -- Critical-path pins (modulo the chosen rotation: [frozen]
+          already holds the re-oriented positions in Rotate mode). -- *)
+    let pins = ref 0 in
+    Array.iteri
+      (fun ctx pin_list ->
+        List.iter
+          (fun (op, pe) ->
+            incr pins;
+            let actual = Mapping.pe_of mapping ~ctx ~op in
+            if actual <> pe then
+              add Frozen_pin_moved
+                (Printf.sprintf "ctx %d op %d" ctx op)
+                "frozen at PE %d but mapped to PE %d" pe actual)
+          pin_list)
+      frozen;
+    (* -- Monitored path budgets (Eq. 5): integer wire lengths,
+          recomputed from scratch. -- *)
+    let paths = ref 0 in
+    Array.iteri
+      (fun ctx budgeted ->
+        if ctx < nctx then
+          List.iteri
+            (fun i (b : Paths.budgeted) ->
+              incr paths;
+              let wl = Analysis.wire_length design mapping b.Paths.path in
+              if wl > b.Paths.wire_budget then
+                add Path_over_budget
+                  (Printf.sprintf "ctx %d path %d" ctx i)
+                  "wire length %d exceeds budget %d (baseline %d)" wl
+                  b.Paths.wire_budget b.Paths.baseline_wire)
+            budgeted)
+      monitored;
+    (* -- CPD: full recomputation, Algorithm 1 line 12. -- *)
+    let cpd = Analysis.cpd design mapping in
+    if cpd > baseline_cpd +. tol then
+      add Cpd_increased "design" "remapped CPD %.6f ns exceeds baseline %.6f ns"
+        cpd baseline_cpd;
+    (* -- Per-PE accumulated stress vs the reported ST_target. -- *)
+    let acc = Stress.accumulated design mapping in
+    let max_stress = Array.fold_left Float.max 0.0 acc in
+    Array.iteri
+      (fun pe s ->
+        if s > st_target +. tol then
+          add Stress_over_budget
+            (Printf.sprintf "pe %d" pe)
+            "accumulated stress %.6f exceeds ST_target %.6f" s st_target)
+      acc;
+    {
+      violations = List.rev !violations;
+      cpd_ns = cpd;
+      baseline_cpd_ns = baseline_cpd;
+      max_stress;
+      st_target;
+      pins_checked = !pins;
+      paths_checked = !paths;
+    }
+  end

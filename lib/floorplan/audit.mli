@@ -1,0 +1,62 @@
+(** Independent audit of a finished remap against the paper's
+    semantics — formulation (3) and Algorithm 1's acceptance rules —
+    without trusting the MILP layer at all.
+
+    Where {!Ilp_model} encodes assignment, stress-budget and
+    path-length rows for the solver, this module re-derives each
+    requirement directly from the {!Agingfp_cgrra.Design.t}, the
+    mapping and the rotation plan:
+
+    - every operation of every context is bound to exactly one
+      in-range PE, and no PE hosts two operations of one context;
+    - every critical-path pin of the rotation plan is honoured
+      (frozen ops sit at their planned — possibly re-oriented — PEs);
+    - every monitored near-critical path is within its Eq. (5)
+      wire-length budget;
+    - the recomputed CPD does not exceed the baseline CPD (the
+      paper's "zero CPD increase" claim, re-checked with the full
+      timing analysis);
+    - per-PE accumulated stress stays within the reported ST_target.
+
+    [Remap.solve] runs this on every result; [agingfp remap
+    --certify] surfaces it on the CLI. *)
+
+open Agingfp_cgrra
+
+type code =
+  | Invalid_mapping  (** Shape/range/occupancy violation. *)
+  | Frozen_pin_moved
+  | Path_over_budget
+  | Cpd_increased
+  | Stress_over_budget
+
+type violation = { code : code; where : string; message : string }
+
+type report = {
+  violations : violation list;
+  cpd_ns : float;  (** Recomputed CPD of the audited mapping. *)
+  baseline_cpd_ns : float;
+  max_stress : float;  (** Recomputed max per-PE accumulated stress. *)
+  st_target : float;
+  pins_checked : int;
+  paths_checked : int;
+}
+
+val ok : report -> bool
+
+val run :
+  ?tol:float ->
+  Design.t ->
+  baseline_cpd:float ->
+  st_target:float ->
+  frozen:Rotation.plan ->
+  monitored:Paths.budgeted list array ->
+  Mapping.t ->
+  report
+(** [tol] (default [1e-6]) absorbs float round-off in the CPD and
+    stress comparisons only; the structural checks (occupancy, pins,
+    wire lengths — all integer) are exact. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> report -> unit
+(** Multi-line summary: verdict, recomputed figures, violations. *)

@@ -86,18 +86,23 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
                 Expr.var v)
               cands
           in
-          ignore (Model.add_constraint lp (Expr.sum terms) Model.Eq 1.0)
+          ignore
+            (Model.add_constraint
+               ~name:(Printf.sprintf "assign_c%d_op%d" ctx op)
+               lp (Expr.sum terms) Model.Eq 1.0)
         end
       done)
     contexts;
   (* Capacity: one op per PE per context. *)
   Hashtbl.iter
-    (fun (_ctx, _pe) vs ->
+    (fun (ctx, pe) vs ->
       match vs with
       | [] | [ _ ] -> ()
       | vs ->
         ignore
-          (Model.add_constraint lp (Expr.sum (List.map Expr.var vs)) Model.Le 1.0))
+          (Model.add_constraint
+             ~name:(Printf.sprintf "cap_c%d_pe%d" ctx pe)
+             lp (Expr.sum (List.map Expr.var vs)) Model.Le 1.0))
     capacity_terms;
   (* Stress budget per PE. *)
   let stress_rows = ref [] in
@@ -106,7 +111,11 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
     | [] -> ()
     | terms ->
       let lhs = Expr.sum (List.map (fun (c, v) -> Expr.var ~coef:c v) terms) in
-      let row = Model.add_constraint lp lhs Model.Le (st_target -. committed.(pe)) in
+      let row =
+        Model.add_constraint
+          ~name:(Printf.sprintf "stress_pe%d" pe)
+          lp lhs Model.Le (st_target -. committed.(pe))
+      in
       stress_rows := (pe, row) :: !stress_rows
   done;
   (* Geometry helpers. *)
@@ -147,6 +156,7 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
            (Candidates.get candidates ~ctx ~op))
   in
   (* Path rows. *)
+  let path_id = ref 0 in
   let add_exact_path ctx (b : Paths.budgeted) =
     let nodes = b.Paths.path.Analysis.nodes in
     let total = ref Expr.zero in
@@ -164,7 +174,10 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
           total := Expr.add !total (Expr.var w))
         [ `X; `Y ]
     done;
-    ignore (Model.add_constraint lp !total Model.Le (float_of_int b.Paths.wire_budget))
+    ignore
+      (Model.add_constraint
+         ~name:(Printf.sprintf "path_c%d_p%d" ctx !path_id)
+         lp !total Model.Le (float_of_int b.Paths.wire_budget))
   in
   let add_displacement_path ~fallback ctx (b : Paths.budgeted) =
     let nodes = b.Paths.path.Analysis.nodes in
@@ -186,13 +199,17 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
           let c = if i = 0 || i = n - 1 then 1.0 else 2.0 in
           lhs := Expr.add !lhs (Expr.scale c (displacement_expr ctx op)))
         nodes;
-      ignore (Model.add_constraint lp !lhs Model.Le (float_of_int rhs))
+      ignore
+        (Model.add_constraint
+           ~name:(Printf.sprintf "path_c%d_p%d" ctx !path_id)
+           lp !lhs Model.Le (float_of_int rhs))
     end
   in
   List.iter
     (fun ctx ->
       List.iter
         (fun b ->
+          incr path_id;
           match encoding with
           | Displacement -> add_displacement_path ~fallback:false ctx b
           | Exact_abs -> add_exact_path ctx b

@@ -37,5 +37,7 @@ let spread ?(seed = 31) design _baseline =
   let mapping = Mapping.of_arrays arrays in
   (match Mapping.validate design mapping with
   | Ok () -> ()
-  | Error msg -> failwith ("Naive.spread produced invalid mapping: " ^ msg));
+  | Error msg ->
+    Agingfp_util.Invariant.fail ~where:"Naive.spread" "produced invalid mapping: %s"
+      msg);
   mapping

@@ -130,6 +130,8 @@ let improve ?(params = default_params) ?initial design ~baseline_cpd ~frozen ~mo
   let result = Mapping.of_arrays arrays in
   (match Mapping.validate design result with
   | Ok () -> ()
-  | Error msg -> failwith ("Refine.improve produced invalid mapping: " ^ msg));
+  | Error msg ->
+    Agingfp_util.Invariant.fail ~where:"Refine.improve" "produced invalid mapping: %s"
+      msg);
   ( result,
     { moves_accepted = !accepted; st_before; st_after = Array.fold_left max 0.0 acc } )

@@ -2,6 +2,8 @@ open Agingfp_cgrra
 module Analysis = Agingfp_timing.Analysis
 module Milp = Agingfp_lp.Milp
 module Simplex = Agingfp_lp.Simplex
+module Analyze = Agingfp_lp.Analyze
+module Certify = Agingfp_lp.Certify
 
 let src = Logs.Src.create "agingfp.remap" ~doc:"Aging-aware remapping"
 
@@ -26,6 +28,7 @@ type params = {
   monolithic_var_limit : int;
   refine : bool;
   refine_params : Refine.params;
+  certify : bool;
 }
 
 let default_params =
@@ -44,6 +47,7 @@ let default_params =
     monolithic_var_limit = 1200;
     refine = true;
     refine_params = Refine.default_params;
+    certify = false;
   }
 
 type result = {
@@ -55,7 +59,45 @@ type result = {
   baseline_cpd_ns : float;
   new_cpd_ns : float;
   improved : bool;
+  audit : Audit.report;
 }
+
+(* ---------- solution certification (Lp.Certify) ---------- *)
+
+type certification_stats = {
+  lp_checked : int;
+  milp_checked : int;
+  rejected : int;
+  failures : string list;
+}
+
+let no_certification =
+  { lp_checked = 0; milp_checked = 0; rejected = 0; failures = [] }
+
+let cert = ref no_certification
+
+let reset_certification () = cert := no_certification
+let certification () = !cert
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let note_certificate ~kind verdict =
+  let c = !cert in
+  let c =
+    match kind with
+    | `Lp -> { c with lp_checked = c.lp_checked + 1 }
+    | `Milp -> { c with milp_checked = c.milp_checked + 1 }
+  in
+  match verdict with
+  | Certify.Certified | Certify.Unsupported _ -> cert := c
+  | Certify.Rejected msgs ->
+    let failure = String.concat "; " msgs in
+    Log.err (fun k -> k "solution certificate rejected: %s" failure);
+    cert :=
+      { c with rejected = c.rejected + 1; failures = take 8 (failure :: c.failures) }
 
 let empty_plan design : Rotation.plan = Array.make (Design.num_contexts design) []
 
@@ -189,10 +231,27 @@ type solver_cache = {
 
 let new_cache () = { mono = None; per_ctx = Hashtbl.create 8 }
 
+(* In debug builds every freshly built Eq. (3) instance is linted
+   before its first solve; errors surface loudly, advisory findings go
+   to the debug log. *)
+let lint_instance inst =
+  match Logs.Src.level src with
+  | Some Logs.Debug ->
+    List.iter
+      (fun (d : Analyze.diagnostic) ->
+        match d.Analyze.severity with
+        | Analyze.Error -> Log.err (fun k -> k "lint: %a" Analyze.pp_diagnostic d)
+        | Analyze.Warning | Analyze.Info ->
+          Log.debug (fun k -> k "lint: %a" Analyze.pp_diagnostic d))
+      (Analyze.lint (Ilp_model.model inst))
+  | _ -> ()
+
 (* Rebudget a cached instance + state and re-solve its LP relaxation
    warm; on a cache miss, [build] makes the instance and the first
-   solve runs cold. Feeds the global Milp counters either way. *)
-let cached_lp_solve ~get ~set ~build ~st_target ~committed =
+   solve runs cold. Feeds the global Milp counters either way. When
+   [certify] is set, any optimal point is re-verified in exact
+   arithmetic against the (rebudgeted) model before it is trusted. *)
+let cached_lp_solve ~certify ~get ~set ~build ~st_target ~committed =
   let inst, st, fresh =
     match get () with
     | Some (inst, st) ->
@@ -203,6 +262,7 @@ let cached_lp_solve ~get ~set ~build ~st_target ~committed =
       (inst, st, false)
     | None ->
       let inst = build () in
+      lint_instance inst;
       let st = Simplex.assemble (Ilp_model.model inst) in
       set (inst, st);
       (inst, st, true)
@@ -213,6 +273,14 @@ let cached_lp_solve ~get ~set ~build ~st_target ~committed =
   Milp.note_lp_solve
     ~warm:(s1.Simplex.warm_solves > s0.Simplex.warm_solves)
     ~iterations:(s1.Simplex.lp_iterations - s0.Simplex.lp_iterations);
+  (match status with
+  | Simplex.Optimal sol when certify ->
+    (* [set_st_target] keeps the instance's model current, so the
+       relaxation (integrality waived) is checked against exactly the
+       constraints the solver claims to have satisfied. *)
+    note_certificate ~kind:`Lp
+      (Certify.solution ~relaxation:true (Ilp_model.model inst) sol)
+  | _ -> ());
   (inst, status)
 
 (* Exact wire-length check of the monitored paths for one context. *)
@@ -230,7 +298,7 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
      paper's two-step MILP when rounding misses or breaks a path
      budget. *)
   let inst, lp_status =
-    cached_lp_solve
+    cached_lp_solve ~certify:params.certify
       ~get:(fun () -> Hashtbl.find_opt cache.per_ctx ctx)
       ~set:(fun entry -> Hashtbl.replace cache.per_ctx ctx entry)
       ~build:(fun () ->
@@ -289,7 +357,10 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
     let fallback_params =
       { params.milp with Milp.node_limit = min params.milp.Milp.node_limit 24 }
     in
-    match Milp.relax_and_fix ~params:fallback_params lp_model with
+    let milp_result = Milp.relax_and_fix ~params:fallback_params lp_model in
+    if params.certify then
+      note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
+    match milp_result with
     | Milp.Feasible sol ->
       let mapping =
         Ilp_model.extract inst ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v)) current
@@ -393,7 +464,7 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
   in
   if monolithic then (
     let inst, lp_status =
-      cached_lp_solve
+      cached_lp_solve ~certify:params.certify
         ~get:(fun () -> cache.mono)
         ~set:(fun entry -> cache.mono <- Some entry)
         ~build:(fun () ->
@@ -415,7 +486,10 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
       match round_all lp_value with
       | Some mapping -> Some mapping
       | None -> (
-        match Milp.relax_and_fix ~params:params.milp lp_model with
+        let milp_result = Milp.relax_and_fix ~params:params.milp lp_model in
+        if params.certify then
+          note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
+        match milp_result with
         | Milp.Feasible sol ->
           let mapping =
             Ilp_model.extract inst
@@ -549,6 +623,29 @@ let step1_lower_bound ?(params = default_params) design baseline =
     end
   end
 
+(* One-stop construction of the full Eq. (3) instance the flow would
+   solve first, at the Step-1 ST_target lower bound — shared by the
+   CLI's export-lp and lint commands. *)
+let build_formulation ?(params = default_params) ~mode design baseline =
+  let reference, frozen = Rotation.reference ~seed:params.seed mode design baseline in
+  let monitored = Paths.monitored ~params:params.path_params design baseline in
+  let candidates =
+    Candidates.build ~params:params.candidate_params design reference ~frozen ~monitored
+  in
+  let committed = frozen_stress design frozen in
+  (* Same budget floor as the main loop's first attempt: below the
+     stress the frozen pins alone commit, the stress rows of their PEs
+     are infeasible by bounds before the solver even starts. *)
+  let lb = step1_lower_bound ~params design baseline in
+  let st_target = max lb (Array.fold_left max 0.0 committed) in
+  let inst =
+    Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
+      ~baseline:reference ~st_target ~candidates ~monitored
+      ~contexts:(List.init (Design.num_contexts design) (fun i -> i))
+      ~committed
+  in
+  (inst, st_target)
+
 (* ---------- Algorithm 1 main loop ---------- *)
 
 let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~frozen =
@@ -588,6 +685,15 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
       | None -> loop (st +. delta) (iter + 1)
     end
   in
+  (* Every result — improved or baseline fallback — is audited against
+     the paper's semantics without trusting the MILP layer. A failed
+     audit is a pipeline bug; it is reported loudly and carried in the
+     result for the CLI/tests to act on. *)
+  let audited audit =
+    if not (Audit.ok audit) then
+      Log.err (fun k -> k "%s: %a" (Design.name design) Audit.pp audit);
+    audit
+  in
   match loop start 1 with
   | Some (mapping, st, iters, new_cpd) ->
     let mapping, new_cpd =
@@ -603,6 +709,10 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
         else (refined, Analysis.cpd design refined)
       end
     in
+    let audit =
+      audited
+        (Audit.run design ~baseline_cpd ~st_target:st ~frozen ~monitored mapping)
+    in
     {
       mapping;
       st_target = st;
@@ -612,11 +722,19 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
       baseline_cpd_ns = baseline_cpd;
       new_cpd_ns = new_cpd;
       improved = true;
+      audit;
     }
   | None ->
     Log.warn (fun k ->
         k "%s: no delay-clean aging-aware floorplan found; keeping baseline"
           (Design.name design));
+    (* The baseline carries no pins (in Rotate mode its ops do not sit
+       at the re-oriented positions) and its budget is ST_up. *)
+    let audit =
+      audited
+        (Audit.run design ~baseline_cpd ~st_target:st_up
+           ~frozen:(empty_plan design) ~monitored baseline)
+    in
     {
       mapping = baseline;
       st_target = st_up;
@@ -626,6 +744,7 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
       baseline_cpd_ns = baseline_cpd;
       new_cpd_ns = baseline_cpd;
       improved = false;
+      audit;
     }
 
 let run_mode params design baseline ~baseline_cpd ~st_up ~lb m =

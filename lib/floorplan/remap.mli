@@ -43,6 +43,11 @@ type params = {
           extension beyond the paper; disable to reproduce the bare
           Algorithm 1) *)
   refine_params : Refine.params;
+  certify : bool;
+      (** re-verify every optimal LP point and MILP result in exact
+          rational arithmetic ({!Agingfp_lp.Certify}) as the flow
+          runs; rejections are logged and counted in
+          {!certification}. Off by default. *)
 }
 
 val default_params : params
@@ -58,10 +63,37 @@ type result = {
   improved : bool;
       (** false when every attempt failed and the baseline mapping is
           returned unchanged *)
+  audit : Audit.report;
+      (** independent re-check of the returned floorplan against
+          formulation (3)'s semantics — run on every result, MILP
+          untrusted; a failed audit is logged as an error *)
 }
+
+(** {2 Solution certification}
+
+    Cumulative counters over the exact-rational certificates checked
+    while [certify] was set, mirroring {!Agingfp_lp.Milp.cumulative};
+    the CLI's [remap --certify] reports them. *)
+
+type certification_stats = {
+  lp_checked : int;  (** optimal LP relaxation points verified *)
+  milp_checked : int;  (** MILP results verified *)
+  rejected : int;
+  failures : string list;  (** most recent rejections, newest first *)
+}
+
+val reset_certification : unit -> unit
+val certification : unit -> certification_stats
 
 val step1_lower_bound : ?params:params -> Design.t -> Mapping.t -> float
 (** The delay-unaware [ST_target] lower bound (Algorithm 1 line 2). *)
+
+val build_formulation :
+  ?params:params -> mode:Rotation.mode -> Design.t -> Mapping.t ->
+  Ilp_model.instance * float
+(** The full formulation-(3) instance (all contexts) the flow would
+    solve first, budgeted at the Step-1 lower bound, plus that bound —
+    the model [agingfp export-lp] writes and [agingfp lint] checks. *)
 
 val solve : ?params:params -> mode:Rotation.mode -> Design.t -> Mapping.t -> result
 (** Run the full flow against an aging-unaware baseline mapping. The

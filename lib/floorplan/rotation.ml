@@ -100,7 +100,9 @@ let rotate_reference ?(seed = 77) design mapping =
           end
         done;
         match !best with
-        | None -> failwith "Rotation.rotate_reference: no orientation available"
+        | None ->
+          Agingfp_util.Invariant.fail ~where:"Rotation.rotate_reference"
+            "no orientation available"
         | Some (_, oi, shape, off) ->
           used.(oi) <- used.(oi) + 1;
           List.iteri
@@ -115,7 +117,9 @@ let rotate_reference ?(seed = 77) design mapping =
   let reference = Mapping.of_arrays ref_arrays in
   (match Mapping.validate design reference with
   | Ok () -> ()
-  | Error msg -> failwith ("Rotation.rotate_reference: invalid reference: " ^ msg));
+  | Error msg ->
+    Agingfp_util.Invariant.fail ~where:"Rotation.rotate_reference"
+      "invalid reference: %s" msg);
   (reference, pins)
 
 let reference ?seed mode design mapping =

@@ -1,0 +1,214 @@
+type severity = Error | Warning | Info
+
+type code =
+  | Crossed_bounds
+  | Nonfinite_bound
+  | Empty_row
+  | Duplicate_row
+  | Dangling_var
+  | Row_infeasible_by_bounds
+  | Row_forced_by_bounds
+  | Nonbinary_in_one_hot
+  | Coefficient_range
+
+type diagnostic = {
+  severity : severity;
+  code : code;
+  row : int option;
+  var : int option;
+  message : string;
+}
+
+type params = { tol : float; condition_threshold : float }
+
+let default_params = { tol = 1e-9; condition_threshold = 1e8 }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_diagnostic ppf d =
+  let pp_loc () =
+    match (d.row, d.var) with
+    | Some r, _ -> Printf.sprintf "[row %d]" r
+    | None, Some v -> Printf.sprintf "[var %d]" v
+    | None, None -> ""
+  in
+  Format.fprintf ppf "%s%s: %s" (severity_label d.severity) (pp_loc ()) d.message
+
+let pp_summary ppf ds =
+  let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
+  let ne = count Error and nw = count Warning and ni = count Info in
+  let plural n = if n = 1 then "" else "s" in
+  Format.fprintf ppf "%d error%s, %d warning%s, %d info%s" ne (plural ne) nw
+    (plural nw) ni (plural ni)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+(* Names for messages: fall back to the index when unnamed. *)
+let vname m v =
+  match Model.var_name m v with "" -> Printf.sprintf "x%d" v | s -> s
+
+let rname m r =
+  match Model.row_name m r with "" -> Printf.sprintf "c%d" r | s -> s
+
+let rel_label = function Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "="
+
+(* Min/max activity of [terms] over the variable box. Each side is
+   finite or the matching infinity; mixed-sign infinities cannot occur
+   on one side because a lower contribution is never +inf (and dually),
+   so no NaN arises as long as the bounds themselves are not NaN —
+   rows touching NaN-bounded vars are skipped by the caller. *)
+let activity_bounds m terms =
+  let lo = ref 0.0 and hi = ref 0.0 in
+  List.iter
+    (fun (v, c) ->
+      let lb = Model.var_lb m v and ub = Model.var_ub m v in
+      if c > 0.0 then begin
+        lo := !lo +. (c *. lb);
+        hi := !hi +. (c *. ub)
+      end
+      else begin
+        lo := !lo +. (c *. ub);
+        hi := !hi +. (c *. lb)
+      end)
+    terms;
+  (!lo, !hi)
+
+let is_binary m v =
+  Model.var_kind m v = Model.Integer
+  && Model.var_lb m v >= 0.0
+  && Model.var_ub m v <= 1.0
+
+(* An Eq. (3) one-hot assignment row: sum of >= 2 unit-coefficient
+   terms pinned to exactly 1. *)
+let is_one_hot_row terms rel rhs =
+  rel = Model.Eq && rhs = 1.0
+  && List.length terms >= 2
+  && List.for_all (fun (_, c) -> c = 1.0) terms
+
+let lint ?(params = default_params) m =
+  let nvars = Model.num_vars m and nrows = Model.num_constraints m in
+  let diags = ref [] in
+  let emit severity code ?row ?var message =
+    diags := { severity; code; row; var; message } :: !diags
+  in
+  (* -- Variable box ------------------------------------------------ *)
+  let bad_bounds = Array.make nvars false in
+  for v = 0 to nvars - 1 do
+    let lb = Model.var_lb m v and ub = Model.var_ub m v in
+    if Float.is_nan lb || Float.is_nan ub then begin
+      bad_bounds.(v) <- true;
+      emit Error Nonfinite_bound ~var:v
+        (Printf.sprintf "var `%s` has a NaN bound" (vname m v))
+    end
+    else if lb = infinity || ub = neg_infinity then begin
+      bad_bounds.(v) <- true;
+      emit Error Nonfinite_bound ~var:v
+        (Printf.sprintf "var `%s` bounds [%g, %g] admit no finite value"
+           (vname m v) lb ub)
+    end
+    else if lb > ub then begin
+      bad_bounds.(v) <- true;
+      emit Error Crossed_bounds ~var:v
+        (Printf.sprintf "var `%s` has crossed bounds [%g, %g]" (vname m v) lb ub)
+    end
+  done;
+  (* -- Rows -------------------------------------------------------- *)
+  let used = Array.make nvars false in
+  let _, obj = Model.objective m in
+  List.iter (fun (v, _) -> if v < nvars then used.(v) <- true) (Expr.terms obj);
+  let seen_rows = Hashtbl.create (max 16 nrows) in
+  let abs_min = ref infinity and abs_max = ref 0.0 in
+  for r = 0 to nrows - 1 do
+    let lhs, rel, rhs = Model.constraint_row m r in
+    let terms = Expr.terms lhs in
+    List.iter
+      (fun (v, c) ->
+        if v < nvars then used.(v) <- true;
+        let a = abs_float c in
+        if a < !abs_min then abs_min := a;
+        if a > !abs_max then abs_max := a)
+      terms;
+    (match terms with
+    | [] ->
+      let holds =
+        match rel with
+        | Model.Le -> 0.0 <= rhs +. params.tol
+        | Model.Ge -> 0.0 >= rhs -. params.tol
+        | Model.Eq -> abs_float rhs <= params.tol
+      in
+      if holds then
+        emit Info Empty_row ~row:r
+          (Printf.sprintf "row `%s` has no terms (trivially true)" (rname m r))
+      else
+        emit Error Empty_row ~row:r
+          (Printf.sprintf "row `%s` has no terms but requires 0 %s %g"
+             (rname m r) (rel_label rel) rhs)
+    | _ ->
+      let key = (terms, rel, rhs) in
+      (match Hashtbl.find_opt seen_rows key with
+      | Some first ->
+        emit Warning Duplicate_row ~row:r
+          (Printf.sprintf "row `%s` duplicates row %d `%s`" (rname m r) first
+             (rname m first))
+      | None -> Hashtbl.add seen_rows key r);
+      if not (List.exists (fun (v, _) -> v < nvars && bad_bounds.(v)) terms)
+      then begin
+        let lo, hi = activity_bounds m terms in
+        let infeasible =
+          match rel with
+          | Model.Le -> lo > rhs +. params.tol
+          | Model.Ge -> hi < rhs -. params.tol
+          | Model.Eq -> lo > rhs +. params.tol || hi < rhs -. params.tol
+        in
+        let forced =
+          match rel with
+          | Model.Le -> hi <= rhs +. params.tol
+          | Model.Ge -> lo >= rhs -. params.tol
+          | Model.Eq -> lo >= rhs -. params.tol && hi <= rhs +. params.tol
+        in
+        if infeasible then
+          emit Error Row_infeasible_by_bounds ~row:r
+            (Printf.sprintf
+               "row `%s` is infeasible by variable bounds alone: activity in \
+                [%g, %g] cannot satisfy %s %g"
+               (rname m r) lo hi (rel_label rel) rhs)
+        else if forced then
+          emit Info Row_forced_by_bounds ~row:r
+            (Printf.sprintf
+               "row `%s` is satisfied by variable bounds alone (activity in \
+                [%g, %g] vs %s %g)"
+               (rname m r) lo hi (rel_label rel) rhs)
+      end;
+      if is_one_hot_row terms rel rhs then
+        List.iter
+          (fun (v, _) ->
+            if v < nvars && not (is_binary m v) then
+              emit Warning Nonbinary_in_one_hot ~row:r ~var:v
+                (Printf.sprintf
+                   "one-hot row `%s` contains non-binary var `%s` (%s, bounds \
+                    [%g, %g])"
+                   (rname m r) (vname m v)
+                   (match Model.var_kind m v with
+                   | Model.Integer -> "integer"
+                   | Model.Continuous -> "continuous")
+                   (Model.var_lb m v) (Model.var_ub m v)))
+          terms)
+  done;
+  (* -- Model-wide summaries ---------------------------------------- *)
+  for v = 0 to nvars - 1 do
+    if not used.(v) then
+      emit Warning Dangling_var ~var:v
+        (Printf.sprintf "var `%s` appears in no row and not in the objective"
+           (vname m v))
+  done;
+  if !abs_max > 0.0 && !abs_min > 0.0 && !abs_max /. !abs_min > params.condition_threshold
+  then
+    emit Warning Coefficient_range
+      (Printf.sprintf
+         "constraint coefficients span [%g, %g] (ratio %.3g > %g): expect \
+          conditioning trouble"
+         !abs_min !abs_max (!abs_max /. !abs_min) params.condition_threshold);
+  List.rev !diags

@@ -1,0 +1,68 @@
+(** Static linter over {!Model.t} instances.
+
+    Runs before any solve and flags modelling mistakes that the
+    simplex/B&B machinery would otherwise turn into confusing
+    infeasibility reports or silent garbage: crossed or non-finite
+    bounds, empty and duplicate rows, dangling variables, rows already
+    decided by the variable box alone, non-binary variables inside
+    Eq. (3) one-hot assignment rows, and badly scaled coefficient
+    ranges.
+
+    [Error] diagnostics mean the model cannot be (or trivially is not)
+    feasible as written; [Warning] means the model is suspicious but
+    solvable; [Info] is advisory. A healthy Eq. (3) instance produced
+    by {!Agingfp_floorplan.Ilp_model} lints clean of errors — the
+    [@lint] CI alias enforces exactly that over every bundled
+    benchmark. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | Crossed_bounds  (** [lb > ub] — no assignment can satisfy the box. *)
+  | Nonfinite_bound  (** NaN bound, or a [+inf] lb / [-inf] ub. *)
+  | Empty_row  (** Row with no terms; [Error] if its rhs contradicts it. *)
+  | Duplicate_row  (** Term-for-term identical to an earlier row. *)
+  | Dangling_var  (** Appears in no row and not in the objective. *)
+  | Row_infeasible_by_bounds
+      (** Min/max activity over the variable box already violates the
+          row — infeasible before the solver even starts. *)
+  | Row_forced_by_bounds
+      (** The row is satisfied by every point of the variable box —
+          it constrains nothing. *)
+  | Nonbinary_in_one_hot
+      (** A variable of an Eq-1 unit-coefficient assignment row is not
+          a 0/1 integer, breaking the one-hot reading of Eq. (3). *)
+  | Coefficient_range
+      (** max/min nonzero |coefficient| ratio exceeds the conditioning
+          threshold. *)
+
+type diagnostic = {
+  severity : severity;
+  code : code;
+  row : int option;  (** Row index, when the finding is row-local. *)
+  var : int option;  (** Variable index, when variable-local. *)
+  message : string;  (** Human-readable, includes row/var names. *)
+}
+
+type params = {
+  tol : float;  (** Feasibility slack for bound-activity tests. *)
+  condition_threshold : float;
+      (** Coefficient-range ratio above which {!Coefficient_range}
+          fires. *)
+}
+
+val default_params : params
+(** [tol = 1e-9], [condition_threshold = 1e8]. *)
+
+val lint : ?params:params -> Model.t -> diagnostic list
+(** Diagnostics in model order (variable findings, then row findings,
+    then model-wide summaries). *)
+
+val errors : diagnostic list -> diagnostic list
+(** Just the [Error]-severity subset. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** e.g. ["error[row 12 `assign_c0_op3`]: ..."]. *)
+
+val pp_summary : Format.formatter -> diagnostic list -> unit
+(** One-line count by severity, e.g. ["2 errors, 1 warning, 4 infos"]. *)

@@ -10,7 +10,20 @@ val to_string : Model.t -> string
 (** Sections emitted: objective ([Minimize]/[Maximize]), [Subject To],
     [Bounds] (only for variables whose bounds differ from the default
     [0 <= x]), [General]/[Binary] for integer variables, [End].
-    Variables are named [x0], [x1], … by index; a sanitized model
-    name comment is included when variables were named. *)
+    Variables are named [x0], [x1], … by index; rows are labelled with
+    their sanitized {!Model.row_name} when one was given, [c0], [c1],
+    … otherwise. *)
 
 val write_file : string -> Model.t -> (unit, string) result
+
+val of_string : string -> (Model.t, string) result
+(** Parse the LP-format subset emitted by {!to_string} (plus common
+    variations: [<]/[>] relations, [st], [Integer] section headers,
+    [\ ] comments, range bounds). Variable kinds, bounds, relations
+    and row labels are reconstructed; when every variable follows the
+    writer's [x<index>] naming, original variable indices are
+    recovered exactly. Coefficients survive up to the writer's
+    [%.12g] float printing. *)
+
+val read_file : string -> (Model.t, string) result
+(** {!of_string} on the contents of a file. *)

@@ -11,7 +11,7 @@ type var_info = {
   name : string;
 }
 
-type row = { lhs : Expr.t; rel : relation; rhs : float }
+type row = { lhs : Expr.t; rel : relation; rhs : float; rname : string }
 
 type t = {
   mutable vars : var_info array;
@@ -26,7 +26,7 @@ let create () =
   {
     vars = Array.make 16 { lb = 0.; ub = 0.; vkind = Continuous; name = "" };
     nvars = 0;
-    rows = Array.make 16 { lhs = Expr.zero; rel = Eq; rhs = 0. };
+    rows = Array.make 16 { lhs = Expr.zero; rel = Eq; rhs = 0.; rname = "" };
     nrows = 0;
     obj_dir = Minimize;
     obj = Expr.zero;
@@ -56,12 +56,12 @@ let add_var ?(name = "") ?(lb = 0.0) ?(ub = infinity) ?(kind = Continuous) m =
 
 let add_binary ?name m = add_var ?name ~lb:0.0 ~ub:1.0 ~kind:Integer m
 
-let add_constraint ?name:_ m lhs rel rhs =
+let add_constraint ?(name = "") m lhs rel rhs =
   grow_rows m;
   let c = Expr.constant lhs in
   let lhs = Expr.sub lhs (Expr.const c) in
   let id = m.nrows in
-  m.rows.(id) <- { lhs; rel; rhs = rhs -. c };
+  m.rows.(id) <- { lhs; rel; rhs = rhs -. c; rname = name };
   m.nrows <- id + 1;
   id
 
@@ -90,6 +90,7 @@ let var_lb m v = m.vars.(v).lb
 let var_ub m v = m.vars.(v).ub
 let var_kind m v = m.vars.(v).vkind
 let var_name m v = m.vars.(v).name
+let row_name m i = m.rows.(i).rname
 let objective m = (m.obj_dir, m.obj)
 
 let constraint_row m i =
@@ -119,7 +120,8 @@ let copy m =
   let nr = max 16 m.nrows in
   let rows =
     Array.init nr (fun i ->
-        if i < m.nrows then m.rows.(i) else { lhs = Expr.zero; rel = Eq; rhs = 0. })
+        if i < m.nrows then m.rows.(i)
+        else { lhs = Expr.zero; rel = Eq; rhs = 0.; rname = "" })
   in
   { m with vars; rows }
 

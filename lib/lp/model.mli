@@ -27,7 +27,8 @@ val add_binary : ?name:string -> t -> int
 
 val add_constraint : ?name:string -> t -> Expr.t -> relation -> float -> int
 (** [add_constraint m lhs rel rhs] adds [lhs rel rhs]; the constant
-    term of [lhs] is folded into [rhs]. Returns the row index. *)
+    term of [lhs] is folded into [rhs]. Returns the row index. [name]
+    is kept for diagnostics ({!row_name}) and LP-format labels. *)
 
 val set_objective : t -> direction -> Expr.t -> unit
 (** Default objective is [Minimize zero] — the paper's "ObjFunc: Null"
@@ -53,6 +54,10 @@ val var_lb : t -> int -> float
 val var_ub : t -> int -> float
 val var_kind : t -> int -> kind
 val var_name : t -> int -> string
+
+val row_name : t -> int -> string
+(** [""] when the row was added without a name. *)
+
 val objective : t -> direction * Expr.t
 val constraint_row : t -> int -> Expr.t * relation * float
 val iter_constraints : t -> (int -> Expr.t -> relation -> float -> unit) -> unit

@@ -435,7 +435,9 @@ let run ?(integrality_tol = 1e-9) ?(max_rounds = 10) model =
              let lhs =
                List.fold_left (fun e (v, c) -> Expr.add_term e c var_map.(v)) Expr.zero terms
              in
-             ignore (Model.add_constraint reduced_model lhs row_rel.(r) row_rhs.(r))
+             ignore
+               (Model.add_constraint ~name:(Model.row_name model r) reduced_model lhs
+                  row_rel.(r) row_rhs.(r))
          end
        done;
        let dir, obj = Model.objective model in

@@ -191,7 +191,9 @@ let anneal ?(params = default_params) design mapping =
   let result = Mapping.of_arrays arrays in
   (match Mapping.validate design result with
   | Ok () -> ()
-  | Error msg -> failwith ("Placer.anneal produced invalid mapping: " ^ msg));
+  | Error msg ->
+    Agingfp_util.Invariant.fail ~where:"Placer.anneal" "produced invalid mapping: %s"
+      msg);
   result
 
 let aging_unaware ?(params = default_params) design =

@@ -123,7 +123,8 @@ let route_context ?(params = default_params) design mapping ~ctx =
         List.iter (fun ch -> usage.(ch) <- usage.(ch) - 1) (route_channels dim routes.(i));
         (match shortest_path dim cost net.src_pe net.dst_pe with
         | Some route -> routes.(i) <- route
-        | None -> failwith "Router: grid disconnected (impossible)");
+        | None ->
+          Agingfp_util.Invariant.fail ~where:"Router.route" "grid disconnected");
         List.iter (fun ch -> usage.(ch) <- usage.(ch) + 1) (route_channels dim routes.(i)))
       order;
     let overused = ref false in

@@ -1,0 +1,11 @@
+exception Violation of string
+
+let message ~where what = Printf.sprintf "invariant violated in %s: %s" where what
+
+let fail ~where fmt =
+  Format.kasprintf (fun what -> raise (Violation (message ~where what))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Violation msg -> Some msg
+    | _ -> None)

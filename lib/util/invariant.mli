@@ -1,0 +1,20 @@
+(** Uniform reporting of broken internal invariants.
+
+    Pipeline stages (rotation planning, refinement, placement, …) used
+    to signal "impossible" states with bare [failwith], which loses the
+    failing module and prints inconsistently next to audit and lint
+    diagnostics. [Invariant.fail] raises a dedicated exception whose
+    message always carries the violating module/function, so invariant
+    breakage reports the same way everywhere. *)
+
+exception Violation of string
+(** The payload is the full formatted message, including [where]. *)
+
+val message : where:string -> string -> string
+(** [message ~where what] is the canonical ["invariant violated in
+    <where>: <what>"] rendering. *)
+
+val fail : where:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail ~where fmt ...] raises {!Violation} with the formatted
+    message. [where] names the module or function whose invariant
+    broke, e.g. ["Rotation.freeze_plan"]. *)

@@ -1,0 +1,295 @@
+(* Exact dyadic rationals: sign * mag * 2^exp with an
+   arbitrary-precision magnitude. Magnitudes are little-endian arrays
+   of base-2^30 limbs so limb products stay well inside OCaml's 63-bit
+   native ints. Normal form: mag is odd (trailing zero bits are folded
+   into exp) and the top limb is nonzero; zero is {sign = 0; mag = [||];
+   exp = 0}. Normal form makes structural field-wise comparison a
+   semantic one. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+(* -------------------------------------------------------------------
+   Magnitude (unsigned bignum) primitives.
+   ------------------------------------------------------------------- *)
+
+let mag_zero : int array = [||]
+let mag_is_zero m = Array.length m = 0
+
+let mag_trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_of_int n =
+  (* n >= 0 *)
+  if n = 0 then mag_zero
+  else begin
+    let l = ref [] and n = ref n in
+    while !n > 0 do
+      l := (!n land mask) :: !l;
+      n := !n lsr base_bits
+    done;
+    Array.of_list (List.rev !l)
+  end
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = Stdlib.max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  mag_trim r
+
+(* Requires a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  mag_trim r
+
+let mag_mul a b =
+  if mag_is_zero a || mag_is_zero b then mag_zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          (* ai * b.(j) < 2^60; sum < 2^62: no native-int overflow. *)
+          let t = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- t land mask;
+          carry := t lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land mask;
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_trim r
+  end
+
+let mag_shift_left a k =
+  if mag_is_zero a || k = 0 then a
+  else begin
+    let words = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + words + 1) 0 in
+    if bits = 0 then Array.blit a 0 r words la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let t = (a.(i) lsl bits) lor !carry in
+        r.(words + i) <- t land mask;
+        carry := t lsr base_bits
+      done;
+      r.(words + la) <- !carry
+    end;
+    mag_trim r
+  end
+
+(* Exact use only: callers shift out known-zero low bits. *)
+let mag_shift_right a k =
+  if mag_is_zero a || k = 0 then a
+  else begin
+    let words = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    if words >= la then mag_zero
+    else begin
+      let n = la - words in
+      let r = Array.make n 0 in
+      if bits = 0 then Array.blit a words r 0 n
+      else
+        for i = 0 to n - 1 do
+          let lo = a.(words + i) lsr bits in
+          let hi =
+            if words + i + 1 < la then
+              (a.(words + i + 1) lsl (base_bits - bits)) land mask
+            else 0
+          in
+          r.(i) <- lo lor hi
+        done;
+      mag_trim r
+    end
+  end
+
+let mag_trailing_zeros a =
+  if mag_is_zero a then 0
+  else begin
+    let i = ref 0 in
+    while a.(!i) = 0 do
+      incr i
+    done;
+    let d = a.(!i) in
+    let b = ref 0 in
+    while d land (1 lsl !b) = 0 do
+      incr b
+    done;
+    (!i * base_bits) + !b
+  end
+
+(* d in [2, 2^30): cur < 2^60, no overflow. *)
+let mag_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_trim q, !r)
+
+let mag_to_decimal a =
+  if mag_is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (mag_is_zero !cur) do
+      let q, r = mag_divmod_small !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | hd :: tl ->
+      String.concat "" (string_of_int hd :: List.map (Printf.sprintf "%09d") tl)
+  end
+
+(* -------------------------------------------------------------------
+   Dyadic rationals.
+   ------------------------------------------------------------------- *)
+
+type t = { sign : int; mag : int array; exp : int }
+
+let zero = { sign = 0; mag = mag_zero; exp = 0 }
+
+let make sign mag exp =
+  if sign = 0 || mag_is_zero mag then zero
+  else begin
+    let tz = mag_trailing_zeros mag in
+    { sign; mag = mag_shift_right mag tz; exp = exp + tz }
+  end
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* abs min_int overflows; min_int is even, so halve it exactly. *)
+    make (-1) (mag_of_int (-(n / 2))) 1
+  else make (if n < 0 then -1 else 1) (mag_of_int (Stdlib.abs n)) 0
+
+let one = of_int 1
+
+let of_float f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite ->
+    invalid_arg "Rat.of_float: not a finite value"
+  | Float.FP_zero -> zero
+  | Float.FP_normal | Float.FP_subnormal ->
+    (* f = m * 2^e with 0.5 <= |m| < 1, so |m| * 2^53 is an exact
+       integer in [2^52, 2^53) — within native-int range. *)
+    let m, e = Float.frexp f in
+    let mi = int_of_float (ldexp (Float.abs m) 53) in
+    make (if f < 0.0 then -1 else 1) (mag_of_int mi) (e - 53)
+
+let neg a = { a with sign = -a.sign }
+let abs a = { a with sign = Stdlib.abs a.sign }
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else begin
+    (* Align both magnitudes to the smaller exponent. *)
+    let e = Stdlib.min a.exp b.exp in
+    let ma = mag_shift_left a.mag (a.exp - e) in
+    let mb = mag_shift_left b.mag (b.exp - e) in
+    if a.sign = b.sign then make a.sign (mag_add ma mb) e
+    else begin
+      match mag_compare ma mb with
+      | 0 -> zero
+      | c when c > 0 -> make a.sign (mag_sub ma mb) e
+      | _ -> make b.sign (mag_sub mb ma) e
+    end
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag) (a.exp + b.exp)
+
+let sign a = a.sign
+
+let compare a b =
+  if a.sign <> b.sign then Int.compare a.sign b.sign else (sub a b).sign
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer a = a.sign = 0 || a.exp >= 0
+
+let to_float a =
+  if a.sign = 0 then 0.0
+  else begin
+    (* The top three limbs carry >= 60 significant bits — more than a
+       double can hold — so the result is correct to within one ulp.
+       Both exponents are applied in one ldexp so no intermediate can
+       overflow before the final scaling. *)
+    let la = Array.length a.mag in
+    let lo = Stdlib.max 0 (la - 3) in
+    let acc = ref 0.0 in
+    for i = la - 1 downto lo do
+      acc := (!acc *. float_of_int base) +. float_of_int a.mag.(i)
+    done;
+    float_of_int a.sign *. ldexp !acc ((lo * base_bits) + a.exp)
+  end
+
+let to_string a =
+  if a.sign = 0 then "0"
+  else begin
+    let s = if a.sign < 0 then "-" else "" in
+    if a.exp >= 0 then s ^ mag_to_decimal (mag_shift_left a.mag a.exp)
+    else
+      let denom = mag_shift_left (mag_of_int 1) (-a.exp) in
+      s ^ mag_to_decimal a.mag ^ "/" ^ mag_to_decimal denom
+  end
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,51 @@
+(** Exact arbitrary-precision dyadic rational arithmetic.
+
+    Every finite IEEE-754 double is exactly [m * 2^e] for integers [m]
+    and [e], and the certificate checks in {!module:Agingfp_lp} only
+    ever add, subtract and multiply values originating from floats — a
+    ring that dyadic rationals are closed under. Representing numbers
+    as [sign * mag * 2^exp] with an arbitrary-precision magnitude
+    therefore gives exact arithmetic with no external bignum
+    dependency and no gcd normalization.
+
+    All operations are exact; there is no rounding anywhere. *)
+
+type t
+(** An exact dyadic rational. Structurally normalized: comparisons via
+    {!compare}/{!equal} are semantic equality. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+
+val of_float : float -> t
+(** Exact conversion — every finite float is a dyadic rational.
+    @raise Invalid_argument on [nan] or infinities. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_integer : t -> bool
+
+val to_float : t -> float
+(** Nearest double (correct to within one ulp of the top 60 bits of
+    the magnitude; used only for diagnostics, never for decisions). *)
+
+val to_string : t -> string
+(** Exact decimal representation: an integer, or ["n/d"] with [d] a
+    power of two. *)
+
+val pp : Format.formatter -> t -> unit

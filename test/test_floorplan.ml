@@ -19,6 +19,7 @@ module Related = Agingfp_floorplan.Related
 module Lifetime = Agingfp_floorplan.Lifetime
 module Mttf_mod = Agingfp_aging.Mttf
 module Simplex = Agingfp_lp.Simplex
+module Audit = Agingfp_floorplan.Audit
 
 let tiny_placed () =
   let design = Benchmarks.tiny () in
@@ -608,6 +609,131 @@ let test_lifetime_periodic_mappings_delay_clean () =
     Alcotest.(check bool) "delay clean" true (Analysis.cpd design m <= cpd0 +. 1e-9)
   | Lifetime.Static _ -> Alcotest.fail "expected periodic")
 
+(* ---------- audit ---------- *)
+
+let audit_has (r : Audit.report) code =
+  List.exists (fun (v : Audit.violation) -> v.Audit.code = code) r.Audit.violations
+
+(* Audit inputs matching what [Remap.solve] itself audits with. *)
+let audit_inputs design baseline ~mode =
+  let _, frozen = Rotation.reference mode design baseline in
+  let monitored = Paths.monitored design baseline in
+  (Analysis.cpd design baseline, frozen, monitored)
+
+let test_audit_clean_remap () =
+  let design, baseline = tiny_placed () in
+  let r = Remap.solve ~mode:Rotation.Freeze design baseline in
+  Alcotest.(check bool) "remap result carries a clean audit" true (Audit.ok r.Remap.audit);
+  Alcotest.(check bool) "cpd recomputed" true
+    (abs_float (r.Remap.audit.Audit.cpd_ns -. r.Remap.new_cpd_ns) < 1e-9)
+
+let test_audit_baseline_against_own_figures () =
+  (* The baseline audited against its own CPD and stress is clean. *)
+  let design, baseline = tiny_placed () in
+  let cpd = Analysis.cpd design baseline in
+  let st = Stress.max_accumulated design baseline in
+  let frozen = Array.make (Design.num_contexts design) [] in
+  let monitored = Paths.monitored design baseline in
+  let report = Audit.run design ~baseline_cpd:cpd ~st_target:st ~frozen ~monitored baseline in
+  Alcotest.(check bool) "clean" true (Audit.ok report);
+  Alcotest.(check bool) "paths were checked" true (report.Audit.paths_checked > 0)
+
+let test_audit_rejects_double_bound_op () =
+  (* Hand-break the mapping: put op 1 of context 0 on op 0's PE. *)
+  let design, baseline = tiny_placed () in
+  let cpd, frozen, monitored = audit_inputs design baseline ~mode:Rotation.Freeze in
+  let st = Stress.max_accumulated design baseline in
+  let broken =
+    Mapping.set baseline ~ctx:0 ~op:1 ~pe:(Mapping.pe_of baseline ~ctx:0 ~op:0)
+  in
+  let report = Audit.run design ~baseline_cpd:cpd ~st_target:st ~frozen ~monitored broken in
+  Alcotest.(check bool) "rejected" false (Audit.ok report);
+  Alcotest.(check bool) "as Invalid_mapping" true (audit_has report Audit.Invalid_mapping)
+
+let test_audit_rejects_out_of_range_pe () =
+  let design, baseline = tiny_placed () in
+  let cpd, frozen, monitored = audit_inputs design baseline ~mode:Rotation.Freeze in
+  let st = Stress.max_accumulated design baseline in
+  let broken = Mapping.set baseline ~ctx:0 ~op:0 ~pe:999 in
+  let report = Audit.run design ~baseline_cpd:cpd ~st_target:st ~frozen ~monitored broken in
+  Alcotest.(check bool) "rejected" false (Audit.ok report);
+  Alcotest.(check bool) "as Invalid_mapping" true (audit_has report Audit.Invalid_mapping)
+
+let test_audit_rejects_moved_pin_and_blown_path () =
+  (* Swap a frozen critical op with whichever op holds its target PE:
+     still a valid permutation, but the pin is violated — and with the
+     op moved far enough, path budgets/CPD break too. *)
+  let design, baseline = tiny_placed () in
+  let cpd, frozen, monitored = audit_inputs design baseline ~mode:Rotation.Freeze in
+  let st = Stress.max_accumulated design baseline in
+  (* Find a frozen pin and a PE far away from it. *)
+  let ctx, (op, pe) =
+    let rec first c =
+      if c >= Array.length frozen then Alcotest.fail "no frozen pins in tiny"
+      else match frozen.(c) with p :: _ -> (c, p) | [] -> first (c + 1)
+    in
+    first 0
+  in
+  let fabric = Design.fabric design in
+  let far_pe =
+    let best = ref (-1) and bestd = ref (-1) in
+    for q = 0 to Fabric.num_pes fabric - 1 do
+      let d = Fabric.distance fabric pe q in
+      if d > !bestd then begin
+        best := q;
+        bestd := d
+      end
+    done;
+    !best
+  in
+  (* Keep the mapping a valid permutation: swap occupants. *)
+  let occupant =
+    let found = ref None in
+    Array.iteri
+      (fun o p -> if p = far_pe then found := Some o)
+      (Mapping.context_array baseline ctx);
+    !found
+  in
+  let broken = Mapping.set baseline ~ctx ~op ~pe:far_pe in
+  let broken =
+    match occupant with
+    | Some o -> Mapping.set broken ~ctx ~op:o ~pe
+    | None -> broken
+  in
+  let report = Audit.run design ~baseline_cpd:cpd ~st_target:st ~frozen ~monitored broken in
+  Alcotest.(check bool) "rejected" false (Audit.ok report);
+  Alcotest.(check bool) "pin violation reported" true
+    (audit_has report Audit.Frozen_pin_moved);
+  Alcotest.(check bool) "path or CPD violation reported" true
+    (audit_has report Audit.Path_over_budget || audit_has report Audit.Cpd_increased)
+
+let test_audit_rejects_stress_over_budget () =
+  (* An absurdly tight ST_target must be flagged, with the true max
+     stress reported. *)
+  let design, baseline = tiny_placed () in
+  let cpd, frozen, monitored = audit_inputs design baseline ~mode:Rotation.Freeze in
+  let report =
+    Audit.run design ~baseline_cpd:cpd ~st_target:1e-6 ~frozen ~monitored baseline
+  in
+  Alcotest.(check bool) "rejected" false (Audit.ok report);
+  Alcotest.(check bool) "as Stress_over_budget" true
+    (audit_has report Audit.Stress_over_budget);
+  Alcotest.(check (float 1e-9)) "true stress reported"
+    (Stress.max_accumulated design baseline)
+    report.Audit.max_stress
+
+let test_remap_certify_clean () =
+  (* The flow's own certificates: every LP/MILP check passes on tiny. *)
+  let design, baseline = tiny_placed () in
+  Remap.reset_certification ();
+  let params = { Remap.default_params with Remap.certify = true } in
+  let r = Remap.solve ~params ~mode:Rotation.Rotate design baseline in
+  let c = Remap.certification () in
+  Alcotest.(check int) "no rejections" 0 c.Remap.rejected;
+  Alcotest.(check bool) "something was checked" true
+    (c.Remap.lp_checked + c.Remap.milp_checked > 0);
+  Alcotest.(check bool) "audit clean" true (Audit.ok r.Remap.audit)
+
 (* ---------- properties ---------- *)
 
 let prop_remap_never_breaks_cpd =
@@ -734,6 +860,21 @@ let () =
           Alcotest.test_case "improves concentrated" `Quick
             test_refine_improves_concentrated;
           Alcotest.test_case "move budget" `Quick test_refine_move_budget;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean remap" `Quick test_audit_clean_remap;
+          Alcotest.test_case "baseline self-consistent" `Quick
+            test_audit_baseline_against_own_figures;
+          Alcotest.test_case "double-bound op rejected" `Quick
+            test_audit_rejects_double_bound_op;
+          Alcotest.test_case "out-of-range PE rejected" `Quick
+            test_audit_rejects_out_of_range_pe;
+          Alcotest.test_case "moved pin + blown path rejected" `Quick
+            test_audit_rejects_moved_pin_and_blown_path;
+          Alcotest.test_case "stress over budget rejected" `Quick
+            test_audit_rejects_stress_over_budget;
+          Alcotest.test_case "remap --certify clean" `Quick test_remap_certify_clean;
         ] );
       ( "related",
         [

@@ -1,0 +1,35 @@
+(* The @lint gate as a test: the formulation-(3) model of every
+   bundled benchmark (tiny plus the full Table-I suite) must lint free
+   of Error-severity diagnostics. Catches modelling regressions —
+   rows made trivially infeasible by a budget bug, broken one-hot
+   assignment rows, dangling candidate variables — before any solver
+   time is spent on them. *)
+
+open Agingfp_cgrra
+module Placer = Agingfp_place.Placer
+module Remap = Agingfp_floorplan.Remap
+module Ilp_model = Agingfp_floorplan.Ilp_model
+module Rotation = Agingfp_floorplan.Rotation
+module Analyze = Agingfp_lp.Analyze
+
+let lint_clean design () =
+  let baseline = Placer.aging_unaware design in
+  let inst, _st = Remap.build_formulation ~mode:Rotation.Freeze design baseline in
+  let diags = Analyze.lint (Ilp_model.model inst) in
+  match Analyze.errors diags with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "%s: %d lint error(s), first: %a" (Design.name design)
+      (List.length errs) Analyze.pp_diagnostic (List.hd errs)
+
+let () =
+  let cases =
+    Alcotest.test_case "tiny" `Quick (lint_clean (Benchmarks.tiny ()))
+    :: Array.to_list
+         (Array.map
+            (fun (spec : Benchmarks.spec) ->
+              Alcotest.test_case spec.Benchmarks.bname `Quick
+                (lint_clean (Benchmarks.generate spec)))
+            Benchmarks.table1)
+  in
+  Alcotest.run "lint" [ ("formulation-3 lints clean", cases) ]

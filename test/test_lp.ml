@@ -8,6 +8,8 @@ module Simplex = Agingfp_lp.Simplex
 module Milp = Agingfp_lp.Milp
 module Presolve = Agingfp_lp.Presolve
 module Lp_format = Agingfp_lp.Lp_format
+module Analyze = Agingfp_lp.Analyze
+module Certify = Agingfp_lp.Certify
 module Rng = Agingfp_util.Rng
 
 let get_optimal = function
@@ -859,6 +861,287 @@ let test_lp_format_file_roundtrip () =
   Alcotest.(check bool) "written" true (lp_contains content "End");
   Sys.remove path
 
+(* ---------- Analyze (static linter) ---------- *)
+
+let has_code diags code =
+  List.exists (fun (d : Analyze.diagnostic) -> d.Analyze.code = code) diags
+
+let test_analyze_clean_model () =
+  (* A healthy assignment-shaped model must produce no diagnostics of
+     Error or Warning severity. *)
+  let m = Model.create () in
+  let xs = Array.init 4 (fun i -> Model.add_binary ~name:(Printf.sprintf "b%d" i) m) in
+  ignore
+    (Model.add_constraint ~name:"onehot" m
+       (Expr.sum (Array.to_list (Array.map Expr.var xs)))
+       Model.Eq 1.0);
+  Model.set_objective m Model.Minimize
+    (Expr.sum (Array.to_list (Array.mapi (fun i x -> Expr.var ~coef:(float_of_int (i + 1)) x) xs)));
+  let diags = Analyze.lint m in
+  Alcotest.(check int) "no errors" 0 (List.length (Analyze.errors diags));
+  Alcotest.(check bool) "no warnings" false
+    (List.exists (fun (d : Analyze.diagnostic) -> d.Analyze.severity = Analyze.Warning) diags)
+
+let test_analyze_bad_bounds () =
+  (* [add_var]/[set_bounds] reject [lb > ub] up front, but NaN slips
+     through every float comparison and [fix_var] never validates —
+     exactly the holes the linter exists to close. *)
+  let m = Model.create () in
+  let x = Model.add_var m in
+  Model.fix_var m x Float.nan;
+  let inf_lb = Model.add_var ~lb:infinity m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var inf_lb)) Model.Le 5.0);
+  let diags = Analyze.lint m in
+  Alcotest.(check bool) "nonfinite flagged" true (has_code diags Analyze.Nonfinite_bound);
+  Alcotest.(check bool) "is an error" true (Analyze.errors diags <> [])
+
+let test_analyze_duplicate_row () =
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m and y = Model.add_var ~ub:1.0 m in
+  let lhs () = Expr.add (Expr.var x) (Expr.var ~coef:2.0 y) in
+  ignore (Model.add_constraint m (lhs ()) Model.Le 3.0);
+  ignore (Model.add_constraint m (lhs ()) Model.Le 3.0);
+  Model.set_objective m Model.Maximize (Expr.var x);
+  Alcotest.(check bool) "duplicate flagged" true
+    (has_code (Analyze.lint m) Analyze.Duplicate_row)
+
+let test_analyze_dangling_var () =
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m in
+  let _orphan = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.var x) Model.Le 1.0);
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let diags = Analyze.lint m in
+  Alcotest.(check bool) "dangling flagged" true (has_code diags Analyze.Dangling_var);
+  Alcotest.(check bool) "points at var 1" true
+    (List.exists
+       (fun (d : Analyze.diagnostic) ->
+         d.Analyze.code = Analyze.Dangling_var && d.Analyze.var = Some 1)
+       diags)
+
+let test_analyze_row_infeasible_by_bounds () =
+  (* x + y <= -1 with x, y in [0,1]: min activity 0 > -1. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m and y = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le (-1.0));
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let diags = Analyze.lint m in
+  Alcotest.(check bool) "bound-infeasible flagged" true
+    (has_code diags Analyze.Row_infeasible_by_bounds);
+  Alcotest.(check bool) "is an error" true (Analyze.errors diags <> [])
+
+let test_analyze_row_forced_by_bounds () =
+  (* x + y <= 5 with x, y in [0,1]: max activity 2, row constrains
+     nothing. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m and y = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 5.0);
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let diags = Analyze.lint m in
+  Alcotest.(check bool) "forced flagged" true (has_code diags Analyze.Row_forced_by_bounds);
+  Alcotest.(check int) "but not an error" 0 (List.length (Analyze.errors diags))
+
+let test_analyze_nonbinary_in_one_hot () =
+  let m = Model.create () in
+  let a = Model.add_binary m in
+  let b = Model.add_var ~ub:1.0 m in
+  (* continuous *)
+  ignore (Model.add_constraint m (Expr.add (Expr.var a) (Expr.var b)) Model.Eq 1.0);
+  Model.set_objective m Model.Maximize (Expr.var a);
+  Alcotest.(check bool) "one-hot violation flagged" true
+    (has_code (Analyze.lint m) Analyze.Nonbinary_in_one_hot)
+
+let test_analyze_empty_contradictory_row () =
+  let m = Model.create () in
+  let x = Model.add_var ~ub:1.0 m in
+  ignore (Model.add_constraint m (Expr.const 0.0) Model.Ge 1.0);
+  ignore (Model.add_constraint m (Expr.var x) Model.Le 1.0);
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let diags = Analyze.lint m in
+  Alcotest.(check bool) "empty row flagged" true (has_code diags Analyze.Empty_row);
+  Alcotest.(check bool) "contradictory -> error" true (Analyze.errors diags <> [])
+
+(* ---------- Certify (exact certificate checking) ---------- *)
+
+let certified = function Certify.Certified -> true | _ -> false
+let rejected = function Certify.Rejected _ -> true | _ -> false
+
+let small_lp () =
+  (* max x + 2y s.t. x + y <= 4, y <= 3, x,y in [0,10] -> (1,3), obj 7. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:10.0 m and y = Model.add_var ~ub:10.0 m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 4.0);
+  ignore (Model.add_constraint m (Expr.var y) Model.Le 3.0);
+  Model.set_objective m Model.Maximize
+    (Expr.add (Expr.var x) (Expr.var ~coef:2.0 y));
+  m
+
+let test_certify_accepts_true_optimum () =
+  let m = small_lp () in
+  match Simplex.solve m with
+  | Simplex.Optimal s ->
+    Alcotest.(check bool) "certified" true (certified (Certify.solution m s))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_certify_rejects_nudged_solution () =
+  (* The acceptance-criterion test: corrupt an optimal solution by
+     nudging one variable off its value and the certificate checker
+     must reject it against the original model. *)
+  let m = small_lp () in
+  match Simplex.solve m with
+  | Simplex.Optimal s ->
+    let corrupt = { s with Simplex.values = Array.copy s.Simplex.values } in
+    corrupt.Simplex.values.(0) <- corrupt.Simplex.values.(0) +. 0.5;
+    Alcotest.(check bool) "corrupted solution rejected" true
+      (rejected (Certify.solution m corrupt));
+    Alcotest.(check bool) "original still certified" true
+      (certified (Certify.solution m s))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_certify_rejects_wrong_objective () =
+  let m = small_lp () in
+  match Simplex.solve m with
+  | Simplex.Optimal s ->
+    let lie = { s with Simplex.objective = s.Simplex.objective +. 1.0 } in
+    Alcotest.(check bool) "objective lie rejected" true
+      (rejected (Certify.solution m lie))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_certify_rejects_fractional_integer () =
+  let m = Model.create () in
+  let x = Model.add_binary m in
+  ignore (Model.add_constraint m (Expr.var x) Model.Le 1.0);
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let s = { Simplex.values = [| 0.5 |]; objective = 0.5; iterations = 0 } in
+  Alcotest.(check bool) "fractional rejected as MILP point" true
+    (rejected (Certify.solution m s));
+  Alcotest.(check bool) "but fine as LP relaxation point" true
+    (certified (Certify.solution ~relaxation:true m s))
+
+let test_certify_milp_result () =
+  let m = Model.create () in
+  let a = Model.add_binary m and b = Model.add_binary m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var a) (Expr.var b)) Model.Le 1.0);
+  Model.set_objective m Model.Maximize
+    (Expr.add (Expr.var ~coef:3.0 a) (Expr.var ~coef:2.0 b));
+  let r = Milp.solve ~params:{ Milp.default_params with first_solution = false } m in
+  Alcotest.(check bool) "feasible result certified" true
+    (certified (Certify.result m r))
+
+let test_certify_infeasible_by_bound () =
+  (* x >= 2 with x in [0,1]: a single row proves infeasibility, and
+     [Certify.result] must find and verify that bound certificate. *)
+  let m = Model.create () in
+  let x = Model.add_binary m in
+  ignore (Model.add_constraint m (Expr.var x) Model.Ge 2.0);
+  (match Certify.find_bound_certificate m with
+  | Some 0 -> ()
+  | Some r -> Alcotest.failf "wrong certificate row %d" r
+  | None -> Alcotest.fail "no bound certificate found");
+  Alcotest.(check bool) "Infeasible verdict certified" true
+    (certified (Certify.result m Milp.Infeasible))
+
+let test_certify_farkas () =
+  (* x + y <= 1 and x + y >= 3 (both in [0,10]): y = (1, -1) aggregates
+     to 0 <= -2, an exact contradiction. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:10.0 m and y = Model.add_var ~ub:10.0 m in
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Le 1.0);
+  ignore (Model.add_constraint m (Expr.add (Expr.var x) (Expr.var y)) Model.Ge 3.0);
+  Alcotest.(check bool) "farkas vector certified" true
+    (certified (Certify.farkas m [| 1.0; -1.0 |]));
+  (* A sign-violating or non-contradicting vector must be rejected. *)
+  Alcotest.(check bool) "bad multiplier rejected" true
+    (rejected (Certify.farkas m [| -1.0; -1.0 |]));
+  Alcotest.(check bool) "trivial vector rejected" true
+    (rejected (Certify.farkas m [| 0.0; 0.0 |]))
+
+(* ---------- LP-format parser round-trip ---------- *)
+
+let test_lp_format_parse_simple () =
+  let text =
+    "Maximize\n obj: 3 x0 + 2 x1\nSubject To\n c0: x0 + x1 <= 4\n r1: x1 >= 1\n\
+     Bounds\n x0 <= 10\n x1 <= 5\nEnd\n"
+  in
+  match Lp_format.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    Alcotest.(check int) "vars" 2 (Model.num_vars m);
+    Alcotest.(check int) "rows" 2 (Model.num_constraints m);
+    Alcotest.(check string) "row name kept" "c0" (Model.row_name m 0);
+    let _, rel, rhs = Model.constraint_row m 0 in
+    Alcotest.(check bool) "relation" true (rel = Model.Le);
+    Alcotest.(check (float 1e-9)) "rhs" 4.0 rhs;
+    Alcotest.(check (float 1e-9)) "ub x0" 10.0 (Model.var_ub m 0);
+    let dir, _ = Model.objective m in
+    Alcotest.(check bool) "maximize" true (dir = Model.Maximize)
+
+let test_lp_format_parse_rejects_garbage () =
+  (match Lp_format.of_string "Maximize\n obj: x0 +\nEnd\n" with
+  | Ok _ -> Alcotest.fail "dangling '+' accepted"
+  | Error _ -> ());
+  match Lp_format.of_string "Subject To\n c0: <= 3\nEnd\n" with
+  | Ok _ -> Alcotest.fail "empty lhs accepted"
+  | Error _ -> ()
+
+let exprs_close a b =
+  let ta = Expr.terms a and tb = Expr.terms b in
+  List.length ta = List.length tb
+  && List.for_all2
+       (fun (v1, c1) (v2, c2) -> v1 = v2 && abs_float (c1 -. c2) < 1e-9)
+       (List.sort compare ta) (List.sort compare tb)
+
+let bound_close a b = a = b || abs_float (a -. b) < 1e-9
+
+let models_equivalent m m' =
+  Model.num_vars m = Model.num_vars m'
+  && Model.num_constraints m = Model.num_constraints m'
+  && List.for_all
+       (fun v ->
+         Model.var_kind m v = Model.var_kind m' v
+         && bound_close (Model.var_lb m v) (Model.var_lb m' v)
+         && bound_close (Model.var_ub m v) (Model.var_ub m' v))
+       (List.init (Model.num_vars m) (fun v -> v))
+  && List.for_all
+       (fun r ->
+         let lhs, rel, rhs = Model.constraint_row m r in
+         let lhs', rel', rhs' = Model.constraint_row m' r in
+         rel = rel' && abs_float (rhs -. rhs') < 1e-9 && exprs_close lhs lhs')
+       (List.init (Model.num_constraints m) (fun r -> r))
+  &&
+  let dir, obj = Model.objective m and dir', obj' = Model.objective m' in
+  dir = dir' && exprs_close obj obj'
+
+let prop_lp_format_roundtrip =
+  (* Writer -> parser round-trip: counts, kinds, bounds and relations
+     survive exactly; coefficients within the %.12g print precision. *)
+  QCheck2.Test.make ~name:"lp-format write/parse round-trip" ~count:300
+    QCheck2.Gen.int (fun seed ->
+      let m = build_2var_lp (random_2var_lp seed) in
+      match Lp_format.of_string (Lp_format.to_string m) with
+      | Error _ -> false
+      | Ok m' -> models_equivalent m m')
+
+let test_lp_format_roundtrip_integer_model () =
+  (* Binary + general-integer + free + fixed vars all surviving. *)
+  let m = Model.create () in
+  let b = Model.add_binary ~name:"pick" m in
+  let g = Model.add_var ~kind:Model.Integer ~lb:0.0 ~ub:7.0 m in
+  let f = Model.add_var ~lb:neg_infinity m in
+  let x = Model.add_var m in
+  Model.fix_var m x 2.5;
+  ignore
+    (Model.add_constraint ~name:"cap" m
+       (Expr.sum [ Expr.var b; Expr.var ~coef:2.0 g; Expr.var f ])
+       Model.Le 9.0);
+  ignore (Model.add_constraint m (Expr.add (Expr.var f) (Expr.var x)) Model.Ge (-2.0));
+  Model.set_objective m Model.Maximize (Expr.add (Expr.var b) (Expr.var g));
+  match Lp_format.of_string (Lp_format.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    Alcotest.(check bool) "equivalent" true (models_equivalent m m');
+    Alcotest.(check string) "row label kept" "cap" (Model.row_name m' 0)
+
 let () =
   Alcotest.run "lp"
     [
@@ -914,6 +1197,40 @@ let () =
           Alcotest.test_case "negative coefs" `Quick test_lp_format_negative_coefs;
           Alcotest.test_case "fixed var" `Quick test_lp_format_fixed_var;
           Alcotest.test_case "file write" `Quick test_lp_format_file_roundtrip;
+          Alcotest.test_case "parse simple" `Quick test_lp_format_parse_simple;
+          Alcotest.test_case "parse rejects garbage" `Quick
+            test_lp_format_parse_rejects_garbage;
+          Alcotest.test_case "integer-model round-trip" `Quick
+            test_lp_format_roundtrip_integer_model;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "clean model" `Quick test_analyze_clean_model;
+          Alcotest.test_case "bad bounds" `Quick test_analyze_bad_bounds;
+          Alcotest.test_case "duplicate row" `Quick test_analyze_duplicate_row;
+          Alcotest.test_case "dangling var" `Quick test_analyze_dangling_var;
+          Alcotest.test_case "row infeasible by bounds" `Quick
+            test_analyze_row_infeasible_by_bounds;
+          Alcotest.test_case "row forced by bounds" `Quick
+            test_analyze_row_forced_by_bounds;
+          Alcotest.test_case "non-binary in one-hot" `Quick
+            test_analyze_nonbinary_in_one_hot;
+          Alcotest.test_case "empty contradictory row" `Quick
+            test_analyze_empty_contradictory_row;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "accepts true optimum" `Quick test_certify_accepts_true_optimum;
+          Alcotest.test_case "rejects nudged solution" `Quick
+            test_certify_rejects_nudged_solution;
+          Alcotest.test_case "rejects wrong objective" `Quick
+            test_certify_rejects_wrong_objective;
+          Alcotest.test_case "integrality vs relaxation" `Quick
+            test_certify_rejects_fractional_integer;
+          Alcotest.test_case "milp result" `Quick test_certify_milp_result;
+          Alcotest.test_case "infeasible by bound certificate" `Quick
+            test_certify_infeasible_by_bound;
+          Alcotest.test_case "farkas certificate" `Quick test_certify_farkas;
         ] );
       ( "properties",
         [
@@ -925,5 +1242,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_milp_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_milp_modes_agree;
           QCheck_alcotest.to_alcotest prop_relax_and_fix_feasible;
+          QCheck_alcotest.to_alcotest prop_lp_format_roundtrip;
         ] );
     ]

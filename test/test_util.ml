@@ -7,6 +7,8 @@ module Stats = Agingfp_util.Stats
 module Ascii_table = Agingfp_util.Ascii_table
 module Heap = Agingfp_util.Heap
 module Bipartite = Agingfp_util.Bipartite
+module Rat = Agingfp_util.Rat
+module Invariant = Agingfp_util.Invariant
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -304,7 +306,120 @@ let prop_matching_matches_brute_force =
       Bipartite.matching_size (Bipartite.solve g)
       = brute_matching n_left n_right !edges)
 
+(* ---------- Rat ---------- *)
+
+let test_rat_of_float_exact () =
+  (* 0.1 is not 1/10 in binary: the exact sum of ten copies of the
+     double 0.1 is NOT 1 (while the rounded float sum famously drifts).
+     Exactness also means repeated addition agrees with
+     multiplication, which float fold-left does not. *)
+  let tenth = Rat.of_float 0.1 in
+  let sum = ref Rat.zero in
+  for _ = 1 to 10 do
+    sum := Rat.add !sum tenth
+  done;
+  Alcotest.(check bool) "10 * double(0.1) is not exactly 1" false
+    (Rat.equal !sum Rat.one);
+  Alcotest.(check bool) "repeated add = mul" true
+    (Rat.equal !sum (Rat.mul (Rat.of_int 10) tenth));
+  (* ...but within one float ulp of 1 when rounded back. *)
+  check_float "to_float close to 1" 1.0 (Rat.to_float !sum)
+
+let test_rat_ring_ops () =
+  let q = Rat.of_float in
+  Alcotest.(check string) "add" "2" (Rat.to_string (Rat.add (q 0.75) (q 1.25)));
+  Alcotest.(check string) "sub" "-1/2" (Rat.to_string (Rat.sub (q 0.25) (q 0.75)));
+  Alcotest.(check string) "mul" "3/8" (Rat.to_string (Rat.mul (q 0.75) (q 0.5)));
+  Alcotest.(check string) "neg" "-3/4" (Rat.to_string (Rat.neg (q 0.75)));
+  Alcotest.(check int) "sign" (-1) (Rat.sign (Rat.sub (q 1.0) (q 1.5)))
+
+let test_rat_compare () =
+  let xs = [ -3.5; -1.0; -0.125; 0.0; 1e-9; 0.3; 1.0; 1024.0 ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int)
+            (Printf.sprintf "compare %g %g" a b)
+            (Float.compare a b)
+            (Rat.compare (Rat.of_float a) (Rat.of_float b)))
+        xs)
+    xs
+
+let test_rat_is_integer () =
+  Alcotest.(check bool) "42" true (Rat.is_integer (Rat.of_float 42.0));
+  Alcotest.(check bool) "0" true (Rat.is_integer Rat.zero);
+  Alcotest.(check bool) "-7" true (Rat.is_integer (Rat.of_int (-7)));
+  Alcotest.(check bool) "0.5" false (Rat.is_integer (Rat.of_float 0.5));
+  Alcotest.(check bool) "2^60" true (Rat.is_integer (Rat.of_float (Float.ldexp 1.0 60)))
+
+let test_rat_large_magnitude () =
+  (* (2^60 + 1)^2 needs > 64 bits; check against the algebraic identity
+     2^120 + 2^61 + 1 computed piecewise. *)
+  let a = Rat.add (Rat.of_float (Float.ldexp 1.0 60)) Rat.one in
+  let sq = Rat.mul a a in
+  let expect =
+    Rat.add
+      (Rat.add
+         (Rat.mul (Rat.of_float (Float.ldexp 1.0 60)) (Rat.of_float (Float.ldexp 1.0 60)))
+         (Rat.of_float (Float.ldexp 1.0 61)))
+      Rat.one
+  in
+  Alcotest.(check bool) "(2^60+1)^2 = 2^120 + 2^61 + 1" true (Rat.equal sq expect);
+  Alcotest.(check bool) "bigger than 2^120" true
+    (Rat.compare sq (Rat.mul (Rat.of_float (Float.ldexp 1.0 60))
+                       (Rat.of_float (Float.ldexp 1.0 60))) > 0)
+
+let test_rat_to_float_roundtrip () =
+  List.iter
+    (fun x -> check_float "roundtrip" x (Rat.to_float (Rat.of_float x)))
+    [ 0.0; 1.0; -1.0; 0.1; -0.3; 1e-30; 1e30; Float.ldexp 1.0 60; 5.128 ]
+
+let test_rat_of_float_rejects () =
+  Alcotest.check_raises "nan" (Invalid_argument "Rat.of_float: not a finite value")
+    (fun () -> ignore (Rat.of_float Float.nan));
+  Alcotest.check_raises "inf" (Invalid_argument "Rat.of_float: not a finite value")
+    (fun () -> ignore (Rat.of_float Float.infinity))
+
+let test_invariant_message () =
+  Alcotest.check_raises "fail raises Violation"
+    (Invariant.Violation "invariant violated in Here: x = 3") (fun () ->
+      Invariant.fail ~where:"Here" "x = %d" 3)
+
 (* ---------- Properties ---------- *)
+
+let rat_float_gen =
+  (* Finite doubles across magnitudes, including negatives and exact
+     small integers. *)
+  QCheck2.Gen.(
+    oneof
+      [
+        float_bound_inclusive 1e6;
+        map (fun x -> -.x) (float_bound_inclusive 1e6);
+        map float_of_int (int_range (-1000) 1000);
+        map (fun (m, e) -> Float.ldexp m (e - 30)) (tup2 (float_bound_inclusive 1.0) (int_bound 60));
+      ])
+
+let prop_rat_add_sub_cancel =
+  QCheck2.Test.make ~name:"rat: (a + b) - b = a exactly" ~count:1000
+    QCheck2.Gen.(tup2 rat_float_gen rat_float_gen)
+    (fun (a, b) ->
+      let qa = Rat.of_float a and qb = Rat.of_float b in
+      Rat.equal (Rat.sub (Rat.add qa qb) qb) qa)
+
+let prop_rat_mul_distributes =
+  QCheck2.Test.make ~name:"rat: a*(b + c) = a*b + a*c exactly" ~count:1000
+    QCheck2.Gen.(tup3 rat_float_gen rat_float_gen rat_float_gen)
+    (fun (a, b, c) ->
+      let qa = Rat.of_float a and qb = Rat.of_float b and qc = Rat.of_float c in
+      Rat.equal (Rat.mul qa (Rat.add qb qc)) (Rat.add (Rat.mul qa qb) (Rat.mul qa qc)))
+
+let prop_rat_compare_matches_float =
+  (* Dyadic comparison must agree with IEEE comparison on exact
+     conversions. *)
+  QCheck2.Test.make ~name:"rat: compare agrees with Float.compare" ~count:1000
+    QCheck2.Gen.(tup2 rat_float_gen rat_float_gen)
+    (fun (a, b) -> Rat.compare (Rat.of_float a) (Rat.of_float b) = Float.compare a b)
 
 let prop_manhattan_triangle =
   QCheck2.Test.make ~name:"manhattan satisfies triangle inequality" ~count:500
@@ -396,8 +511,22 @@ let () =
           Alcotest.test_case "empty" `Quick test_matching_empty;
           Alcotest.test_case "validity" `Quick test_matching_validity;
         ] );
+      ( "rat",
+        [
+          Alcotest.test_case "of_float exact" `Quick test_rat_of_float_exact;
+          Alcotest.test_case "ring ops" `Quick test_rat_ring_ops;
+          Alcotest.test_case "compare" `Quick test_rat_compare;
+          Alcotest.test_case "is_integer" `Quick test_rat_is_integer;
+          Alcotest.test_case "large magnitude" `Quick test_rat_large_magnitude;
+          Alcotest.test_case "to_float roundtrip" `Quick test_rat_to_float_roundtrip;
+          Alcotest.test_case "rejects nan/inf" `Quick test_rat_of_float_rejects;
+          Alcotest.test_case "invariant message" `Quick test_invariant_message;
+        ] );
       ( "properties",
         [
+          QCheck_alcotest.to_alcotest prop_rat_add_sub_cancel;
+          QCheck_alcotest.to_alcotest prop_rat_mul_distributes;
+          QCheck_alcotest.to_alcotest prop_rat_compare_matches_float;
           QCheck_alcotest.to_alcotest prop_matching_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_interleaved;
