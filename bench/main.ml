@@ -654,6 +654,60 @@ let bench_smoke_lp () =
       warm_obj;
   if warm_stats.Milp.warm_solves = 0 then
     Printf.printf "WARNING: warm run performed no warm solves\n";
+  (* Deadline scenario: the remap ladder under a hard wall-clock
+     budget. Latency distribution (the robustness claim is about the
+     tail, hence p99) plus which rung each run ended on. *)
+  header "smoke-lp: deadline-bounded remap ladder";
+  (* Small enough to bind on B18, large enough that one uninterruptible
+     unit of work (a context pack, the final audit) fits the 2x margin. *)
+  let deadline_s = 0.5 in
+  let runs_per_design = if !quick then 5 else 15 in
+  (* B18 (16x16, 16 contexts) cannot finish its full MILP in 0.25s,
+     so the tail of the distribution exercises the ladder for real. *)
+  let deadline_designs =
+    [ Benchmarks.tiny () ]
+    @ List.filter_map
+        (fun n -> Option.map Benchmarks.generate (Benchmarks.find n))
+        [ "B4"; "B18" ]
+  in
+  let rung_counts = Hashtbl.create 8 in
+  let samples = ref [] in
+  List.iter
+    (fun design ->
+      let baseline = Placer.aging_unaware design in
+      let params =
+        { Remap.default_params with Remap.deadline_s = Some deadline_s }
+      in
+      for _ = 1 to runs_per_design do
+        let r, dt =
+          time_it (fun () -> Remap.solve ~params ~mode:Rotation.Freeze design baseline)
+        in
+        samples := dt :: !samples;
+        let key = Remap.rung_to_string r.Remap.rung in
+        Hashtbl.replace rung_counts key
+          (1 + try Hashtbl.find rung_counts key with Not_found -> 0)
+      done)
+    deadline_designs;
+  let sorted = Array.of_list !samples in
+  Array.sort Float.compare sorted;
+  let percentile p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let p50 = percentile 0.50 and p99 = percentile 0.99 in
+  let rung_rows =
+    [ "full-milp"; "relax-and-fix"; "lp-rounding"; "heuristic"; "baseline" ]
+    |> List.map (fun r ->
+           (r, try Hashtbl.find rung_counts r with Not_found -> 0))
+  in
+  Printf.printf "deadline %.2fs, %d runs over %d designs: p50 %.3fs, p99 %.3fs, max %.3fs\n"
+    deadline_s (Array.length sorted)
+    (List.length deadline_designs)
+    p50 p99
+    sorted.(Array.length sorted - 1);
+  List.iter (fun (r, n) -> if n > 0 then Printf.printf "  rung %-13s %d\n" r n) rung_rows;
+  if sorted.(Array.length sorted - 1) > 2.0 *. deadline_s then
+    Printf.printf "WARNING: a run exceeded twice the deadline\n";
   let json_leg (stats : Milp.stats) dt =
     Printf.sprintf
       "{\"seconds\": %.4f, \"nodes\": %d, \"lp_iterations\": %d, \"warm_solves\": %d, \
@@ -670,7 +724,9 @@ let bench_smoke_lp () =
     \  \"cold\": %s,\n\
     \  \"warm\": %s,\n\
     \  \"speedup\": %.3f,\n\
-    \  \"iteration_ratio\": %.3f\n\
+    \  \"iteration_ratio\": %.3f,\n\
+    \  \"deadline\": {\"deadline_s\": %.3f, \"runs\": %d, \"p50_s\": %.4f, \"p99_s\": \
+     %.4f, \"max_s\": %.4f, \"rungs\": {%s}}\n\
      }\n"
     (LpModel.num_vars lp) (LpModel.num_constraints lp)
     warm_stats.Milp.presolve.Agingfp_lp.Presolve.rows_removed
@@ -680,7 +736,11 @@ let bench_smoke_lp () =
     (json_leg cold_stats cold_dt) (json_leg warm_stats warm_dt)
     (cold_dt /. warm_dt)
     (float_of_int cold_stats.Milp.lp_iterations
-    /. float_of_int (max 1 warm_stats.Milp.lp_iterations));
+    /. float_of_int (max 1 warm_stats.Milp.lp_iterations))
+    deadline_s (Array.length sorted) p50 p99
+    sorted.(Array.length sorted - 1)
+    (String.concat ", "
+       (List.map (fun (r, n) -> Printf.sprintf "\"%s\": %d" r n) rung_rows));
   close_out oc;
   Printf.printf "wrote BENCH_lp.json (speedup %.2fx, iteration ratio %.2fx)\n%!"
     (cold_dt /. warm_dt)

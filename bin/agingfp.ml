@@ -21,6 +21,7 @@ module Model = Agingfp_lp.Model
 module Lp_format = Agingfp_lp.Lp_format
 module Analyze = Agingfp_lp.Analyze
 module Milp = Agingfp_lp.Milp
+module Faults = Agingfp_lp.Faults
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
 
@@ -28,11 +29,33 @@ let setup_logs level =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level level
 
+(* Context for the top-level fatal handler: which benchmark/input and
+   which pipeline phase was active when an exception escaped, so the
+   one-line diagnostic names the culprit instead of a backtrace. *)
+let diag_benchmark = ref "-"
+let diag_phase = ref "startup"
+
+let set_diag ?benchmark phase =
+  (match benchmark with Some b -> diag_benchmark := b | None -> ());
+  diag_phase := phase
+
 (* ---------- design loading ---------- *)
 
 let load_design ?design_file ?(techmap = false) benchmark source dim =
+  set_diag
+    ?benchmark:
+      (match (design_file, benchmark, source) with
+      | Some path, _, _ | None, None, Some path -> Some (Filename.basename path)
+      | None, Some name, _ -> Some name
+      | None, None, None -> None)
+    "load-design";
   match design_file with
-  | Some path -> Serial.load_design path
+  | Some path ->
+    (* Read + parse via the raising API: [Sys_error] and
+       [Serial.Parse_error] escape to the top-level [fatal] handler,
+       which classifies them into distinct exit codes. *)
+    let text = In_channel.with_open_text path In_channel.input_all in
+    Ok (Serial.design_of_string_exn text)
   | None -> (
   match (benchmark, source) with
   | Some name, None -> (
@@ -118,14 +141,20 @@ let solver_stats_table () =
     ]
 
 let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
-    techmap stats certify =
+    techmap stats certify deadline inject_faults =
+  let fault_spec =
+    match inject_faults with
+    | None -> Ok Faults.none
+    | Some s -> Faults.of_string s
+  in
   match
-    (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s)
+    (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s,
+     fault_spec)
   with
-  | Error msg, _ | _, Error msg ->
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
     prerr_endline msg;
     1
-  | Ok design, Ok mode ->
+  | Ok design, Ok mode, Ok fault_spec ->
     (match save_design with
     | Some path -> (
       match Serial.save_design path design with
@@ -135,8 +164,16 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
     let baseline = Placer.aging_unaware design in
     Milp.reset_cumulative ();
     Remap.reset_certification ();
-    let params = { Remap.default_params with Remap.certify } in
-    let r = Remap.solve ~params ~mode design baseline in
+    let params =
+      { Remap.default_params with Remap.certify; deadline_s = deadline }
+    in
+    set_diag "remap";
+    let r, fired =
+      Faults.with_spec fault_spec (fun () ->
+          let r = Remap.solve ~params ~mode design baseline in
+          (r, Faults.fired ()))
+    in
+    set_diag "report";
     let imp = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
     Format.printf "%a@." Design.pp design;
     if not quiet then begin
@@ -150,6 +187,19 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
     Format.printf "CPD                 : %.3f ns -> %.3f ns@." r.Remap.baseline_cpd_ns
       r.Remap.new_cpd_ns;
     Format.printf "MTTF increase       : %.2fx@." imp;
+    Format.printf "solve rung          : %a@." Remap.pp_rung r.Remap.rung;
+    (match r.Remap.degradation with
+    | [] -> ()
+    | steps ->
+      Format.printf "degradation trail   :@.";
+      List.iter
+        (fun s -> Format.printf "  - %a@." Remap.pp_degradation_step s)
+        steps);
+    if inject_faults <> None then
+      Format.printf
+        "faults fired        : %d iteration-limit, %d pivot, %d infeasible, %d raise@."
+        fired.Faults.iteration_limits fired.Faults.perturbations
+        fired.Faults.infeasibilities fired.Faults.exceptions;
     if not r.Remap.improved then
       Format.printf "(no delay-clean floorplan found; baseline kept)@.";
     if stats then Format.printf "@.%s@." (solver_stats_table ());
@@ -182,6 +232,7 @@ let cmd_heatmap benchmark source dim mode_s =
     1
   | Ok design, Ok mode ->
     let baseline = Placer.aging_unaware design in
+    set_diag "remap";
     let r = Remap.solve ~mode design baseline in
     let dim = Fabric.dim (Design.fabric design) in
     Format.printf "stress before:@.%s@.@." (Stress.heatmap design baseline);
@@ -206,6 +257,7 @@ let cmd_related benchmark source dim =
     let cycled =
       (Mttf.of_duty design (Related.rotation_cycling_duty design baseline)).Mttf.mttf_s
     in
+    set_diag "remap";
     let r = Remap.solve ~mode:Rotation.Rotate design baseline in
     let ours = (Mttf.of_mapping design r.Remap.mapping).Mttf.mttf_s in
     Format.printf "%a@.@." Design.pp design;
@@ -287,6 +339,7 @@ let cmd_route benchmark source dim capacity mode_s =
     1
   | Ok design, Ok mode ->
     let baseline = Placer.aging_unaware design in
+    set_diag "remap";
     let remapped = (Remap.solve ~mode design baseline).Remap.mapping in
     let params = { Router.default_params with Router.capacity } in
     Format.printf "%a — routing with %d tracks/channel@.@." Design.pp design capacity;
@@ -375,31 +428,52 @@ let certify_arg =
               arithmetic as the flow runs; exit non-zero if any certificate is \
               rejected or the final floorplan audit fails.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:"Wall-clock budget (seconds, monotonic clock) for the whole solve. On \
+              expiry the degradation ladder falls back to ever cheaper machinery and \
+              at worst returns the audited baseline floorplan.")
+
+let inject_faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-faults" ] ~docv:"SPEC"
+        ~doc:"Arm the seeded solver fault injector (robustness testing). SPEC is \
+              comma-separated key=value with keys seed, iter, pivot, mag, infeas, \
+              raise — e.g. seed=42,infeas=0.3,raise=0.05.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+(* The command must be a thunk: OCaml evaluates arguments before the
+   call, so passing the applied command directly would run it before
+   the reporter exists and every log line would be dropped. *)
 let with_logs verbose f =
   setup_logs (if verbose then Some Logs.Debug else Some Logs.Warning);
-  f
+  f ()
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"Show the Table-I benchmark suite")
-    Term.(const (fun verbose -> with_logs verbose (cmd_list ())) $ verbose_arg)
+    Term.(const (fun verbose -> with_logs verbose cmd_list) $ verbose_arg)
 
 let mttf_cmd =
   Cmd.v (Cmd.info "mttf" ~doc:"Baseline MTTF of the aging-unaware floorplan")
     Term.(
-      const (fun verbose b s d -> with_logs verbose (cmd_mttf b s d))
+      const (fun verbose b s d -> with_logs verbose (fun () -> cmd_mttf b s d))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg)
 
 let remap_cmd =
   Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
     Term.(
-      const (fun verbose b s d m q df sd sf tm stats certify ->
-          with_logs verbose (cmd_remap b s d m q df sd sf tm stats certify))
+      const (fun verbose b s d m q df sd sf tm stats certify deadline faults ->
+          with_logs verbose (fun () -> cmd_remap b s d m q df sd sf tm stats certify deadline faults))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
       $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg
-      $ certify_arg)
+      $ certify_arg $ deadline_arg $ inject_faults_arg)
 
 let out_arg =
   Arg.(
@@ -411,7 +485,7 @@ let export_lp_cmd =
     (Cmd.info "export-lp"
        ~doc:"Write the formulation-(3) MILP in CPLEX LP format")
     Term.(
-      const (fun verbose b s d m o -> with_logs verbose (cmd_export_lp b s d m o))
+      const (fun verbose b s d m o -> with_logs verbose (fun () -> cmd_export_lp b s d m o))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ out_arg)
 
 let capacity_arg =
@@ -422,7 +496,7 @@ let capacity_arg =
 let route_cmd =
   Cmd.v (Cmd.info "route" ~doc:"Route the floorplans through the channel model")
     Term.(
-      const (fun verbose b s d c m -> with_logs verbose (cmd_route b s d c m))
+      const (fun verbose b s d c m -> with_logs verbose (fun () -> cmd_route b s d c m))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ capacity_arg $ mode_arg)
 
 let lint_all_arg =
@@ -442,7 +516,7 @@ let lint_cmd =
        ~doc:"Static-analyze a formulation-(3) model (or an .lp file) for \
              inconsistent bounds, degenerate rows, and conditioning problems")
     Term.(
-      const (fun verbose b s d m all lp -> with_logs verbose (cmd_lint b s d m all lp))
+      const (fun verbose b s d m all lp -> with_logs verbose (fun () -> cmd_lint b s d m all lp))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ lint_all_arg
       $ lp_file_arg)
 
@@ -450,13 +524,13 @@ let related_cmd =
   Cmd.v
     (Cmd.info "related" ~doc:"Compare against prior aging-mitigation strategies")
     Term.(
-      const (fun verbose b s d -> with_logs verbose (cmd_related b s d))
+      const (fun verbose b s d -> with_logs verbose (fun () -> cmd_related b s d))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg)
 
 let heatmap_cmd =
   Cmd.v (Cmd.info "heatmap" ~doc:"Stress and thermal maps before/after re-mapping")
     Term.(
-      const (fun verbose b s d m -> with_logs verbose (cmd_heatmap b s d m))
+      const (fun verbose b s d m -> with_logs verbose (fun () -> cmd_heatmap b s d m))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg)
 
 let main_cmd =
@@ -467,4 +541,24 @@ let main_cmd =
       lint_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Exit codes of the structured fatal handler; 1/2 stay cmdliner's
+   "command failed" / "CLI usage error". *)
+let exit_invariant = 3
+let exit_parse = 4
+let exit_sys = 5
+
+let fatal code kind msg =
+  Printf.eprintf "agingfp: fatal %s [benchmark=%s phase=%s]: %s\n" kind !diag_benchmark
+    !diag_phase msg;
+  exit code
+
+let () =
+  (* [~catch:false] so escaping exceptions reach this handler instead
+     of cmdliner's backtrace printer: a one-line structured diagnostic
+     with a distinct exit code per failure class. *)
+  try exit (Cmd.eval' ~catch:false main_cmd) with
+  | Agingfp_util.Invariant.Violation msg ->
+    fatal exit_invariant "invariant-violation" msg
+  | Serial.Parse_error (line, msg) ->
+    fatal exit_parse "parse-error" (Printf.sprintf "line %d: %s" line msg)
+  | Sys_error msg -> fatal exit_sys "system-error" msg

@@ -52,9 +52,8 @@ let float_of line s =
   | Some v -> v
   | None -> failf line "expected number, got %S" s
 
-let design_of_string text =
+let design_of_string_exn text =
   let r = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
-  try
     let header, ln = next r in
     if header <> "agingfp-design v1" then failf ln "unknown design header %S" header;
     let name_line, ln = next r in
@@ -127,8 +126,11 @@ let design_of_string text =
     in
     let end_line, ln = next r in
     if end_line <> "end" then failf ln "expected 'end'";
-    (try Ok (Design.create ~chars ~name ~fabric:(Fabric.create ~dim) contexts)
-     with Invalid_argument msg -> Error msg)
+    (try Design.create ~chars ~name ~fabric:(Fabric.create ~dim) contexts
+     with Invalid_argument msg -> failf ln "invalid design: %s" msg)
+
+let design_of_string text =
+  try Ok (design_of_string_exn text)
   with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
 
 (* ---------- mappings ---------- *)

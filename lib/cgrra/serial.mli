@@ -21,12 +21,23 @@
 
     Mappings serialize per context as a PE list in operation order. *)
 
+exception Parse_error of int * string
+(** [(line, message)]. The [_of_string] readers catch it and return
+    [Error]; it is exported so CLI-level handlers can classify a parse
+    failure that escapes through other code paths distinctly from
+    generic exceptions. *)
+
 val design_to_string : Design.t -> string
 
 val design_of_string : string -> (Design.t, string) result
 (** Errors carry a line number. Round-trip law:
     [design_of_string (design_to_string d)] reproduces [d] up to
     physical equality of contents. *)
+
+val design_of_string_exn : string -> Design.t
+(** Raising variant of {!design_of_string} ({!Parse_error}) — for
+    callers like the CLI whose top-level handler classifies failure
+    by exception rather than by message string. *)
 
 val mapping_to_string : Mapping.t -> string
 

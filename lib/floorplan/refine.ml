@@ -7,8 +7,8 @@ let default_params = { max_moves = 400; neighbourhood = 4 }
 
 type stats = { moves_accepted : int; st_before : float; st_after : float }
 
-let improve ?(params = default_params) ?initial design ~baseline_cpd ~frozen ~monitored
-    mapping =
+let improve ?(params = default_params) ?(budget = Agingfp_util.Budget.unlimited) ?initial
+    design ~baseline_cpd ~frozen ~monitored mapping =
   let npes = Fabric.num_pes (Design.fabric design) in
   let ncontexts = Design.num_contexts design in
   let arrays = Array.init ncontexts (fun c -> Mapping.context_array mapping c) in
@@ -59,7 +59,12 @@ let improve ?(params = default_params) ?initial design ~baseline_cpd ~frozen ~mo
   let global_max () = Array.fold_left max 0.0 acc in
   let accepted = ref 0 in
   let continue = ref true in
-  while !continue && !accepted < params.max_moves do
+  (* Each iteration re-runs a full CPD analysis, the dominant cost on
+     large designs — so the budget is polled here, once per move. *)
+  while
+    !continue && !accepted < params.max_moves
+    && not (Agingfp_util.Budget.expired budget)
+  do
     let cur_max = global_max () in
     (* Hottest PEs first. *)
     let hot =

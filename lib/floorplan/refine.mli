@@ -32,6 +32,7 @@ type stats = {
 
 val improve :
   ?params:params ->
+  ?budget:Agingfp_util.Budget.t ->
   ?initial:float array ->
   Design.t ->
   baseline_cpd:float ->
@@ -42,4 +43,7 @@ val improve :
 (** Returns a mapping that is never worse than the input. [initial]
     adds a fixed per-PE wear offset to the leveling objective — the
     lifetime simulator uses it to re-balance against stress already
-    accumulated in earlier operating epochs. *)
+    accumulated in earlier operating epochs. [budget] is polled once
+    per move (each move re-runs a full CPD analysis, the dominant
+    cost): on expiry the pass stops and returns the moves accepted so
+    far, never exceeding the deadline by more than one move. *)

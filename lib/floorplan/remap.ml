@@ -4,6 +4,8 @@ module Milp = Agingfp_lp.Milp
 module Simplex = Agingfp_lp.Simplex
 module Analyze = Agingfp_lp.Analyze
 module Certify = Agingfp_lp.Certify
+module Budget = Agingfp_util.Budget
+module Faults = Agingfp_lp.Faults
 
 let src = Logs.Src.create "agingfp.remap" ~doc:"Aging-aware remapping"
 
@@ -29,6 +31,7 @@ type params = {
   refine : bool;
   refine_params : Refine.params;
   certify : bool;
+  deadline_s : float option;
 }
 
 let default_params =
@@ -48,7 +51,31 @@ let default_params =
     refine = true;
     refine_params = Refine.default_params;
     certify = false;
+    deadline_s = None;
   }
+
+(* ---------- degradation ladder ---------- *)
+
+type rung = Full_milp | Relax_and_fix | Lp_rounding | Heuristic | Baseline
+
+let rung_to_string = function
+  | Full_milp -> "full-milp"
+  | Relax_and_fix -> "relax-and-fix"
+  | Lp_rounding -> "lp-rounding"
+  | Heuristic -> "heuristic"
+  | Baseline -> "baseline"
+
+let pp_rung ppf r = Format.pp_print_string ppf (rung_to_string r)
+
+type degradation_step = {
+  rung : rung;
+  reason : Budget.stop_reason;
+  detail : string;
+}
+
+let pp_degradation_step ppf s =
+  Format.fprintf ppf "%a: %a — %s" pp_rung s.rung Budget.pp_stop_reason s.reason
+    s.detail
 
 type result = {
   mapping : Mapping.t;
@@ -60,6 +87,8 @@ type result = {
   new_cpd_ns : float;
   improved : bool;
   audit : Audit.report;
+  rung : rung;
+  degradation : degradation_step list;
 }
 
 (* ---------- solution certification (Lp.Certify) ---------- *)
@@ -251,7 +280,7 @@ let lint_instance inst =
    solve runs cold. Feeds the global Milp counters either way. When
    [certify] is set, any optimal point is re-verified in exact
    arithmetic against the (rebudgeted) model before it is trusted. *)
-let cached_lp_solve ~certify ~get ~set ~build ~st_target ~committed =
+let cached_lp_solve ~certify ~budget ~get ~set ~build ~st_target ~committed =
   let inst, st, fresh =
     match get () with
     | Some (inst, st) ->
@@ -267,6 +296,9 @@ let cached_lp_solve ~certify ~get ~set ~build ~st_target ~committed =
       set (inst, st);
       (inst, st, true)
   in
+  (* The cached state may have been assembled under an earlier (or no)
+     budget; every solve runs under the caller's current slice. *)
+  Simplex.set_budget st budget;
   let s0 = Simplex.state_stats st in
   let status = if fresh then Simplex.solve_state st else Simplex.reoptimize st in
   let s1 = Simplex.state_stats st in
@@ -283,6 +315,27 @@ let cached_lp_solve ~certify ~get ~set ~build ~st_target ~committed =
   | _ -> ());
   (inst, status)
 
+(* Why an LP relaxation was unusable, as a degradation reason.
+   [Unbounded] on formulation (3) — bounded binaries — can only mean a
+   broken model or a corrupted solver state, so it is a fault, not a
+   budget condition. *)
+let lp_cut_reason = function
+  | Simplex.Iteration_limit -> Budget.Iteration_limit
+  | Simplex.Deadline -> Budget.Deadline
+  | Simplex.Fault msg -> Budget.Fault msg
+  | Simplex.Unbounded -> Budget.Fault "unbounded LP relaxation"
+  | Simplex.Infeasible | Simplex.Optimal _ -> Budget.Optimal
+
+(* The MILP machinery a ladder rung is allowed to use; [None] means no
+   branch & bound at all. *)
+let milp_params_for params ~budget = function
+  | Full_milp -> Some { params.milp with Milp.budget }
+  | Relax_and_fix ->
+    (* The cheap-MILP rung: same two-step scheme, hard-capped search. *)
+    Some
+      { params.milp with Milp.node_limit = min params.milp.Milp.node_limit 16; budget }
+  | Lp_rounding | Heuristic | Baseline -> None
+
 (* Exact wire-length check of the monitored paths for one context. *)
 let paths_ok design mapping monitored ctx =
   List.for_all
@@ -293,20 +346,12 @@ let paths_ok design mapping monitored ctx =
 (* ---------- per-context MILP solve ---------- *)
 
 let solve_context params design baseline ~candidates ~monitored ~st_target ~committed
-    ~cache ctx current =
+    ~cache ~budget ~machinery ~note ctx current =
   (* Fast path: LP relaxation + structured rounding; fall back to the
      paper's two-step MILP when rounding misses or breaks a path
-     budget. *)
-  let inst, lp_status =
-    cached_lp_solve ~certify:params.certify
-      ~get:(fun () -> Hashtbl.find_opt cache.per_ctx ctx)
-      ~set:(fun entry -> Hashtbl.replace cache.per_ctx ctx entry)
-      ~build:(fun () ->
-        Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
-          ~baseline ~st_target ~candidates ~monitored ~contexts:[ ctx ] ~committed)
-      ~st_target ~committed
-  in
-  let lp_model = Ilp_model.model inst in
+     budget. The ladder's [machinery] caps what this is allowed to
+     cost: [Heuristic] skips the LP entirely, [Lp_rounding] skips the
+     branch & bound. *)
   let try_rounding lp_value =
     let committed' = Array.copy committed in
     let dfg = Design.context design ctx in
@@ -327,57 +372,88 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
     end
     else None
   in
-  match lp_status with
-  | Agingfp_lp.Simplex.Infeasible
-  | Agingfp_lp.Simplex.Unbounded
-  | Agingfp_lp.Simplex.Iteration_limit ->
-    (* The residual budget cannot host this context at all. *)
-    None
-  | Agingfp_lp.Simplex.Optimal sol -> (
-    (* Guide the rounding pass with the fractional relaxation. *)
-    let lp_value op pe =
-      match Ilp_model.var inst ~ctx ~op ~pe with
-      | Some v -> sol.Agingfp_lp.Simplex.values.(v)
-      | None -> 0.0
+  if machinery = Heuristic then try_rounding (fun _ _ -> 0.0)
+  else begin
+    let inst, lp_status =
+      cached_lp_solve ~certify:params.certify ~budget
+        ~get:(fun () -> Hashtbl.find_opt cache.per_ctx ctx)
+        ~set:(fun entry -> Hashtbl.replace cache.per_ctx ctx entry)
+        ~build:(fun () ->
+          Ilp_model.build ~encoding:params.encoding ~objective:params.objective design
+            ~baseline ~st_target ~candidates ~monitored ~contexts:[ ctx ] ~committed)
+        ~st_target ~committed
     in
-    match try_rounding lp_value with
-    | Some mapping -> Some mapping
-    | None when Ilp_model.num_binaries inst > 2400 ->
-      (* On very large per-context models a failed attempt must stay
-         cheap (Algorithm 1 simply relaxes ST_target by Δ and retries,
-         and the refinement pass recovers leveling quality afterwards).
-         With presolve + warm-started nodes the B&B fallback is cheap
-         enough to double the eligibility threshold of the cold-solve
-         era. *)
+    let lp_model = Ilp_model.model inst in
+    match lp_status with
+    | Simplex.Infeasible ->
+      (* The residual budget cannot host this context at all. *)
       None
-    | None -> (
-    (* Branch & bound re-solves an LP per node; keep the per-context
-       fallback budget small — Δ-relaxation plus refinement recover
-       quality more cheaply than deep search. *)
-    let fallback_params =
-      { params.milp with Milp.node_limit = min params.milp.Milp.node_limit 24 }
-    in
-    let milp_result = Milp.relax_and_fix ~params:fallback_params lp_model in
-    if params.certify then
-      note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
-    match milp_result with
-    | Milp.Feasible sol ->
-      let mapping =
-        Ilp_model.extract inst ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v)) current
+    | (Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Deadline | Simplex.Fault _)
+      as s ->
+      (* No usable relaxation — not the same thing as infeasible.
+         Record the downgrade and try the unguided packer, which needs
+         no LP at all. *)
+      note (lp_cut_reason s)
+        (Format.asprintf "per-context LP relaxation unusable (%a); unguided rounding"
+           Simplex.pp_status s);
+      try_rounding (fun _ _ -> 0.0)
+    | Simplex.Optimal sol -> (
+      (* Guide the rounding pass with the fractional relaxation. *)
+      let lp_value op pe =
+        match Ilp_model.var inst ~ctx ~op ~pe with
+        | Some v -> sol.Agingfp_lp.Simplex.values.(v)
+        | None -> 0.0
       in
-      if not (paths_ok design mapping monitored ctx) then None
-      else begin
-        (* Commit the assigned stress. *)
-        let dfg = Design.context design ctx in
-        for op = 0 to Dfg.num_ops dfg - 1 do
-          if not (Candidates.is_frozen candidates ~ctx ~op) then begin
-            let pe = Mapping.pe_of mapping ~ctx ~op in
-            committed.(pe) <- committed.(pe) +. Stress.op_stress design ~ctx ~op
-          end
-        done;
-        Some mapping
-      end
-    | Milp.Infeasible | Milp.Unknown -> None))
+      match try_rounding lp_value with
+      | Some mapping -> Some mapping
+      | None when Ilp_model.num_binaries inst > 2400 ->
+        (* On very large per-context models a failed attempt must stay
+           cheap (Algorithm 1 simply relaxes ST_target by Δ and retries,
+           and the refinement pass recovers leveling quality afterwards).
+           With presolve + warm-started nodes the B&B fallback is cheap
+           enough to double the eligibility threshold of the cold-solve
+           era. *)
+        None
+      | None -> (
+        match milp_params_for params ~budget machinery with
+        | None -> None
+        | Some milp_params -> (
+          (* Branch & bound re-solves an LP per node; keep the
+             per-context fallback budget small — Δ-relaxation plus
+             refinement recover quality more cheaply than deep
+             search. *)
+          let fallback_params =
+            { milp_params with Milp.node_limit = min milp_params.Milp.node_limit 24 }
+          in
+          let milp_result, milp_stats =
+            Milp.relax_and_fix_with_stats ~params:fallback_params lp_model
+          in
+          if params.certify then
+            note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
+          (match (milp_result, milp_stats.Milp.stop) with
+          | Milp.Feasible _, _ | _, Budget.Optimal -> ()
+          | _, reason -> note reason "per-context branch & bound cut short");
+          match milp_result with
+          | Milp.Feasible sol ->
+            let mapping =
+              Ilp_model.extract inst
+                ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v))
+                current
+            in
+            if not (paths_ok design mapping monitored ctx) then None
+            else begin
+              (* Commit the assigned stress. *)
+              let dfg = Design.context design ctx in
+              for op = 0 to Dfg.num_ops dfg - 1 do
+                if not (Candidates.is_frozen candidates ~ctx ~op) then begin
+                  let pe = Mapping.pe_of mapping ~ctx ~op in
+                  committed.(pe) <- committed.(pe) +. Stress.op_stress design ~ctx ~op
+                end
+              done;
+              Some mapping
+            end
+          | Milp.Infeasible | Milp.Unknown -> None)))
+  end
 
 (* ---------- whole-design attempt at one ST_target ---------- *)
 
@@ -407,7 +483,9 @@ let estimate_binaries design candidates =
   done;
   !total
 
-let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_target =
+let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
+    ?(note = fun _ _ -> ()) params design baseline ~candidates ~monitored ~frozen
+    ~st_target =
   let cache = match cache with Some c -> c | None -> new_cache () in
   let monolithic =
     match params.strategy with
@@ -451,7 +529,7 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
       match round_pass lp_value order with
       | Ok mapping -> Some mapping
       | Error failed ->
-        if tries = 0 || failed < 0 then None
+        if tries = 0 || failed < 0 || Budget.expired budget then None
         else begin
           let promoted =
             Array.of_list
@@ -462,9 +540,14 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
     in
     retry base_order 2
   in
-  if monolithic then (
+  if machinery = Heuristic then
+    (* LP-free rung: pure best-fit-decreasing packing over every
+       context — immune to any fault or budget pressure in the LP
+       layer. *)
+    round_all (fun _ _ _ -> 0.0)
+  else if monolithic then (
     let inst, lp_status =
-      cached_lp_solve ~certify:params.certify
+      cached_lp_solve ~certify:params.certify ~budget
         ~get:(fun () -> cache.mono)
         ~set:(fun entry -> cache.mono <- Some entry)
         ~build:(fun () ->
@@ -474,10 +557,16 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
     in
     let lp_model = Ilp_model.model inst in
     match lp_status with
-    | Agingfp_lp.Simplex.Infeasible -> None
-    | Agingfp_lp.Simplex.Unbounded | Agingfp_lp.Simplex.Iteration_limit ->
+    | Simplex.Infeasible -> None
+    | (Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Deadline | Simplex.Fault _)
+      as s ->
+      (* Historically a silent fallback; the downgrade to unguided
+         rounding is now logged and lands in the degradation trail. *)
+      note (lp_cut_reason s)
+        (Format.asprintf "monolithic LP relaxation unusable (%a); unguided rounding"
+           Simplex.pp_status s);
       round_all (fun _ _ _ -> 0.0)
-    | Agingfp_lp.Simplex.Optimal sol -> (
+    | Simplex.Optimal sol -> (
       let lp_value ctx op pe =
         match Ilp_model.var inst ~ctx ~op ~pe with
         | Some v -> sol.Agingfp_lp.Simplex.values.(v)
@@ -486,18 +575,26 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
       match round_all lp_value with
       | Some mapping -> Some mapping
       | None -> (
-        let milp_result = Milp.relax_and_fix ~params:params.milp lp_model in
-        if params.certify then
-          note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
-        match milp_result with
-        | Milp.Feasible sol ->
-          let mapping =
-            Ilp_model.extract inst
-              ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v))
-              baseline
+        match milp_params_for params ~budget machinery with
+        | None -> None
+        | Some milp_params -> (
+          let milp_result, milp_stats =
+            Milp.relax_and_fix_with_stats ~params:milp_params lp_model
           in
-          if all_paths_ok mapping then Some mapping else None
-        | Milp.Infeasible | Milp.Unknown -> None)))
+          if params.certify then
+            note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
+          (match (milp_result, milp_stats.Milp.stop) with
+          | Milp.Feasible _, _ | _, Budget.Optimal -> ()
+          | _, reason -> note reason "monolithic branch & bound cut short");
+          match milp_result with
+          | Milp.Feasible sol ->
+            let mapping =
+              Ilp_model.extract inst
+                ~values:(fun v -> sol.Agingfp_lp.Simplex.values.(v))
+                baseline
+            in
+            if all_paths_ok mapping then Some mapping else None
+          | Milp.Infeasible | Milp.Unknown -> None))))
   else begin
     let pass order =
       let committed' = Array.copy committed in
@@ -508,7 +605,7 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
           if !failed < 0 then begin
             match
               solve_context params design baseline ~candidates ~monitored ~st_target
-                ~committed:committed' ~cache ctx !current
+                ~committed:committed' ~cache ~budget ~machinery ~note ctx !current
             with
             | Some mapping -> current := mapping
             | None -> failed := ctx
@@ -520,7 +617,7 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
       match pass order with
       | Ok mapping -> Some mapping
       | Error failed ->
-        if tries = 0 then None
+        if tries = 0 || Budget.expired budget then None
         else begin
           let promoted =
             Array.of_list
@@ -534,7 +631,8 @@ let attempt ?cache params design baseline ~candidates ~monitored ~frozen ~st_tar
 
 (* ---------- Step 1: ST_target lower bound ---------- *)
 
-let step1_lower_bound ?(params = default_params) design baseline =
+let step1_lower_bound ?(params = default_params) ?(budget = Budget.unlimited) design
+    baseline =
   let st_up = Stress.max_accumulated design baseline in
   let st_low = Stress.mean_accumulated design baseline in
   if st_up -. st_low < 1e-9 then st_up
@@ -606,18 +704,22 @@ let step1_lower_bound ?(params = default_params) design baseline =
         done;
         !ok
       | Milp_relax ->
-        attempt ~cache:milp_relax_cache
+        attempt ~cache:milp_relax_cache ~budget
           { params with strategy = Auto }
           design baseline ~candidates ~monitored ~frozen ~st_target:st
         <> None
     in
-    (* Invariant: lo infeasible, hi feasible. *)
+    (* Invariant: lo infeasible, hi feasible. Stopping the bisection
+       early (budget) keeps that invariant, so the bound returned is
+       merely looser, never wrong. *)
     if feasible st_low then st_low
     else begin
       let lo = ref st_low and hi = ref st_up in
       for _ = 1 to params.bisect_iters do
-        let mid = 0.5 *. (!lo +. !hi) in
-        if feasible mid then hi := mid else lo := mid
+        if not (Budget.expired budget) then begin
+          let mid = 0.5 *. (!lo +. !hi) in
+          if feasible mid then hi := mid else lo := mid
+        end
       done;
       !hi
     end
@@ -648,7 +750,20 @@ let build_formulation ?(params = default_params) ~mode design baseline =
 
 (* ---------- Algorithm 1 main loop ---------- *)
 
-let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~frozen =
+(* Two stop reasons are "the same kind of downgrade" for trail
+   deduplication — a 24-attempt Δ loop under a fault storm must not
+   flood the trail with one entry per attempt. *)
+let same_reason_class a b =
+  match (a, b) with
+  | Budget.Optimal, Budget.Optimal
+  | Budget.Deadline, Budget.Deadline
+  | Budget.Node_limit, Budget.Node_limit
+  | Budget.Iteration_limit, Budget.Iteration_limit
+  | Budget.Fault _, Budget.Fault _ -> true
+  | _ -> false
+
+let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~reference
+    ~frozen =
   let monitored = Paths.monitored ~params:params.path_params design baseline in
   let candidates =
     Candidates.build ~params:params.candidate_params design reference ~frozen ~monitored
@@ -656,85 +771,165 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
   let floor_stress = Array.fold_left max 0.0 (frozen_stress design frozen) in
   let delta = max ((st_up -. lb) /. float_of_int params.delta_steps) (0.01 *. st_up +. 1e-9) in
   let start = max lb floor_stress in
-  (* Δ-relaxation attempts differ only in ST_target, i.e. in the
-     stress-budget RHS: one cache serves the entire loop warm. *)
-  let cache = new_cache () in
-  let rec loop st iter =
-    if iter > params.max_outer then None
-    else begin
-      Log.debug (fun k ->
-          k "%s: attempt %d with ST_target = %.3f (up %.3f)" (Design.name design) iter st
-            st_up);
-      match
-        attempt ~cache params design reference ~candidates ~monitored ~frozen ~st_target:st
-      with
-      | Some mapping -> (
-        match Mapping.validate design mapping with
-        | Error msg ->
-          (* A solver bug must not end the search; relax and retry. *)
-          Log.err (fun k -> k "invalid remapped floorplan: %s" msg);
-          loop (st +. delta) (iter + 1)
-        | Ok () ->
-          let new_cpd = Analysis.cpd design mapping in
-          if new_cpd <= baseline_cpd +. 1e-9 then Some (mapping, st, iter, new_cpd)
-          else begin
-            Log.debug (fun k ->
-                k "CPD check failed (%.3f > %.3f); relaxing ST_target" new_cpd baseline_cpd);
-            loop (st +. delta) (iter + 1)
-          end)
-      | None -> loop (st +. delta) (iter + 1)
+  let trail = ref [] in
+  let note_step rung reason detail =
+    if
+      not
+        (List.exists
+           (fun (s : degradation_step) -> s.rung = rung && same_reason_class s.reason reason)
+           !trail)
+    then begin
+      Log.warn (fun k ->
+          k "%s: degradation [%a] %a — %s" (Design.name design) pp_rung rung
+            Budget.pp_stop_reason reason detail);
+      trail := !trail @ [ { rung; reason; detail } ]
     end
   in
-  (* Every result — improved or baseline fallback — is audited against
-     the paper's semantics without trusting the MILP layer. A failed
-     audit is a pipeline bug; it is reported loudly and carried in the
-     result for the CLI/tests to act on. *)
-  let audited audit =
-    if not (Audit.ok audit) then
-      Log.err (fun k -> k "%s: %a" (Design.name design) Audit.pp audit);
-    audit
+  (* Δ-relaxation attempts differ only in ST_target, i.e. in the
+     stress-budget RHS: one cache serves the entire ladder warm. After
+     an injected fault the cached simplex states are suspect and the
+     cache is dropped wholesale. *)
+  let cache = ref (new_cache ()) in
+  (* One ladder rung: the Δ-relaxation loop restricted to [machinery],
+     bounded by [rbudget]. [Error Budget.Optimal] means the loop ran
+     to natural exhaustion — weaker LP-based machinery cannot do
+     better, so the ladder jumps to the LP-free rung. Any other
+     [Error] is a budget/fault cut that the next (cheaper) rung may
+     survive. *)
+  let run_rung machinery rbudget =
+    let note reason detail = note_step machinery reason detail in
+    let rec loop st iter =
+      if iter > params.max_outer then Error Budget.Optimal
+      else if Budget.expired rbudget then Error (Budget.status rbudget)
+      else begin
+        Log.debug (fun k ->
+            k "%s: [%a] attempt %d with ST_target = %.3f (up %.3f)" (Design.name design)
+              pp_rung machinery iter st st_up);
+        let cut = ref Budget.Optimal in
+        let note_cut reason detail =
+          cut := Budget.worst !cut reason;
+          note reason detail
+        in
+        match
+          attempt ~cache:!cache ~budget:rbudget ~machinery ~note:note_cut params design
+            reference ~candidates ~monitored ~frozen ~st_target:st
+        with
+        | Some mapping -> (
+          match Mapping.validate design mapping with
+          | Error msg ->
+            (* A solver bug must not end the search; relax and retry. *)
+            Log.err (fun k -> k "invalid remapped floorplan: %s" msg);
+            loop (st +. delta) (iter + 1)
+          | Ok () ->
+            let new_cpd = Analysis.cpd design mapping in
+            if new_cpd <= baseline_cpd +. 1e-9 then Ok (mapping, st, iter, new_cpd)
+            else begin
+              Log.debug (fun k ->
+                  k "CPD check failed (%.3f > %.3f); relaxing ST_target" new_cpd
+                    baseline_cpd);
+              loop (st +. delta) (iter + 1)
+            end)
+        | None -> (
+          match !cut with
+          | Budget.Fault _ as f ->
+            (* The machinery of this rung is actively misbehaving;
+               descending beats hammering it for max_outer attempts. *)
+            Error f
+          | _ -> loop (st +. delta) (iter + 1))
+      end
+    in
+    try loop start 1
+    with Faults.Injected where ->
+      (* The exception may have unwound through a half-pivoted simplex
+         state; nothing in the cache can be trusted warm any more. *)
+      cache := new_cache ();
+      Error (Budget.Fault where)
   in
-  match loop start 1 with
-  | Some (mapping, st, iters, new_cpd) ->
+  (* Refine + audit a rung's floorplan. A floorplan that fails its
+     audit is discarded and the ladder descends — the contract is
+     audited-or-baseline, never an unaudited "success". *)
+  let finish rung (mapping, st, iters, new_cpd) =
     let mapping, new_cpd =
-      if not params.refine then (mapping, new_cpd)
+      if not params.refine || Budget.expired budget then (mapping, new_cpd)
       else begin
         (* Greedy post-pass: shave the hotspot further under the same
-           timing guards. Never worse than the MILP floorplan. *)
+           timing guards. Never worse than the MILP floorplan. Runs
+           under the whole solve's budget: a rung that succeeds just
+           before the deadline gets a correspondingly short pass. *)
         let refined, stats =
-          Refine.improve ~params:params.refine_params design ~baseline_cpd ~frozen
-            ~monitored mapping
+          Refine.improve ~params:params.refine_params ~budget design ~baseline_cpd
+            ~frozen ~monitored mapping
         in
         if stats.Refine.moves_accepted = 0 then (mapping, new_cpd)
         else (refined, Analysis.cpd design refined)
       end
     in
-    let audit =
-      audited
-        (Audit.run design ~baseline_cpd ~st_target:st ~frozen ~monitored mapping)
-    in
-    {
-      mapping;
-      st_target = st;
-      st_lower_bound = lb;
-      st_up;
-      outer_iterations = iters;
-      baseline_cpd_ns = baseline_cpd;
-      new_cpd_ns = new_cpd;
-      improved = true;
-      audit;
-    }
+    let audit = Audit.run design ~baseline_cpd ~st_target:st ~frozen ~monitored mapping in
+    if Audit.ok audit then
+      Some
+        {
+          mapping;
+          st_target = st;
+          st_lower_bound = lb;
+          st_up;
+          outer_iterations = iters;
+          baseline_cpd_ns = baseline_cpd;
+          new_cpd_ns = new_cpd;
+          improved = true;
+          audit;
+          rung;
+          degradation = !trail;
+        }
+    else begin
+      Log.err (fun k -> k "%s: %a" (Design.name design) Audit.pp audit);
+      note_step rung (Budget.Fault "audit rejected floorplan")
+        "independent audit rejected the rung's floorplan";
+      None
+    end
+  in
+  let rec descend = function
+    | [] -> None
+    | machinery :: rest -> (
+      let rungs_left = List.length rest + 1 in
+      let rbudget =
+        if Budget.is_unlimited budget then budget
+        else Budget.slice budget ~fraction:(1.0 /. float_of_int rungs_left)
+      in
+      match run_rung machinery rbudget with
+      | Ok success -> (
+        match finish machinery success with
+        | Some result -> Some result
+        | None -> descend rest)
+      | Error Budget.Optimal ->
+        note_step machinery Budget.Optimal
+          "no delay-clean floorplan at any Δ-relaxed ST_target";
+        (* Natural failure: every weaker LP-based rung solves a subset
+           of this rung's search, so only the LP-free packer — immune
+           to a systematically lying LP layer — is still worth a
+           try. *)
+        if machinery = Heuristic then None else descend [ Heuristic ]
+      | Error reason ->
+        note_step machinery reason "rung cut short; descending";
+        descend rest)
+  in
+  match descend [ Full_milp; Relax_and_fix; Lp_rounding; Heuristic ] with
+  | Some result -> result
   | None ->
     Log.warn (fun k ->
         k "%s: no delay-clean aging-aware floorplan found; keeping baseline"
           (Design.name design));
     (* The baseline carries no pins (in Rotate mode its ops do not sit
-       at the re-oriented positions) and its budget is ST_up. *)
+       at the re-oriented positions) and its budget is ST_up, so its
+       audit holds by construction — the ladder's floor really is
+       unconditional. A failed baseline audit is a pipeline bug; it is
+       reported loudly and carried in the result for the CLI/tests to
+       act on. *)
     let audit =
-      audited
-        (Audit.run design ~baseline_cpd ~st_target:st_up
-           ~frozen:(empty_plan design) ~monitored baseline)
+      Audit.run design ~baseline_cpd ~st_target:st_up ~frozen:(empty_plan design)
+        ~monitored baseline
     in
+    if not (Audit.ok audit) then
+      Log.err (fun k -> k "%s: %a" (Design.name design) Audit.pp audit);
     {
       mapping = baseline;
       st_target = st_up;
@@ -745,25 +940,48 @@ let solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~
       new_cpd_ns = baseline_cpd;
       improved = false;
       audit;
+      rung = Baseline;
+      degradation = !trail;
     }
 
-let run_mode params design baseline ~baseline_cpd ~st_up ~lb m =
+let run_mode params design baseline ~budget ~baseline_cpd ~st_up ~lb m =
   (* The reference floorplan: the baseline itself (Freeze), or each
      context rigidly re-oriented (Rotate) — identical path delays
      either way. All candidate/displacement geometry is relative to
      the reference; CPD acceptance is always against the baseline. *)
   let reference, frozen = Rotation.reference ~seed:params.seed m design baseline in
-  solve_with_plan params design baseline ~baseline_cpd ~st_up ~lb ~reference ~frozen
+  solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~reference
+    ~frozen
+
+let budget_of_params params =
+  match params.deadline_s with
+  | None -> Budget.unlimited
+  | Some d -> Budget.create ~deadline_s:d ()
+
+(* Fraction of the overall deadline granted to the Step-1 bisection;
+   the ladder gets whatever it leaves. *)
+let step1_fraction = 0.15
 
 let solve_both ?(params = default_params) design baseline =
   (match Mapping.validate design baseline with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Remap.solve_both: invalid baseline: " ^ msg));
+  let budget = budget_of_params params in
   let baseline_cpd = Analysis.cpd design baseline in
   let st_up = Stress.max_accumulated design baseline in
-  let lb = step1_lower_bound ~params design baseline in
-  let frozen_res = run_mode params design baseline ~baseline_cpd ~st_up ~lb Rotation.Freeze in
-  let rotated = run_mode params design baseline ~baseline_cpd ~st_up ~lb Rotation.Rotate in
+  let lb =
+    step1_lower_bound ~params
+      ~budget:(Budget.slice budget ~fraction:step1_fraction)
+      design baseline
+  in
+  let frozen_res =
+    run_mode params design baseline
+      ~budget:(Budget.slice budget ~fraction:0.5)
+      ~baseline_cpd ~st_up ~lb Rotation.Freeze
+  in
+  let rotated =
+    run_mode params design baseline ~budget ~baseline_cpd ~st_up ~lb Rotation.Rotate
+  in
   (* The complete method: rotation widens the search space, but a
      particular re-orientation can still lose to the identity
      orientation; keep whichever floorplan levels stress further
@@ -780,8 +998,13 @@ let solve ?(params = default_params) ~mode design baseline =
     (match Mapping.validate design baseline with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Remap.solve: invalid baseline: " ^ msg));
+    let budget = budget_of_params params in
     let baseline_cpd = Analysis.cpd design baseline in
     let st_up = Stress.max_accumulated design baseline in
-    let lb = step1_lower_bound ~params design baseline in
-    run_mode params design baseline ~baseline_cpd ~st_up ~lb Rotation.Freeze
+    let lb =
+      step1_lower_bound ~params
+        ~budget:(Budget.slice budget ~fraction:step1_fraction)
+        design baseline
+    in
+    run_mode params design baseline ~budget ~baseline_cpd ~st_up ~lb Rotation.Freeze
   | Rotation.Rotate -> snd (solve_both ~params design baseline)

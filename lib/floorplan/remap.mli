@@ -48,9 +48,46 @@ type params = {
           rational arithmetic ({!Agingfp_lp.Certify}) as the flow
           runs; rejections are logged and counted in
           {!certification}. Off by default. *)
+  deadline_s : float option;
+      (** wall-clock deadline for the whole solve (monotonic clock).
+          On expiry the degradation ladder descends to ever cheaper
+          machinery and, at worst, returns the audited baseline —
+          {!solve} never hangs past the deadline by more than one
+          cooperative checkpoint interval. [None] (default) reproduces
+          the unbounded behaviour. *)
 }
 
 val default_params : params
+
+(** {2 Degradation ladder}
+
+    Every solve walks a fixed ladder of machineries, each under a
+    slice of the remaining budget: the full two-step MILP, a
+    node-capped relax-and-fix, LP-guided rounding without branch &
+    bound, an LP-free greedy packer, and finally the unmodified
+    baseline mapping (always audit-clean, since its budget is the
+    baseline's own maximum stress). A rung is accepted only if its
+    floorplan passes the independent {!Audit}; the rung that produced
+    the returned mapping and every downgrade on the way are reported
+    in the {!result}. *)
+
+type rung =
+  | Full_milp      (** LP + structured rounding + two-step MILP, full node budget *)
+  | Relax_and_fix  (** same, branch & bound node-capped hard *)
+  | Lp_rounding    (** LP-guided structured rounding only *)
+  | Heuristic      (** best-fit-decreasing packing; no LP machinery at all *)
+  | Baseline       (** the input mapping, unchanged *)
+
+val pp_rung : Format.formatter -> rung -> unit
+val rung_to_string : rung -> string
+
+type degradation_step = {
+  rung : rung;  (** the rung that was degraded {e from} *)
+  reason : Agingfp_util.Budget.stop_reason;
+  detail : string;  (** human-readable context, e.g. which fallback fired *)
+}
+
+val pp_degradation_step : Format.formatter -> degradation_step -> unit
 
 type result = {
   mapping : Mapping.t;
@@ -67,6 +104,10 @@ type result = {
       (** independent re-check of the returned floorplan against
           formulation (3)'s semantics — run on every result, MILP
           untrusted; a failed audit is logged as an error *)
+  rung : rung;  (** the ladder rung that produced [mapping] *)
+  degradation : degradation_step list;
+      (** chronological downgrades recorded on the way to [rung];
+          empty when the full machinery succeeded undisturbed *)
 }
 
 (** {2 Solution certification}
@@ -85,8 +126,11 @@ type certification_stats = {
 val reset_certification : unit -> unit
 val certification : unit -> certification_stats
 
-val step1_lower_bound : ?params:params -> Design.t -> Mapping.t -> float
-(** The delay-unaware [ST_target] lower bound (Algorithm 1 line 2). *)
+val step1_lower_bound :
+  ?params:params -> ?budget:Agingfp_util.Budget.t -> Design.t -> Mapping.t -> float
+(** The delay-unaware [ST_target] lower bound (Algorithm 1 line 2).
+    When [budget] expires mid-bisection the current feasible upper
+    end is returned — looser, never wrong. *)
 
 val build_formulation :
   ?params:params -> mode:Rotation.mode -> Design.t -> Mapping.t ->

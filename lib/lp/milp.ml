@@ -1,6 +1,7 @@
 let src = Logs.Src.create "agingfp.milp" ~doc:"Branch and bound MILP"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Budget = Agingfp_util.Budget
 
 type result = Feasible of Simplex.solution | Infeasible | Unknown
 
@@ -11,6 +12,7 @@ type params = {
   first_solution : bool;
   presolve : bool;
   warm_start : bool;
+  budget : Budget.t;
 }
 
 let default_params =
@@ -21,6 +23,7 @@ let default_params =
     first_solution = true;
     presolve = true;
     warm_start = true;
+    budget = Budget.unlimited;
   }
 
 type stats = {
@@ -29,6 +32,7 @@ type stats = {
   warm_solves : int;
   cold_solves : int;
   lp_iterations : int;
+  stop : Budget.stop_reason;
 }
 
 let zero_stats =
@@ -38,7 +42,10 @@ let zero_stats =
     warm_solves = 0;
     cold_solves = 0;
     lp_iterations = 0;
+    stop = Budget.Optimal;
   }
+
+let worst_stop = Budget.worst
 
 let add_stats a b =
   {
@@ -47,14 +54,16 @@ let add_stats a b =
     warm_solves = a.warm_solves + b.warm_solves;
     cold_solves = a.cold_solves + b.cold_solves;
     lp_iterations = a.lp_iterations + b.lp_iterations;
+    stop = worst_stop a.stop b.stop;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d nodes, %d warm / %d cold LP solves, %d LP iterations; presolve: %d rows removed, \
-     %d vars fixed, %d bounds tightened, %d probe fixings"
-    s.nodes s.warm_solves s.cold_solves s.lp_iterations s.presolve.rows_removed
-    s.presolve.vars_fixed s.presolve.bounds_tightened s.presolve.probe_fixings
+    "%d nodes, %d warm / %d cold LP solves, %d LP iterations, stop %a; presolve: %d rows \
+     removed, %d vars fixed, %d bounds tightened, %d probe fixings"
+    s.nodes s.warm_solves s.cold_solves s.lp_iterations Budget.pp_stop_reason s.stop
+    s.presolve.rows_removed s.presolve.vars_fixed s.presolve.bounds_tightened
+    s.presolve.probe_fixings
 
 (* Cumulative counters across all solves since the last reset — the
    remap pipeline runs many MILPs/LPs per floorplan, and the CLI
@@ -102,7 +111,9 @@ let solve_with_stats ?(params = default_params) model0 =
   let sign = solution_sign dir in
   let presolved =
     if params.presolve then
-      match Presolve.run ~integrality_tol:params.integrality_tol model0 with
+      match
+        Presolve.run ~budget:params.budget ~integrality_tol:params.integrality_tol model0
+      with
       | Presolve.Proven_infeasible msg ->
         Log.debug (fun k -> k "presolve proved infeasibility: %s" msg);
         Error msg
@@ -121,10 +132,16 @@ let solve_with_stats ?(params = default_params) model0 =
       | None -> (Model.copy model0, Presolve.no_reductions)
     in
     let int_vars = Model.integer_vars model in
-    let st = Simplex.assemble ~params:params.lp_params model in
+    let lp_params =
+      if Budget.is_unlimited params.budget then params.lp_params
+      else { params.lp_params with Simplex.budget = params.budget }
+    in
+    let st = Simplex.assemble ~params:lp_params model in
     let nodes = ref 0 in
     let incumbent = ref None in
     let budget_hit = ref false in
+    let stop = ref Budget.Optimal in
+    let note_stop r = stop := worst_stop !stop r in
     let better obj =
       match !incumbent with
       | None -> true
@@ -134,8 +151,17 @@ let solve_with_stats ?(params = default_params) model0 =
        the assembled solver state) and restored on unwind. Node 1 runs
        a cold solve; every later node re-optimizes the warm state from
        its parent's basis. *)
+    let fault_hit () = match !stop with Budget.Fault _ -> true | _ -> false in
     let rec node () =
-      if !nodes >= params.node_limit then budget_hit := true
+      if fault_hit () then ()
+      else if Budget.expired params.budget then begin
+        budget_hit := true;
+        note_stop (Budget.status params.budget)
+      end
+      else if !nodes >= params.node_limit then begin
+        budget_hit := true;
+        note_stop Budget.Node_limit
+      end
       else begin
         incr nodes;
         let status =
@@ -148,7 +174,18 @@ let solve_with_stats ?(params = default_params) model0 =
           (* An unbounded relaxation of a bounded-binary model signals a
              modelling error; treat the node as hopeless. *)
           Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
-        | Simplex.Iteration_limit -> budget_hit := true
+        | Simplex.Iteration_limit ->
+          budget_hit := true;
+          note_stop Budget.Iteration_limit
+        | Simplex.Deadline ->
+          budget_hit := true;
+          note_stop Budget.Deadline
+        | Simplex.Fault msg ->
+          (* Prune this subtree but keep searching siblings is unsafe —
+             the solver state may carry the fault's damage. Stop the
+             whole search and return the best incumbent so far. *)
+          budget_hit := true;
+          note_stop (Budget.Fault msg)
         | Simplex.Optimal sol ->
           if not (better sol.objective) then ()
           else begin
@@ -184,7 +221,13 @@ let solve_with_stats ?(params = default_params) model0 =
           end
       end
     in
-    node ();
+    (try node ()
+     with Faults.Injected where ->
+       (* An injected mid-solve exception must not lose the incumbent:
+          the supervision contract is best-effort-so-far, never
+          nothing. *)
+       budget_hit := true;
+       note_stop (Budget.Fault where));
     let sstats = Simplex.state_stats st in
     let stats =
       {
@@ -193,6 +236,7 @@ let solve_with_stats ?(params = default_params) model0 =
         warm_solves = sstats.warm_solves;
         cold_solves = sstats.cold_solves;
         lp_iterations = sstats.lp_iterations;
+        stop = !stop;
       }
     in
     accumulate stats;
@@ -220,13 +264,27 @@ let relax_and_fix_with_stats ?(threshold = 0.95) ?(params = default_params) mode
      (folded in below) and in the global cumulative counters (via
      note_lp_solve), so the two accountings agree. *)
   let root_stats ~iterations = { zero_stats with cold_solves = 1; lp_iterations = iterations } in
-  match Simplex.solve ~params:params.lp_params model0 with
+  let lp_params =
+    if Budget.is_unlimited params.budget then params.lp_params
+    else { params.lp_params with Simplex.budget = params.budget }
+  in
+  let root_status =
+    try Simplex.solve ~params:lp_params model0
+    with Faults.Injected where -> Simplex.Fault where
+  in
+  match root_status with
   | Simplex.Infeasible ->
     note_lp_solve ~warm:false ~iterations:0;
     (Infeasible, root_stats ~iterations:0)
   | Simplex.Unbounded | Simplex.Iteration_limit ->
     note_lp_solve ~warm:false ~iterations:0;
     (Unknown, root_stats ~iterations:0)
+  | Simplex.Deadline ->
+    note_lp_solve ~warm:false ~iterations:0;
+    (Unknown, { (root_stats ~iterations:0) with stop = Budget.Deadline })
+  | Simplex.Fault msg ->
+    note_lp_solve ~warm:false ~iterations:0;
+    (Unknown, { (root_stats ~iterations:0) with stop = Budget.Fault msg })
   | Simplex.Optimal relaxed ->
     note_lp_solve ~warm:false ~iterations:relaxed.iterations;
     let int_vars = Model.integer_vars model0 in

@@ -36,6 +36,12 @@ type params = {
   warm_start : bool;
       (** Re-optimize child nodes from the parent basis instead of
           solving each node cold. Default [true]. *)
+  budget : Agingfp_util.Budget.t;
+      (** Wall-clock/allowance budget checked at every node entry and
+          threaded into presolve and the node LPs (overriding
+          [lp_params.budget] when not unlimited). On expiry the search
+          stops and returns the best incumbent found so far. Default
+          {!Agingfp_util.Budget.unlimited}. *)
 }
 
 val default_params : params
@@ -48,6 +54,12 @@ type stats = {
   warm_solves : int;    (** node LPs served from a parent basis *)
   cold_solves : int;    (** full phase-1 LP solves *)
   lp_iterations : int;  (** total simplex pivots/bound flips *)
+  stop : Agingfp_util.Budget.stop_reason;
+      (** Why the search ended: [Optimal] means it ran to natural
+          completion (proved optimality/infeasibility or hit
+          [first_solution]); anything else names the budget limit or
+          fault that cut it short. Aggregation keeps the most severe
+          reason. *)
 }
 
 val zero_stats : stats

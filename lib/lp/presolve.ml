@@ -66,7 +66,8 @@ let feas_tol = 1e-7
 
 let eps = 1e-9
 
-let run ?(integrality_tol = 1e-9) ?(max_rounds = 10) model =
+let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
+    ?(max_rounds = 10) model =
   let n = Model.num_vars model in
   let m = Model.num_constraints model in
   let lb = Array.init n (Model.var_lb model) in
@@ -389,7 +390,10 @@ let run ?(integrality_tol = 1e-9) ?(max_rounds = 10) model =
         fix_collapsed v
       done;
       let continue_ = ref true in
-      while !continue_ && !rounds < max_rounds do
+      (* Budget check between fixpoint rounds only: a partial presolve
+         is still a valid (just less reduced) problem, so stopping
+         early here degrades quality, never correctness. *)
+      while !continue_ && !rounds < max_rounds && not (Agingfp_util.Budget.expired budget) do
         incr rounds;
         changed := false;
         for r = 0 to m - 1 do

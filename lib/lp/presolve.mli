@@ -37,11 +37,18 @@ type outcome =
       (** Presolve alone established infeasibility (activity bound or
           empty-row contradiction); the message names the culprit. *)
 
-val run : ?integrality_tol:float -> ?max_rounds:int -> Model.t -> outcome
+val run :
+  ?budget:Agingfp_util.Budget.t ->
+  ?integrality_tol:float ->
+  ?max_rounds:int ->
+  Model.t ->
+  outcome
 (** Presolve [model]. The input model is not modified. [max_rounds]
     bounds the outer fixpoint iteration (default 10);
     [integrality_tol] is the tolerance for integer bound rounding
-    (default 1e-9). *)
+    (default 1e-9). [budget] is polled between fixpoint rounds; on
+    expiry the reductions found so far are kept and the loop exits —
+    a partially presolved model is still equivalent to the input. *)
 
 val reduced : t -> Model.t
 (** The compacted model (fresh variable/row numbering, same objective

@@ -1,16 +1,24 @@
 let src = Logs.Src.create "agingfp.simplex" ~doc:"LP simplex solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Budget = Agingfp_util.Budget
 
 type solution = { values : float array; objective : float; iterations : int }
 
-type status = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+  | Deadline
+  | Fault of string
 
 type params = {
   max_iterations : int;
   feasibility_tol : float;
   optimality_tol : float;
   refactor_every : int;
+  budget : Budget.t;
 }
 
 let default_params =
@@ -19,6 +27,7 @@ let default_params =
     feasibility_tol = 1e-7;
     optimality_tol = 1e-7;
     refactor_every = 500;
+    budget = Budget.unlimited;
   }
 
 let pp_status ppf = function
@@ -26,6 +35,8 @@ let pp_status ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"
   | Unbounded -> Format.pp_print_string ppf "unbounded"
   | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
+  | Deadline -> Format.pp_print_string ppf "deadline"
+  | Fault msg -> Format.fprintf ppf "fault (%s)" msg
 
 (* Persistent solver state. Columns 0..n-1 are the model's structural
    variables, n..n+m-1 the per-row slacks, and n+m.. the phase-1
@@ -56,6 +67,7 @@ type state = {
   cost2 : float array;       (* sign-folded phase-2 cost *)
   obj : Expr.t;
   params : params;
+  mutable budget : Budget.t; (* replaceable between solves on one state *)
   mutable n_warm : int;
   mutable n_cold : int;
   mutable n_iters : int;
@@ -206,7 +218,11 @@ let travel_limit st j dir =
   else if st.lb.(j) > neg_infinity then max 0.0 (st.vals.(j) -. st.lb.(j))
   else infinity
 
-type phase_result = Phase_optimal of int | Phase_unbounded | Phase_iter_limit
+type phase_result =
+  | Phase_optimal of int
+  | Phase_unbounded
+  | Phase_iter_limit
+  | Phase_deadline
 
 (* Optimize the given cost vector from the current basis. *)
 let optimize st cost max_iter =
@@ -219,6 +235,12 @@ let optimize st cost max_iter =
   let bland = ref false in
   let rec loop iter =
     if iter >= max_iter then Phase_iter_limit
+    else if Budget.expired st.budget then Phase_deadline
+    else if
+      Faults.active ()
+      && (Faults.checkpoint ~where:"Simplex.optimize";
+          Faults.spurious_iteration_limit ())
+    then Phase_iter_limit
     else begin
       if iter > 0 && iter mod st.params.refactor_every = 0 then refactorize st;
       (* Dual vector y = c_B^T B^-1. *)
@@ -306,7 +328,9 @@ let optimize st cost max_iter =
         done;
         if !t_best = infinity then Phase_unbounded
         else begin
-          let t = !t_best in
+          (* Fault injection: a perturbed step length models the
+             numerical corruption of a near-singular pivot. *)
+          let t = !t_best *. (if Faults.active () then Faults.step_scale () else 1.0) in
           if t <= st.params.feasibility_tol then incr degen else degen := 0;
           if !degen > 200 then bland := true;
           if !degen = 0 then bland := false;
@@ -407,6 +431,7 @@ let assemble ?(params = default_params) model =
     cost2;
     obj;
     params;
+    budget = params.budget;
     n_warm = 0;
     n_cold = 0;
     n_iters = 0;
@@ -516,6 +541,7 @@ let solve_state st =
     in
     match phase1 with
     | Phase_iter_limit -> Iteration_limit
+    | Phase_deadline -> Deadline
     | Phase_unbounded ->
       (* Phase 1 is bounded below by zero; reaching here indicates
          numerical failure. Report infeasible conservatively. *)
@@ -534,6 +560,7 @@ let solve_state st =
         in
         match optimize st st.cost2 phase2_budget with
         | Phase_iter_limit -> Iteration_limit
+        | Phase_deadline -> Deadline
         | Phase_unbounded -> Unbounded
         | Phase_optimal _ ->
           Optimal (extract_solution st ~iterations:(st.n_iters - iters0))
@@ -545,7 +572,12 @@ let solve_state st =
       Infeasible
   in
   lock_artificials st;
-  result
+  (* Fault injection: with the injector armed, an optimal exit may be
+     forged into an infeasibility verdict — the lie a broken phase 1
+     would tell. *)
+  match result with
+  | Optimal _ when Faults.active () && Faults.forge_infeasible () -> Infeasible
+  | r -> r
 
 (* ---------- bound / RHS edits and warm re-optimization ---------- *)
 
@@ -563,7 +595,9 @@ let set_rhs st i rhs =
   if i < 0 || i >= st.m then invalid_arg "Simplex.set_rhs: bad row";
   st.b.(i) <- rhs
 
-type dual_result = Dual_feasible | Dual_infeasible | Dual_stall
+let set_budget st budget = st.budget <- budget
+
+type dual_result = Dual_feasible | Dual_infeasible | Dual_stall | Dual_deadline
 
 (* Dual-simplex-style recovery: restore primal feasibility of the
    basic values from the current basis, picking leaving rows by worst
@@ -596,7 +630,9 @@ let dual_restore st =
       done;
       if !r < 0 then Dual_feasible
       else if iter >= max_iter then Dual_stall
+      else if Budget.expired st.budget then Dual_deadline
       else begin
+        if Faults.active () then Faults.checkpoint ~where:"Simplex.dual_restore";
         let r = !r in
         let lv = st.basis.(r) in
         let below = st.x_b.(r) < st.lb.(lv) in
@@ -700,9 +736,11 @@ let reoptimize st =
       match dual_restore st with
       | Dual_infeasible -> Some Infeasible
       | Dual_stall -> None
+      | Dual_deadline -> Some Deadline
       | Dual_feasible -> (
         match optimize st st.cost2 st.params.max_iterations with
         | Phase_iter_limit -> Some Iteration_limit
+        | Phase_deadline -> Some Deadline
         | Phase_unbounded -> Some Unbounded
         | Phase_optimal _ ->
           Some (Optimal (extract_solution st ~iterations:(st.n_iters - iters0))))
@@ -710,7 +748,9 @@ let reoptimize st =
     match (try attempt () with Singular_basis -> None) with
     | Some status ->
       st.n_warm <- st.n_warm + 1;
-      status
+      (match status with
+      | Optimal _ when Faults.active () && Faults.forge_infeasible () -> Infeasible
+      | s -> s)
     | None ->
       (* Numerical trouble along the warm path: fall back to a cold
          solve from a fresh slack/artificial basis. *)

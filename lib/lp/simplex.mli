@@ -31,12 +31,23 @@ type status =
   | Infeasible
   | Unbounded
   | Iteration_limit
+  | Deadline
+      (** The wall-clock budget ({!params.budget}) expired at a pivot
+          checkpoint; the state is left consistent for a later warm
+          re-solve under a fresh budget. *)
+  | Fault of string
+      (** The solve was aborted by an injected or caught solver fault
+          ({!Faults}); produced by supervision layers that convert a
+          mid-solve exception into a status. *)
 
 type params = {
   max_iterations : int;      (** 0 means automatic: [50 * (m + n) + 5000] *)
   feasibility_tol : float;
   optimality_tol : float;
   refactor_every : int;
+  budget : Agingfp_util.Budget.t;
+      (** Cooperative wall-clock/allowance budget, polled once per
+          pivot. Defaults to {!Agingfp_util.Budget.unlimited}. *)
 }
 
 val default_params : params
@@ -82,6 +93,11 @@ val set_var_bounds : state -> int -> lb:float -> ub:float -> unit
 
 val set_rhs : state -> int -> float -> unit
 (** Change the right-hand side of constraint row [i] in place. *)
+
+val set_budget : state -> Agingfp_util.Budget.t -> unit
+(** Replace the budget polled by subsequent solves on this state —
+    the remap pipeline re-uses one assembled state across many
+    deadline slices. *)
 
 type state_stats = {
   warm_solves : int;   (** [reoptimize] calls served from the parent basis *)

@@ -265,7 +265,8 @@ let prop_simplex_matches_brute_force =
            simplex point is genuinely feasible. *)
         Model.check_feasible m (fun v -> s.values.(v)) = Ok ()
       | Simplex.Infeasible, Some _ -> false
-      | (Simplex.Unbounded | Simplex.Iteration_limit), _ -> false)
+      | (Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Deadline | Simplex.Fault _), _
+        -> false)
 
 let prop_simplex_solution_feasible =
   QCheck2.Test.make ~name:"simplex solutions satisfy the model" ~count:300
@@ -288,7 +289,8 @@ let prop_simplex_solution_feasible =
       match Simplex.solve m with
       | Simplex.Optimal s -> Model.check_feasible m (fun v -> s.values.(v)) = Ok ()
       | Simplex.Infeasible -> true
-      | Simplex.Unbounded | Simplex.Iteration_limit -> false)
+      | Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Deadline | Simplex.Fault _
+        -> false)
 
 (* Assignment-polytope shaped LP, like the per-context models of the
    floorplanner: n ops x m PEs, one-hot rows, capacity columns, a
@@ -805,6 +807,117 @@ let prop_relax_and_fix_feasible =
       | Milp.Feasible s -> Model.check_feasible m (fun v -> s.values.(v)) = Ok ()
       | Milp.Infeasible | Milp.Unknown -> true)
 
+(* ---------- budget-limited branch & bound ---------- *)
+
+module Budget = Agingfp_util.Budget
+
+(* A knapsack whose LP relaxation stays fractional down every branch,
+   so the full proof of optimality needs many nodes while incumbents
+   appear early. Presolve off: probing must not shrink the search. *)
+let budget_knapsack () =
+  let m = Model.create () in
+  let values = [| 10.0; 9.0; 8.0; 7.0; 6.0; 5.0; 4.0; 3.0 |] in
+  let weights = [| 4.0; 3.0; 3.0; 2.0; 2.0; 1.0; 3.0; 2.0 |] in
+  let vars = Array.map (fun _ -> Model.add_binary m) values in
+  ignore
+    (Model.add_constraint m
+       (Expr.sum (Array.to_list (Array.mapi (fun i v -> Expr.var ~coef:weights.(i) v) vars)))
+       Model.Le 9.0);
+  Model.set_objective m Model.Maximize
+    (Expr.sum (Array.to_list (Array.mapi (fun i v -> Expr.var ~coef:values.(i) v) vars)));
+  m
+
+let test_milp_node_limit_incumbent () =
+  let base =
+    { Milp.default_params with first_solution = false; presolve = false }
+  in
+  (* Full run: how many nodes a complete proof takes, and the optimum. *)
+  let full_result, full_stats = Milp.solve_with_stats ~params:base (budget_knapsack ()) in
+  let full = get_feasible full_result in
+  Alcotest.(check bool) "full search ran to completion" true
+    (full_stats.Milp.stop = Budget.Optimal);
+  Alcotest.(check bool)
+    (Printf.sprintf "full search needs several nodes (got %d)" full_stats.Milp.nodes)
+    true
+    (full_stats.Milp.nodes > 6);
+  (* Cut the node budget well short of the proof: the best incumbent
+     found so far must still come back (not Unknown), and the stats
+     must say the solve was budget-limited. *)
+  let limited = { base with Milp.node_limit = 6 } in
+  let result, stats = Milp.solve_with_stats ~params:limited (budget_knapsack ()) in
+  let sol = get_feasible result in
+  Alcotest.(check bool) "stats mark the solve budget-limited" true
+    (stats.Milp.stop = Budget.Node_limit);
+  Alcotest.(check bool) "node budget respected" true (stats.Milp.nodes <= 6);
+  Alcotest.(check bool) "incumbent no better than the optimum" true
+    (sol.Simplex.objective <= full.Simplex.objective +. 1e-9);
+  Alcotest.(check bool) "incumbent satisfies the model" true
+    (Model.check_feasible (budget_knapsack ()) (fun v -> sol.Simplex.values.(v)) = Ok ())
+
+let test_milp_deadline_stops_search () =
+  (* An already-expired wall-clock budget: the search must stop at the
+     first node checkpoint and say Deadline — never hang, never lie
+     about why it stopped. *)
+  let params =
+    {
+      Milp.default_params with
+      first_solution = false;
+      presolve = false;
+      budget = Budget.create ~deadline_s:0.0 ();
+    }
+  in
+  let result, stats = Milp.solve_with_stats ~params (budget_knapsack ()) in
+  Alcotest.(check bool) "stopped for the deadline" true
+    (stats.Milp.stop = Budget.Deadline);
+  Alcotest.(check bool) "no nodes explored" true (stats.Milp.nodes = 0);
+  Alcotest.(check bool) "no incumbent -> Unknown, not Infeasible" true
+    (result = Milp.Unknown)
+
+(* With identical parameters and deterministic DFS, the nodes explored
+   under a smaller node budget are a prefix of those explored under a
+   larger one — so tightening the budget can never produce a better
+   incumbent. *)
+let prop_milp_tighter_budget_never_better =
+  QCheck2.Test.make ~name:"tighter node budget never yields a better objective"
+    ~count:150
+    QCheck2.Gen.(tup3 int (int_range 1 12) (int_range 0 30))
+    (fun (seed, small_limit, extra) ->
+      let rng = Rng.create seed in
+      let nvars = 3 + Rng.int rng 5 in
+      let ncons = 1 + Rng.int rng 4 in
+      let cons =
+        List.init ncons (fun _ ->
+            let coefs = List.init nvars (fun v -> (v, float_of_int (Rng.int rng 7 - 3))) in
+            let rhs = float_of_int (Rng.int rng 8 - 2) in
+            let rel = if Rng.int rng 3 = 0 then Model.Ge else Model.Le in
+            (coefs, rel, rhs))
+      in
+      let obj = List.init nvars (fun v -> (v, float_of_int (Rng.int rng 11 - 5))) in
+      let build () =
+        let m = Model.create () in
+        let vars = Array.init nvars (fun _ -> Model.add_binary m) in
+        List.iter
+          (fun (coefs, rel, rhs) ->
+            let lhs = Expr.sum (List.map (fun (v, c) -> Expr.var ~coef:c vars.(v)) coefs) in
+            ignore (Model.add_constraint m lhs rel rhs))
+          cons;
+        Model.set_objective m Model.Maximize
+          (Expr.sum (List.map (fun (v, c) -> Expr.var ~coef:c vars.(v)) obj));
+        m
+      in
+      let params limit =
+        { Milp.default_params with first_solution = false; node_limit = limit }
+      in
+      let tight = Milp.solve ~params:(params small_limit) (build ()) in
+      let loose = Milp.solve ~params:(params (small_limit + extra)) (build ()) in
+      match (tight, loose) with
+      | Milp.Feasible a, Milp.Feasible b ->
+        a.Simplex.objective <= b.Simplex.objective +. 1e-9
+      | Milp.Feasible _, (Milp.Infeasible | Milp.Unknown) ->
+        (* The prefix property makes this impossible. *)
+        false
+      | (Milp.Infeasible | Milp.Unknown), _ -> true)
+
 (* ---------- LP-format export ---------- *)
 
 let lp_contains text sub =
@@ -1190,6 +1303,10 @@ let () =
             test_milp_mixed_integer_continuous;
           Alcotest.test_case "stats show warm branching" `Quick
             test_milp_stats_warm_branching;
+          Alcotest.test_case "node limit returns best incumbent" `Quick
+            test_milp_node_limit_incumbent;
+          Alcotest.test_case "deadline stops the search" `Quick
+            test_milp_deadline_stops_search;
         ] );
       ( "lp-format",
         [
@@ -1242,6 +1359,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_milp_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_milp_modes_agree;
           QCheck_alcotest.to_alcotest prop_relax_and_fix_feasible;
+          QCheck_alcotest.to_alcotest prop_milp_tighter_budget_never_better;
           QCheck_alcotest.to_alcotest prop_lp_format_roundtrip;
         ] );
     ]

@@ -457,6 +457,83 @@ let prop_shuffle_preserves_multiset =
       Rng.shuffle (Rng.create seed) arr;
       List.sort compare (Array.to_list arr) = List.sort compare xs)
 
+(* ---------- Budget ---------- *)
+
+module Budget = Agingfp_util.Budget
+
+(* A fake monotonic clock the test advances by hand (nanoseconds). *)
+let fake_clock () =
+  let t = ref 0L in
+  let advance_s s = t := Int64.add !t (Int64.of_float (s *. 1e9)) in
+  ((fun () -> !t), advance_s)
+
+let test_budget_unlimited () =
+  Alcotest.(check bool) "never expires" false (Budget.expired Budget.unlimited);
+  Alcotest.(check bool) "is unlimited" true (Budget.is_unlimited Budget.unlimited);
+  Alcotest.(check bool)
+    "status optimal" true
+    (Budget.status Budget.unlimited = Budget.Optimal)
+
+let test_budget_deadline () =
+  let clock, advance = fake_clock () in
+  let b = Budget.create ~clock ~deadline_s:1.0 () in
+  Alcotest.(check bool) "fresh not expired" false (Budget.expired b);
+  Alcotest.(check bool) "not unlimited" false (Budget.is_unlimited b);
+  advance 0.5;
+  Alcotest.(check bool) "halfway not expired" false (Budget.expired b);
+  check_float "remaining halfway" 0.5 (Budget.remaining_s b);
+  advance 0.6;
+  Alcotest.(check bool) "past deadline expired" true (Budget.expired b);
+  Alcotest.(check bool) "status deadline" true (Budget.status b = Budget.Deadline);
+  check_float "remaining clamps at 0" 0.0 (Budget.remaining_s b);
+  check_float "elapsed" 1.1 (Budget.elapsed_s b)
+
+let test_budget_allowance () =
+  let b = Budget.create ~allowance:10 () in
+  Alcotest.(check bool) "fresh not expired" false (Budget.expired b);
+  Budget.spend b 4;
+  Alcotest.(check bool) "partial not expired" false (Budget.expired b);
+  Budget.spend b 6;
+  Alcotest.(check bool) "drained expired" true (Budget.expired b);
+  Alcotest.(check bool)
+    "status iteration-limit" true
+    (Budget.status b = Budget.Iteration_limit)
+
+let test_budget_slice_stricter () =
+  let clock, advance = fake_clock () in
+  let parent = Budget.create ~clock ~deadline_s:1.0 () in
+  advance 0.5;
+  (* Half the parent's remaining 0.5 s. *)
+  let child = Budget.slice parent ~fraction:0.5 in
+  check_float "child gets fraction of remaining" 0.25 (Budget.remaining_s child);
+  (* A huge with_deadline child is clamped to the parent's deadline. *)
+  let greedy = Budget.with_deadline parent ~deadline_s:100.0 in
+  check_float "child clamped to parent" 0.5 (Budget.remaining_s greedy);
+  advance 0.3;
+  Alcotest.(check bool) "child expired first" true (Budget.expired child);
+  Alcotest.(check bool) "parent still alive" false (Budget.expired parent);
+  advance 0.3;
+  Alcotest.(check bool) "parent expired" true (Budget.expired parent);
+  Alcotest.(check bool) "greedy child expired with parent" true (Budget.expired greedy)
+
+let test_budget_spend_propagates () =
+  let parent = Budget.create ~allowance:5 () in
+  let child = Budget.slice parent ~fraction:0.5 in
+  Budget.spend child 5;
+  Alcotest.(check bool) "parent drained via child" true (Budget.expired parent);
+  Alcotest.(check bool) "child sees inherited dryness" true (Budget.expired child)
+
+let test_budget_worst () =
+  let open Budget in
+  Alcotest.(check bool) "fault beats deadline" true
+    (worst Deadline (Fault "x") = Fault "x");
+  Alcotest.(check bool) "deadline beats iteration" true
+    (worst (Fault "x") Deadline = Fault "x");
+  Alcotest.(check bool) "iteration beats node" true
+    (worst Node_limit Iteration_limit = Iteration_limit);
+  Alcotest.(check bool) "optimal loses to all" true (worst Optimal Node_limit = Node_limit);
+  Alcotest.(check bool) "optimal vs optimal" true (worst Optimal Optimal = Optimal)
+
 let () =
   Alcotest.run "util"
     [
@@ -521,6 +598,17 @@ let () =
           Alcotest.test_case "to_float roundtrip" `Quick test_rat_to_float_roundtrip;
           Alcotest.test_case "rejects nan/inf" `Quick test_rat_of_float_rejects;
           Alcotest.test_case "invariant message" `Quick test_invariant_message;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "allowance" `Quick test_budget_allowance;
+          Alcotest.test_case "slice stricter than parent" `Quick
+            test_budget_slice_stricter;
+          Alcotest.test_case "spend propagates upward" `Quick
+            test_budget_spend_propagates;
+          Alcotest.test_case "worst stop reason" `Quick test_budget_worst;
         ] );
       ( "properties",
         [
