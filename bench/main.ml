@@ -34,6 +34,8 @@ module Coord = Agingfp_util.Coord
 module Milp = Agingfp_lp.Milp
 module LpModel = Agingfp_lp.Model
 module LpExpr = Agingfp_lp.Expr
+module Simplex = Agingfp_lp.Simplex
+module Basis = Agingfp_lp.Basis
 
 let quick = ref false
 
@@ -654,6 +656,62 @@ let bench_smoke_lp () =
       warm_obj;
   if warm_stats.Milp.warm_solves = 0 then
     Printf.printf "WARNING: warm run performed no warm solves\n";
+  (* Kernel scenario: the same instance solved with the dense
+     reference basis inverse and with the sparse LU kernel. Both use
+     the warm-started B&B; only [lp_params.kernel] differs. Per-pivot
+     time is the honest metric — total seconds also move with node
+     ordering noise, pivots don't. *)
+  header "smoke-lp: dense reference vs sparse LU basis kernel";
+  let run_kernel kind =
+    let params =
+      {
+        Milp.default_params with
+        Milp.lp_params = { Milp.default_params.Milp.lp_params with Simplex.kernel = kind };
+        node_limit = 400;
+        first_solution = false;
+      }
+    in
+    let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
+    let objective =
+      match result with Milp.Feasible sol -> sol.Agingfp_lp.Simplex.objective | _ -> nan
+    in
+    (objective, stats, dt)
+  in
+  let dense_obj, dense_stats, dense_dt = run_kernel Basis.Dense in
+  let sparse_obj, sparse_stats, sparse_dt = run_kernel Basis.Sparse_lu in
+  let per_pivot_us dt (stats : Milp.stats) =
+    dt /. float_of_int (max 1 stats.Milp.lp_iterations) *. 1e6
+  in
+  let kernel_row label (stats : Milp.stats) dt obj =
+    [|
+      label;
+      string_of_int stats.Milp.lp_iterations;
+      Printf.sprintf "%.3f" dt;
+      Printf.sprintf "%.3f" (per_pivot_us dt stats);
+      string_of_int stats.Milp.refactorizations;
+      string_of_int stats.Milp.eta_updates;
+      string_of_int stats.Milp.fill_in;
+      Printf.sprintf "%.4f" obj;
+    |]
+  in
+  print_endline
+    (Ascii_table.render
+       ~header:
+         [|
+           "kernel"; "LP iters"; "seconds"; "us/pivot"; "refactor"; "etas"; "peak fill";
+           "objective";
+         |]
+       [
+         kernel_row "dense" dense_stats dense_dt dense_obj;
+         kernel_row "sparse-lu" sparse_stats sparse_dt sparse_obj;
+       ]);
+  Printf.printf "kernel speedup %.2fx wall, %.2fx per pivot, fill %d -> %d nnz\n%!"
+    (dense_dt /. sparse_dt)
+    (per_pivot_us dense_dt dense_stats /. per_pivot_us sparse_dt sparse_stats)
+    dense_stats.Milp.fill_in sparse_stats.Milp.fill_in;
+  if abs_float (dense_obj -. sparse_obj) > 1e-6 then
+    Printf.printf "WARNING: dense and sparse objectives differ (%.6f vs %.6f)\n" dense_obj
+      sparse_obj;
   (* Deadline scenario: the remap ladder under a hard wall-clock
      budget. Latency distribution (the robustness claim is about the
      tail, hence p99) plus which rung each run ended on. *)
@@ -715,6 +773,14 @@ let bench_smoke_lp () =
       dt stats.Milp.nodes stats.Milp.lp_iterations stats.Milp.warm_solves
       stats.Milp.cold_solves
   in
+  let json_kernel (stats : Milp.stats) dt =
+    Printf.sprintf
+      "{\"seconds\": %.4f, \"lp_iterations\": %d, \"us_per_pivot\": %.4f, \
+       \"refactorizations\": %d, \"drift_refreshes\": %d, \"eta_updates\": %d, \
+       \"peak_fill_nnz\": %d}"
+      dt stats.Milp.lp_iterations (per_pivot_us dt stats) stats.Milp.refactorizations
+      stats.Milp.drift_refreshes stats.Milp.eta_updates stats.Milp.fill_in
+  in
   let oc = open_out "BENCH_lp.json" in
   Printf.fprintf oc
     "{\n\
@@ -725,6 +791,9 @@ let bench_smoke_lp () =
     \  \"warm\": %s,\n\
     \  \"speedup\": %.3f,\n\
     \  \"iteration_ratio\": %.3f,\n\
+    \  \"kernel\": {\"dense\": %s,\n\
+    \             \"sparse_lu\": %s,\n\
+    \             \"wall_speedup\": %.3f, \"pivot_speedup\": %.3f},\n\
     \  \"deadline\": {\"deadline_s\": %.3f, \"runs\": %d, \"p50_s\": %.4f, \"p99_s\": \
      %.4f, \"max_s\": %.4f, \"rungs\": {%s}}\n\
      }\n"
@@ -737,6 +806,10 @@ let bench_smoke_lp () =
     (cold_dt /. warm_dt)
     (float_of_int cold_stats.Milp.lp_iterations
     /. float_of_int (max 1 warm_stats.Milp.lp_iterations))
+    (json_kernel dense_stats dense_dt)
+    (json_kernel sparse_stats sparse_dt)
+    (dense_dt /. sparse_dt)
+    (per_pivot_us dense_dt dense_stats /. per_pivot_us sparse_dt sparse_stats)
     deadline_s (Array.length sorted) p50 p99
     sorted.(Array.length sorted - 1)
     (String.concat ", "

@@ -132,6 +132,10 @@ let solver_stats_table () =
       row "warm LP solves" s.Milp.warm_solves;
       row "cold LP solves" s.Milp.cold_solves;
       row "LP iterations" s.Milp.lp_iterations;
+      row "basis refactorizations" s.Milp.refactorizations;
+      row "drift refreshes" s.Milp.drift_refreshes;
+      row "eta updates" s.Milp.eta_updates;
+      row "peak basis fill (nnz)" s.Milp.fill_in;
       row "presolve rounds" p.Agingfp_lp.Presolve.rounds;
       row "rows removed" p.Agingfp_lp.Presolve.rows_removed;
       row "singleton rows" p.Agingfp_lp.Presolve.singleton_rows;

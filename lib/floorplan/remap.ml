@@ -304,7 +304,11 @@ let cached_lp_solve ~certify ~budget ~get ~set ~build ~st_target ~committed =
   let s1 = Simplex.state_stats st in
   Milp.note_lp_solve
     ~warm:(s1.Simplex.warm_solves > s0.Simplex.warm_solves)
-    ~iterations:(s1.Simplex.lp_iterations - s0.Simplex.lp_iterations);
+    ~iterations:(s1.Simplex.lp_iterations - s0.Simplex.lp_iterations)
+    ~refactorizations:(s1.Simplex.refactorizations - s0.Simplex.refactorizations)
+    ~eta_updates:(s1.Simplex.eta_updates - s0.Simplex.eta_updates)
+    ~fill_in:s1.Simplex.fill_in
+    ~drift_refreshes:(s1.Simplex.drift_refreshes - s0.Simplex.drift_refreshes) ();
   (match status with
   | Simplex.Optimal sol when certify ->
     (* [set_st_target] keeps the instance's model current, so the

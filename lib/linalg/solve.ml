@@ -102,6 +102,21 @@ let gauss_seidel ?(max_iter = 10_000) ?(tol = 1e-9) a b =
   in
   iterate 0
 
+(* Factor-once/solve-many path on the sparse LU kernel: the thermal
+   model re-solves one conductance matrix against many power vectors
+   (per-context HotSpot-style solves), so the O(n^3)-ish elimination
+   must not be repeated per right-hand side. *)
+
+type factor = Lu.t
+
+let factorize a =
+  if Matrix.cols a <> Matrix.rows a then invalid_arg "Solve.factorize: matrix not square";
+  try Lu.of_matrix a with Lu.Singular -> raise Singular
+
+let solve_factored f b =
+  if Array.length b <> Lu.dim f then invalid_arg "Solve.solve_factored: size mismatch";
+  try Lu.solve f b with Lu.Singular -> raise Singular
+
 let residual_norm a x b =
   let ax = Matrix.mul_vec a x in
   let acc = ref 0.0 in

@@ -1,9 +1,10 @@
 (** Linear system solvers for the compact thermal model.
 
-    The thermal conductance matrix is symmetric positive definite, so
-    Cholesky is the primary path; LU with partial pivoting covers the
-    general case; Gauss–Seidel offers an iterative alternative for
-    large grids. *)
+    The thermal steady state is solved through a reusable sparse
+    {!Lu} factorization ({!factorize} / {!solve_factored}); dense LU
+    with partial pivoting and Cholesky remain as independent reference
+    paths (the kernel test-suite cross-checks {!Lu} against them), and
+    Gauss–Seidel offers an iterative alternative for large grids. *)
 
 exception Singular
 (** Raised when a factorization encounters a (numerically) zero pivot. *)
@@ -24,3 +25,18 @@ val gauss_seidel :
 
 val residual_norm : Matrix.t -> float array -> float array -> float
 (** [residual_norm a x b] is [max_i |(a x - b)_i|]. *)
+
+(** {1 Reusable factorizations}
+
+    Built on the sparse {!Lu} kernel: factor a matrix once, then solve
+    against many right-hand sides — the thermal model's per-context
+    steady-state solves share one conductance factorization. *)
+
+type factor
+
+val factorize : Matrix.t -> factor
+(** @raise Singular on (numerically) singular input. *)
+
+val solve_factored : factor -> float array -> float array
+(** [solve_factored f b] solves [a x = b] for the matrix [a] captured
+    by [f]; [b] is not modified. *)

@@ -1,0 +1,114 @@
+(* Compressed sparse vectors and a stamped scatter–gather workspace.
+
+   The LU kernel and the simplex basis wrapper move data between two
+   representations: compressed (index/value pairs, the storage form of
+   factor columns and eta vectors) and dense-with-occupancy (a float
+   array plus a touched list, the working form during elimination and
+   triangular solves). The workspace uses generation stamps instead of
+   a cleared boolean mask so that clearing costs O(nnz touched), not
+   O(n). *)
+
+type vec = {
+  mutable nnz : int;
+  mutable idx : int array;
+  mutable vals : float array;
+}
+
+let create ?(cap = 8) () =
+  let cap = max cap 1 in
+  { nnz = 0; idx = Array.make cap 0; vals = Array.make cap 0.0 }
+
+let clear v = v.nnz <- 0
+let length v = v.nnz
+
+let ensure v extra =
+  let need = v.nnz + extra in
+  if need > Array.length v.idx then begin
+    let cap = max need (2 * Array.length v.idx) in
+    let idx = Array.make cap 0 and vals = Array.make cap 0.0 in
+    Array.blit v.idx 0 idx 0 v.nnz;
+    Array.blit v.vals 0 vals 0 v.nnz;
+    v.idx <- idx;
+    v.vals <- vals
+  end
+
+let push v i x =
+  ensure v 1;
+  v.idx.(v.nnz) <- i;
+  v.vals.(v.nnz) <- x;
+  v.nnz <- v.nnz + 1
+
+let iter f v =
+  for k = 0 to v.nnz - 1 do
+    f v.idx.(k) v.vals.(k)
+  done
+
+let of_dense ?(tol = 0.0) a =
+  let v = create () in
+  Array.iteri (fun i x -> if abs_float x > tol then push v i x) a;
+  v
+
+let to_dense v n =
+  let a = Array.make n 0.0 in
+  iter (fun i x -> a.(i) <- x) v;
+  a
+
+(* ---------- scatter–gather workspace ---------- *)
+
+type workspace = {
+  x : float array;          (* dense values; only valid where stamped *)
+  stamp : int array;        (* stamp.(i) = gen  <=>  slot i is live *)
+  touched : int array;      (* live indices, in touch order *)
+  mutable ntouched : int;
+  mutable gen : int;
+}
+
+let workspace n =
+  {
+    x = Array.make (max n 1) 0.0;
+    stamp = Array.make (max n 1) (-1);
+    touched = Array.make (max n 1) 0;
+    ntouched = 0;
+    gen = 0;
+  }
+
+let reset ws =
+  ws.gen <- ws.gen + 1;
+  ws.ntouched <- 0
+
+let touch ws i =
+  if ws.stamp.(i) <> ws.gen then begin
+    ws.stamp.(i) <- ws.gen;
+    ws.x.(i) <- 0.0;
+    ws.touched.(ws.ntouched) <- i;
+    ws.ntouched <- ws.ntouched + 1
+  end
+
+let set ws i v =
+  touch ws i;
+  ws.x.(i) <- v
+
+let add ws i v =
+  touch ws i;
+  ws.x.(i) <- ws.x.(i) +. v
+
+let get ws i = if ws.stamp.(i) = ws.gen then ws.x.(i) else 0.0
+let is_live ws i = ws.stamp.(i) = ws.gen
+
+let iter_live ws f =
+  for k = 0 to ws.ntouched - 1 do
+    let i = ws.touched.(k) in
+    f i ws.x.(i)
+  done
+
+let scatter ws v =
+  reset ws;
+  iter (fun i x -> set ws i x) v
+
+let gather ?(tol = 0.0) ws v =
+  clear v;
+  for k = 0 to ws.ntouched - 1 do
+    let i = ws.touched.(k) in
+    let x = ws.x.(i) in
+    if abs_float x > tol then push v i x
+  done

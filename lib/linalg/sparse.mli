@@ -1,0 +1,60 @@
+(** Compressed sparse vectors and a stamped scatter–gather workspace.
+
+    Storage form for LU factor columns and simplex eta vectors, plus
+    the dense-with-occupancy working form used during elimination and
+    triangular solves. The workspace clears in O(touched) via
+    generation stamps, not O(n). *)
+
+type vec = {
+  mutable nnz : int;
+  mutable idx : int array;   (** indices of the first [nnz] entries *)
+  mutable vals : float array; (** values matching [idx] *)
+}
+(** Growable compressed vector. Entries [0 .. nnz-1] are live; index
+    order is insertion order (not necessarily sorted). *)
+
+val create : ?cap:int -> unit -> vec
+val clear : vec -> unit
+
+val length : vec -> int
+(** Number of stored entries. *)
+
+val push : vec -> int -> float -> unit
+(** Append one entry, growing the backing arrays as needed. *)
+
+val iter : (int -> float -> unit) -> vec -> unit
+
+val of_dense : ?tol:float -> float array -> vec
+(** Entries with [|x| > tol] (default [0.0]). *)
+
+val to_dense : vec -> int -> float array
+
+(** {1 Scatter–gather workspace} *)
+
+type workspace
+
+val workspace : int -> workspace
+(** Workspace over index domain [0 .. n-1]. *)
+
+val reset : workspace -> unit
+(** Invalidate all live slots (O(1): bumps the generation stamp). *)
+
+val touch : workspace -> int -> unit
+(** Make slot [i] live with value [0.0] if it is not live already. *)
+
+val set : workspace -> int -> float -> unit
+val add : workspace -> int -> float -> unit
+
+val get : workspace -> int -> float
+(** [0.0] for non-live slots. *)
+
+val is_live : workspace -> int -> bool
+
+val iter_live : workspace -> (int -> float -> unit) -> unit
+(** Iterate the live entries in touch order (duplicates impossible). *)
+
+val scatter : workspace -> vec -> unit
+(** [reset] then copy the vector's entries in. *)
+
+val gather : ?tol:float -> workspace -> vec -> unit
+(** Overwrite [vec] with the live entries whose [|x| > tol]. *)

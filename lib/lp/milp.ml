@@ -32,6 +32,10 @@ type stats = {
   warm_solves : int;
   cold_solves : int;
   lp_iterations : int;
+  refactorizations : int;
+  eta_updates : int;
+  fill_in : int;
+  drift_refreshes : int;
   stop : Budget.stop_reason;
 }
 
@@ -42,6 +46,10 @@ let zero_stats =
     warm_solves = 0;
     cold_solves = 0;
     lp_iterations = 0;
+    refactorizations = 0;
+    eta_updates = 0;
+    fill_in = 0;
+    drift_refreshes = 0;
     stop = Budget.Optimal;
   }
 
@@ -54,14 +62,21 @@ let add_stats a b =
     warm_solves = a.warm_solves + b.warm_solves;
     cold_solves = a.cold_solves + b.cold_solves;
     lp_iterations = a.lp_iterations + b.lp_iterations;
+    refactorizations = a.refactorizations + b.refactorizations;
+    eta_updates = a.eta_updates + b.eta_updates;
+    (* Fill is a footprint, not a flow: aggregate the peak. *)
+    fill_in = max a.fill_in b.fill_in;
+    drift_refreshes = a.drift_refreshes + b.drift_refreshes;
     stop = worst_stop a.stop b.stop;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d nodes, %d warm / %d cold LP solves, %d LP iterations, stop %a; presolve: %d rows \
+    "%d nodes, %d warm / %d cold LP solves, %d LP iterations, stop %a; kernel: %d \
+     refactorizations (%d drift), %d eta updates, peak fill %d; presolve: %d rows \
      removed, %d vars fixed, %d bounds tightened, %d probe fixings"
     s.nodes s.warm_solves s.cold_solves s.lp_iterations Budget.pp_stop_reason s.stop
+    s.refactorizations s.drift_refreshes s.eta_updates s.fill_in
     s.presolve.rows_removed s.presolve.vars_fixed s.presolve.bounds_tightened
     s.presolve.probe_fixings
 
@@ -74,7 +89,8 @@ let reset_cumulative () = cum := zero_stats
 let cumulative () = !cum
 let accumulate s = cum := add_stats !cum s
 
-let note_lp_solve ~warm ~iterations =
+let note_lp_solve ?(refactorizations = 0) ?(eta_updates = 0) ?(fill_in = 0)
+    ?(drift_refreshes = 0) ~warm ~iterations () =
   cum :=
     add_stats !cum
       {
@@ -82,6 +98,10 @@ let note_lp_solve ~warm ~iterations =
         warm_solves = (if warm then 1 else 0);
         cold_solves = (if warm then 0 else 1);
         lp_iterations = iterations;
+        refactorizations;
+        eta_updates;
+        fill_in;
+        drift_refreshes;
       }
 
 let pp_result ppf = function
@@ -236,6 +256,10 @@ let solve_with_stats ?(params = default_params) model0 =
         warm_solves = sstats.warm_solves;
         cold_solves = sstats.cold_solves;
         lp_iterations = sstats.lp_iterations;
+        refactorizations = sstats.refactorizations;
+        eta_updates = sstats.eta_updates;
+        fill_in = sstats.fill_in;
+        drift_refreshes = sstats.drift_refreshes;
         stop = !stop;
       }
     in
@@ -274,19 +298,19 @@ let relax_and_fix_with_stats ?(threshold = 0.95) ?(params = default_params) mode
   in
   match root_status with
   | Simplex.Infeasible ->
-    note_lp_solve ~warm:false ~iterations:0;
+    note_lp_solve ~warm:false ~iterations:0 ();
     (Infeasible, root_stats ~iterations:0)
   | Simplex.Unbounded | Simplex.Iteration_limit ->
-    note_lp_solve ~warm:false ~iterations:0;
+    note_lp_solve ~warm:false ~iterations:0 ();
     (Unknown, root_stats ~iterations:0)
   | Simplex.Deadline ->
-    note_lp_solve ~warm:false ~iterations:0;
+    note_lp_solve ~warm:false ~iterations:0 ();
     (Unknown, { (root_stats ~iterations:0) with stop = Budget.Deadline })
   | Simplex.Fault msg ->
-    note_lp_solve ~warm:false ~iterations:0;
+    note_lp_solve ~warm:false ~iterations:0 ();
     (Unknown, { (root_stats ~iterations:0) with stop = Budget.Fault msg })
   | Simplex.Optimal relaxed ->
-    note_lp_solve ~warm:false ~iterations:relaxed.iterations;
+    note_lp_solve ~warm:false ~iterations:relaxed.iterations ();
     let int_vars = Model.integer_vars model0 in
     let fixed = Model.copy model0 in
     let nfixed = ref 0 in

@@ -54,6 +54,12 @@ type stats = {
   warm_solves : int;    (** node LPs served from a parent basis *)
   cold_solves : int;    (** full phase-1 LP solves *)
   lp_iterations : int;  (** total simplex pivots/bound flips *)
+  refactorizations : int;
+      (** basis-kernel factorizations ({!Simplex.state_stats}) *)
+  eta_updates : int;    (** product-form updates absorbed by the kernel *)
+  fill_in : int;        (** peak nonzeros of live factors + eta file *)
+  drift_refreshes : int;
+      (** refactorizations forced by measured residual drift *)
   stop : Agingfp_util.Budget.stop_reason;
       (** Why the search ended: [Optimal] means it ran to natural
           completion (proved optimality/infeasibility or hit
@@ -73,10 +79,19 @@ val reset_cumulative : unit -> unit
 
 val cumulative : unit -> stats
 
-val note_lp_solve : warm:bool -> iterations:int -> unit
+val note_lp_solve :
+  ?refactorizations:int ->
+  ?eta_updates:int ->
+  ?fill_in:int ->
+  ?drift_refreshes:int ->
+  warm:bool ->
+  iterations:int ->
+  unit ->
+  unit
 (** Record a bare {!Simplex} solve performed outside [Milp] (the remap
     pipeline solves many standalone LP relaxations) so it shows up in
-    {!cumulative}. *)
+    {!cumulative}; the optional arguments carry the kernel-counter
+    deltas from {!Simplex.state_stats} (all default to [0]). *)
 
 (** {1 Solving} *)
 

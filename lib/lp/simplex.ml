@@ -17,7 +17,8 @@ type params = {
   max_iterations : int;
   feasibility_tol : float;
   optimality_tol : float;
-  refactor_every : int;
+  kernel : Basis.kind;
+  drift_tol : float;
   budget : Budget.t;
 }
 
@@ -26,9 +27,17 @@ let default_params =
     max_iterations = 0;
     feasibility_tol = 1e-7;
     optimality_tol = 1e-7;
-    refactor_every = 500;
+    kernel = Basis.Sparse_lu;
+    drift_tol = 1e-6;
     budget = Budget.unlimited;
   }
+
+(* Refactorization policy constants: [drift_check_interval] sets how
+   often the residual ‖B x_B − b‖∞ is measured (each check is O(nnz)),
+   [eta_cap] bounds the product-form eta file before a hygiene
+   refactorization regardless of drift. *)
+let drift_check_interval = 64
+let eta_cap m = max 64 (m / 2)
 
 let pp_status ppf = function
   | Optimal s -> Format.fprintf ppf "optimal (obj = %g, %d iters)" s.objective s.iterations
@@ -41,7 +50,9 @@ let pp_status ppf = function
 (* Persistent solver state. Columns 0..n-1 are the model's structural
    variables, n..n+m-1 the per-row slacks, and n+m.. the phase-1
    artificials (created only for rows whose slack cannot absorb the
-   initial residual). The basis inverse is dense.
+   initial residual). The basis is held factorized behind the
+   {!Basis} kernel (sparse LU with eta updates by default, explicit
+   dense inverse as the selectable reference).
 
    The state outlives a single solve: [solve_state] optimizes cold
    (fresh slack/artificial basis), while [reoptimize] re-optimizes
@@ -57,11 +68,12 @@ type state = {
   lb : float array;
   ub : float array;
   b : float array;
-  binv : float array array;
+  bas : Basis.t;
   basis : int array;
   pos_in_basis : int array;
   x_b : float array;
   vals : float array;        (* value of each nonbasic column *)
+  rhs_scratch : float array; (* m-sized: recompute_basics / drift checks *)
   n_artificial_base : int;   (* first artificial column index *)
   mutable nart : int;
   cost2 : float array;       (* sign-folded phase-2 cost *)
@@ -73,13 +85,25 @@ type state = {
   mutable n_iters : int;
 }
 
-type state_stats = { warm_solves : int; cold_solves : int; lp_iterations : int }
+type state_stats = {
+  warm_solves : int;
+  cold_solves : int;
+  lp_iterations : int;
+  refactorizations : int;
+  eta_updates : int;
+  fill_in : int;
+  drift_refreshes : int;
+}
 
 let state_stats st =
   {
     warm_solves = st.n_warm;
     cold_solves = st.n_cold;
     lp_iterations = st.n_iters;
+    refactorizations = Basis.refactorizations st.bas;
+    eta_updates = Basis.eta_updates st.bas;
+    fill_in = Basis.fill_in st.bas;
+    drift_refreshes = Basis.drift_refreshes st.bas;
   }
 
 let col_dot st y j =
@@ -90,74 +114,36 @@ let col_dot st y j =
   done;
   !acc
 
-(* w = B^-1 * A_e *)
+(* w = B^-1 * A_e: scatter the sparse column, solve through the
+   kernel. *)
 let ftran st j w =
   Array.fill w 0 st.m 0.0;
   let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
   for k = 0 to Array.length rows - 1 do
-    let r = rows.(k) and a = coefs.(k) in
-    if a <> 0.0 then
-      for i = 0 to st.m - 1 do
-        w.(i) <- w.(i) +. (st.binv.(i).(r) *. a)
-      done
-  done
+    w.(rows.(k)) <- w.(rows.(k)) +. coefs.(k)
+  done;
+  Basis.ftran st.bas w
+
+(* Dual vector y = c_B^T B^-1, i.e. B^T y = c_B: load the basic costs
+   by position, btran through the kernel. *)
+let dual_vector st cost y =
+  for i = 0 to st.m - 1 do
+    y.(i) <- cost.(st.basis.(i))
+  done;
+  Basis.btran st.bas y
 
 exception Singular_basis
 
-(* Recompute B^-1 from scratch by Gauss-Jordan; fights numerical drift. *)
-let refactor_binv st =
-  let m = st.m in
-  let bmat = Array.make_matrix m m 0.0 in
-  for i = 0 to m - 1 do
-    let j = st.basis.(i) in
-    let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
-    for k = 0 to Array.length rows - 1 do
-      bmat.(rows.(k)).(i) <- coefs.(k)
-    done
-  done;
-  let inv = Array.make_matrix m m 0.0 in
-  for i = 0 to m - 1 do
-    inv.(i).(i) <- 1.0
-  done;
-  for k = 0 to m - 1 do
-    let piv = ref k in
-    for i = k + 1 to m - 1 do
-      if abs_float bmat.(i).(k) > abs_float bmat.(!piv).(k) then piv := i
-    done;
-    if abs_float bmat.(!piv).(k) < 1e-11 then raise Singular_basis;
-    if !piv <> k then begin
-      let t = bmat.(k) in
-      bmat.(k) <- bmat.(!piv);
-      bmat.(!piv) <- t;
-      let t = inv.(k) in
-      inv.(k) <- inv.(!piv);
-      inv.(!piv) <- t
-    end;
-    let d = bmat.(k).(k) in
-    for c = 0 to m - 1 do
-      bmat.(k).(c) <- bmat.(k).(c) /. d;
-      inv.(k).(c) <- inv.(k).(c) /. d
-    done;
-    for i = 0 to m - 1 do
-      if i <> k then begin
-        let f = bmat.(i).(k) in
-        if f <> 0.0 then
-          for c = 0 to m - 1 do
-            bmat.(i).(c) <- bmat.(i).(c) -. (f *. bmat.(k).(c));
-            inv.(i).(c) <- inv.(i).(c) -. (f *. inv.(k).(c))
-          done
-      end
-    done
-  done;
-  for i = 0 to m - 1 do
-    Array.blit inv.(i) 0 st.binv.(i) 0 m
-  done
+let factorize_basis st =
+  try
+    Basis.factorize st.bas ~col:(fun i ->
+        let j = st.basis.(i) in
+        (st.col_rows.(j), st.col_coefs.(j)))
+  with Basis.Singular -> raise Singular_basis
 
-(* x_B = B^-1 (b - sum over nonbasic columns of A_j v_j); refreshes the
-   basic values from the nonbasic assignment after bound/RHS edits. *)
-let recompute_basics st =
-  let m = st.m in
-  let rhs = Array.copy st.b in
+(* rhs := b - sum over nonbasic columns of A_j v_j. *)
+let effective_rhs st rhs =
+  Array.blit st.b 0 rhs 0 st.m;
   for j = 0 to st.ncols - 1 do
     if st.pos_in_basis.(j) < 0 && st.vals.(j) <> 0.0 then begin
       let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
@@ -165,22 +151,63 @@ let recompute_basics st =
         rhs.(rows.(k)) <- rhs.(rows.(k)) -. (coefs.(k) *. st.vals.(j))
       done
     end
-  done;
-  for i = 0 to m - 1 do
-    let acc = ref 0.0 in
-    for r = 0 to m - 1 do
-      acc := !acc +. (st.binv.(i).(r) *. rhs.(r))
-    done;
-    st.x_b.(i) <- !acc
   done
 
-let refactorize st =
-  refactor_binv st;
+(* x_B = B^-1 (b - sum over nonbasic columns of A_j v_j); refreshes the
+   basic values from the nonbasic assignment after bound/RHS edits. *)
+let recompute_basics st =
+  let rhs = st.rhs_scratch in
+  effective_rhs st rhs;
+  Basis.ftran st.bas rhs;
+  Array.blit rhs 0 st.x_b 0 st.m
+
+(* Measured factorization drift ‖B x_B − (b − N x_N)‖∞: how far the
+   basic values produced through the (eta-extended) factors are from
+   satisfying the rows they are supposed to satisfy. O(nnz of the
+   live columns) — cheap enough to poll at a fixed cadence, so the
+   kernel is refreshed when the error is real rather than on a blind
+   iteration count. *)
+let drift st =
+  let m = st.m in
+  let r = st.rhs_scratch in
+  effective_rhs st r;
+  for i = 0 to m - 1 do
+    let x = st.x_b.(i) in
+    if x <> 0.0 then begin
+      let j = st.basis.(i) in
+      let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
+      for k = 0 to Array.length rows - 1 do
+        r.(rows.(k)) <- r.(rows.(k)) -. (coefs.(k) *. x)
+      done
+    end
+  done;
+  let worst = ref 0.0 in
+  for i = 0 to m - 1 do
+    let a = abs_float r.(i) in
+    if a > !worst then worst := a
+  done;
+  !worst
+
+let refactorize ?(drift_triggered = false) st =
+  factorize_basis st;
+  if drift_triggered then Basis.note_drift_refresh st.bas;
   recompute_basics st
+
+(* Refactorization policy, polled once per pivot: refresh when the
+   eta file outgrows its cap (hygiene), or — at the check cadence —
+   when the measured residual drift exceeds the tolerance. *)
+let maybe_refactorize st iter =
+  if Basis.eta_count st.bas >= eta_cap st.m then refactorize st
+  else if
+    iter > 0
+    && iter mod drift_check_interval = 0
+    && drift st > st.params.drift_tol
+  then refactorize ~drift_triggered:true st
 
 (* Swap column [e] (moving in direction [dir] by step [t], with
    w = B^-1 A_e precomputed) into basis row [r]; the leaving variable
-   becomes nonbasic at [leave_val]. Product-form update of B^-1. *)
+   becomes nonbasic at [leave_val]. The kernel absorbs the column
+   replacement as a product-form/eta update. *)
 let apply_pivot st r e dir t leave_val w =
   let m = st.m in
   let lv = st.basis.(r) in
@@ -192,20 +219,7 @@ let apply_pivot st r e dir t leave_val w =
   st.x_b.(r) <- st.vals.(e) +. (dir *. t);
   st.basis.(r) <- e;
   st.pos_in_basis.(e) <- r;
-  let wr = w.(r) in
-  let row_r = st.binv.(r) in
-  for k = 0 to m - 1 do
-    row_r.(k) <- row_r.(k) /. wr
-  done;
-  for i = 0 to m - 1 do
-    if i <> r && w.(i) <> 0.0 then begin
-      let f = w.(i) in
-      let row_i = st.binv.(i) in
-      for k = 0 to m - 1 do
-        row_i.(k) <- row_i.(k) -. (f *. row_r.(k))
-      done
-    end
-  done
+  try Basis.update st.bas ~r ~w with Basis.Singular -> raise Singular_basis
 
 (* Distance column [j] can travel in direction [dir] before hitting its
    own bound, measured from vals.(j) — NOT ub - lb: after
@@ -242,18 +256,8 @@ let optimize st cost max_iter =
           Faults.spurious_iteration_limit ())
     then Phase_iter_limit
     else begin
-      if iter > 0 && iter mod st.params.refactor_every = 0 then refactorize st;
-      (* Dual vector y = c_B^T B^-1. *)
-      Array.fill y 0 m 0.0;
-      for i = 0 to m - 1 do
-        let cb = cost.(st.basis.(i)) in
-        if cb <> 0.0 then begin
-          let row = st.binv.(i) in
-          for k = 0 to m - 1 do
-            y.(k) <- y.(k) +. (cb *. row.(k))
-          done
-        end
-      done;
+      maybe_refactorize st iter;
+      dual_vector st cost y;
       (* Pricing: find entering column and its movement direction. *)
       let best = ref (-1) in
       let best_dir = ref 1.0 in
@@ -421,11 +425,12 @@ let assemble ?(params = default_params) model =
     lb;
     ub;
     b;
-    binv = Array.make_matrix (max m 1) (max m 1) 0.0;
+    bas = Basis.create params.kernel m;
     basis = Array.make (max m 1) (-1);
     pos_in_basis = Array.make (max max_cols 1) (-1);
     x_b = Array.make (max m 1) 0.0;
     vals = Array.make (max max_cols 1) 0.0;
+    rhs_scratch = Array.make (max m 1) 0.0;
     n_artificial_base = n + m;
     nart = 0;
     cost2;
@@ -463,17 +468,13 @@ let reset st =
       done
     end
   done;
-  for i = 0 to m - 1 do
-    Array.fill st.binv.(i) 0 m 0.0
-  done;
   st.nart <- 0;
   for i = 0 to m - 1 do
     let slack_lb = st.lb.(n + i) and slack_ub = st.ub.(n + i) in
     if resid.(i) >= slack_lb -. 1e-12 && resid.(i) <= slack_ub +. 1e-12 then begin
       st.basis.(i) <- n + i;
       st.pos_in_basis.(n + i) <- i;
-      st.x_b.(i) <- resid.(i);
-      st.binv.(i).(i) <- 1.0
+      st.x_b.(i) <- resid.(i)
     end
     else begin
       let sigma = if resid.(i) >= 0.0 then 1.0 else -1.0 in
@@ -485,11 +486,13 @@ let reset st =
       st.ub.(j) <- infinity;
       st.basis.(i) <- j;
       st.pos_in_basis.(j) <- i;
-      st.x_b.(i) <- abs_float resid.(i);
-      st.binv.(i).(i) <- sigma
+      st.x_b.(i) <- abs_float resid.(i)
     end
   done;
-  st.ncols <- n + m + st.nart
+  st.ncols <- n + m + st.nart;
+  (* The initial slack/artificial basis is a ±1 diagonal; factorizing
+     it through the kernel is O(m) and cannot be singular. *)
+  factorize_basis st
 
 let extract_solution st ~iterations =
   let values = Array.make st.n 0.0 in
@@ -602,9 +605,12 @@ type dual_result = Dual_feasible | Dual_infeasible | Dual_stall | Dual_deadline
 (* Dual-simplex-style recovery: restore primal feasibility of the
    basic values from the current basis, picking leaving rows by worst
    bound violation and entering columns by the dual ratio test. A
-   certified "no eligible entering column" is an infeasibility proof;
-   it is confirmed once against a freshly refactorized basis before
-   being trusted. *)
+   certified "no eligible entering column" (or a too-small pivot) is
+   only trusted against clean factors: if the kernel carries eta
+   updates or measurable residual drift, it is refactorized once and
+   the verdict re-derived — a fresh drift-free factorization passes
+   straight through instead of paying the old unconditional dense
+   refresh. *)
 let dual_restore st =
   let m = st.m in
   if m = 0 then Dual_feasible
@@ -613,8 +619,13 @@ let dual_restore st =
     let piv_tol = 1e-9 in
     let w = Array.make m 0.0 in
     let y = Array.make m 0.0 in
+    let brow = Array.make m 0.0 in
     let max_iter = (4 * (m + 1)) + 200 in
     let rec loop iter refreshed =
+      (* Eta-file hygiene before the violation scan: refreshing here
+         also re-derives x_B, so the leaving-row choice below is made
+         against the clean factors. *)
+      if Basis.eta_count st.bas >= eta_cap m then refactorize st;
       let r = ref (-1) and worst = ref feas_tol in
       for i = 0 to m - 1 do
         let j = st.basis.(i) in
@@ -637,17 +648,8 @@ let dual_restore st =
         let lv = st.basis.(r) in
         let below = st.x_b.(r) < st.lb.(lv) in
         let target = if below then st.lb.(lv) else st.ub.(lv) in
-        Array.fill y 0 m 0.0;
-        for i = 0 to m - 1 do
-          let cb = st.cost2.(st.basis.(i)) in
-          if cb <> 0.0 then begin
-            let row = st.binv.(i) in
-            for k = 0 to m - 1 do
-              y.(k) <- y.(k) +. (cb *. row.(k))
-            done
-          end
-        done;
-        let brow = st.binv.(r) in
+        dual_vector st st.cost2 y;
+        Basis.btran_unit st.bas r brow;
         let best = ref (-1) in
         let best_ratio = ref infinity in
         let best_alpha = ref 0.0 in
@@ -684,23 +686,27 @@ let dual_restore st =
             end
           end
         done;
-        if !best < 0 then begin
-          if refreshed then Dual_infeasible
+        (* Residual-drift gate on suspicious verdicts: accept them
+           outright from clean factors (no etas, measured drift within
+           tolerance); otherwise refactorize once — counted as a drift
+           refresh when drift was the reason — and re-derive. *)
+        let confirm verdict k =
+          if refreshed then verdict
           else begin
-            refactorize st;
-            loop iter true
+            let drifted = drift st > st.params.drift_tol in
+            if (not drifted) && Basis.eta_count st.bas = 0 then verdict
+            else begin
+              refactorize ~drift_triggered:drifted st;
+              k ()
+            end
           end
-        end
+        in
+        if !best < 0 then confirm Dual_infeasible (fun () -> loop iter true)
         else begin
           let e = !best and dir = !best_dir in
           ftran st e w;
-          if abs_float w.(r) < piv_tol then begin
-            if refreshed then Dual_stall
-            else begin
-              refactorize st;
-              loop iter true
-            end
-          end
+          if abs_float w.(r) < piv_tol then
+            confirm Dual_stall (fun () -> loop iter true)
           else begin
             let t = (st.x_b.(r) -. target) /. (dir *. w.(r)) in
             let t = if t < 0.0 then 0.0 else t in

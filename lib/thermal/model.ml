@@ -43,12 +43,20 @@ let conductance_matrix params dim =
   done;
   g
 
-let steady_state ?(params = default_params) ~dim power =
+(* The conductance matrix depends only on [params] and [dim], so one
+   sparse LU factorization serves every steady-state solve on the same
+   grid — the per-context path below re-solves it num_contexts times. *)
+let steady_solver ?(params = default_params) ~dim () =
   let n = dim * dim in
-  if Array.length power <> n then invalid_arg "Thermal.steady_state: power size mismatch";
   let g = conductance_matrix params dim in
-  let rhs = Array.map (fun p -> p +. (params.g_vertical *. params.ambient_k)) power in
-  Solve.cholesky g rhs
+  let f = Solve.factorize g in
+  fun power ->
+    if Array.length power <> n then invalid_arg "Thermal.steady_state: power size mismatch";
+    let rhs = Array.map (fun p -> p +. (params.g_vertical *. params.ambient_k)) power in
+    Solve.solve_factored f rhs
+
+let steady_state ?(params = default_params) ~dim power =
+  steady_solver ~params ~dim () power
 
 let transient ?(params = default_params) ~dim ~power ~t0 ~dt steps =
   let n = dim * dim in
@@ -83,10 +91,11 @@ let pe_temperatures ?(params = default_params) design mapping =
 
 let per_context_temperatures ?(params = default_params) design mapping =
   let dim = Fabric.dim (Design.fabric design) in
+  let solve = steady_solver ~params ~dim () in
   Array.map
     (fun ctx_stress ->
       let power = Array.map (fun s -> params.p_leak +. (params.p_active *. s)) ctx_stress in
-      steady_state ~params ~dim power)
+      solve power)
     (Stress.per_context design mapping)
 
 let heatmap ~dim temps =

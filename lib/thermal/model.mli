@@ -2,8 +2,9 @@
 
     Each PE is an RC node with a lateral conductance to its four grid
     neighbours and a vertical conductance through the package to
-    ambient. Steady state solves the SPD system [G T = P + g_v T_amb]
-    (Cholesky); a transient forward-Euler mode is provided for
+    ambient. Steady state solves the system [G T = P + g_v T_amb]
+    through one reusable sparse LU factorization of [G]
+    ({!steady_solver}); a transient forward-Euler mode is provided for
     completeness. Because a context switch happens every clock cycle
     (ns) while thermal time constants are ms, the steady-state input
     is the time-averaged power over all contexts (DESIGN.md §6). *)
@@ -28,6 +29,13 @@ val power_map : ?params:params -> Design.t -> Mapping.t -> float array
 val steady_state : ?params:params -> dim:int -> float array -> float array
 (** [steady_state ~dim power] returns per-PE steady temperatures (K)
     on a [dim × dim] grid. [power] has [dim * dim] entries. *)
+
+val steady_solver :
+  ?params:params -> dim:int -> unit -> float array -> float array
+(** [steady_solver ~dim ()] factorizes the conductance matrix once and
+    returns a solver closure: each application is one pair of
+    triangular solves. {!per_context_temperatures} uses it to share a
+    single factor across all per-context solves. *)
 
 val transient :
   ?params:params ->

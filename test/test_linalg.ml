@@ -1,8 +1,9 @@
-(* Tests for dense matrices and the linear solvers backing the
-   thermal model. *)
+(* Tests for dense matrices, the linear solvers backing the thermal
+   model, and the sparse LU basis kernel shared with the simplex. *)
 
 module Matrix = Agingfp_linalg.Matrix
 module Solve = Agingfp_linalg.Solve
+module Lu = Agingfp_linalg.Lu
 module Rng = Agingfp_util.Rng
 
 let check_vec msg expected actual =
@@ -118,6 +119,114 @@ let test_solvers_agree () =
       x1
   done
 
+(* ---------- Sparse LU kernel ---------- *)
+
+(* Strictly diagonally dominant, hence nonsingular, and deliberately
+   nonsymmetric: the sparse kernel must agree with the dense reference
+   on general matrices, not just SPD ones. *)
+let random_dd rng n =
+  let a = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Matrix.set a i j (Rng.float rng 2.0 -. 1.0)
+    done;
+    Matrix.set a i i (Matrix.get a i i +. float_of_int n)
+  done;
+  a
+
+let dense_with_column a r col =
+  let n = Matrix.rows a in
+  let a' = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Matrix.set a' i j (if j = r then col.(i) else Matrix.get a i j)
+    done
+  done;
+  a'
+
+let test_sparse_lu_known () =
+  let t = Lu.of_matrix (Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |]) in
+  check_vec "ftran" [| 1.; 2. |] (Lu.solve t [| 4.; 7. |])
+
+let test_sparse_lu_pivoting () =
+  let t = Lu.of_matrix (Matrix.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |]) in
+  check_vec "permuted" [| 2.; 1. |] (Lu.solve t [| 1.; 2. |])
+
+let test_sparse_lu_singular () =
+  Alcotest.check_raises "singular" Lu.Singular (fun () ->
+      ignore (Lu.of_matrix (Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |])))
+
+let test_sparse_lu_btran () =
+  (* Aᵀ y = c through the sparse kernel vs the dense LU on Aᵀ. *)
+  let a = Matrix.of_arrays [| [| 3.; 1.; 0. |]; [| 0.; 2.; 1. |]; [| 1.; 0.; 4. |] |] in
+  let c = [| 1.; -2.; 3. |] in
+  check_vec "btran" (Solve.lu (Matrix.transpose a) c)
+    (Lu.solve_transposed (Lu.of_matrix a) c)
+
+let test_sparse_lu_update () =
+  (* Replace column 1 via a product-form eta; solves must then match
+     the dense LU of the explicitly rebuilt matrix. *)
+  let a = Matrix.of_arrays [| [| 4.; 1.; 0. |]; [| 1.; 3.; 1. |]; [| 0.; 1.; 5. |] |] in
+  let t = Lu.of_matrix a in
+  let col = [| 2.; 5.; 1. |] in
+  let w = Lu.solve t col in
+  Lu.update t ~r:1 ~w;
+  Alcotest.(check int) "eta recorded" 1 (Lu.eta_count t);
+  let a' = dense_with_column a 1 col in
+  let b = [| 1.; 2.; 3. |] in
+  check_vec "ftran after eta" (Solve.lu a' b) (Lu.solve t b);
+  check_vec "btran after eta"
+    (Solve.lu (Matrix.transpose a') b)
+    (Lu.solve_transposed t b)
+
+let test_sparse_lu_accounting () =
+  let t = Lu.of_matrix (random_dd (Rng.create 7) 6) in
+  Alcotest.(check bool) "fill counted" true (Lu.fill t >= 6);
+  Alcotest.(check int) "one factorization" 1 (Lu.factor_count t);
+  Alcotest.(check int) "no etas yet" 0 (Lu.eta_count t);
+  Alcotest.(check int) "eta file empty" 0 (Lu.eta_nnz t)
+
+let prop_sparse_lu_matches_dense =
+  QCheck2.Test.make
+    ~name:"sparse LU ftran/btran match the dense reference on random systems"
+    ~count:200
+    QCheck2.Gen.(tup2 int (int_range 1 20))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = random_dd rng n in
+      let b = Array.init n (fun _ -> Rng.float rng 10.0 -. 5.0) in
+      let t = Lu.of_matrix a in
+      let close x y = Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-7) x y in
+      close (Lu.solve t b) (Solve.lu a b)
+      && close (Lu.solve_transposed t b) (Solve.lu (Matrix.transpose a) b))
+
+let prop_sparse_lu_eta_chain =
+  QCheck2.Test.make
+    ~name:"eta-updated factors track the explicitly refactored matrix" ~count:100
+    QCheck2.Gen.(tup3 int (int_range 2 12) (int_range 1 4))
+    (fun (seed, n, nup) ->
+      let rng = Rng.create seed in
+      let a = ref (random_dd rng n) in
+      let t = Lu.of_matrix !a in
+      for _ = 1 to nup do
+        let r = Rng.int rng n in
+        let col = Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0) in
+        (* Keep the replacement well-conditioned: a dominant entry in
+           the pivot row guarantees |w.(r)| clears the tolerance. *)
+        col.(r) <- col.(r) +. float_of_int n;
+        let w = Lu.solve t col in
+        if abs_float w.(r) > 0.01 then begin
+          Lu.update t ~r ~w;
+          a := dense_with_column !a r col
+        end
+      done;
+      let b = Array.init n (fun _ -> Rng.float rng 6.0 -. 3.0) in
+      let x = Lu.solve t b and x_ref = Solve.lu !a b in
+      let y = Lu.solve_transposed t b
+      and y_ref = Solve.lu (Matrix.transpose !a) b in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-6) x x_ref
+      && Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-6) y y_ref)
+
 let prop_lu_solves =
   QCheck2.Test.make ~name:"LU residual is small on random SPD systems" ~count:100
     QCheck2.Gen.(tup2 int (int_range 2 15))
@@ -160,9 +269,20 @@ let () =
           Alcotest.test_case "gauss-seidel grid" `Quick test_gauss_seidel_grid;
           Alcotest.test_case "solvers agree" `Quick test_solvers_agree;
         ] );
+      ( "sparse-lu",
+        [
+          Alcotest.test_case "known system" `Quick test_sparse_lu_known;
+          Alcotest.test_case "pivoting" `Quick test_sparse_lu_pivoting;
+          Alcotest.test_case "singular" `Quick test_sparse_lu_singular;
+          Alcotest.test_case "btran" `Quick test_sparse_lu_btran;
+          Alcotest.test_case "eta update" `Quick test_sparse_lu_update;
+          Alcotest.test_case "accounting" `Quick test_sparse_lu_accounting;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_lu_solves;
           QCheck_alcotest.to_alcotest prop_cholesky_matches_lu;
+          QCheck_alcotest.to_alcotest prop_sparse_lu_matches_dense;
+          QCheck_alcotest.to_alcotest prop_sparse_lu_eta_chain;
         ] );
     ]

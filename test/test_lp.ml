@@ -7,6 +7,7 @@ module Model = Agingfp_lp.Model
 module Simplex = Agingfp_lp.Simplex
 module Milp = Agingfp_lp.Milp
 module Presolve = Agingfp_lp.Presolve
+module Basis = Agingfp_lp.Basis
 module Lp_format = Agingfp_lp.Lp_format
 module Analyze = Agingfp_lp.Analyze
 module Certify = Agingfp_lp.Certify
@@ -352,6 +353,82 @@ let test_lp_beale_cycling () =
   match Simplex.solve m with
   | Simplex.Optimal s -> Alcotest.(check (float 1e-6)) "Beale optimum" 1.25 s.objective
   | st -> Alcotest.failf "expected optimal, got %a" Simplex.pp_status st
+
+(* ---------- Basis kernel: dense reference vs sparse LU ---------- *)
+
+(* Random multi-variable LP with sparse rows — wider than the 2-var
+   instances, so the LU kernel actually pivots, fills, and absorbs
+   etas. Finite bounds keep every instance bounded, so the two kernels
+   must agree Optimal-vs-Infeasible exactly. *)
+let random_sparse_lp seed =
+  let rng = Rng.create seed in
+  let nvars = 3 + Rng.int rng 8 in
+  let m = Model.create () in
+  let vars =
+    Array.init nvars (fun _ -> Model.add_var ~ub:(1.0 +. Rng.float rng 9.0) m)
+  in
+  for _ = 1 to 2 + Rng.int rng 7 do
+    let terms = ref [] in
+    Array.iter
+      (fun v ->
+        if Rng.int rng 3 > 0 then
+          terms := Expr.var ~coef:(Rng.float rng 4.0 -. 2.0) v :: !terms)
+      vars;
+    match !terms with
+    | [] -> ()
+    | ts ->
+      let rel =
+        match Rng.int rng 6 with 0 -> Model.Ge | 1 -> Model.Eq | _ -> Model.Le
+      in
+      ignore (Model.add_constraint m (Expr.sum ts) rel (Rng.float rng 12.0 -. 2.0))
+  done;
+  Model.set_objective m Model.Maximize
+    (Expr.sum
+       (Array.to_list
+          (Array.map (fun v -> Expr.var ~coef:(Rng.float rng 4.0 -. 2.0) v) vars)));
+  m
+
+let solve_with_kernel kind m =
+  Simplex.solve ~params:{ Simplex.default_params with Simplex.kernel = kind } m
+
+let prop_kernels_agree =
+  QCheck2.Test.make
+    ~name:"sparse LU and dense reference kernels agree on status and objective"
+    ~count:300 QCheck2.Gen.int (fun seed ->
+      let m = random_sparse_lp seed in
+      match (solve_with_kernel Basis.Dense m, solve_with_kernel Basis.Sparse_lu m) with
+      | Simplex.Optimal a, Simplex.Optimal b ->
+        abs_float (a.Simplex.objective -. b.Simplex.objective) < 1e-6
+        && Model.check_feasible m (fun v -> b.Simplex.values.(v)) = Ok ()
+      | Simplex.Infeasible, Simplex.Infeasible -> true
+      | _ -> false)
+
+let test_kernel_counters () =
+  let m = random_sparse_lp 20240805 in
+  let nrows = Model.num_constraints m in
+  Alcotest.(check bool) "instance has rows" true (nrows > 0);
+  let st = Simplex.assemble m in
+  (match Simplex.solve_state st with
+  | Simplex.Optimal _ | Simplex.Infeasible -> ()
+  | s -> Alcotest.failf "unexpected status %a" Simplex.pp_status s);
+  let s = Simplex.state_stats st in
+  Alcotest.(check int) "one cold solve" 1 s.Simplex.cold_solves;
+  Alcotest.(check bool) "factorized at least once" true (s.Simplex.refactorizations >= 1);
+  Alcotest.(check bool) "pivoted" true (s.Simplex.lp_iterations > 0);
+  Alcotest.(check bool) "fill tracked" true (s.Simplex.fill_in > 0);
+  let dense_params = { Simplex.default_params with Simplex.kernel = Basis.Dense } in
+  let std = Simplex.assemble ~params:dense_params m in
+  (match Simplex.solve_state std with
+  | Simplex.Optimal _ | Simplex.Infeasible -> ()
+  | s -> Alcotest.failf "unexpected dense status %a" Simplex.pp_status s);
+  let sd = Simplex.state_stats std in
+  (* On an instance this small the sparse factors + eta file need not
+     undercut m² — the footprint win is asserted at scale by the
+     smoke-lp benchmark, not here. *)
+  Alcotest.(check int) "dense footprint is the full inverse" (nrows * nrows)
+    sd.Simplex.fill_in;
+  Alcotest.(check bool) "dense kernel also counts factorizations" true
+    (sd.Simplex.refactorizations >= 1)
 
 (* ---------- Presolve ---------- *)
 
@@ -1282,6 +1359,7 @@ let () =
           Alcotest.test_case "Beale anti-cycling" `Quick test_lp_beale_cycling;
           Alcotest.test_case "warm restore leaves interior nonbasic" `Quick
             test_reoptimize_restored_bounds_interior;
+          Alcotest.test_case "kernel counters" `Quick test_kernel_counters;
         ] );
       ( "presolve",
         [
@@ -1353,6 +1431,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_simplex_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_simplex_solution_feasible;
+          QCheck_alcotest.to_alcotest prop_kernels_agree;
           QCheck_alcotest.to_alcotest prop_presolve_lp_roundtrip;
           QCheck_alcotest.to_alcotest prop_reoptimize_bound_change_matches_cold;
           QCheck_alcotest.to_alcotest prop_reoptimize_rhs_change_matches_cold;
