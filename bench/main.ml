@@ -36,6 +36,7 @@ module LpModel = Agingfp_lp.Model
 module LpExpr = Agingfp_lp.Expr
 module Simplex = Agingfp_lp.Simplex
 module Basis = Agingfp_lp.Basis
+module Pool = Agingfp_util.Pool
 
 let quick = ref false
 
@@ -766,6 +767,84 @@ let bench_smoke_lp () =
   List.iter (fun (r, n) -> if n > 0 then Printf.printf "  rung %-13s %d\n" r n) rung_rows;
   if sorted.(Array.length sorted - 1) > 2.0 *. deadline_s then
     Printf.printf "WARNING: a run exceeded twice the deadline\n";
+  (* Parallel scenario: the same Eq.(3)-shaped MILP under the
+     domain-parallel branch & bound at 1/2/4 domains, plus the suite
+     fan-out (independent benchmarks on the pool). Speedups are
+     reported next to [domains_available] — on a single-core host the
+     honest expectation is ~1.0x, and the scenario then checks
+     correctness (identical optimal objective) rather than scaling. *)
+  header "smoke-lp: domain-parallel branch & bound scaling";
+  let domains_available = Domain.recommended_domain_count () in
+  let run_jobs jobs =
+    (* Node headroom well past what either search order needs, so every
+       leg runs to proven optimality and the objectives must coincide
+       exactly; best-of-3 wall time filters OS scheduling noise, which
+       dominates when domains outnumber cores. *)
+    let params =
+      {
+        Milp.default_params with
+        Milp.node_limit = 4_000;
+        first_solution = false;
+        jobs;
+      }
+    in
+    let one () =
+      let (result, _), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
+      let objective =
+        match result with Milp.Feasible sol -> sol.Agingfp_lp.Simplex.objective | _ -> nan
+      in
+      (dt, objective)
+    in
+    let legs = List.init 3 (fun _ -> one ()) in
+    let dt = List.fold_left (fun a (t, _) -> min a t) infinity legs in
+    let objective = snd (List.hd legs) in
+    List.iter
+      (fun (_, o) ->
+        if abs_float (o -. objective) > 1e-6 then
+          Printf.printf "WARNING: jobs=%d repetitions disagree (%.6f vs %.6f)\n" jobs o
+            objective)
+      legs;
+    Printf.printf "  jobs=%d  %6.3fs (best of 3)  objective %.4f\n%!" jobs dt objective;
+    (jobs, dt, objective)
+  in
+  let milp_legs = List.map run_jobs [ 1; 2; 4 ] in
+  let _, base_dt, base_obj = List.hd milp_legs in
+  List.iter
+    (fun (j, _, obj) ->
+      if abs_float (obj -. base_obj) > 1e-6 then
+        Printf.printf "WARNING: jobs=%d objective differs (%.6f vs %.6f)\n" j obj base_obj)
+    milp_legs;
+  let suite_designs =
+    [ Benchmarks.tiny () ]
+    @ List.filter_map
+        (fun n -> Option.map Benchmarks.generate (Benchmarks.find n))
+        [ "B1"; "B4" ]
+  in
+  let suite_tasks =
+    Array.of_list
+      (List.map
+         (fun design () ->
+           let baseline = Placer.aging_unaware design in
+           ignore (Remap.solve ~mode:Rotation.Freeze design baseline))
+         suite_designs)
+  in
+  let suite_run jobs =
+    let _, dt =
+      time_it (fun () ->
+          if jobs = 1 then Array.iter (fun f -> f ()) suite_tasks
+          else Pool.run (Pool.get jobs) suite_tasks)
+    in
+    Printf.printf "  suite fan-out jobs=%d  %6.3fs (%d benchmarks)\n%!" jobs dt
+      (Array.length suite_tasks);
+    dt
+  in
+  let suite_1 = suite_run 1 in
+  let suite_4 = suite_run 4 in
+  Printf.printf
+    "domains available: %d; B&B speedup at 4 domains %.2fx; suite fan-out %.2fx\n%!"
+    domains_available
+    (base_dt /. (let _, dt, _ = List.nth milp_legs 2 in dt))
+    (suite_1 /. suite_4);
   let json_leg (stats : Milp.stats) dt =
     Printf.sprintf
       "{\"seconds\": %.4f, \"nodes\": %d, \"lp_iterations\": %d, \"warm_solves\": %d, \
@@ -795,7 +874,11 @@ let bench_smoke_lp () =
     \             \"sparse_lu\": %s,\n\
     \             \"wall_speedup\": %.3f, \"pivot_speedup\": %.3f},\n\
     \  \"deadline\": {\"deadline_s\": %.3f, \"runs\": %d, \"p50_s\": %.4f, \"p99_s\": \
-     %.4f, \"max_s\": %.4f, \"rungs\": {%s}}\n\
+     %.4f, \"max_s\": %.4f, \"rungs\": {%s}},\n\
+    \  \"parallel\": {\"domains_available\": %d,\n\
+    \               \"milp\": [%s],\n\
+    \               \"suite\": {\"benchmarks\": %d, \"jobs1_s\": %.4f, \"jobs4_s\": \
+     %.4f, \"speedup\": %.3f}}\n\
      }\n"
     (LpModel.num_vars lp) (LpModel.num_constraints lp)
     warm_stats.Milp.presolve.Agingfp_lp.Presolve.rows_removed
@@ -813,7 +896,17 @@ let bench_smoke_lp () =
     deadline_s (Array.length sorted) p50 p99
     sorted.(Array.length sorted - 1)
     (String.concat ", "
-       (List.map (fun (r, n) -> Printf.sprintf "\"%s\": %d" r n) rung_rows));
+       (List.map (fun (r, n) -> Printf.sprintf "\"%s\": %d" r n) rung_rows))
+    domains_available
+    (String.concat ", "
+       (List.map
+          (fun (j, dt, obj) ->
+            Printf.sprintf
+              "{\"jobs\": %d, \"seconds\": %.4f, \"speedup_vs_1\": %.3f, \"objective\": \
+               %.4f}"
+              j dt (base_dt /. dt) obj)
+          milp_legs))
+    (Array.length suite_tasks) suite_1 suite_4 (suite_1 /. suite_4);
   close_out oc;
   Printf.printf "wrote BENCH_lp.json (speedup %.2fx, iteration ratio %.2fx)\n%!"
     (cold_dt /. warm_dt)
@@ -842,8 +935,21 @@ let all_experiments =
     ("micro", bench_micro);
   ]
 
+(* Logs reporters are not domain-safe; the parallel scenarios log from
+   pool domains, so serialize the whole report path. *)
+let mutex_reporter inner =
+  let m = Mutex.create () in
+  {
+    Logs.report =
+      (fun src level ~over k msgf ->
+        Mutex.lock m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock m)
+          (fun () -> inner.Logs.report src level ~over k msgf));
+  }
+
 let () =
-  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_reporter (mutex_reporter (Logs.format_reporter ()));
   Logs.set_level (Some Logs.Error);
   let args = List.tl (Array.to_list Sys.argv) in
   let args =

@@ -3,6 +3,7 @@
    Subcommands:
      list            show the Table-I benchmark suite
      remap           run the full Algorithm-1 flow on a benchmark or DSL file
+     suite           run Table-I benchmarks (optionally across domains)
      mttf            report the baseline (aging-unaware) MTTF breakdown
      heatmap         print stress and thermal maps before/after re-mapping
      lint            static-analyze formulation-(3) models (or an .lp file) *)
@@ -24,10 +25,28 @@ module Milp = Agingfp_lp.Milp
 module Faults = Agingfp_lp.Faults
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
+module Pool = Agingfp_util.Pool
+module Budget = Agingfp_util.Budget
+
+(* [Logs.format_reporter] is not serialized; with [--jobs > 1] pool
+   tasks log concurrently and interleave mid-line without this. *)
+let mutex_reporter inner =
+  let m = Mutex.create () in
+  {
+    Logs.report =
+      (fun src level ~over k msgf ->
+        Mutex.lock m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock m)
+          (fun () -> inner.Logs.report src level ~over k msgf));
+  }
 
 let setup_logs level =
-  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_reporter (mutex_reporter (Logs.format_reporter ()));
   Logs.set_level level
+
+(* [--jobs 0] means "one per core". *)
+let resolve_jobs jobs = if jobs <= 0 then Pool.default_jobs () else jobs
 
 (* Context for the top-level fatal handler: which benchmark/input and
    which pipeline phase was active when an exception escaped, so the
@@ -145,7 +164,7 @@ let solver_stats_table () =
     ]
 
 let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
-    techmap stats certify deadline inject_faults =
+    techmap stats certify deadline inject_faults jobs =
   let fault_spec =
     match inject_faults with
     | None -> Ok Faults.none
@@ -169,7 +188,12 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
     Milp.reset_cumulative ();
     Remap.reset_certification ();
     let params =
-      { Remap.default_params with Remap.certify; deadline_s = deadline }
+      {
+        Remap.default_params with
+        Remap.certify;
+        deadline_s = deadline;
+        jobs = resolve_jobs jobs;
+      }
     in
     set_diag "remap";
     let r, fired =
@@ -228,6 +252,68 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
       | Error msg -> prerr_endline msg)
     | None -> ());
     if cert_failed || not (Audit.ok r.Remap.audit) then 1 else 0
+
+(* Table-I sweep. Benchmarks are independent solves, so with
+   [--jobs > 1] they fan out over a domain pool; each task solves
+   sequentially (inner jobs = 1) — one level of parallelism saturates
+   the machine without oversubscribing it. Results are collected in
+   input order, so the report is identical at any job count. *)
+let cmd_suite jobs quick deadline =
+  let jobs = resolve_jobs jobs in
+  let specs =
+    let all = Array.to_list Benchmarks.table1 in
+    if quick then List.filteri (fun i _ -> i < 6) all else all
+  in
+  set_diag "suite";
+  let run_one (spec : Benchmarks.spec) =
+    diag_benchmark := spec.Benchmarks.bname;
+    let design = Benchmarks.generate spec in
+    let baseline = Placer.aging_unaware design in
+    let params = { Remap.default_params with Remap.deadline_s = deadline } in
+    let t = Budget.create () in
+    let freeze_res, rotate_res = Remap.solve_both ~params design baseline in
+    let secs = Budget.elapsed_s t in
+    let imp r = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
+    ( spec,
+      imp freeze_res,
+      imp rotate_res,
+      rotate_res.Remap.rung,
+      secs,
+      Audit.ok freeze_res.Remap.audit && Audit.ok rotate_res.Remap.audit )
+  in
+  let wall = Budget.create () in
+  let results =
+    if jobs = 1 then List.map run_one specs
+    else
+      Array.to_list (Pool.map (Pool.get jobs) run_one (Array.of_list specs))
+  in
+  let wall_s = Budget.elapsed_s wall in
+  set_diag "report";
+  let rows =
+    List.map
+      (fun ((spec : Benchmarks.spec), fr, rr, rung, secs, ok) ->
+        [|
+          spec.Benchmarks.bname;
+          Printf.sprintf "%.2fx" fr;
+          Printf.sprintf "%.2fx" spec.Benchmarks.paper_freeze;
+          Printf.sprintf "%.2fx" rr;
+          Printf.sprintf "%.2fx" spec.Benchmarks.paper_rotate;
+          Format.asprintf "%a" Remap.pp_rung rung;
+          Printf.sprintf "%.2f" secs;
+          (if ok then "ok" else "FAILED");
+        |])
+      results
+  in
+  print_endline
+    (Ascii_table.render
+       ~header:
+         [|
+           "name"; "freeze"; "paper"; "rotate"; "paper"; "rung"; "sec"; "audit";
+         |]
+       rows);
+  Printf.printf "%d benchmarks in %.2f s with --jobs %d\n" (List.length results) wall_s
+    jobs;
+  if List.for_all (fun (_, _, _, _, _, ok) -> ok) results then 0 else 1
 
 let cmd_heatmap benchmark source dim mode_s =
   match (load_design benchmark source dim, mode_of_string mode_s) with
@@ -450,6 +536,13 @@ let inject_faults_arg =
               comma-separated key=value with keys seed, iter, pivot, mag, infeas, \
               raise — e.g. seed=42,infeas=0.3,raise=0.05.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Domains used by the solver's parallel layer (1 = sequential, 0 = one \
+              per core).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -473,11 +566,27 @@ let mttf_cmd =
 let remap_cmd =
   Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
     Term.(
-      const (fun verbose b s d m q df sd sf tm stats certify deadline faults ->
-          with_logs verbose (fun () -> cmd_remap b s d m q df sd sf tm stats certify deadline faults))
+      const (fun verbose b s d m q df sd sf tm stats certify deadline faults jobs ->
+          with_logs verbose (fun () ->
+              cmd_remap b s d m q df sd sf tm stats certify deadline faults jobs))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
       $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg
-      $ certify_arg $ deadline_arg $ inject_faults_arg)
+      $ certify_arg $ deadline_arg $ inject_faults_arg $ jobs_arg)
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Run only the first six Table-I benchmarks.")
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run the Table-I benchmark sweep, optionally fanning the independent \
+             benchmarks out over a domain pool (--jobs)")
+    Term.(
+      const (fun verbose jobs quick deadline ->
+          with_logs verbose (fun () -> cmd_suite jobs quick deadline))
+      $ verbose_arg $ jobs_arg $ quick_arg $ deadline_arg)
 
 let out_arg =
   Arg.(
@@ -541,8 +650,8 @@ let main_cmd =
   let doc = "MILP-based aging-aware floorplanner for multi-context CGRRAs" in
   Cmd.group (Cmd.info "agingfp" ~version:"1.0.0" ~doc)
     [
-      list_cmd; mttf_cmd; remap_cmd; heatmap_cmd; related_cmd; export_lp_cmd; route_cmd;
-      lint_cmd;
+      list_cmd; mttf_cmd; remap_cmd; suite_cmd; heatmap_cmd; related_cmd; export_lp_cmd;
+      route_cmd; lint_cmd;
     ]
 
 (* Exit codes of the structured fatal handler; 1/2 stay cmdliner's

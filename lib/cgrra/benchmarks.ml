@@ -151,7 +151,12 @@ let gen_context rng ~num_ops =
       wire rest
   in
   wire layers;
-  Dfg.create ~ops ~edges:(Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+  (* Hashtbl.fold order depends on the (possibly randomized) hash
+     seed; sort so a generator seed always yields the same DFG —
+     edge order feeds Dfg succs/preds and from there placement and
+     path enumeration tie-breaking. *)
+  Dfg.create ~ops
+    ~edges:(List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) edges []))
 
 let seed_of_name name =
   (* Stable small hash of the benchmark name. *)

@@ -10,8 +10,23 @@ type t = {
   radii : int array array;
 }
 
-let build ?(params = default_params) design mapping ~frozen ~monitored =
+let build ?(budget = Agingfp_util.Budget.unlimited) ?(params = default_params) design
+    mapping ~frozen ~monitored =
   let fabric = Design.fabric design in
+  (* Cooperative deadline checkpointing: candidate generation is
+     O(ops * PEs log PEs) and used to be the largest uninterruptible
+     unit of a deadline-bounded solve. Once [budget] expires the
+     remaining ops get the trivial radius-0 neighbourhood — still a
+     valid candidate structure (every op keeps a home), built in
+     negligible time; the caller's own expiry checks then descend the
+     degradation ladder before these sets are ever solved against. *)
+  let expired = ref false in
+  let ops_seen = ref 0 in
+  let checkpoint () =
+    incr ops_seen;
+    if (not !expired) && !ops_seen land 7 = 0 && Agingfp_util.Budget.expired budget then
+      expired := true
+  in
   let baseline_acc = Stress.accumulated design mapping in
   let ncontexts = Design.num_contexts design in
   let sets = Array.init ncontexts (fun c -> Array.make (Dfg.num_ops (Design.context design c)) []) in
@@ -48,10 +63,11 @@ let build ?(params = default_params) design mapping ~frozen ~monitored =
           b.Paths.path.Agingfp_timing.Analysis.nodes)
       monitored.(ctx);
     for op = 0 to n - 1 do
+      checkpoint ();
       if frozen_flags.(ctx).(op) then sets.(ctx).(op) <- [ frozen_pe.(op) ]
       else begin
         let orig = Mapping.pe_of mapping ~ctx ~op in
-        let r = min radii.(ctx).(op) diameter in
+        let r = if !expired then 0 else min radii.(ctx).(op) diameter in
         radii.(ctx).(op) <- r;
         (* When a DFG neighbour is pinned (possibly far away after
            critical-path rotation), the op must be able to follow it,

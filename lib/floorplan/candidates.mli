@@ -26,12 +26,18 @@ type t
 (** Candidate sets for one remapping problem. *)
 
 val build :
+  ?budget:Agingfp_util.Budget.t ->
   ?params:params ->
   Design.t ->
   Mapping.t ->
   frozen:Rotation.plan ->
   monitored:Paths.budgeted list array ->
   t
+(** When [budget] (default unlimited) expires mid-build, the remaining
+    operations receive the trivial radius-0 candidate set — still
+    structurally valid, so the deadline-bounded caller can keep
+    degrading gracefully instead of blocking on the full
+    O(ops × PEs log PEs) generation. *)
 
 val get : t -> ctx:int -> op:int -> int list
 (** Candidate PEs for an unfrozen operation (always contains its

@@ -5,6 +5,7 @@ module Simplex = Agingfp_lp.Simplex
 module Analyze = Agingfp_lp.Analyze
 module Certify = Agingfp_lp.Certify
 module Budget = Agingfp_util.Budget
+module Pool = Agingfp_util.Pool
 module Faults = Agingfp_lp.Faults
 
 let src = Logs.Src.create "agingfp.remap" ~doc:"Aging-aware remapping"
@@ -32,6 +33,7 @@ type params = {
   refine_params : Refine.params;
   certify : bool;
   deadline_s : float option;
+  jobs : int;
 }
 
 let default_params =
@@ -52,6 +54,7 @@ let default_params =
     refine_params = Refine.default_params;
     certify = false;
     deadline_s = None;
+    jobs = 1;
   }
 
 (* ---------- degradation ladder ---------- *)
@@ -103,10 +106,16 @@ type certification_stats = {
 let no_certification =
   { lp_checked = 0; milp_checked = 0; rejected = 0; failures = [] }
 
+(* Certification tallies are fed from pool tasks when [jobs > 1]. *)
 let cert = ref no_certification
+let cert_mutex = Mutex.create ()
 
-let reset_certification () = cert := no_certification
-let certification () = !cert
+let with_cert f =
+  Mutex.lock cert_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cert_mutex) f
+
+let reset_certification () = with_cert (fun () -> cert := no_certification)
+let certification () = with_cert (fun () -> !cert)
 
 let rec take n = function
   | [] -> []
@@ -114,19 +123,20 @@ let rec take n = function
   | x :: rest -> x :: take (n - 1) rest
 
 let note_certificate ~kind verdict =
-  let c = !cert in
-  let c =
-    match kind with
-    | `Lp -> { c with lp_checked = c.lp_checked + 1 }
-    | `Milp -> { c with milp_checked = c.milp_checked + 1 }
-  in
-  match verdict with
-  | Certify.Certified | Certify.Unsupported _ -> cert := c
-  | Certify.Rejected msgs ->
-    let failure = String.concat "; " msgs in
-    Log.err (fun k -> k "solution certificate rejected: %s" failure);
-    cert :=
-      { c with rejected = c.rejected + 1; failures = take 8 (failure :: c.failures) }
+  with_cert (fun () ->
+      let c = !cert in
+      let c =
+        match kind with
+        | `Lp -> { c with lp_checked = c.lp_checked + 1 }
+        | `Milp -> { c with milp_checked = c.milp_checked + 1 }
+      in
+      match verdict with
+      | Certify.Certified | Certify.Unsupported _ -> cert := c
+      | Certify.Rejected msgs ->
+        let failure = String.concat "; " msgs in
+        Log.err (fun k -> k "solution certificate rejected: %s" failure);
+        cert :=
+          { c with rejected = c.rejected + 1; failures = take 8 (failure :: c.failures) })
 
 let empty_plan design : Rotation.plan = Array.make (Design.num_contexts design) []
 
@@ -144,8 +154,13 @@ let frozen_stress design (plan : Rotation.plan) =
 
 (* Best-fit-decreasing packing of the unfrozen ops of [ctx] under the
    residual budgets, optionally guided by LP values. Mutates
-   [committed] and [assignment] on success only. *)
-let pack_context design ~candidates ~st_target ~committed ~lp_value ctx assignment =
+   [committed] and [assignment] on success only. Polls [budget] every
+   few ops: the packer used to be the largest uninterruptible unit in
+   the pipeline and the main source of deadline overshoot. An expired
+   budget reads as packing failure, which every caller already treats
+   as "stop and degrade". *)
+let pack_context ?(budget = Budget.unlimited) design ~candidates ~st_target ~committed
+    ~lp_value ctx assignment =
   let dfg = Design.context design ctx in
   let n = Dfg.num_ops dfg in
   let npes = Array.length committed in
@@ -226,10 +241,14 @@ let pack_context design ~candidates ~st_target ~committed ~lp_value ctx assignme
     scan (Candidates.get candidates ~ctx ~op)
   in
   let ok = ref true in
+  let placed = ref 0 in
   Array.iter
     (fun op ->
-      if !ok && not (Candidates.is_frozen candidates ~ctx ~op) then
-        if not (try_direct op || try_eject op) then ok := false)
+      if !ok && not (Candidates.is_frozen candidates ~ctx ~op) then begin
+        incr placed;
+        if !placed land 7 = 0 && Budget.expired budget then ok := false
+        else if not (try_direct op || try_eject op) then ok := false
+      end)
     order;
   if not !ok then false
   else begin
@@ -360,8 +379,8 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
     let committed' = Array.copy committed in
     let dfg = Design.context design ctx in
     let assignment = Array.make (Dfg.num_ops dfg) (-1) in
-    if pack_context design ~candidates ~st_target ~committed:committed' ~lp_value ctx
-         assignment
+    if pack_context ~budget design ~candidates ~st_target ~committed:committed' ~lp_value
+         ctx assignment
     then begin
       let arrays =
         Array.init (Design.num_contexts design) (fun c ->
@@ -516,9 +535,10 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
       (fun ctx ->
         if !failed < 0 then
           if
-            not
-              (pack_context design ~candidates ~st_target ~committed:committed'
-                 ~lp_value:(lp_value ctx) ctx arrays.(ctx))
+            Budget.expired budget
+            || not
+                 (pack_context ~budget design ~candidates ~st_target ~committed:committed'
+                    ~lp_value:(lp_value ctx) ctx arrays.(ctx))
           then failed := ctx)
       order;
     if !failed >= 0 then Error !failed
@@ -607,18 +627,111 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
       Array.iter
         (fun ctx ->
           if !failed < 0 then begin
-            match
-              solve_context params design baseline ~candidates ~monitored ~st_target
-                ~committed:committed' ~cache ~budget ~machinery ~note ctx !current
-            with
-            | Some mapping -> current := mapping
-            | None -> failed := ctx
+            if Budget.expired budget then failed := ctx
+            else
+              match
+                solve_context params design baseline ~candidates ~monitored ~st_target
+                  ~committed:committed' ~cache ~budget ~machinery ~note ctx !current
+              with
+              | Some mapping -> current := mapping
+              | None -> failed := ctx
           end)
         order;
       if !failed < 0 then Ok !current else Error !failed
     in
+    (* Parallel variant: solve every context speculatively against the
+       phase-start committed loads (each task owns a fresh cache,
+       committed copy and note collector — nothing warm crosses a
+       domain), then commit sequentially in pass order, re-validating
+       each speculative assignment against the stress actually
+       committed by earlier contexts. Path budgets need no re-check:
+       a context's monitored paths depend only on its own assignment.
+       A speculative result that no longer fits falls back to the
+       ordinary sequential solve for that context, so the parallel
+       pass is never less capable than the sequential one. *)
+    let jobs = max 1 params.jobs in
+    let pass_parallel order =
+      let n_ctx = Array.length order in
+      let waves = max 1 ((n_ctx + jobs - 1) / jobs) in
+      (* Per-task budget slice: with [jobs] domains the batch runs in
+         about [waves] sequential waves, so each task may fairly spend
+         that fraction of the remaining time. *)
+      let task_budget =
+        if Budget.is_unlimited budget then budget
+        else Budget.slice budget ~fraction:(1.0 /. float_of_int waves)
+      in
+      let pool = Pool.get jobs in
+      let speculative =
+        Pool.map_budgeted pool ~budget
+          (fun ctx ->
+            let notes = ref [] in
+            let note_local reason detail = notes := (reason, detail) :: !notes in
+            let committed_spec = Array.copy committed in
+            let cache_spec = new_cache () in
+            let r =
+              solve_context params design baseline ~candidates ~monitored ~st_target
+                ~committed:committed_spec ~cache:cache_spec ~budget:task_budget
+                ~machinery ~note:note_local ctx baseline
+            in
+            (Option.map (fun m -> Mapping.context_array m ctx) r, List.rev !notes))
+          order
+      in
+      let committed' = Array.copy committed in
+      let current = ref baseline in
+      let failed = ref (-1) in
+      Array.iteri
+        (fun i ctx ->
+          if !failed < 0 then begin
+            if Budget.expired budget then failed := ctx
+            else begin
+              let fallback () =
+                match
+                  solve_context params design baseline ~candidates ~monitored ~st_target
+                    ~committed:committed' ~cache ~budget ~machinery ~note ctx !current
+                with
+                | Some mapping -> current := mapping
+                | None -> failed := ctx
+              in
+              match speculative.(i) with
+              | None -> fallback ()
+              | Some (spec, notes) -> (
+                List.iter (fun (r, d) -> note r d) notes;
+                match spec with
+                | None -> fallback ()
+                | Some assignment ->
+                  let dfg = Design.context design ctx in
+                  let add = Array.make (Array.length committed') 0.0 in
+                  for op = 0 to Dfg.num_ops dfg - 1 do
+                    if not (Candidates.is_frozen candidates ~ctx ~op) then begin
+                      let pe = assignment.(op) in
+                      add.(pe) <- add.(pe) +. Stress.op_stress design ~ctx ~op
+                    end
+                  done;
+                  let fits = ref true in
+                  Array.iteri
+                    (fun pe extra ->
+                      if extra > 0.0 && committed'.(pe) +. extra > st_target +. 1e-9 then
+                        fits := false)
+                    add;
+                  if not !fits then fallback ()
+                  else begin
+                    Array.iteri
+                      (fun pe extra -> committed'.(pe) <- committed'.(pe) +. extra)
+                      add;
+                    let arrays =
+                      Array.init (Design.num_contexts design) (fun c ->
+                          if c = ctx then assignment else Mapping.context_array !current c)
+                    in
+                    current := Mapping.of_arrays arrays
+                  end)
+            end
+          end)
+        order;
+      if !failed < 0 then Ok !current else Error !failed
+    in
+    let do_pass = if jobs > 1 then pass_parallel else pass in
     let rec retry order tries =
-      match pass order with
+      match do_pass order with
       | Ok mapping -> Some mapping
       | Error failed ->
         if tries = 0 || Budget.expired budget then None
@@ -651,7 +764,8 @@ let step1_lower_bound ?(params = default_params) ?(budget = Budget.unlimited) de
       { params.candidate_params with Candidates.max_candidates = 0 }
     in
     let candidates =
-      Candidates.build ~params:step1_cand_params design baseline ~frozen ~monitored
+      Candidates.build ~budget ~params:step1_cand_params design baseline ~frozen
+        ~monitored
     in
     (* One warm-started solver cache across the whole bisection — only
        the stress-budget RHS moves between probes. *)
@@ -666,6 +780,10 @@ let step1_lower_bound ?(params = default_params) ?(budget = Budget.unlimited) de
         let committed = Array.make npes 0.0 in
         let ok = ref true in
         for ctx = 0 to Design.num_contexts design - 1 do
+          (* An expired probe claims infeasible: the bisection keeps its
+             lo-infeasible/hi-feasible invariant and merely returns a
+             looser (never wrong) bound. *)
+          if !ok && Budget.expired budget then ok := false;
           if !ok then begin
             let dfg = Design.context design ctx in
             let n = Dfg.num_ops dfg in
@@ -701,7 +819,7 @@ let step1_lower_bound ?(params = default_params) ?(budget = Budget.unlimited) de
             let assignment = Array.make (Dfg.num_ops dfg) (-1) in
             if
               not
-                (pack_context design ~candidates ~st_target:st ~committed
+                (pack_context ~budget design ~candidates ~st_target:st ~committed
                    ~lp_value:(fun _ _ -> 0.0) ctx assignment)
             then ok := false
           end
@@ -770,7 +888,8 @@ let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~ref
     ~frozen =
   let monitored = Paths.monitored ~params:params.path_params design baseline in
   let candidates =
-    Candidates.build ~params:params.candidate_params design reference ~frozen ~monitored
+    Candidates.build ~budget ~params:params.candidate_params design reference ~frozen
+      ~monitored
   in
   let floor_stress = Array.fold_left max 0.0 (frozen_stress design frozen) in
   let delta = max ((st_up -. lb) /. float_of_int params.delta_steps) (0.01 *. st_up +. 1e-9) in
@@ -802,9 +921,94 @@ let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~ref
      survive. *)
   let run_rung machinery rbudget =
     let note reason detail = note_step machinery reason detail in
+    let jobs = max 1 params.jobs in
+    (* Accept-or-relax check shared by both ladder shapes: a candidate
+       floorplan wins only if it validates and keeps the CPD. *)
+    let acceptable mapping =
+      match Mapping.validate design mapping with
+      | Error msg ->
+        (* A solver bug must not end the search; relax and retry. *)
+        Log.err (fun k -> k "invalid remapped floorplan: %s" msg);
+        None
+      | Ok () ->
+        let new_cpd = Analysis.cpd design mapping in
+        if new_cpd <= baseline_cpd +. 1e-9 then Some new_cpd
+        else begin
+          Log.debug (fun k ->
+              k "CPD check failed (%.3f > %.3f); relaxing ST_target" new_cpd baseline_cpd);
+          None
+        end
+    in
     let rec loop st iter =
       if iter > params.max_outer then Error Budget.Optimal
       else if Budget.expired rbudget then Error (Budget.status rbudget)
+      else if jobs > 1 then begin
+        (* Δ-window fan-out: the next [window] ST_target attempts are
+           independent by construction (each is a fresh build at its
+           own ST), so evaluate them concurrently and keep the
+           lowest-ST acceptable floorplan — the same floorplan the
+           sequential ladder would have accepted first. Each task gets
+           a fresh cache (warm simplex states are domain-local) and a
+           local note collector replayed in ST order afterwards. *)
+        let window = min jobs (params.max_outer - iter + 1) in
+        let sts = Array.init window (fun i -> st +. (float_of_int i *. delta)) in
+        Log.debug (fun k ->
+            k "%s: [%a] attempts %d..%d with ST_target %.3f..%.3f (up %.3f)"
+              (Design.name design) pp_rung machinery iter
+              (iter + window - 1)
+              sts.(0)
+              sts.(window - 1)
+              st_up);
+        let pool = Pool.get jobs in
+        let outcomes =
+          Pool.map_budgeted pool ~budget:rbudget
+            (fun st_i ->
+              let notes = ref [] in
+              let cut = ref Budget.Optimal in
+              let note_cut reason detail =
+                cut := Budget.worst !cut reason;
+                notes := (reason, detail) :: !notes
+              in
+              let r =
+                attempt ~cache:(new_cache ()) ~budget:rbudget ~machinery ~note:note_cut
+                  params design reference ~candidates ~monitored ~frozen ~st_target:st_i
+              in
+              (r, !cut, List.rev !notes))
+            sts
+        in
+        Array.iter
+          (function
+            | None -> ()
+            | Some (_, _, notes) -> List.iter (fun (r, d) -> note r d) notes)
+          outcomes;
+        let rec pick i =
+          if i >= window then None
+          else
+            match outcomes.(i) with
+            | Some (Some mapping, _, _) -> (
+              match acceptable mapping with
+              | Some new_cpd -> Some (mapping, sts.(i), iter + i, new_cpd)
+              | None -> pick (i + 1))
+            | _ -> pick (i + 1)
+        in
+        match pick 0 with
+        | Some success -> Ok success
+        | None -> (
+          let fault =
+            Array.fold_left
+              (fun acc o ->
+                match (acc, o) with
+                | None, Some (_, (Budget.Fault _ as f), _) -> Some f
+                | acc, _ -> acc)
+              None outcomes
+          in
+          match fault with
+          | Some f ->
+            (* The machinery of this rung is actively misbehaving;
+               descending beats hammering it for max_outer attempts. *)
+            Error f
+          | None -> loop (st +. (float_of_int window *. delta)) (iter + window))
+      end
       else begin
         Log.debug (fun k ->
             k "%s: [%a] attempt %d with ST_target = %.3f (up %.3f)" (Design.name design)
@@ -819,20 +1023,9 @@ let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~ref
             reference ~candidates ~monitored ~frozen ~st_target:st
         with
         | Some mapping -> (
-          match Mapping.validate design mapping with
-          | Error msg ->
-            (* A solver bug must not end the search; relax and retry. *)
-            Log.err (fun k -> k "invalid remapped floorplan: %s" msg);
-            loop (st +. delta) (iter + 1)
-          | Ok () ->
-            let new_cpd = Analysis.cpd design mapping in
-            if new_cpd <= baseline_cpd +. 1e-9 then Ok (mapping, st, iter, new_cpd)
-            else begin
-              Log.debug (fun k ->
-                  k "CPD check failed (%.3f > %.3f); relaxing ST_target" new_cpd
-                    baseline_cpd);
-              loop (st +. delta) (iter + 1)
-            end)
+          match acceptable mapping with
+          | Some new_cpd -> Ok (mapping, st, iter, new_cpd)
+          | None -> loop (st +. delta) (iter + 1))
         | None -> (
           match !cut with
           | Budget.Fault _ as f ->

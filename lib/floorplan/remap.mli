@@ -55,6 +55,19 @@ type params = {
           {!solve} never hangs past the deadline by more than one
           cooperative checkpoint interval. [None] (default) reproduces
           the unbounded behaviour. *)
+  jobs : int;
+      (** Domains used inside one solve. [1] (the default) is the
+          classic sequential pipeline. [jobs > 1] parallelizes the two
+          independent fan-out points on a {!Agingfp_util.Pool}: the
+          Δ-relaxation ladder evaluates a window of ST_target attempts
+          concurrently and keeps the lowest acceptable one, and the
+          per-context strategy solves every context's ILP
+          speculatively before a sequential validate-and-commit pass
+          (falling back to the sequential per-context solve whenever a
+          speculative assignment no longer fits the committed stress).
+          Results still pass the same {!Audit} gate; they may differ
+          from the sequential floorplan only in which equally-audited
+          mapping is found first. Values [< 1] are treated as [1]. *)
 }
 
 val default_params : params

@@ -13,6 +13,7 @@ type params = {
   presolve : bool;
   warm_start : bool;
   budget : Budget.t;
+  jobs : int;
 }
 
 let default_params =
@@ -24,6 +25,7 @@ let default_params =
     presolve = true;
     warm_start = true;
     budget = Budget.unlimited;
+    jobs = 1;
   }
 
 type stats = {
@@ -82,27 +84,32 @@ let pp_stats ppf s =
 
 (* Cumulative counters across all solves since the last reset — the
    remap pipeline runs many MILPs/LPs per floorplan, and the CLI
-   [--stats] flag and benches report the aggregate. *)
+   [--stats] flag and benches report the aggregate. Parallel remap
+   tasks accumulate from several domains, hence the mutex. *)
 let cum = ref zero_stats
+let cum_mutex = Mutex.create ()
 
-let reset_cumulative () = cum := zero_stats
-let cumulative () = !cum
-let accumulate s = cum := add_stats !cum s
+let with_cum f =
+  Mutex.lock cum_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cum_mutex) f
+
+let reset_cumulative () = with_cum (fun () -> cum := zero_stats)
+let cumulative () = with_cum (fun () -> !cum)
+let accumulate s = with_cum (fun () -> cum := add_stats !cum s)
 
 let note_lp_solve ?(refactorizations = 0) ?(eta_updates = 0) ?(fill_in = 0)
     ?(drift_refreshes = 0) ~warm ~iterations () =
-  cum :=
-    add_stats !cum
-      {
-        zero_stats with
-        warm_solves = (if warm then 1 else 0);
-        cold_solves = (if warm then 0 else 1);
-        lp_iterations = iterations;
-        refactorizations;
-        eta_updates;
-        fill_in;
-        drift_refreshes;
-      }
+  accumulate
+    {
+      zero_stats with
+      warm_solves = (if warm then 1 else 0);
+      cold_solves = (if warm then 0 else 1);
+      lp_iterations = iterations;
+      refactorizations;
+      eta_updates;
+      fill_in;
+      drift_refreshes;
+    }
 
 let pp_result ppf = function
   | Feasible s -> Format.fprintf ppf "feasible (obj = %g)" s.objective
@@ -125,6 +132,199 @@ let fractional_var params int_vars (sol : Simplex.solution) =
   !best
 
 let solution_sign dir = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0
+
+(* ---------- parallel branch & bound ---------- *)
+
+module Pool = Agingfp_util.Pool
+
+(* An open node is represented relative to the root: the bound changes
+   accumulated on the path down (most recent first) plus the parent's
+   relaxation objective, which prunes the node against the shared
+   incumbent before any LP work is spent on it. *)
+type pnode = { fixes : (int * float * float) list; bound : float option }
+
+(* Search the tree with [jobs] domains pumping a shared LIFO node
+   queue. The shared presolved [model] is never mutated: every worker
+   owns a private model copy and a private assembled solver state, so
+   warm bases stay domain-local (a [Simplex.state] must not cross
+   domains). The incumbent, node counter and stop bookkeeping live
+   under one mutex.
+
+   Soundness of the shared-incumbent prune: a node whose parent
+   relaxation is not strictly better than the incumbent cannot contain
+   a strictly better integer point, so dropping it never changes the
+   optimal objective — only the node count. Same argument as the
+   sequential post-solve prune, applied one level earlier. *)
+let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
+  let n_vars = Model.num_vars model in
+  let root_lb = Array.init n_vars (Model.var_lb model) in
+  let root_ub = Array.init n_vars (Model.var_ub model) in
+  let mx = Mutex.create () in
+  let cond = Condition.create () in
+  let queue = ref [ { fixes = []; bound = None } ] in
+  let active = ref 0 in
+  let nodes = ref 0 in
+  let incumbent = ref None in
+  let halt = ref false in
+  let budget_hit = ref false in
+  let stop = ref Budget.Optimal in
+  let locked f =
+    Mutex.lock mx;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mx) f
+  in
+  (* Callees below run with [mx] held. *)
+  let note_stop r = stop := worst_stop !stop r in
+  let give_up reason =
+    budget_hit := true;
+    note_stop reason;
+    halt := true
+  in
+  let better obj =
+    match !incumbent with
+    | None -> true
+    | Some (s : Simplex.solution) -> sign *. obj < (sign *. s.objective) -. 1e-9
+  in
+  let rec take () =
+    if !halt then None
+    else
+      match !queue with
+      | n :: rest ->
+        queue := rest;
+        incr active;
+        Some n
+      | [] ->
+        if !active = 0 then None
+        else begin
+          Condition.wait cond mx;
+          take ()
+        end
+  in
+  let worker_stats = Array.make jobs None in
+  let worker wid () =
+    let wmodel = Model.copy model in
+    let wst = Simplex.assemble ~params:lp_params wmodel in
+    let solved_once = ref false in
+    let applied = ref [] in
+    let enter n =
+      (* Reset whatever the previous node changed, then apply this
+         node's path root-first so the deepest branching wins when a
+         variable was branched on twice. *)
+      List.iter
+        (fun (v, _, _) ->
+          Model.set_bounds wmodel v ~lb:root_lb.(v) ~ub:root_ub.(v);
+          Simplex.set_var_bounds wst v ~lb:root_lb.(v) ~ub:root_ub.(v))
+        !applied;
+      List.iter
+        (fun (v, lb, ub) ->
+          Model.set_bounds wmodel v ~lb ~ub;
+          Simplex.set_var_bounds wst v ~lb ~ub)
+        (List.rev n.fixes);
+      applied := n.fixes
+    in
+    let process n =
+      let proceed =
+        locked (fun () ->
+            if !halt then false
+            else if Budget.expired params.budget then begin
+              give_up (Budget.status params.budget);
+              false
+            end
+            else if !nodes >= params.node_limit then begin
+              give_up Budget.Node_limit;
+              false
+            end
+            else
+              match n.bound with
+              | Some b when not (better b) -> false (* pruned by incumbent *)
+              | _ ->
+                incr nodes;
+                true)
+      in
+      if proceed then begin
+        enter n;
+        let status =
+          if (not !solved_once) || not params.warm_start then Simplex.solve_state wst
+          else Simplex.reoptimize wst
+        in
+        solved_once := true;
+        match status with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+          Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
+        | Simplex.Iteration_limit -> locked (fun () -> give_up Budget.Iteration_limit)
+        | Simplex.Deadline -> locked (fun () -> give_up Budget.Deadline)
+        | Simplex.Fault msg ->
+          (* Same contract as the sequential search: a faulted solver
+             state cannot be trusted for siblings; stop the whole
+             search and keep the incumbent found so far. *)
+          locked (fun () -> give_up (Budget.Fault msg))
+        | Simplex.Optimal sol ->
+          locked (fun () ->
+              if better sol.objective then begin
+                match fractional_var params int_vars sol with
+                | None ->
+                  incumbent := Some { sol with Simplex.values = Array.copy sol.values };
+                  if params.first_solution then halt := true
+                | Some v ->
+                  let x = sol.values.(v) in
+                  let lb = Model.var_lb wmodel v and ub = Model.var_ub wmodel v in
+                  let down =
+                    { fixes = (v, lb, Float.of_int (int_of_float (floor x))) :: n.fixes;
+                      bound = Some sol.objective }
+                  in
+                  let up =
+                    { fixes = (v, Float.of_int (int_of_float (ceil x)), ub) :: n.fixes;
+                      bound = Some sol.objective }
+                  in
+                  (* LIFO: push the child nearest the relaxed value
+                     last-popped-first, mirroring the sequential dive
+                     order. *)
+                  let first, second = if x -. floor x > 0.5 then (up, down) else (down, up) in
+                  queue := first :: second :: !queue;
+                  Condition.broadcast cond
+              end)
+      end
+    in
+    let rec loop () =
+      match locked take with
+      | None -> ()
+      | Some n ->
+        (try process n
+         with Faults.Injected where -> locked (fun () -> give_up (Budget.Fault where)));
+        locked (fun () ->
+            decr active;
+            Condition.broadcast cond);
+        loop ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (* A worker dying for any reason must release the others. *)
+        locked (fun () ->
+            halt := true;
+            Condition.broadcast cond);
+        worker_stats.(wid) <- Some (Simplex.state_stats wst))
+      loop
+  in
+  let pool = Pool.get jobs in
+  Pool.run pool (Array.init jobs (fun wid () -> worker wid ()));
+  let kernel =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some (s : Simplex.state_stats) ->
+          {
+            acc with
+            warm_solves = acc.warm_solves + s.warm_solves;
+            cold_solves = acc.cold_solves + s.cold_solves;
+            lp_iterations = acc.lp_iterations + s.lp_iterations;
+            refactorizations = acc.refactorizations + s.refactorizations;
+            eta_updates = acc.eta_updates + s.eta_updates;
+            fill_in = max acc.fill_in s.fill_in;
+            drift_refreshes = acc.drift_refreshes + s.drift_refreshes;
+          })
+      zero_stats worker_stats
+  in
+  (!incumbent, !budget_hit, { kernel with nodes = !nodes; stop = !stop })
 
 let solve_with_stats ?(params = default_params) model0 =
   let dir, obj0 = Model.objective model0 in
@@ -156,6 +356,10 @@ let solve_with_stats ?(params = default_params) model0 =
       if Budget.is_unlimited params.budget then params.lp_params
       else { params.lp_params with Simplex.budget = params.budget }
     in
+    let jobs = max 1 params.jobs in
+    let incumbent, budget_hit, search =
+      if jobs > 1 then parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model
+      else begin
     let st = Simplex.assemble ~params:lp_params model in
     let nodes = ref 0 in
     let incumbent = ref None in
@@ -249,9 +453,10 @@ let solve_with_stats ?(params = default_params) model0 =
        budget_hit := true;
        note_stop (Budget.Fault where));
     let sstats = Simplex.state_stats st in
-    let stats =
+    ( !incumbent,
+      !budget_hit,
       {
-        presolve = reductions;
+        zero_stats with
         nodes = !nodes;
         warm_solves = sstats.warm_solves;
         cold_solves = sstats.cold_solves;
@@ -261,11 +466,13 @@ let solve_with_stats ?(params = default_params) model0 =
         fill_in = sstats.fill_in;
         drift_refreshes = sstats.drift_refreshes;
         stop = !stop;
-      }
+      } )
+      end
     in
+    let stats = { search with presolve = reductions } in
     accumulate stats;
     let result =
-      match !incumbent with
+      match incumbent with
       | Some sol ->
         (* Lift back to the original variable space and round every
            integer variable to an exact integral value — a relaxation
@@ -277,7 +484,7 @@ let solve_with_stats ?(params = default_params) model0 =
         List.iter (fun v -> values.(v) <- Float.round values.(v)) (Model.integer_vars model0);
         let objective = Expr.eval (fun v -> values.(v)) obj0 in
         Feasible { values; objective; iterations = sol.iterations }
-      | None -> if !budget_hit then Unknown else Infeasible
+      | None -> if budget_hit then Unknown else Infeasible
     in
     (result, stats)
 

@@ -42,6 +42,17 @@ type params = {
           [lp_params.budget] when not unlimited). On expiry the search
           stops and returns the best incumbent found so far. Default
           {!Agingfp_util.Budget.unlimited}. *)
+  jobs : int;
+      (** Domains used for the branch & bound search. [1] (the
+          default) runs the classic sequential DFS unchanged; [jobs >
+          1] pumps a shared node queue from [jobs] domains of a
+          {!Agingfp_util.Pool}, each with its own warm solver state,
+          pruning against an incumbent shared under a mutex. The
+          parallel search returns the same status and — when run to
+          completion with [first_solution = false] — the same optimal
+          objective as the sequential one; node counts and which
+          optimal point is reported may differ. Values [< 1] are
+          treated as [1]. *)
 }
 
 val default_params : params

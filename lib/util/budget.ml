@@ -23,11 +23,15 @@ let severity = function
 
 let worst a b = if severity b > severity a then b else a
 
+(* Domain safety: the deadline is immutable after creation and the
+   clock is monotonic, so [expired]/[remaining_s] may be polled from
+   any domain; the allowance is atomic so parallel workers spending on
+   a shared budget never lose updates. *)
 type t = {
   clock : unit -> int64;
   created_ns : int64;
   deadline_ns : int64 option;  (* absolute, on [clock]'s timeline *)
-  mutable allowance : int option;
+  allowance : int Atomic.t option;
   parent : t option;
 }
 
@@ -54,7 +58,8 @@ let create ?(clock = monotonic_now) ?deadline_s ?allowance () =
       if s < 0.0 then invalid_arg "Budget.create: negative deadline";
       Some (Int64.add now (Int64.of_float (s *. 1e9)))
   in
-  { clock; created_ns = now; deadline_ns; allowance; parent = None }
+  { clock; created_ns = now; deadline_ns; allowance = Option.map Atomic.make allowance;
+    parent = None }
 
 let min_deadline a b =
   match (a, b) with
@@ -104,11 +109,13 @@ let slice parent ~fraction =
     }
 
 let rec spend t n =
-  (match t.allowance with Some a -> t.allowance <- Some (max 0 (a - n)) | None -> ());
+  (match t.allowance with
+  | Some a -> ignore (Atomic.fetch_and_add a (-n))
+  | None -> ());
   match t.parent with Some p -> spend p n | None -> ()
 
 let rec allowance_dry t =
-  (match t.allowance with Some a -> a <= 0 | None -> false)
+  (match t.allowance with Some a -> Atomic.get a <= 0 | None -> false)
   || (match t.parent with Some p -> allowance_dry p | None -> false)
 
 let rec has_allowance t =

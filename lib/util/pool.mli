@@ -1,0 +1,77 @@
+(** Fixed-size work-sharing domain pool.
+
+    The solver stack is embarrassingly parallel at three levels —
+    branch & bound subtrees, independent per-context ILPs, and the
+    Table-I benchmark sweep — and OCaml 5 domains are the unit of
+    hardware parallelism. Spawning a domain costs milliseconds, so a
+    pool is created once ({!create} or the memoizing {!get}) and
+    reused for every batch.
+
+    Submission model: a batch of tasks is pushed to the pool and the
+    {e submitting thread participates} in executing it (work sharing).
+    This makes nested submission safe — a task running on a pool
+    worker may submit another batch to the same pool and will at worst
+    execute that batch entirely by itself — and it means a pool of
+    size 1 degenerates to plain sequential execution with no
+    synchronization surprises.
+
+    Contracts:
+
+    - {e Deterministic result ordering}: results land at the index of
+      their input, whatever order tasks were executed in.
+    - {e Exception capture}: a raising task does not poison the batch;
+      every other task still runs, then the first exception (in input
+      order) is re-raised with its original backtrace.
+    - {e Budget integration}: {!map_budgeted} checks the budget before
+      {e starting} each task; once the budget expires the remaining
+      tasks are drained unrun ([None]) and whatever completed is
+      returned best-effort. Running tasks are never interrupted — they
+      poll the same budget at their own checkpoints.
+
+    Tasks must not share mutable solver state across domains
+    (a {!Agingfp_lp.Simplex.state} belongs to one domain at a time);
+    give each task its own state, and seed any randomness from an
+    explicitly {!Rng.split} generator so runs stay reproducible at a
+    fixed pool size. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] makes a pool that executes batches on [domains]
+    threads of control in total: the submitter plus [domains - 1]
+    spawned worker domains. [domains <= 1] spawns nothing.
+    Raises [Invalid_argument] if [domains < 1] or [domains > 128]. *)
+
+val get : int -> t
+(** [get domains] is a process-global memoized pool of that size —
+    the "spawn once, reuse everywhere" entry point used by
+    [Milp.params.jobs] and the suite driver. Pools obtained this way
+    are shut down automatically at exit. *)
+
+val size : t -> int
+(** Total domains (including the submitter) batches are spread over. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves
+    to. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] applies [f] to every element concurrently;
+    [(map pool f xs).(i)] is [f xs.(i)]. Re-raises the first (by
+    index) captured exception after the whole batch has settled. *)
+
+val map_budgeted :
+  t -> budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b option array
+(** Like {!map}, but each task start polls [budget]: tasks not yet
+    started when it expires are skipped and report [None]. Exceptions
+    from tasks that did run are still re-raised. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** [run pool bodies] executes every body concurrently and returns
+    when all have finished — the building block for worker-loop
+    parallelism (parallel branch & bound runs one node-pump per
+    domain). Exception policy as {!map}. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. Submitting to a shut-down
+    pool executes sequentially on the caller. *)

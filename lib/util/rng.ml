@@ -17,6 +17,10 @@ let split t =
   let s = next_int64 t in
   { state = s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let r = Int64.to_int (next_int64 t) land max_int in

@@ -2,7 +2,15 @@
 
     Every stochastic component of the library (benchmark generation,
     simulated annealing, rotation selection) draws from an explicit [t]
-    so that all experiments are reproducible from a seed. *)
+    so that all experiments are reproducible from a seed.
+
+    Domain contract: a [t] is a single mutable cursor and must never
+    be shared across domains — concurrent draws race on the state and
+    destroy reproducibility. Parallel work ({!Pool}) instead derives
+    one generator per task {e before} the fan-out with {!split} /
+    {!split_n}: the derived streams are determined entirely by the
+    parent seed and the task index, so a run is reproducible at any
+    fixed [--jobs] regardless of execution order. *)
 
 type t
 
@@ -16,6 +24,12 @@ val copy : t -> t
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent generators split off [t] in
+    sequence — the pre-fan-out idiom for giving each parallel task its
+    own deterministic stream ([(split_n t n).(i)] depends only on
+    [t]'s state and [i], never on task scheduling). *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)

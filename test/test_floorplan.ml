@@ -660,46 +660,58 @@ let test_audit_rejects_out_of_range_pe () =
   Alcotest.(check bool) "as Invalid_mapping" true (audit_has report Audit.Invalid_mapping)
 
 let test_audit_rejects_moved_pin_and_blown_path () =
-  (* Swap a frozen critical op with whichever op holds its target PE:
-     still a valid permutation, but the pin is violated — and with the
-     op moved far enough, path budgets/CPD break too. *)
+  (* Swap a frozen critical op with whichever occupant stretches a
+     monitored path through the op the most: still a valid
+     permutation, but the pin is violated and the path's wire budget
+     breaks. Picking the farthest PE *from the pin* is not enough —
+     the far corner can be equidistant from the op's path neighbours,
+     leaving the path length unchanged. *)
   let design, baseline = tiny_placed () in
   let cpd, frozen, monitored = audit_inputs design baseline ~mode:Rotation.Freeze in
   let st = Stress.max_accumulated design baseline in
-  (* Find a frozen pin and a PE far away from it. *)
-  let ctx, (op, pe) =
-    let rec first c =
-      if c >= Array.length frozen then Alcotest.fail "no frozen pins in tiny"
-      else match frozen.(c) with p :: _ -> (c, p) | [] -> first (c + 1)
-    in
-    first 0
-  in
   let fabric = Design.fabric design in
-  let far_pe =
-    let best = ref (-1) and bestd = ref (-1) in
-    for q = 0 to Fabric.num_pes fabric - 1 do
-      let d = Fabric.distance fabric pe q in
-      if d > !bestd then begin
-        best := q;
-        bestd := d
-      end
-    done;
-    !best
-  in
-  (* Keep the mapping a valid permutation: swap occupants. *)
-  let occupant =
-    let found = ref None in
+  (* The permutation-preserving swap of [op] (ctx [ctx], home [pe])
+     onto PE [q]. *)
+  let swap ctx op pe q =
+    let occupant = ref None in
     Array.iteri
-      (fun o p -> if p = far_pe then found := Some o)
+      (fun o p -> if p = q then occupant := Some o)
       (Mapping.context_array baseline ctx);
-    !found
+    let m = Mapping.set baseline ~ctx ~op ~pe:q in
+    match !occupant with
+    | Some o when o <> op -> Mapping.set m ~ctx ~op:o ~pe
+    | _ -> m
   in
-  let broken = Mapping.set baseline ~ctx ~op ~pe:far_pe in
-  let broken =
-    match occupant with
-    | Some o -> Mapping.set broken ~ctx ~op:o ~pe
-    | None -> broken
+  (* Over every frozen pin on a multi-op monitored path, find the swap
+     with the largest wire-budget overshoot. *)
+  let best = ref None in
+  Array.iteri
+    (fun ctx pins ->
+      List.iter
+        (fun (op, pe) ->
+          List.iter
+            (fun (b : Paths.budgeted) ->
+              let nodes = b.Paths.path.Analysis.nodes in
+              if Array.length nodes >= 2 && Array.exists (( = ) op) nodes then
+                for q = 0 to Fabric.num_pes fabric - 1 do
+                  let over =
+                    Analysis.wire_length design (swap ctx op pe q) b.Paths.path
+                    - b.Paths.wire_budget
+                  in
+                  match !best with
+                  | Some (_, best_over) when best_over >= over -> ()
+                  | _ -> best := Some ((ctx, op, pe, q), over)
+                done)
+            monitored.(ctx))
+        pins)
+    frozen;
+  let (ctx, op, pe, q), overshoot =
+    match !best with
+    | Some x -> x
+    | None -> Alcotest.fail "no frozen pin on a monitored path in tiny"
   in
+  Alcotest.(check bool) "a swap exceeding the wire budget exists" true (overshoot > 0);
+  let broken = swap ctx op pe q in
   let report = Audit.run design ~baseline_cpd:cpd ~st_target:st ~frozen ~monitored broken in
   Alcotest.(check bool) "rejected" false (Audit.ok report);
   Alcotest.(check bool) "pin violation reported" true
