@@ -553,15 +553,197 @@ let bench_micro () =
         analyzed)
     tests
 
+(* ---------- presolve: reductions over the 28 Table-I formulations ---------- *)
+
+(* For every benchmark: build the full Eq.(3) formulation, presolve
+   it, and solve the MILP twice (presolve off/on, shared node and
+   wall-clock budget). The presolved solve's solution — postsolved
+   back to the original variable space by [Milp] — is certified
+   against the ORIGINAL model by the exact-rational [Certify] layer,
+   which is what "the reductions are sound" means operationally. *)
+let bench_presolve () =
+  header "presolve: Eq.(3) reductions + certified postsolve, 28 benchmarks";
+  let module Presolve = Agingfp_lp.Presolve in
+  let module Certify = Agingfp_lp.Certify in
+  let module Budget = Agingfp_util.Budget in
+  let designs =
+    Benchmarks.tiny ()
+    :: (Array.to_list Benchmarks.table1
+       |> List.filter (fun s -> (not !quick) || s.Benchmarks.dim <= 8)
+       |> List.map (fun s -> Benchmarks.generate s))
+  in
+  let nnz_of model =
+    let n = ref 0 in
+    LpModel.iter_constraints model (fun _ lhs _ _ ->
+        n := !n + List.length (LpExpr.terms lhs));
+    !n
+  in
+  let certified = ref 0 and attempted = ref 0 and status_mismatches = ref 0 in
+  let agg = ref Presolve.no_reductions in
+  let table = ref [] in
+  List.iter
+    (fun design ->
+      let name = Design.name design in
+      let baseline = Placer.aging_unaware design in
+      let inst, _st = Remap.build_formulation ~mode:Rotation.Freeze design baseline in
+      let model = Ilp_model.model inst in
+      let rows0 = LpModel.num_constraints model and vars0 = LpModel.num_vars model in
+      let nnz0 = nnz_of model in
+      let out, pre_dt = time_it (fun () -> Presolve.run model) in
+      match out with
+      | Presolve.Proven_infeasible msg ->
+        (* Some Freeze-mode joint formulations are genuinely infeasible
+           (Remap's degradation ladder handles those downstream); the
+           claim counts as certified when the plain solver agrees. *)
+        let params =
+          {
+            Milp.default_params with
+            Milp.presolve = false;
+            Milp.node_limit = 150;
+            budget = Budget.create ~deadline_s:10.0 ();
+          }
+        in
+        incr attempted;
+        (match Milp.solve ~params model with
+        | Milp.Infeasible ->
+          incr certified;
+          Printf.printf "%-5s presolve proved infeasible (%s); solver agrees\n%!" name
+            msg
+        | Milp.Feasible _ ->
+          incr status_mismatches;
+          Printf.printf "%-5s STATUS MISMATCH: presolve says infeasible (%s), solver found a point\n%!"
+            name msg
+        | Milp.Unknown ->
+          Printf.printf "%-5s presolve proved infeasible (%s); solver ran out of budget\n%!"
+            name msg)
+      | Presolve.Reduced p ->
+        let r = Presolve.reductions p in
+        agg := Presolve.add_reductions !agg r;
+        let solve presolve =
+          let params =
+            {
+              Milp.default_params with
+              Milp.node_limit = 150;
+              presolve;
+              budget = Budget.create ~deadline_s:3.0 ();
+            }
+          in
+          fst (time_it (fun () -> Milp.solve_with_stats ~params model))
+        in
+        let res_off, s_off = solve false in
+        let res_on, s_on = solve true in
+        incr attempted;
+        (match (res_off, res_on) with
+        | Milp.Feasible _, Milp.Infeasible | Milp.Infeasible, Milp.Feasible _ ->
+          incr status_mismatches;
+          Printf.printf "%-5s STATUS MISMATCH: presolve off/on disagree\n%!" name
+        | _ -> ());
+        (match res_on with
+        | Milp.Feasible _ -> (
+          match Certify.result model res_on with
+          | Certify.Certified -> incr certified
+          | v ->
+            Printf.printf "%-5s certify FAILED: %s\n%!" name
+              (Format.asprintf "%a" Certify.pp_verdict v))
+        | Milp.Infeasible | Milp.Unknown -> (
+          (* No incumbent within the ablation budget (the joint MILP of
+             the biggest fabrics is normally decomposed per-context by
+             Remap, never solved whole). Certify presolve∘postsolve on
+             the LP relaxation instead: solve the REDUCED LP, map the
+             point back, and exact-check it against the ORIGINAL
+             model's rows, bounds and objective. *)
+          let sp =
+            {
+              Simplex.default_params with
+              Simplex.budget = Budget.create ~deadline_s:120.0 ();
+            }
+          in
+          match Simplex.solve ~params:sp (Presolve.reduced p) with
+          | Simplex.Optimal sol -> (
+            let x = Presolve.postsolve p sol.Simplex.values in
+            match
+              Certify.solution ~relaxation:true model { sol with Simplex.values = x }
+            with
+            | Certify.Certified ->
+              incr certified;
+              Printf.printf "%-5s certified via LP-relaxation postsolve\n%!" name
+            | v ->
+              Printf.printf "%-5s LP certify FAILED: %s\n%!" name
+                (Format.asprintf "%a" Certify.pp_verdict v))
+          | Simplex.Infeasible ->
+            (* Integrality-based reductions may legitimately leave an
+               LP-infeasible reduced problem when the joint MILP has
+               no integer point (several Freeze-mode formulations are
+               proven infeasible); this is a claim about the ORIGINAL
+               instance, so cross-check it with the plain solver. *)
+            (match res_off with
+            | Milp.Infeasible ->
+              incr certified;
+              Printf.printf "%-5s reduced LP infeasible; plain solver agrees the MILP is\n%!"
+                name
+            | Milp.Feasible _ ->
+              incr status_mismatches;
+              Printf.printf
+                "%-5s STATUS MISMATCH: reduced LP infeasible but plain solver found a point\n%!"
+                name
+            | Milp.Unknown ->
+              Printf.printf
+                "%-5s reduced LP infeasible; plain solver unresolved within budget\n%!"
+                name)
+          | s ->
+            Printf.printf "%-5s reduced LP did not reach optimality (%s)\n%!" name
+              (match s with
+              | Simplex.Unbounded -> "unbounded"
+              | Simplex.Iteration_limit -> "iteration limit"
+              | Simplex.Deadline -> "deadline"
+              | Simplex.Fault f -> "fault: " ^ f
+              | Simplex.Infeasible | Simplex.Optimal _ -> assert false)));
+        table :=
+          [|
+            name;
+            Printf.sprintf "%dx%d" rows0 vars0;
+            string_of_int nnz0;
+            string_of_int r.Presolve.rows_removed;
+            string_of_int (r.Presolve.vars_fixed + r.Presolve.vars_substituted);
+            string_of_int r.Presolve.nnz_removed;
+            Printf.sprintf "%d>%d" s_off.Milp.nodes s_on.Milp.nodes;
+            Printf.sprintf "%d>%d" s_off.Milp.lp_iterations s_on.Milp.lp_iterations;
+            Printf.sprintf "%.3f" pre_dt;
+          |]
+          :: !table)
+    designs;
+  print_endline
+    (Ascii_table.render
+       ~header:
+         [|
+           "bench"; "rows x vars"; "nnz"; "-rows"; "-vars"; "-nnz"; "nodes off>on";
+           "iters off>on"; "presolve s";
+         |]
+       (List.rev !table));
+  Format.printf "aggregate: %a@.per-rule:@.  @[<v>%a@]@." Presolve.pp_reductions !agg
+    Presolve.pp_per_rule !agg;
+  Printf.printf "certified %d/%d original-space solutions, %d status mismatches\n%!"
+    !certified !attempted !status_mismatches
+
 (* ---------- smoke-lp: cold vs. warm branch & bound ---------- *)
 
-(* One mid-size Eq.(3)-shaped MILP (one-hot assignment rows, per-context
-   capacity rows, tight per-PE stress budgets, random costs) solved
-   twice with identical parameters except [warm_start] — machine-
-   readable trajectory record in BENCH_lp.json. *)
+(* One mid-size Eq.(3)-shaped MILP solved twice with identical
+   parameters except [warm_start] — machine-readable trajectory record
+   in BENCH_lp.json. The generator mirrors the formulation-(3)
+   structure presolve exploits: one-hot assignment rows where frozen
+   critical-path operations have a single candidate (singleton rows
+   whose fixings cascade through the capacity rows) and contested
+   operations only two, per-(ctx,PE) capacity rows, tight per-PE
+   stress knapsacks, per-PE wear-bookkeeping variables (continuous,
+   defined by one equality each — implied-free), and Eq.(5)
+   displacement rows over path-endpoint pairs, some clique-redundant
+   and some tight enough to strengthen. *)
 let bench_smoke_lp () =
   header "smoke-lp: presolve + warm-started B&B on an Eq.(3)-shaped MILP";
-  let contexts = 6 and ops = 10 and npes = 16 and ncand = 4 in
+  let contexts = 6 and ops = 10 and npes = 16 in
+  let side = 4 in
+  (* npes = side * side *)
+  let grid_disp a b = abs ((a mod side) - (b mod side)) + abs ((a / side) - (b / side)) in
   let seed = ref 987654321 in
   let rand n =
     seed := ((1103515245 * !seed) + 12345) land 0x3FFFFFFF;
@@ -572,20 +754,44 @@ let bench_smoke_lp () =
   let cap = Hashtbl.create 64 in
   let obj = ref LpExpr.zero in
   let total_stress = ref 0.0 in
+  (* cands.(ctx).(op) = (pe, var, displacement from home) list *)
+  let cands = Array.init contexts (fun _ -> Array.make ops []) in
+  (* Homes form a per-context permutation, so "every op at home" is a
+     feasible witness for the assignment + capacity rows (and, at zero
+     displacement, for every path row); [home_load] makes the stress
+     budget cover that witness too. *)
+  let home_load = Array.make npes 0.0 in
+  let base_perm = Array.init npes (fun i -> i) in
+  for i = npes - 1 downto 1 do
+    let j = rand (i + 1) in
+    let t = base_perm.(i) in
+    base_perm.(i) <- base_perm.(j);
+    base_perm.(j) <- t
+  done;
   for ctx = 0 to contexts - 1 do
+    (* Rotating one base permutation spreads the home load evenly
+       across PEs, as the paper's rotation scheduler does. *)
+    let perm = Array.init npes (fun i -> base_perm.((i + (3 * ctx)) mod npes)) in
     for op = 0 to ops - 1 do
       let st_op = 0.5 +. (float_of_int (rand 100) /. 100.0) in
       total_stress := !total_stress +. st_op;
+      (* Frozen ops keep their single (home) candidate; contested ops
+         have two; the rest four — Table I's mix of pinned
+         critical-path operations and movable ones. *)
+      let ncand = match rand 10 with 0 | 1 -> 1 | 2 | 3 -> 2 | _ -> 4 in
+      let home = perm.(op) in
+      home_load.(home) <- home_load.(home) +. st_op;
       let terms = ref [] in
       let used = Array.make npes false in
-      for _ = 1 to ncand do
-        let pe = ref (rand npes) in
+      for c = 0 to ncand - 1 do
+        let pe = ref (if c = 0 then home else rand npes) in
         while used.(!pe) do
           pe := (!pe + 1) mod npes
         done;
         used.(!pe) <- true;
         let v = LpModel.add_binary ~name:(Printf.sprintf "x_%d_%d_%d" ctx op !pe) lp in
         terms := LpExpr.var v :: !terms;
+        cands.(ctx).(op) <- (!pe, v, grid_disp !pe home) :: cands.(ctx).(op);
         stress_terms.(!pe) <- (st_op, v) :: stress_terms.(!pe);
         let key = (ctx, !pe) in
         let cur = try Hashtbl.find cap key with Not_found -> [] in
@@ -603,8 +809,13 @@ let bench_smoke_lp () =
         ignore
           (LpModel.add_constraint lp (LpExpr.sum (List.map LpExpr.var vs)) LpModel.Le 1.0))
     cap;
-  (* Tight budgets force fractional LP vertices, hence real branching. *)
-  let budget = !total_stress /. float_of_int npes *. 1.25 in
+  (* Tight budgets force fractional LP vertices, hence real branching;
+     covering the all-at-home witness keeps the instance feasible. *)
+  let budget =
+    Float.max
+      (!total_stress /. float_of_int npes *. 1.35)
+      (Array.fold_left Float.max 0.0 home_load)
+  in
   for pe = 0 to npes - 1 do
     match stress_terms.(pe) with
     | [] -> ()
@@ -612,31 +823,95 @@ let bench_smoke_lp () =
       let lhs = LpExpr.sum (List.map (fun (c, v) -> LpExpr.var ~coef:c v) terms) in
       ignore (LpModel.add_constraint lp lhs LpModel.Le budget)
   done;
+  (* Per-PE wear bookkeeping: s_pe = accumulated stress, one defining
+     equality each, lightly priced in the objective. Unbudgeted (the
+     knapsacks above already bound the load), so each s_pe is
+     implied-free and presolve substitutes it away. *)
+  for pe = 0 to npes - 1 do
+    match stress_terms.(pe) with
+    | [] -> ()
+    | terms ->
+      let s =
+        LpModel.add_var ~name:(Printf.sprintf "wear_%d" pe) ~lb:0.0 ~ub:100.0
+          ~kind:LpModel.Continuous lp
+      in
+      let lhs =
+        LpExpr.sub
+          (LpExpr.sum (List.map (fun (c, v) -> LpExpr.var ~coef:c v) terms))
+          (LpExpr.var s)
+      in
+      ignore (LpModel.add_constraint lp lhs LpModel.Eq 0.0);
+      obj := LpExpr.add_term !obj 0.01 s
+  done;
+  (* Eq.(5) displacement rows over path-endpoint pairs (op 2i, 2i+1):
+     each candidate contributes its displacement from home. Even
+     pairs get a generous budget — redundant once the one-hot cliques
+     cap each endpoint's contribution at its worst single candidate —
+     odd pairs a tight one that excludes the worst combinations
+     (probing and coefficient strengthening territory). *)
+  let n_path_rows = ref 0 in
+  for ctx = 0 to contexts - 1 do
+    for pair = 0 to (ops / 2) - 1 do
+      let u = 2 * pair and v = (2 * pair) + 1 in
+      let dterms =
+        List.concat_map
+          (fun (_, x, d) -> if d > 0 then [ (float_of_int d, x) ] else [])
+          (cands.(ctx).(u) @ cands.(ctx).(v))
+      in
+      let max_disp l =
+        List.fold_left (fun a (_, _, d) -> max a d) 0 l
+      in
+      let du = max_disp cands.(ctx).(u) and dv = max_disp cands.(ctx).(v) in
+      if dterms <> [] && du + dv > 0 then begin
+        let budget =
+          if pair mod 2 = 0 then float_of_int (du + dv) (* clique-redundant *)
+          else float_of_int (max 1 (max du dv + 1 - (rand 2))) (* tight *)
+        in
+        ignore
+          (LpModel.add_constraint lp
+             (LpExpr.sum (List.map (fun (c, x) -> LpExpr.var ~coef:c x) dterms))
+             LpModel.Le budget);
+        incr n_path_rows
+      end
+    done
+  done;
   LpModel.set_objective lp LpModel.Minimize !obj;
-  Printf.printf "instance: %d binaries, %d rows, per-PE budget %.3f\n%!"
-    (LpModel.num_vars lp) (LpModel.num_constraints lp) budget;
-  let run warm =
+  Printf.printf
+    "instance: %d vars (%d wear), %d rows (%d path), per-PE budget %.3f\n%!"
+    (LpModel.num_vars lp) npes (LpModel.num_constraints lp) !n_path_rows budget;
+  let run ?(presolve = true) ?(label = "") warm =
     let params =
       {
         Milp.default_params with
         Milp.node_limit = 400;
         first_solution = false;
         warm_start = warm;
+        presolve;
       }
     in
     let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
     let objective =
       match result with Milp.Feasible sol -> sol.Agingfp_lp.Simplex.objective | _ -> nan
     in
-    Printf.printf "%-5s %-28s %6.3fs | %s\n%!"
-      (if warm then "warm" else "cold")
+    Printf.printf "%-6s %-28s %6.3fs | %s\n%!"
+      (if label <> "" then label else if warm then "warm" else "cold")
       (Format.asprintf "%a" Milp.pp_result result)
       dt
       (Format.asprintf "%a" Milp.pp_stats stats);
     (objective, stats, dt)
   in
+  (* Presolve ablation first: the same cold solve with the pass off. *)
+  let nopre_obj, nopre_stats, nopre_dt = run ~presolve:false ~label:"nopre" false in
   let cold_obj, cold_stats, cold_dt = run false in
   let warm_obj, warm_stats, warm_dt = run true in
+  if abs_float (nopre_obj -. cold_obj) > 1e-6 then
+    Printf.printf "WARNING: presolve changed the optimum (%.6f vs %.6f)\n" nopre_obj
+      cold_obj;
+  Printf.printf "presolve ablation: %d -> %d nodes, %d -> %d LP iterations (%.3fs -> %.3fs)\n%!"
+    nopre_stats.Milp.nodes cold_stats.Milp.nodes nopre_stats.Milp.lp_iterations
+    cold_stats.Milp.lp_iterations nopre_dt cold_dt;
+  Format.printf "per-rule: @[<v>%a@]@."
+    Agingfp_lp.Presolve.pp_per_rule cold_stats.Milp.presolve;
   let row label (stats : Milp.stats) dt obj =
     [|
       label;
@@ -861,11 +1136,32 @@ let bench_smoke_lp () =
       stats.Milp.drift_refreshes stats.Milp.eta_updates stats.Milp.fill_in
   in
   let oc = open_out "BENCH_lp.json" in
+  let p = cold_stats.Milp.presolve in
+  let per_rule_json =
+    String.concat ", "
+      (List.filter_map
+         (fun (name, r) ->
+           if r.Agingfp_lp.Presolve.applications = 0 then None
+           else
+             Some
+               (Printf.sprintf
+                  "\"%s\": {\"applications\": %d, \"rows\": %d, \"vars\": %d, \
+                   \"coeffs\": %d}"
+                  name r.Agingfp_lp.Presolve.applications
+                  r.Agingfp_lp.Presolve.rows_touched r.Agingfp_lp.Presolve.vars_touched
+                  r.Agingfp_lp.Presolve.coeffs_touched))
+         p.Agingfp_lp.Presolve.per_rule)
+  in
   Printf.fprintf oc
     "{\n\
     \  \"instance\": {\"binaries\": %d, \"rows\": %d},\n\
-    \  \"presolve\": {\"rows_removed\": %d, \"vars_fixed\": %d, \"bounds_tightened\": %d, \
-     \"probe_fixings\": %d},\n\
+    \  \"presolve\": {\"rounds\": %d, \"rows_removed\": %d, \"vars_fixed\": %d, \
+     \"vars_substituted\": %d, \"bounds_tightened\": %d, \"coeffs_strengthened\": %d, \
+     \"probe_fixings\": %d, \"nnz_removed\": %d,\n\
+    \               \"ablation\": {\"nodes_off\": %d, \"nodes_on\": %d, \
+     \"lp_iterations_off\": %d, \"lp_iterations_on\": %d, \"seconds_off\": %.4f, \
+     \"seconds_on\": %.4f},\n\
+    \               \"per_rule\": {%s}},\n\
     \  \"cold\": %s,\n\
     \  \"warm\": %s,\n\
     \  \"speedup\": %.3f,\n\
@@ -881,10 +1177,12 @@ let bench_smoke_lp () =
      %.4f, \"speedup\": %.3f}}\n\
      }\n"
     (LpModel.num_vars lp) (LpModel.num_constraints lp)
-    warm_stats.Milp.presolve.Agingfp_lp.Presolve.rows_removed
-    warm_stats.Milp.presolve.Agingfp_lp.Presolve.vars_fixed
-    warm_stats.Milp.presolve.Agingfp_lp.Presolve.bounds_tightened
-    warm_stats.Milp.presolve.Agingfp_lp.Presolve.probe_fixings
+    p.Agingfp_lp.Presolve.rounds p.Agingfp_lp.Presolve.rows_removed
+    p.Agingfp_lp.Presolve.vars_fixed p.Agingfp_lp.Presolve.vars_substituted
+    p.Agingfp_lp.Presolve.bounds_tightened p.Agingfp_lp.Presolve.coeffs_strengthened
+    p.Agingfp_lp.Presolve.probe_fixings p.Agingfp_lp.Presolve.nnz_removed
+    nopre_stats.Milp.nodes cold_stats.Milp.nodes nopre_stats.Milp.lp_iterations
+    cold_stats.Milp.lp_iterations nopre_dt cold_dt per_rule_json
     (json_leg cold_stats cold_dt) (json_leg warm_stats warm_dt)
     (cold_dt /. warm_dt)
     (float_of_int cold_stats.Milp.lp_iterations
@@ -932,6 +1230,7 @@ let all_experiments =
     ("ablation-routing", bench_ablation_routing);
     ("table1-seeds", bench_table1_seeds);
     ("smoke-lp", bench_smoke_lp);
+    ("presolve", bench_presolve);
     ("micro", bench_micro);
   ]
 

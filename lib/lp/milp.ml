@@ -75,12 +75,10 @@ let add_stats a b =
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d nodes, %d warm / %d cold LP solves, %d LP iterations, stop %a; kernel: %d \
-     refactorizations (%d drift), %d eta updates, peak fill %d; presolve: %d rows \
-     removed, %d vars fixed, %d bounds tightened, %d probe fixings"
+     refactorizations (%d drift), %d eta updates, peak fill %d; presolve: %a"
     s.nodes s.warm_solves s.cold_solves s.lp_iterations Budget.pp_stop_reason s.stop
     s.refactorizations s.drift_refreshes s.eta_updates s.fill_in
-    s.presolve.rows_removed s.presolve.vars_fixed s.presolve.bounds_tightened
-    s.presolve.probe_fixings
+    Presolve.pp_reductions s.presolve
 
 (* Cumulative counters across all solves since the last reset — the
    remap pipeline runs many MILPs/LPs per floorplan, and the CLI

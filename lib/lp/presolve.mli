@@ -1,35 +1,87 @@
-(** MILP/LP presolve.
+(** MILP/LP presolve: a fixpoint-driven rule pipeline.
 
-    Shrinks a {!Model.t} before handing it to {!Simplex} / {!Milp}:
+    Shrinks a {!Model.t} before handing it to {!Simplex} / {!Milp}.
+    Rules, each iterated until none fires (GurobiPresolver-style
+    driver, one named counter per rule):
 
-    - constraint-activity bound tightening (with integer rounding),
-    - singleton-row-to-bound conversion,
-    - removal of empty and redundant rows,
-    - forcing-constraint detection and fixed-variable substitution,
-    - binary probing on the Eq. (3) assignment rows
-      ([sum OP_ijk = 1] with unit coefficients over binaries).
+    - [empty_row] / [singleton_row]: trivial rows removed or absorbed
+      into variable bounds;
+    - [redundant_row] / [forcing_row]: activity-based elimination —
+      rows no bound combination can violate, and rows only one bound
+      combination can satisfy (which fixes every variable in them);
+    - [bound_tighten]: constraint-activity bound tightening with
+      integer rounding;
+    - [synonym_subst]: doubleton-equality (synonym) substitution —
+      [a x + b y = c] rewrites [y] as an affine function of [x]
+      everywhere (rows and objective) and drops both the row and [y];
+    - [free_col_subst]: implied-free column-singleton substitution — a
+      continuous variable appearing in exactly one (equality) row
+      whose implied range lies inside its bounds is solved out of the
+      model;
+    - [coef_strengthen]: coefficient strengthening of binaries in
+      knapsack ([Le]/[Ge]) rows — tightens the LP relaxation without
+      touching the integer feasible set;
+    - [clique_reduce]: redundancy detection using the one-hot /
+      at-most-one structure of formulation (3)'s assignment and
+      capacity rows as cliques (a path-budget row all of whose
+      per-operation candidate groups fit the budget is redundant even
+      though plain activity says otherwise);
+    - [probe]: clique-aware probing — tentatively set a binary to 1,
+      propagate every clique it belongs to, and fix it to 0 when any
+      row's activity range collapses.
 
-    Every reduction is feasibility-based — implied by the constraints
-    themselves — so the reduced problem has the same optimal objective
-    as the original for both the LP relaxation and the MILP, and a
-    solution of the reduced model lifts back to an original-space
-    solution via {!postsolve} that passes [Model.check_feasible]. *)
+    Substituting rules rewrite the model, so reconstruction is no
+    longer a per-variable lookup: {!postsolve} replays a stack of
+    recorded transforms (fixings and affine substitutions) to lift a
+    reduced-space solution back to the original variable space.
+
+    Every reduction either preserves the feasible set exactly (an
+    affine reparametrization) or preserves the set of optimal
+    solutions' objective value; [coef_strengthen] additionally
+    preserves the {e integer} feasible set while shrinking the LP
+    relaxation — it never fires on a purely continuous model, so
+    presolving an LP is still relaxation-exact. *)
+
+type rule_stats = {
+  applications : int;     (** times the rule fired *)
+  rows_touched : int;     (** rows removed or rewritten by it *)
+  vars_touched : int;     (** variables fixed/substituted/tightened *)
+  coeffs_touched : int;   (** matrix coefficients modified *)
+}
+
+val no_rule_stats : rule_stats
+
+val rule_names : string list
+(** Stable order used by reports: [empty_row]; [singleton_row];
+    [redundant_row]; [forcing_row]; [bound_tighten]; [synonym_subst];
+    [free_col_subst]; [coef_strengthen]; [clique_reduce]; [probe]. *)
 
 type reductions = {
   rounds : int;            (** fixpoint passes executed *)
   rows_removed : int;      (** empty + redundant + converted rows *)
   singleton_rows : int;    (** rows converted into variable bounds *)
-  vars_fixed : int;        (** variables substituted out *)
+  vars_fixed : int;        (** variables pinned to a value *)
+  vars_substituted : int;  (** variables rewritten as affine functions *)
   bounds_tightened : int;  (** individual bound improvements *)
-  probe_fixings : int;     (** binaries fixed by assignment-row probing *)
+  coeffs_strengthened : int; (** knapsack coefficients tightened *)
+  probe_fixings : int;     (** binaries fixed by probing *)
+  nnz_removed : int;       (** constraint-matrix nonzeros eliminated *)
+  per_rule : (string * rule_stats) list;  (** keyed by {!rule_names} *)
 }
 
 val no_reductions : reductions
 val add_reductions : reductions -> reductions -> reductions
 
+val pp_reductions : Format.formatter -> reductions -> unit
+(** One-line aggregate summary. *)
+
+val pp_per_rule : Format.formatter -> reductions -> unit
+(** Multi-line per-rule breakdown (rules that never fired are
+    omitted). *)
+
 type t
-(** A presolved problem: the reduced model plus the mapping needed to
-    reconstruct original-space solutions. *)
+(** A presolved problem: the reduced model plus the transform stack
+    needed to reconstruct original-space solutions. *)
 
 type outcome =
   | Reduced of t
@@ -46,14 +98,14 @@ val run :
 (** Presolve [model]. The input model is not modified. [max_rounds]
     bounds the outer fixpoint iteration (default 10);
     [integrality_tol] is the tolerance for integer bound rounding
-    (default 1e-9). [budget] is polled between fixpoint rounds; on
-    expiry the reductions found so far are kept and the loop exits —
-    a partially presolved model is still equivalent to the input. *)
+    (default 1e-9). [budget] is polled between rule passes; on expiry
+    the reductions found so far are kept and the loop exits — a
+    partially presolved model is still equivalent to the input. *)
 
 val reduced : t -> Model.t
 (** The compacted model (fresh variable/row numbering, same objective
-    direction; fixed-variable objective contributions are folded into
-    the objective constant). *)
+    direction; eliminated variables' objective contributions are
+    folded into the remaining columns and the objective constant). *)
 
 val reductions : t -> reductions
 
@@ -61,8 +113,11 @@ val num_orig_vars : t -> int
 
 val reduced_var : t -> int -> int option
 (** [reduced_var t v] is the reduced-model index of original variable
-    [v], or [None] if it was fixed away. *)
+    [v], or [None] if it was fixed or substituted away. *)
 
 val postsolve : t -> float array -> float array
 (** Lift a reduced-space assignment (indexed by reduced variables)
-    back to the original variable space, filling in fixed values. *)
+    back to the original variable space: copy surviving variables,
+    fill in fixed values, then replay the affine substitution stack
+    newest-first so every right-hand side is already known when it is
+    evaluated. *)

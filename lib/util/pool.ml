@@ -196,8 +196,10 @@ let registry : (int, t) Hashtbl.t = Hashtbl.create 4
 let registry_mutex = Mutex.create ()
 let cleanup_registered = ref false
 
-let get domains =
-  let domains = max 1 domains in
+let effective_jobs jobs = max 1 (min jobs (default_jobs ()))
+
+let get ?(clamp = true) domains =
+  let domains = if clamp then effective_jobs domains else max 1 domains in
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) (fun () ->
       match Hashtbl.find_opt registry domains with

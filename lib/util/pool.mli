@@ -42,11 +42,24 @@ val create : domains:int -> t
     spawned worker domains. [domains <= 1] spawns nothing.
     Raises [Invalid_argument] if [domains < 1] or [domains > 128]. *)
 
-val get : int -> t
-(** [get domains] is a process-global memoized pool of that size —
-    the "spawn once, reuse everywhere" entry point used by
-    [Milp.params.jobs] and the suite driver. Pools obtained this way
-    are shut down automatically at exit. *)
+val get : ?clamp:bool -> int -> t
+(** [get domains] is a process-global memoized pool — the "spawn once,
+    reuse everywhere" entry point used by [Milp.params.jobs] and the
+    suite driver. Pools obtained this way are shut down automatically
+    at exit.
+
+    By default the requested size is clamped to
+    {!default_jobs}[ ()]: running more domains than cores
+    oversubscribes the scheduler and measured 0.27x on a 1-core host,
+    so oversubscription must be asked for explicitly with
+    [~clamp:false]. Callers still see their requested batch
+    structure — only the number of spawned domains shrinks; {!size}
+    reports the effective value. *)
+
+val effective_jobs : int -> int
+(** [effective_jobs jobs] is the domain count {!get} would actually
+    use: [jobs] clamped to [[1, default_jobs ()]]. Use it for wave
+    arithmetic that must match the pool's real parallelism. *)
 
 val size : t -> int
 (** Total domains (including the submitter) batches are spread over. *)

@@ -17,8 +17,10 @@ module Remap = Agingfp_floorplan.Remap
 module Audit = Agingfp_floorplan.Audit
 
 (* Pools in the test process: size 4 exercises real cross-domain
-   hand-off even on a single-core host (domains still interleave). *)
-let pool4 = Pool.get 4
+   hand-off even on a single-core host (domains still interleave).
+   [~clamp:false] opts out of the core-count clamp on purpose — these
+   tests are about cross-domain correctness, not throughput. *)
+let pool4 = Pool.get ~clamp:false 4
 
 (* ---------- Pool ---------- *)
 
@@ -109,8 +111,17 @@ let test_pool_budget_drain () =
   List.iter (fun i -> Alcotest.(check bool) "value intact" true (i >= 0 && i < 64)) completed
 
 let test_pool_get_memoized () =
-  Alcotest.(check bool) "same pool returned" true (Pool.get 4 == pool4);
-  Alcotest.(check int) "size" 4 (Pool.size pool4)
+  Alcotest.(check bool) "same pool returned" true (Pool.get ~clamp:false 4 == pool4);
+  Alcotest.(check int) "size" 4 (Pool.size pool4);
+  (* The default path clamps to the core count: never larger than the
+     recommendation, and a request within it is honoured exactly. *)
+  let rec_jobs = Pool.default_jobs () in
+  Alcotest.(check int) "effective_jobs clamps" rec_jobs
+    (Pool.effective_jobs (rec_jobs + 7));
+  Alcotest.(check int) "effective_jobs floors at 1" 1 (Pool.effective_jobs (-3));
+  Alcotest.(check bool) "default get is clamped" true
+    (Pool.size (Pool.get (rec_jobs + 7)) = rec_jobs);
+  Alcotest.(check int) "in-range request honoured" 1 (Pool.size (Pool.get 1))
 
 (* ---------- Rng splitting ---------- *)
 
