@@ -705,7 +705,7 @@ let bench_presolve () =
             string_of_int nnz0;
             string_of_int r.Presolve.rows_removed;
             string_of_int (r.Presolve.vars_fixed + r.Presolve.vars_substituted);
-            string_of_int r.Presolve.nnz_removed;
+            string_of_int (r.Presolve.nnz_removed - r.Presolve.nnz_fillin);
             Printf.sprintf "%d>%d" s_off.Milp.nodes s_on.Milp.nodes;
             Printf.sprintf "%d>%d" s_off.Milp.lp_iterations s_on.Milp.lp_iterations;
             Printf.sprintf "%.3f" pre_dt;
@@ -716,7 +716,7 @@ let bench_presolve () =
     (Ascii_table.render
        ~header:
          [|
-           "bench"; "rows x vars"; "nnz"; "-rows"; "-vars"; "-nnz"; "nodes off>on";
+           "bench"; "rows x vars"; "nnz"; "-rows"; "-vars"; "nnz net"; "nodes off>on";
            "iters off>on"; "presolve s";
          |]
        (List.rev !table));
@@ -1157,7 +1157,7 @@ let bench_smoke_lp () =
     \  \"instance\": {\"binaries\": %d, \"rows\": %d},\n\
     \  \"presolve\": {\"rounds\": %d, \"rows_removed\": %d, \"vars_fixed\": %d, \
      \"vars_substituted\": %d, \"bounds_tightened\": %d, \"coeffs_strengthened\": %d, \
-     \"probe_fixings\": %d, \"nnz_removed\": %d,\n\
+     \"probe_fixings\": %d, \"nnz_removed\": %d, \"nnz_fillin\": %d,\n\
     \               \"ablation\": {\"nodes_off\": %d, \"nodes_on\": %d, \
      \"lp_iterations_off\": %d, \"lp_iterations_on\": %d, \"seconds_off\": %.4f, \
      \"seconds_on\": %.4f},\n\
@@ -1181,7 +1181,8 @@ let bench_smoke_lp () =
     p.Agingfp_lp.Presolve.vars_fixed p.Agingfp_lp.Presolve.vars_substituted
     p.Agingfp_lp.Presolve.bounds_tightened p.Agingfp_lp.Presolve.coeffs_strengthened
     p.Agingfp_lp.Presolve.probe_fixings p.Agingfp_lp.Presolve.nnz_removed
-    nopre_stats.Milp.nodes cold_stats.Milp.nodes nopre_stats.Milp.lp_iterations
+    p.Agingfp_lp.Presolve.nnz_fillin nopre_stats.Milp.nodes
+    cold_stats.Milp.nodes nopre_stats.Milp.lp_iterations
     cold_stats.Milp.lp_iterations nopre_dt cold_dt per_rule_json
     (json_leg cold_stats cold_dt) (json_leg warm_stats warm_dt)
     (cold_dt /. warm_dt)

@@ -167,6 +167,7 @@ let solver_stats_table () =
       row "coeffs strengthened" p.Agingfp_lp.Presolve.coeffs_strengthened;
       row "probe fixings" p.Agingfp_lp.Presolve.probe_fixings;
       row "matrix nnz removed" p.Agingfp_lp.Presolve.nnz_removed;
+      row "matrix nnz fill-in" p.Agingfp_lp.Presolve.nnz_fillin;
     ]
   ^ "\n"
   ^ Ascii_table.render

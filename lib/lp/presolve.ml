@@ -49,6 +49,7 @@ type reductions = {
   coeffs_strengthened : int;
   probe_fixings : int;
   nnz_removed : int;
+  nnz_fillin : int;
   per_rule : (string * rule_stats) list;
 }
 
@@ -63,6 +64,7 @@ let no_reductions =
     coeffs_strengthened = 0;
     probe_fixings = 0;
     nnz_removed = 0;
+    nnz_fillin = 0;
     per_rule = [];
   }
 
@@ -87,15 +89,17 @@ let add_reductions a b =
     coeffs_strengthened = a.coeffs_strengthened + b.coeffs_strengthened;
     probe_fixings = a.probe_fixings + b.probe_fixings;
     nnz_removed = a.nnz_removed + b.nnz_removed;
+    nnz_fillin = a.nnz_fillin + b.nnz_fillin;
     per_rule;
   }
 
 let pp_reductions ppf r =
   Format.fprintf ppf
     "%d rounds: %d rows removed, %d vars fixed, %d substituted, %d bounds \
-     tightened, %d coeffs strengthened, %d probe fixings, %d nnz removed"
+     tightened, %d coeffs strengthened, %d probe fixings, %d nnz removed, %d nnz \
+     fill-in"
     r.rounds r.rows_removed r.vars_fixed r.vars_substituted r.bounds_tightened
-    r.coeffs_strengthened r.probe_fixings r.nnz_removed
+    r.coeffs_strengthened r.probe_fixings r.nnz_removed r.nnz_fillin
 
 let pp_per_rule ppf r =
   let fired = List.filter (fun (_, s) -> s.applications > 0) r.per_rule in
@@ -560,13 +564,18 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
             then false
             else if live_row_count e > max_subst_rows then false
             else begin
-              (* x_e = k - ratio * x_o; push e's bounds onto o. *)
+              (* x_e = k - ratio * x_o; push e's bounds onto o. IEEE
+                 division by the nonzero ratio maps infinite bounds to
+                 correctly signed infinities for either sign of ratio,
+                 so the endpoints just need sorting; an infinite
+                 endpoint imposes no restriction and is skipped. *)
               let lo_e = lb.(e) and hi_e = ub.(e) in
-              let b1 = if hi_e = infinity then neg_infinity else (k -. hi_e) /. ratio in
-              let b2 = if lo_e = neg_infinity then infinity else (k -. lo_e) /. ratio in
-              let o_lo, o_hi = if ratio > 0.0 then (b1, b2) else (b2, b1) in
-              if o_lo > lb.(o) +. eps then ignore (tighten_lb rl_synonym o o_lo);
-              if o_hi < ub.(o) -. eps then ignore (tighten_ub rl_synonym o o_hi);
+              let b1 = (k -. hi_e) /. ratio and b2 = (k -. lo_e) /. ratio in
+              let o_lo = Float.min b1 b2 and o_hi = Float.max b1 b2 in
+              if Float.is_finite o_lo && o_lo > lb.(o) +. eps then
+                ignore (tighten_lb rl_synonym o o_lo);
+              if Float.is_finite o_hi && o_hi < ub.(o) -. eps then
+                ignore (tighten_ub rl_synonym o o_hi);
               check_var_consistent o "synonym substitution";
               remove_row rl_synonym r;
               if live_var.(o) then substitute_affine rl_synonym e k [ (o, -.ratio) ]
@@ -917,8 +926,9 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
           touched
       in
       if contradiction then begin
+        (* substitute_value records the application, so the per-rule
+           counter stays equal to probe_fixings. *)
         incr probe_fixings;
-        touch rl_probe ();
         substitute_value rl_probe v 0.0
       end
     end
@@ -1029,6 +1039,10 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
               } ))
           rule_names
       in
+      (* Substitution fill-in can outweigh eliminations; report the net
+         change as two nonnegative figures rather than one counter that
+         could go negative. *)
+      let nnz_delta = !orig_nnz - !reduced_nnz in
       let stats =
         {
           rounds = !rounds;
@@ -1039,7 +1053,8 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
           bounds_tightened = !bounds_tightened;
           coeffs_strengthened = !coeffs_strengthened;
           probe_fixings = !probe_fixings;
-          nnz_removed = !orig_nnz - !reduced_nnz;
+          nnz_removed = max 0 nnz_delta;
+          nnz_fillin = max 0 (-nnz_delta);
           per_rule;
         }
       in

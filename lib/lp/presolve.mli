@@ -65,7 +65,13 @@ type reductions = {
   bounds_tightened : int;  (** individual bound improvements *)
   coeffs_strengthened : int; (** knapsack coefficients tightened *)
   probe_fixings : int;     (** binaries fixed by probing *)
-  nnz_removed : int;       (** constraint-matrix nonzeros eliminated *)
+  nnz_removed : int;
+      (** net decrease in constraint-matrix nonzeros (0 when
+          substitution fill-in dominates) *)
+  nnz_fillin : int;
+      (** net increase in constraint-matrix nonzeros when substitution
+          fill-in outweighs eliminations (0 otherwise; at most one of
+          [nnz_removed] / [nnz_fillin] is nonzero per run) *)
   per_rule : (string * rule_stats) list;  (** keyed by {!rule_names} *)
 }
 

@@ -106,6 +106,29 @@ let test_synonym_subst () =
   let values = solve_and_certify m t in
   Alcotest.(check (float 1e-6)) "synonym relation holds" values.(x) (2.0 *. values.(y))
 
+let test_synonym_subst_infinite_bound () =
+  (* x - y = 0 with both variables unbounded above (the Model.add_var
+     default) and opposite-sign coefficients: the bound fold divides
+     by a negative ratio, so the eliminated variable's infinite upper
+     bound must map to an infinite (i.e. non-restricting) endpoint for
+     the survivor — not to a wrong-signed infinity that collapses its
+     domain. Both ubs stay infinite through activity tightening (each
+     would need the other's finite ub), so synonym_subst is the first
+     rule to look at them. The model is plainly feasible; presolve
+     must never prove it infeasible. *)
+  let m = Model.create () in
+  let x = Model.add_var ~lb:1.0 m and y = Model.add_var m in
+  ignore
+    (Model.add_constraint m
+       (Expr.add (Expr.var x) (Expr.var ~coef:(-1.0) y))
+       Model.Eq 0.0);
+  Model.set_objective m Model.Minimize (Expr.add (Expr.var x) (Expr.var y));
+  let t = get_reduced (Presolve.run m) in
+  Alcotest.(check bool) "synonym fired" true (rule_apps t "synonym_subst" >= 1);
+  let values = solve_and_certify m t in
+  Alcotest.(check (float 1e-6)) "x = y" values.(x) values.(y);
+  Alcotest.(check (float 1e-6)) "optimum" 2.0 (values.(x) +. values.(y))
+
 let test_free_col_subst () =
   (* s appears only in the equality s = 3x + y and its own (loose)
      bounds: implied-free, so the equality defines it away. *)
@@ -179,6 +202,8 @@ let test_probe () =
   let r = Presolve.reductions t in
   Alcotest.(check bool) "probe or forcing fixed v" true
     (r.Presolve.probe_fixings >= 1 || r.Presolve.vars_fixed >= 1);
+  Alcotest.(check int) "probe applications equal probe fixings"
+    r.Presolve.probe_fixings (rule_apps t "probe");
   let values = solve_and_certify m t in
   Alcotest.(check (float 1e-6)) "v off" 0.0 values.(v);
   Alcotest.(check (float 1e-6)) "w on" 1.0 values.(w)
@@ -405,7 +430,10 @@ let test_ci_guard_eq3_reductions () =
   Alcotest.(check bool) "vars eliminated" true
     (r.Presolve.vars_fixed + r.Presolve.vars_substituted > 0);
   Alcotest.(check bool) "rounds bounded" true (r.Presolve.rounds <= 10);
-  Alcotest.(check bool) "nnz accounting nonnegative" true (r.Presolve.nnz_removed >= 0);
+  Alcotest.(check bool) "nnz accounting nonnegative" true
+    (r.Presolve.nnz_removed >= 0 && r.Presolve.nnz_fillin >= 0);
+  Alcotest.(check bool) "nnz removed and fill-in are exclusive" true
+    (r.Presolve.nnz_removed = 0 || r.Presolve.nnz_fillin = 0);
   (* Per-rule table is consistent with the aggregates. *)
   let total_apps =
     List.fold_left (fun a (_, s) -> a + s.Presolve.applications) 0 r.Presolve.per_rule
@@ -447,6 +475,8 @@ let () =
           Alcotest.test_case "integer bound tightening" `Quick
             test_bound_tighten_integer_rounding;
           Alcotest.test_case "synonym substitution" `Quick test_synonym_subst;
+          Alcotest.test_case "synonym substitution, infinite bound" `Quick
+            test_synonym_subst_infinite_bound;
           Alcotest.test_case "implied-free column" `Quick test_free_col_subst;
           Alcotest.test_case "coefficient strengthening" `Quick test_coef_strengthen;
           Alcotest.test_case "clique reduction" `Quick test_clique_reduce;
