@@ -545,12 +545,14 @@ let bench_micro () =
       let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
       let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
       let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name result ->
+      List.iter
+        (fun (name, result) ->
           match Analyze.OLS.estimates result with
           | Some [ est ] -> Printf.printf "%-32s %14.1f ns/run\n%!" name est
           | Some _ | None -> Printf.printf "%-32s (no estimate)\n%!" name)
-        analyzed)
+        (List.sort
+           (fun (a, _) (b, _) -> compare a b)
+           (Hashtbl.fold (fun name r acc -> (name, r) :: acc) analyzed [])))
     tests
 
 (* ---------- presolve: reductions over the 28 Table-I formulations ---------- *)
@@ -801,14 +803,16 @@ let bench_smoke_lp () =
       ignore (LpModel.add_constraint lp (LpExpr.sum !terms) LpModel.Eq 1.0)
     done
   done;
-  Hashtbl.iter
-    (fun _ vs ->
+  List.iter
+    (fun (_, vs) ->
       match vs with
       | [] | [ _ ] -> ()
       | vs ->
         ignore
           (LpModel.add_constraint lp (LpExpr.sum (List.map LpExpr.var vs)) LpModel.Le 1.0))
-    cap;
+    (List.sort
+       (fun (a, _) (b, _) -> compare a b)
+       (Hashtbl.fold (fun k vs acc -> (k, vs) :: acc) cap []));
   (* Tight budgets force fractional LP vertices, hence real branching;
      covering the all-at-home witness keeps the instance feasible. *)
   let budget =

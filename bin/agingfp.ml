@@ -25,6 +25,7 @@ module Milp = Agingfp_lp.Milp
 module Faults = Agingfp_lp.Faults
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
+module Json = Agingfp_lintcode.Json
 module Pool = Agingfp_util.Pool
 module Budget = Agingfp_util.Budget
 
@@ -399,51 +400,96 @@ let cmd_export_lp benchmark source dim mode_s out =
       prerr_endline msg;
       1)
 
-(* Lint one model; prints Error/Warning diagnostics plus a summary
-   line and returns [true] when the model is free of Error severity. *)
-let lint_model name model =
+(* Lint one model; in text mode prints Error/Warning diagnostics plus
+   a summary line. Returns the full diagnostic list. *)
+let lint_model ~json name model =
   let diags = Analyze.lint model in
-  Format.printf "%-10s %a@." name Analyze.pp_summary diags;
-  List.iter
-    (fun (d : Analyze.diagnostic) ->
-      match d.Analyze.severity with
-      | Analyze.Error | Analyze.Warning -> Format.printf "  %a@." Analyze.pp_diagnostic d
-      | Analyze.Info -> ())
-    diags;
-  Analyze.errors diags = []
+  if not json then begin
+    Format.printf "%-10s %a@." name Analyze.pp_summary diags;
+    List.iter
+      (fun (d : Analyze.diagnostic) ->
+        match d.Analyze.severity with
+        | Analyze.Error | Analyze.Warning -> Format.printf "  %a@." Analyze.pp_diagnostic d
+        | Analyze.Info -> ())
+      diags
+  end;
+  diags
 
-let cmd_lint benchmark source dim mode_s all lp_file =
-  match lp_file with
-  | Some path -> (
-    match Lp_format.read_file path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok model -> if lint_model (Filename.basename path) model then 0 else 1)
-  | None -> (
-    match mode_of_string mode_s with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok mode ->
-      let lint_design design =
-        let baseline = Placer.aging_unaware design in
-        let inst, _st = Remap.build_formulation ~mode design baseline in
-        lint_model (Design.name design) (Ilp_model.model inst)
-      in
-      if all then begin
-        let clean = ref true in
-        let check design = if not (lint_design design) then clean := false in
-        check (Benchmarks.tiny ());
-        Array.iter (fun spec -> check (Benchmarks.generate spec)) Benchmarks.table1;
-        if !clean then 0 else 1
-      end
-      else (
-        match load_design benchmark source dim with
-        | Error msg ->
-          prerr_endline msg;
-          1
-        | Ok design -> if lint_design design then 0 else 1))
+(* One finding object per diagnostic, same field convention as
+   codelint's output (rule/severity/message, plus the locus that makes
+   sense here: model name and optional row/var indices). *)
+let lint_finding_json model_name (d : Analyze.diagnostic) =
+  Json.Obj
+    ([
+       ("rule", Json.Str (Analyze.code_label d.Analyze.code));
+       ("severity", Json.Str (Analyze.severity_label d.Analyze.severity));
+       ("model", Json.Str model_name);
+     ]
+    @ (match d.Analyze.row with Some r -> [ ("row", Json.Int r) ] | None -> [])
+    @ (match d.Analyze.var with Some v -> [ ("var", Json.Int v) ] | None -> [])
+    @ [ ("message", Json.Str d.Analyze.message) ])
+
+let lint_doc_json results =
+  let findings =
+    List.concat_map
+      (fun (name, diags) -> List.map (lint_finding_json name) diags)
+      results
+  in
+  let errors =
+    List.fold_left
+      (fun n (_, diags) -> n + List.length (Analyze.errors diags))
+      0 results
+  in
+  Json.Obj
+    [
+      ("tool", Json.Str "agingfp-lint");
+      ("findings", Json.List findings);
+      ("errors", Json.Int errors);
+    ]
+
+let cmd_lint benchmark source dim mode_s all json lp_file =
+  let results = ref [] in
+  let run name model =
+    let diags = lint_model ~json name model in
+    results := (name, diags) :: !results;
+    Analyze.errors diags = []
+  in
+  let status =
+    match lp_file with
+    | Some path -> (
+      match Lp_format.read_file path with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok model -> if run (Filename.basename path) model then 0 else 1)
+    | None -> (
+      match mode_of_string mode_s with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok mode ->
+        let lint_design design =
+          let baseline = Placer.aging_unaware design in
+          let inst, _st = Remap.build_formulation ~mode design baseline in
+          run (Design.name design) (Ilp_model.model inst)
+        in
+        if all then begin
+          let clean = ref true in
+          let check design = if not (lint_design design) then clean := false in
+          check (Benchmarks.tiny ());
+          Array.iter (fun spec -> check (Benchmarks.generate spec)) Benchmarks.table1;
+          if !clean then 0 else 1
+        end
+        else (
+          match load_design benchmark source dim with
+          | Error msg ->
+            prerr_endline msg;
+            1
+          | Ok design -> if lint_design design then 0 else 1))
+  in
+  if json && !results <> [] then
+    print_endline (Json.to_string (lint_doc_json (List.rev !results)));
+  status
 
 let cmd_route benchmark source dim capacity mode_s =
   match (load_design benchmark source dim, mode_of_string mode_s) with
@@ -640,6 +686,15 @@ let lint_all_arg =
     value & flag
     & info [ "all" ] ~doc:"Lint every bundled benchmark (tiny plus B1..B27).")
 
+let lint_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit findings as a single JSON document on stdout (same \
+           rule/severity/message field convention as codelint --json) \
+           instead of the human-readable report.")
+
 let lp_file_arg =
   Arg.(
     value
@@ -652,9 +707,10 @@ let lint_cmd =
        ~doc:"Static-analyze a formulation-(3) model (or an .lp file) for \
              inconsistent bounds, degenerate rows, and conditioning problems")
     Term.(
-      const (fun verbose b s d m all lp -> with_logs verbose (fun () -> cmd_lint b s d m all lp))
+      const (fun verbose b s d m all json lp ->
+          with_logs verbose (fun () -> cmd_lint b s d m all json lp))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ lint_all_arg
-      $ lp_file_arg)
+      $ lint_json_arg $ lp_file_arg)
 
 let related_cmd =
   Cmd.v

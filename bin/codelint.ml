@@ -1,0 +1,125 @@
+(* codelint — run the Lintcode rules over the repo's own sources.
+
+     codelint [--json] [--baseline FILE] [--write-baseline FILE] PATH...
+
+   Each PATH is a .ml file or a directory scanned recursively (hidden
+   directories and _build are skipped). Exit 0 when no unwaived finding
+   survives, 1 otherwise, 2 on usage/IO errors.
+
+   The baseline file is line-oriented (rule<TAB>file<TAB>message), one
+   line per finding, so a dirty tree can record today's debt with
+   --write-baseline and later runs with --baseline only fail on NEW
+   findings. Line numbers are deliberately not part of the key: edits
+   above a finding must not churn the baseline. *)
+
+let usage =
+  "usage: codelint [--json] [--baseline FILE] [--write-baseline FILE] PATH..."
+
+let json = ref false
+let baseline = ref ""
+let write_baseline = ref ""
+let paths = ref []
+
+let spec =
+  [
+    ("--json", Arg.Set json, " machine-readable output");
+    ( "--baseline",
+      Arg.Set_string baseline,
+      "FILE only report findings absent from FILE" );
+    ( "--write-baseline",
+      Arg.Set_string write_baseline,
+      "FILE record current findings to FILE and exit 0" );
+  ]
+
+(* Gather .ml files under [path], sorted: codelint's own det-order rule
+   applies to readdir order too. *)
+let rec gather acc path =
+  let base = Filename.basename path in
+  if String.length base > 0 && base.[0] = '.' && String.length path > 1 then acc
+  else if Sys.is_directory path then
+    if base = "_build" then acc
+    else
+      Array.fold_left
+        (fun acc entry -> gather acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let finding_key (f : Agingfp_lintcode.Lintcode.finding) =
+  Printf.sprintf "%s\t%s\t%s" f.rule f.file f.message
+
+let load_baseline file =
+  let counts = Hashtbl.create 64 in
+  let ic = open_in file in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         Hashtbl.replace counts line
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts line))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  counts
+
+let () =
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let roots = List.rev !paths in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "codelint: no such path: %s\n" p;
+        exit 2
+      end)
+    roots;
+  let files = List.sort compare (List.fold_left gather [] roots) in
+  let findings =
+    List.concat_map (fun f -> Agingfp_lintcode.Lintcode.lint_file f) files
+  in
+  if !write_baseline <> "" then begin
+    let oc = open_out !write_baseline in
+    List.iter (fun f -> output_string oc (finding_key f ^ "\n")) findings;
+    close_out oc;
+    Printf.printf "codelint: wrote %d finding(s) to %s\n" (List.length findings)
+      !write_baseline;
+    exit 0
+  end;
+  let findings =
+    if !baseline = "" then findings
+    else begin
+      if not (Sys.file_exists !baseline) then begin
+        Printf.eprintf "codelint: baseline file not found: %s\n" !baseline;
+        exit 2
+      end;
+      let counts = load_baseline !baseline in
+      (* Multiset subtraction: each baseline line absorbs one matching
+         finding; anything beyond the recorded count is new. *)
+      List.filter
+        (fun f ->
+          let key = finding_key f in
+          match Hashtbl.find_opt counts key with
+          | Some n when n > 0 ->
+            Hashtbl.replace counts key (n - 1);
+            false
+          | _ -> true)
+        findings
+    end
+  in
+  if !json then
+    print_endline
+      (Agingfp_lintcode.Json.to_string
+         (Agingfp_lintcode.Lintcode.findings_json findings))
+  else begin
+    List.iter
+      (fun f ->
+        Format.printf "%a@." Agingfp_lintcode.Lintcode.pp_finding f)
+      findings;
+    Printf.printf "codelint: %d file(s), %d finding(s)%s\n" (List.length files)
+      (List.length findings)
+      (if !baseline <> "" then " not in baseline" else "")
+  end;
+  exit (if findings = [] then 0 else 1)

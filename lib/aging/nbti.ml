@@ -1,3 +1,4 @@
+module Invariant = Agingfp_util.Invariant
 type params = {
   a_nbti : float;
   n_exp : float;
@@ -12,7 +13,7 @@ let default_params =
   { a_nbti = 0.0204; n_exp = 0.25; ea_ev = 0.10; vth0 = 0.45; fail_frac = 0.10 }
 
 let vth_shift ?(params = default_params) ~duty ~temp_k time_s =
-  if duty < 0.0 || time_s < 0.0 then invalid_arg "Nbti.vth_shift: negative input";
+  if duty < 0.0 || time_s < 0.0 then Invariant.invalid ~where:"Nbti.vth_shift" "negative input";
   if duty = 0.0 || time_s = 0.0 then 0.0
   else
     params.a_nbti
@@ -21,7 +22,7 @@ let vth_shift ?(params = default_params) ~duty ~temp_k time_s =
     *. params.vth0
 
 let time_to_fail ?(params = default_params) ~temp_k duty =
-  if duty < 0.0 then invalid_arg "Nbti.time_to_fail: negative duty";
+  if duty < 0.0 then Invariant.invalid ~where:"Nbti.time_to_fail" "negative duty";
   if duty = 0.0 then infinity
   else begin
     (* fail_frac = a * (duty * t)^n * exp(-Ea/kT)  =>

@@ -1,5 +1,6 @@
 module Rng = Agingfp_util.Rng
 
+module Invariant = Agingfp_util.Invariant
 type usage = Low | Medium | High
 
 type spec = {
@@ -57,9 +58,9 @@ let find name = Array.find_opt (fun s -> s.bname = name) table1
    over contexts that still have room. *)
 let context_sizes rng ~contexts ~capacity ~total =
   if total > contexts * capacity then
-    invalid_arg "Benchmarks.context_sizes: design does not fit fabric";
+    Invariant.invalid ~where:"Benchmarks.context_sizes" "design does not fit fabric";
   if total < 3 * contexts then
-    invalid_arg "Benchmarks.context_sizes: need at least 3 ops per context";
+    Invariant.invalid ~where:"Benchmarks.context_sizes" "need at least 3 ops per context";
   let base = total / contexts in
   let sizes =
     Array.init contexts (fun _ ->
@@ -145,7 +146,12 @@ let gen_context rng ~num_ops =
       let cur_arr = Array.of_list (List.map (fun (o : Op.t) -> o.Op.id) cur) in
       Array.iter
         (fun u ->
-          let has_succ = Hashtbl.fold (fun (a, _) () acc -> acc || a = u) edges false in
+          let has_succ =
+            (Hashtbl.fold (fun (a, _) () acc -> acc || a = u) edges false
+            [@codelint.allow "det-order"
+              "commutative (||) accumulation: any fold order yields the same \
+               boolean"])
+          in
           if not has_succ then add_edge u (Rng.pick rng cur_arr))
         prev_arr;
       wire rest

@@ -1,3 +1,4 @@
+module Invariant = Agingfp_util.Invariant
 type t = {
   name : string;
   fabric : Fabric.t;
@@ -6,11 +7,11 @@ type t = {
 }
 
 let create ?(chars = Chars.default) ~name ~fabric contexts =
-  if Array.length contexts = 0 then invalid_arg "Design.create: no contexts";
+  if Array.length contexts = 0 then Invariant.invalid ~where:"Design.create" "no contexts";
   Array.iter
     (fun dfg ->
       if Dfg.num_ops dfg > Fabric.num_pes fabric then
-        invalid_arg "Design.create: context larger than fabric")
+        Invariant.invalid ~where:"Design.create" "context larger than fabric")
     contexts;
   { name; fabric; contexts; chars }
 

@@ -1,3 +1,4 @@
+module Invariant = Agingfp_util.Invariant
 type t = {
   ops : Op.t array;
   preds : int list array;
@@ -22,7 +23,7 @@ let compute_topo n preds succs =
         if indeg.(v) = 0 then Queue.add v queue)
       succs.(u)
   done;
-  if !k <> n then invalid_arg "Dfg.create: graph has a cycle";
+  if !k <> n then Invariant.invalid ~where:"Dfg.create" "graph has a cycle";
   order
 
 let create ~ops ~edges =
@@ -33,9 +34,9 @@ let create ~ops ~edges =
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= n || v < 0 || v >= n then
-        invalid_arg "Dfg.create: edge endpoint out of range";
-      if u = v then invalid_arg "Dfg.create: self edge";
-      if Hashtbl.mem seen (u, v) then invalid_arg "Dfg.create: duplicate edge";
+        Invariant.invalid ~where:"Dfg.create" "edge endpoint out of range";
+      if u = v then Invariant.invalid ~where:"Dfg.create" "self edge";
+      if Hashtbl.mem seen (u, v) then Invariant.invalid ~where:"Dfg.create" "duplicate edge";
       Hashtbl.add seen (u, v) ();
       succs.(u) <- v :: succs.(u);
       preds.(v) <- u :: preds.(v))

@@ -1,23 +1,24 @@
 module Coord = Agingfp_util.Coord
 
+module Invariant = Agingfp_util.Invariant
 type t = { dim : int }
 
 let create ~dim =
-  if dim <= 0 then invalid_arg "Fabric.create: dim must be positive";
+  if dim <= 0 then Invariant.invalid ~where:"Fabric.create" "dim must be positive";
   { dim }
 
 let dim t = t.dim
 let num_pes t = t.dim * t.dim
 
 let coord_of_pe t pe =
-  if pe < 0 || pe >= num_pes t then invalid_arg "Fabric.coord_of_pe: out of range";
+  if pe < 0 || pe >= num_pes t then Invariant.invalid ~where:"Fabric.coord_of_pe" "out of range";
   Coord.make (pe mod t.dim) (pe / t.dim)
 
 let in_bounds t (c : Coord.t) =
   c.Coord.x >= 0 && c.Coord.x < t.dim && c.Coord.y >= 0 && c.Coord.y < t.dim
 
 let pe_of_coord t c =
-  if not (in_bounds t c) then invalid_arg "Fabric.pe_of_coord: out of bounds";
+  if not (in_bounds t c) then Invariant.invalid ~where:"Fabric.pe_of_coord" "out of bounds";
   (c.Coord.y * t.dim) + c.Coord.x
 
 let distance t a b = Coord.manhattan (coord_of_pe t a) (coord_of_pe t b)

@@ -1,3 +1,4 @@
+module Invariant = Agingfp_util.Invariant
 type unit_kind = Alu | Dmu
 
 type kind =
@@ -20,7 +21,7 @@ type kind =
 type t = { id : int; kind : kind; bitwidth : int }
 
 let make ~id ~kind ~bitwidth =
-  if bitwidth <= 0 then invalid_arg "Op.make: bitwidth must be positive";
+  if bitwidth <= 0 then Invariant.invalid ~where:"Op.make" "bitwidth must be positive";
   { id; kind; bitwidth }
 
 let unit_of_kind = function

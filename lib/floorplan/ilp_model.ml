@@ -93,9 +93,12 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
         end
       done)
     contexts;
-  (* Capacity: one op per PE per context. *)
-  Hashtbl.iter
-    (fun (ctx, pe) vs ->
+  (* Capacity: one op per PE per context. Rows are emitted in sorted
+     (ctx, pe) order: Hashtbl bucket order depends on the hash seed,
+     and row order steers simplex tie-breaking, so iterating the table
+     directly would leak the seed into the chosen floorplan. *)
+  List.iter
+    (fun ((ctx, pe), vs) ->
       match vs with
       | [] | [ _ ] -> ()
       | vs ->
@@ -103,7 +106,9 @@ let build ?(encoding = Hybrid) ?(objective = Min_displacement) design ~baseline
           (Model.add_constraint
              ~name:(Printf.sprintf "cap_c%d_pe%d" ctx pe)
              lp (Expr.sum (List.map Expr.var vs)) Model.Le 1.0))
-    capacity_terms;
+    (List.sort
+       (fun (a, _) (b, _) -> compare a b)
+       (Hashtbl.fold (fun k vs acc -> (k, vs) :: acc) capacity_terms []));
   (* Stress budget per PE. *)
   let stress_rows = ref [] in
   for pe = 0 to npes - 1 do

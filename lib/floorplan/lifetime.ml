@@ -27,7 +27,7 @@ let simulate ?nbti ?thermal design ~epochs ~epoch_years strategy =
   let max_shift = ref 0.0 in
   let failed_at = ref None in
   let epoch = ref 0 in
-  while !failed_at = None && !epoch < epochs do
+  (while !failed_at = None && !epoch < epochs do
     let mapping =
       match strategy with
       | Static m -> m
@@ -82,7 +82,10 @@ let simulate ?nbti ?thermal design ~epochs ~epoch_years strategy =
       max_shift := max !max_shift (shift_of pe wear.(pe))
     done;
     incr epoch
-  done;
+  done
+  [@codelint.allow "budget-poll"
+    "epoch-bounded simulation: the loop runs at most [epochs] iterations \
+     and each iteration is O(npes)"]);
   {
     failed_at_years = !failed_at;
     epochs_run = !epoch;

@@ -6,6 +6,7 @@ module Analyze = Agingfp_lp.Analyze
 module Certify = Agingfp_lp.Certify
 module Budget = Agingfp_util.Budget
 module Pool = Agingfp_util.Pool
+module Invariant = Agingfp_util.Invariant
 module Faults = Agingfp_lp.Faults
 
 let src = Logs.Src.create "agingfp.remap" ~doc:"Aging-aware remapping"
@@ -1178,7 +1179,7 @@ let step1_fraction = 0.15
 let solve_both ?(params = default_params) design baseline =
   (match Mapping.validate design baseline with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Remap.solve_both: invalid baseline: " ^ msg));
+  | Error msg -> Invariant.invalid ~where:"Remap.solve_both" "invalid baseline: %s" msg);
   let budget = budget_of_params params in
   let baseline_cpd = Analysis.cpd design baseline in
   let st_up = Stress.max_accumulated design baseline in
@@ -1210,7 +1211,7 @@ let solve ?(params = default_params) ~mode design baseline =
   | Rotation.Freeze ->
     (match Mapping.validate design baseline with
     | Ok () -> ()
-    | Error msg -> invalid_arg ("Remap.solve: invalid baseline: " ^ msg));
+    | Error msg -> Invariant.invalid ~where:"Remap.solve" "invalid baseline: %s" msg);
     let budget = budget_of_params params in
     let baseline_cpd = Analysis.cpd design baseline in
     let st_up = Stress.max_accumulated design baseline in

@@ -20,6 +20,8 @@
    set to [w]), so ftran appends E^-1 and btran prepends E^-T. Etas
    accumulate until the owner refactorizes. *)
 
+module Invariant = Agingfp_util.Invariant
+
 exception Singular
 
 let pivot_tol = 1e-11
@@ -50,7 +52,7 @@ type t = {
 }
 
 let create n =
-  if n < 0 then invalid_arg "Lu.create: negative dimension";
+  if n < 0 then Invariant.invalid ~where:"Lu.create" "negative dimension";
   let cap = max n 1 in
   {
     n;
@@ -93,7 +95,7 @@ let factorize t ~col =
   for j = 0 to n - 1 do
     let rows, coefs = col j in
     if Array.length rows <> Array.length coefs then
-      invalid_arg "Lu.factorize: ragged column";
+      Invariant.invalid ~where:"Lu.factorize" "ragged column";
     crows.(j) <- rows;
     ccoefs.(j) <- coefs
   done;
@@ -128,7 +130,7 @@ let factorize t ~col =
       let pk = t.p.(k) in
       if Sparse.is_live ws pk then begin
         let v = Sparse.get ws pk in
-        if v <> 0.0 then begin
+        if not (Float.equal v 0.0) then begin
           Sparse.push uc k v;
           Sparse.iter (fun i lv -> Sparse.add ws i (-.(v *. lv))) t.lcols.(k)
         end
@@ -165,14 +167,14 @@ let factorize t ~col =
     let lc = t.lcols.(step) in
     Sparse.clear lc;
     Sparse.iter_live ws (fun i x ->
-        if i <> r && t.pinv.(i) < 0 && x <> 0.0 then Sparse.push lc i (x /. d))
+        if i <> r && t.pinv.(i) < 0 && not (Float.equal x 0.0) then Sparse.push lc i (x /. d))
   done;
   t.factored <- true;
   t.nfactor <- t.nfactor + 1
 
 let check_ready t name v =
-  if not t.factored then invalid_arg (name ^ ": not factorized");
-  if Array.length v < t.n then invalid_arg (name ^ ": vector too short")
+  if not t.factored then Invariant.invalid ~where:name "not factorized";
+  if Array.length v < t.n then Invariant.invalid ~where:name "vector too short"
 
 (* Solve A x = b in place: [b] enters in row space, leaves in column
    (position) space. *)
@@ -181,14 +183,14 @@ let ftran t b =
   let n = t.n in
   for k = 0 to n - 1 do
     let v = b.(t.p.(k)) in
-    if v <> 0.0 then
+    if not (Float.equal v 0.0) then
       Sparse.iter (fun i lv -> b.(i) <- b.(i) -. (v *. lv)) t.lcols.(k)
   done;
   let z = t.sol in
   for j = n - 1 downto 0 do
     let zj = b.(t.p.(j)) /. t.udiag.(j) in
     z.(j) <- zj;
-    if zj <> 0.0 then
+    if not (Float.equal zj 0.0) then
       Sparse.iter (fun k uv -> b.(t.p.(k)) <- b.(t.p.(k)) -. (uv *. zj)) t.ucols.(j)
   done;
   for j = 0 to n - 1 do
@@ -198,7 +200,7 @@ let ftran t b =
     let eta = t.etas.(e) in
     let tv = b.(eta.e_pos) /. eta.e_piv in
     b.(eta.e_pos) <- tv;
-    if tv <> 0.0 then
+    if not (Float.equal tv 0.0) then
       Sparse.iter (fun i wv -> b.(i) <- b.(i) -. (wv *. tv)) eta.e_spike
   done
 
@@ -246,7 +248,7 @@ let update t ~r ~w =
   if abs_float piv < pivot_tol then raise Singular;
   let spike = Sparse.create () in
   for i = 0 to t.n - 1 do
-    if i <> r && w.(i) <> 0.0 then Sparse.push spike i w.(i)
+    if i <> r && not (Float.equal w.(i) 0.0) then Sparse.push spike i w.(i)
   done;
   push_eta t { e_pos = r; e_piv = piv; e_spike = spike };
   t.eta_nnz <- t.eta_nnz + 1 + Sparse.length spike;
@@ -256,13 +258,13 @@ let update t ~r ~w =
 
 let of_matrix a =
   let n = Matrix.rows a in
-  if Matrix.cols a <> n then invalid_arg "Lu.of_matrix: matrix not square";
+  if Matrix.cols a <> n then Invariant.invalid ~where:"Lu.of_matrix" "matrix not square";
   let t = create n in
   factorize t ~col:(fun j ->
       let rows = ref [] and coefs = ref [] in
       for i = n - 1 downto 0 do
         let v = Matrix.get a i j in
-        if v <> 0.0 then begin
+        if not (Float.equal v 0.0) then begin
           rows := i :: !rows;
           coefs := v :: !coefs
         end
@@ -271,13 +273,13 @@ let of_matrix a =
   t
 
 let solve t b =
-  if Array.length b <> t.n then invalid_arg "Lu.solve: size mismatch";
+  if Array.length b <> t.n then Invariant.invalid ~where:"Lu.solve" "size mismatch";
   let x = Array.copy b in
   ftran t x;
   x
 
 let solve_transposed t c =
-  if Array.length c <> t.n then invalid_arg "Lu.solve_transposed: size mismatch";
+  if Array.length c <> t.n then Invariant.invalid ~where:"Lu.solve_transposed" "size mismatch";
   let y = Array.copy c in
   btran t y;
   y

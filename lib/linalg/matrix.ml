@@ -1,7 +1,8 @@
+module Invariant = Agingfp_util.Invariant
 type t = { rows : int; cols : int; data : float array }
 
 let create ~rows ~cols =
-  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive size";
+  if rows <= 0 || cols <= 0 then Invariant.invalid ~where:"Matrix.create" "non-positive size";
   { rows; cols; data = Array.make (rows * cols) 0.0 }
 
 let identity n =
@@ -13,13 +14,13 @@ let identity n =
 
 let of_arrays arr =
   let rows = Array.length arr in
-  if rows = 0 then invalid_arg "Matrix.of_arrays: empty";
+  if rows = 0 then Invariant.invalid ~where:"Matrix.of_arrays" "empty";
   let cols = Array.length arr.(0) in
-  if cols = 0 then invalid_arg "Matrix.of_arrays: empty row";
+  if cols = 0 then Invariant.invalid ~where:"Matrix.of_arrays" "empty row";
   let m = create ~rows ~cols in
   Array.iteri
     (fun i row ->
-      if Array.length row <> cols then invalid_arg "Matrix.of_arrays: ragged rows";
+      if Array.length row <> cols then Invariant.invalid ~where:"Matrix.of_arrays" "ragged rows";
       Array.blit row 0 m.data (i * cols) cols)
     arr;
   m
@@ -34,7 +35,7 @@ let add_to m i j v = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. v
 let copy m = { m with data = Array.copy m.data }
 
 let mul_vec m v =
-  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: size mismatch";
+  if Array.length v <> m.cols then Invariant.invalid ~where:"Matrix.mul_vec" "size mismatch";
   Array.init m.rows (fun i ->
       let base = i * m.cols in
       let acc = ref 0.0 in
@@ -78,7 +79,7 @@ let scale_row m i a =
   done
 
 let axpy_row m ~src ~dst a =
-  if a <> 0.0 then begin
+  if not (Float.equal a 0.0) then begin
     let sb = src * m.cols and db = dst * m.cols in
     for k = 0 to m.cols - 1 do
       m.data.(db + k) <- m.data.(db + k) +. (a *. m.data.(sb + k))

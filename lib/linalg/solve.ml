@@ -1,11 +1,12 @@
+module Invariant = Agingfp_util.Invariant
 exception Singular
 
 let eps = 1e-12
 
 let lu a0 b =
   let n = Matrix.rows a0 in
-  if Matrix.cols a0 <> n then invalid_arg "Solve.lu: matrix not square";
-  if Array.length b <> n then invalid_arg "Solve.lu: size mismatch";
+  if Matrix.cols a0 <> n then Invariant.invalid ~where:"Solve.lu" "matrix not square";
+  if Array.length b <> n then Invariant.invalid ~where:"Solve.lu" "size mismatch";
   let a = Matrix.copy a0 in
   let x = Array.copy b in
   for k = 0 to n - 1 do
@@ -24,7 +25,7 @@ let lu a0 b =
     let akk = Matrix.get a k k in
     for i = k + 1 to n - 1 do
       let f = Matrix.get a i k /. akk in
-      if f <> 0.0 then begin
+      if not (Float.equal f 0.0) then begin
         Matrix.axpy_row a ~src:k ~dst:i (-.f);
         x.(i) <- x.(i) -. (f *. x.(k))
       end
@@ -41,8 +42,8 @@ let lu a0 b =
 
 let cholesky a b =
   let n = Matrix.rows a in
-  if Matrix.cols a <> n then invalid_arg "Solve.cholesky: matrix not square";
-  if Array.length b <> n then invalid_arg "Solve.cholesky: size mismatch";
+  if Matrix.cols a <> n then Invariant.invalid ~where:"Solve.cholesky" "matrix not square";
+  if Array.length b <> n then Invariant.invalid ~where:"Solve.cholesky" "size mismatch";
   let l = Matrix.create ~rows:n ~cols:n in
   for i = 0 to n - 1 do
     for j = 0 to i do
@@ -79,8 +80,8 @@ let cholesky a b =
 
 let gauss_seidel ?(max_iter = 10_000) ?(tol = 1e-9) a b =
   let n = Matrix.rows a in
-  if Matrix.cols a <> n then invalid_arg "Solve.gauss_seidel: matrix not square";
-  if Array.length b <> n then invalid_arg "Solve.gauss_seidel: size mismatch";
+  if Matrix.cols a <> n then Invariant.invalid ~where:"Solve.gauss_seidel" "matrix not square";
+  if Array.length b <> n then Invariant.invalid ~where:"Solve.gauss_seidel" "size mismatch";
   let x = Array.make n 0.0 in
   let rec iterate iter =
     if iter >= max_iter then x
@@ -110,11 +111,11 @@ let gauss_seidel ?(max_iter = 10_000) ?(tol = 1e-9) a b =
 type factor = Lu.t
 
 let factorize a =
-  if Matrix.cols a <> Matrix.rows a then invalid_arg "Solve.factorize: matrix not square";
+  if Matrix.cols a <> Matrix.rows a then Invariant.invalid ~where:"Solve.factorize" "matrix not square";
   try Lu.of_matrix a with Lu.Singular -> raise Singular
 
 let solve_factored f b =
-  if Array.length b <> Lu.dim f then invalid_arg "Solve.solve_factored: size mismatch";
+  if Array.length b <> Lu.dim f then Invariant.invalid ~where:"Solve.solve_factored" "size mismatch";
   try Lu.solve f b with Lu.Singular -> raise Singular
 
 let residual_norm a x b =

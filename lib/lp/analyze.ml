@@ -28,6 +28,19 @@ let severity_label = function
   | Warning -> "warning"
   | Info -> "info"
 
+(* Stable kebab-case ids for machine consumers (`agingfp lint --json`),
+   mirroring codelint's rule-id convention. *)
+let code_label = function
+  | Crossed_bounds -> "crossed-bounds"
+  | Nonfinite_bound -> "nonfinite-bound"
+  | Empty_row -> "empty-row"
+  | Duplicate_row -> "duplicate-row"
+  | Dangling_var -> "dangling-var"
+  | Row_infeasible_by_bounds -> "row-infeasible-by-bounds"
+  | Row_forced_by_bounds -> "row-forced-by-bounds"
+  | Nonbinary_in_one_hot -> "nonbinary-in-one-hot"
+  | Coefficient_range -> "coefficient-range"
+
 let pp_diagnostic ppf d =
   let pp_loc () =
     match (d.row, d.var) with
@@ -84,9 +97,9 @@ let is_binary m v =
 (* An Eq. (3) one-hot assignment row: sum of >= 2 unit-coefficient
    terms pinned to exactly 1. *)
 let is_one_hot_row terms rel rhs =
-  rel = Model.Eq && rhs = 1.0
+  rel = Model.Eq && Float.equal rhs 1.0
   && List.length terms >= 2
-  && List.for_all (fun (_, c) -> c = 1.0) terms
+  && List.for_all (fun (_, c) -> Float.equal c 1.0) terms
 
 let lint ?(params = default_params) m =
   let nvars = Model.num_vars m and nrows = Model.num_constraints m in
@@ -103,7 +116,7 @@ let lint ?(params = default_params) m =
       emit Error Nonfinite_bound ~var:v
         (Printf.sprintf "var `%s` has a NaN bound" (vname m v))
     end
-    else if lb = infinity || ub = neg_infinity then begin
+    else if Float.equal lb infinity || Float.equal ub neg_infinity then begin
       bad_bounds.(v) <- true;
       emit Error Nonfinite_bound ~var:v
         (Printf.sprintf "var `%s` bounds [%g, %g] admit no finite value"

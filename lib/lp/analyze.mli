@@ -61,6 +61,15 @@ val lint : ?params:params -> Model.t -> diagnostic list
 val errors : diagnostic list -> diagnostic list
 (** Just the [Error]-severity subset. *)
 
+val severity_label : severity -> string
+(** ["error"], ["warning"] or ["info"] — the vocabulary shared with
+    codelint's JSON output. *)
+
+val code_label : code -> string
+(** Stable kebab-case id for machine consumers, e.g.
+    [Row_infeasible_by_bounds] ↦ ["row-infeasible-by-bounds"]. Plays
+    the same role as codelint's rule ids in [--json] output. *)
+
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 (** e.g. ["error[row 12 `assign_c0_op3`]: ..."]. *)
 

@@ -17,6 +17,8 @@
    measured residual drift (the counter itself is bumped by the
    simplex, which is the layer that measures ‖B x_B − b‖∞). *)
 
+module Invariant = Agingfp_util.Invariant
+
 module Lu = Agingfp_linalg.Lu
 
 type kind = Dense | Sparse_lu
@@ -42,7 +44,7 @@ type t = {
 }
 
 let create kind m =
-  if m < 0 then invalid_arg "Basis.create: negative dimension";
+  if m < 0 then Invariant.invalid ~where:"Basis.create" "negative dimension";
   let cap = max m 1 in
   let impl =
     match kind with
@@ -93,7 +95,7 @@ let dense_factorize d m ~col =
     for i = 0 to m - 1 do
       if i <> k then begin
         let f = bmat.(i).(k) in
-        if f <> 0.0 then
+        if not (Float.equal f 0.0) then
           for c = 0 to m - 1 do
             bmat.(i).(c) <- bmat.(i).(c) -. (f *. bmat.(k).(c));
             inv.(i).(c) <- inv.(i).(c) -. (f *. inv.(k).(c))
@@ -140,7 +142,7 @@ let btran t v =
     Array.fill scratch 0 m 0.0;
     for i = 0 to m - 1 do
       let cb = v.(i) in
-      if cb <> 0.0 then begin
+      if not (Float.equal cb 0.0) then begin
         let row = binv.(i) in
         for k = 0 to m - 1 do
           scratch.(k) <- scratch.(k) +. (cb *. row.(k))
@@ -172,7 +174,7 @@ let update t ~r ~w =
       row_r.(k) <- row_r.(k) /. wr
     done;
     for i = 0 to m - 1 do
-      if i <> r && w.(i) <> 0.0 then begin
+      if i <> r && not (Float.equal w.(i) 0.0) then begin
         let f = w.(i) in
         let row_i = binv.(i) in
         for k = 0 to m - 1 do

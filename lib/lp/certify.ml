@@ -190,7 +190,7 @@ let farkas model y =
       let coefs : (int, Rat.t) Hashtbl.t = Hashtbl.create 64 in
       Model.iter_constraints model (fun i lhs rel rhs ->
           let yi = y.(i) in
-          if yi <> 0.0 then begin
+          if not (Float.equal yi 0.0) then begin
             (match rel with
             | Model.Le when yi < 0.0 ->
               add (Printf.sprintf "y_%d = %g < 0 on a <= row" i yi)
@@ -213,21 +213,24 @@ let farkas model y =
       else begin
         (* Exact infimum of the aggregated row over the variable box. *)
         let inf = ref (Some Rat.zero) in
-        Hashtbl.iter
-          (fun v cq ->
-            if Rat.sign cq <> 0 then begin
-              let bound =
-                if Rat.sign cq > 0 then Model.var_lb model v
-                else Model.var_ub model v
-              in
-              match !inf with
-              | None -> ()
-              | Some a ->
-                if Float.is_finite bound then
-                  inf := Some (Rat.add a (Rat.mul cq (q bound)))
-                else inf := None
-            end)
-          coefs;
+        (Hashtbl.iter
+           (fun v cq ->
+             if Rat.sign cq <> 0 then begin
+               let bound =
+                 if Rat.sign cq > 0 then Model.var_lb model v
+                 else Model.var_ub model v
+               in
+               match !inf with
+               | None -> ()
+               | Some a ->
+                 if Float.is_finite bound then
+                   inf := Some (Rat.add a (Rat.mul cq (q bound)))
+                 else inf := None
+             end)
+           coefs
+         [@codelint.allow "det-order"
+           "exact rational accumulation: Rat.add is associative-commutative, \
+            so bucket order cannot change the infimum"]);
         match !inf with
         | None ->
           Rejected

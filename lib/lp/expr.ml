@@ -7,11 +7,12 @@ let zero = { coefs = Imap.empty; constant = 0.0 }
 let const c = { coefs = Imap.empty; constant = c }
 
 let var ?(coef = 1.0) v =
-  if coef = 0.0 then zero else { coefs = Imap.singleton v coef; constant = 0.0 }
+  if Float.equal coef 0.0 then zero
+  else { coefs = Imap.singleton v coef; constant = 0.0 }
 
 let merge_coef a b =
   let s = a +. b in
-  if s = 0.0 then None else Some s
+  if Float.equal s 0.0 then None else Some s
 
 let add e1 e2 =
   {
@@ -21,7 +22,7 @@ let add e1 e2 =
   }
 
 let scale a e =
-  if a = 0.0 then zero
+  if Float.equal a 0.0 then zero
   else { coefs = Imap.map (fun c -> a *. c) e.coefs; constant = a *. e.constant }
 
 let sub e1 e2 = add e1 (scale (-1.0) e2)
@@ -46,7 +47,7 @@ let pp ppf e =
       if !first then first := false else Format.pp_print_string ppf " + ";
       Format.fprintf ppf "%g*x%d" c v)
     e.coefs;
-  if e.constant <> 0.0 || !first then begin
+  if (not (Float.equal e.constant 0.0)) || !first then begin
     if not !first then Format.pp_print_string ppf " + ";
     Format.fprintf ppf "%g" e.constant
   end

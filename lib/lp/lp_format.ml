@@ -1,3 +1,8 @@
+[@@@codelint.allow "budget-poll"
+  "scanner/lexer loops: every while below advances a cursor over an \
+   in-memory string, bounded by its length — parse time is dwarfed by the \
+   solves the budget ladder supervises"]
+
 let var_name v = Printf.sprintf "x%d" v
 
 let float_lit f =
@@ -15,14 +20,14 @@ let expr_terms_string e =
       (fun i (v, c) ->
         if i = 0 then begin
           if c < 0.0 then Buffer.add_string buf "- ";
-          if abs_float c <> 1.0 then begin
+          if not (Float.equal (abs_float c) 1.0) then begin
             Buffer.add_string buf (float_lit (abs_float c));
             Buffer.add_char buf ' '
           end
         end
         else begin
           Buffer.add_string buf (if c < 0.0 then " - " else " + ");
-          if abs_float c <> 1.0 then begin
+          if not (Float.equal (abs_float c) 1.0) then begin
             Buffer.add_string buf (float_lit (abs_float c));
             Buffer.add_char buf ' '
           end
@@ -64,20 +69,23 @@ let to_string model =
   let bounds = Buffer.create 512 in
   for v = 0 to Model.num_vars model - 1 do
     let lb = Model.var_lb model v and ub = Model.var_ub model v in
-    let binary = Model.var_kind model v = Model.Integer && lb = 0.0 && ub = 1.0 in
+    let binary =
+      Model.var_kind model v = Model.Integer
+      && Float.equal lb 0.0 && Float.equal ub 1.0
+    in
     if not binary then begin
       if lb = ub then
         Buffer.add_string bounds (Printf.sprintf " %s = %s\n" (var_name v) (float_lit lb))
       else begin
-        if lb = neg_infinity && ub = infinity then
+        if Float.equal lb neg_infinity && Float.equal ub infinity then
           Buffer.add_string bounds (Printf.sprintf " %s free\n" (var_name v))
         else begin
-          if lb <> 0.0 then
+          if not (Float.equal lb 0.0) then
             Buffer.add_string bounds
-              (if lb = neg_infinity then
+              (if Float.equal lb neg_infinity then
                  Printf.sprintf " -inf <= %s\n" (var_name v)
                else Printf.sprintf " %s >= %s\n" (var_name v) (float_lit lb));
-          if ub <> infinity then
+          if not (Float.equal ub infinity) then
             Buffer.add_string bounds
               (Printf.sprintf " %s <= %s\n" (var_name v) (float_lit ub))
         end
@@ -93,7 +101,10 @@ let to_string model =
   let generals = Buffer.create 256 in
   for v = 0 to Model.num_vars model - 1 do
     if Model.var_kind model v = Model.Integer then begin
-      if Model.var_lb model v = 0.0 && Model.var_ub model v = 1.0 then
+      if
+        Float.equal (Model.var_lb model v) 0.0
+        && Float.equal (Model.var_ub model v) 1.0
+      then
         Buffer.add_string binaries (Printf.sprintf " %s\n" (var_name v))
       else Buffer.add_string generals (Printf.sprintf " %s\n" (var_name v))
     end
@@ -371,7 +382,8 @@ let of_string text =
             if t <> "+" && t <> "-" && number_of_token t = None then note t)
           lhs)
       rows;
-    Hashtbl.iter (fun name _ -> note name) bounds;
+    List.iter note
+      (List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) bounds []));
     List.iter note binaries;
     List.iter note generals;
     let names = List.rev !order in
@@ -401,7 +413,10 @@ let of_string text =
       end
     in
     let name_of = Array.make nvars "" in
-    Hashtbl.iter (fun nm ix -> name_of.(ix) <- nm) index;
+    (Hashtbl.iter (fun nm ix -> name_of.(ix) <- nm) index
+    [@codelint.allow "det-order"
+      "each binding writes the distinct array slot its own value names: \
+       disjoint writes commute"]);
     for ix = 0 to nvars - 1 do
       if name_of.(ix) = "" then name_of.(ix) <- Printf.sprintf "x%d" ix
     done;

@@ -1,3 +1,4 @@
+module Invariant = Agingfp_util.Invariant
 type relation = Le | Ge | Eq
 
 type kind = Continuous | Integer
@@ -47,7 +48,7 @@ let grow_rows m =
   end
 
 let add_var ?(name = "") ?(lb = 0.0) ?(ub = infinity) ?(kind = Continuous) m =
-  if lb > ub then invalid_arg "Model.add_var: lb > ub";
+  if lb > ub then Invariant.invalid ~where:"Model.add_var" "lb > ub";
   grow_vars m;
   let id = m.nvars in
   m.vars.(id) <- { lb; ub; vkind = kind; name };
@@ -75,11 +76,11 @@ let fix_var m v x =
   info.ub <- x
 
 let set_rhs m i rhs =
-  if i < 0 || i >= m.nrows then invalid_arg "Model.set_rhs: bad row";
+  if i < 0 || i >= m.nrows then Invariant.invalid ~where:"Model.set_rhs" "bad row";
   m.rows.(i) <- { m.rows.(i) with rhs }
 
 let set_bounds m v ~lb ~ub =
-  if lb > ub then invalid_arg "Model.set_bounds: lb > ub";
+  if lb > ub then Invariant.invalid ~where:"Model.set_bounds" "lb > ub";
   let info = m.vars.(v) in
   info.lb <- lb;
   info.ub <- ub

@@ -1,6 +1,7 @@
 let src = Logs.Src.create "agingfp.presolve" ~doc:"MILP presolve"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Invariant = Agingfp_util.Invariant
 
 (* ---------- per-rule bookkeeping ---------- *)
 
@@ -213,7 +214,7 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
   let nrules = List.length rule_names in
   let rule_index name =
     let rec go i = function
-      | [] -> invalid_arg ("Presolve: unknown rule " ^ name)
+      | [] -> Invariant.invalid ~where:"Presolve" "unknown rule %s" name
       | r :: _ when r = name -> i
       | _ :: tl -> go (i + 1) tl
     in
@@ -247,14 +248,14 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
     List.fold_left
       (fun (s, k) (v, c) ->
         let contrib = if c > 0.0 then c *. lb.(v) else c *. ub.(v) in
-        if contrib = neg_infinity then (s, k + 1) else (s +. contrib, k))
+        if Float.equal contrib neg_infinity then (s, k + 1) else (s +. contrib, k))
       (0.0, 0) terms
   in
   let max_activity terms =
     List.fold_left
       (fun (s, k) (v, c) ->
         let contrib = if c > 0.0 then c *. ub.(v) else c *. lb.(v) in
-        if contrib = infinity then (s, k + 1) else (s +. contrib, k))
+        if Float.equal contrib infinity then (s, k + 1) else (s +. contrib, k))
       (0.0, 0) terms
   in
   let round_integer_bounds v =
@@ -376,7 +377,7 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
     incr vars_substituted;
     changed := true;
     let oc = obj_coef.(v) in
-    if oc <> 0.0 then begin
+    if not (Float.equal oc 0.0) then begin
       obj_const := !obj_const +. (oc *. k);
       List.iter (fun (u, c) -> obj_coef.(u) <- obj_coef.(u) +. (oc *. c)) terms;
       obj_coef.(v) <- 0.0
@@ -516,10 +517,13 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
               if row_rel.(r) = Model.Le || row_rel.(r) = Model.Eq then begin
                 let contrib = if c > 0.0 then c *. lb.(v) else c *. ub.(v) in
                 let resid_ok =
-                  if contrib = neg_infinity then min_inf = 1 else min_inf = 0
+                  if Float.equal contrib neg_infinity then min_inf = 1 else min_inf = 0
                 in
                 if resid_ok then begin
-                  let resid = if contrib = neg_infinity then min_fin else min_fin -. contrib in
+                  let resid =
+                    if Float.equal contrib neg_infinity then min_fin
+                    else min_fin -. contrib
+                  in
                   let x = (rhs -. resid) /. c in
                   if c > 0.0 then ignore (tighten_ub rl_bound v x)
                   else ignore (tighten_lb rl_bound v x)
@@ -528,9 +532,14 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
               (* >=-direction: mirrored with the maximum activity. *)
               if row_rel.(r) = Model.Ge || row_rel.(r) = Model.Eq then begin
                 let contrib = if c > 0.0 then c *. ub.(v) else c *. lb.(v) in
-                let resid_ok = if contrib = infinity then max_inf = 1 else max_inf = 0 in
+                let resid_ok =
+                  if Float.equal contrib infinity then max_inf = 1 else max_inf = 0
+                in
                 if resid_ok then begin
-                  let resid = if contrib = infinity then max_fin else max_fin -. contrib in
+                  let resid =
+                    if Float.equal contrib infinity then max_fin
+                    else max_fin -. contrib
+                  in
                   let x = (rhs -. resid) /. c in
                   if c > 0.0 then ignore (tighten_lb rl_bound v x)
                   else ignore (tighten_ub rl_bound v x)
@@ -909,10 +918,12 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
                     let cmin = if c > 0.0 then c *. lb.(u) else c *. ub.(u) in
                     let cmax = if c > 0.0 then c *. ub.(u) else c *. lb.(u) in
                     let lo, lk =
-                      if cmin = neg_infinity then (lo, lk + 1) else (lo +. cmin, lk)
+                      if Float.equal cmin neg_infinity then (lo, lk + 1)
+                      else (lo +. cmin, lk)
                     in
                     let hi, hk =
-                      if cmax = infinity then (hi, hk + 1) else (hi +. cmax, hk)
+                      if Float.equal cmax infinity then (hi, hk + 1)
+                      else (hi +. cmax, hk)
                     in
                     (lo, lk, hi, hk))
                 (0.0, 0, 0.0, 0) terms
@@ -1021,7 +1032,7 @@ let run ?(budget = Agingfp_util.Budget.unlimited) ?(integrality_tol = 1e-9)
         Array.to_seq (Array.init n (fun v -> v))
         |> Seq.fold_left
              (fun e v ->
-               if live_var.(v) && obj_coef.(v) <> 0.0 then
+               if live_var.(v) && not (Float.equal obj_coef.(v) 0.0) then
                  Expr.add_term e obj_coef.(v) var_map.(v)
                else e)
              (Expr.const !obj_const)

@@ -1,3 +1,4 @@
+module Invariant = Agingfp_util.Invariant
 let src = Logs.Src.create "agingfp.simplex" ~doc:"LP simplex solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -145,7 +146,7 @@ let factorize_basis st =
 let effective_rhs st rhs =
   Array.blit st.b 0 rhs 0 st.m;
   for j = 0 to st.ncols - 1 do
-    if st.pos_in_basis.(j) < 0 && st.vals.(j) <> 0.0 then begin
+    if st.pos_in_basis.(j) < 0 && not (Float.equal st.vals.(j) 0.0) then begin
       let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
       for k = 0 to Array.length rows - 1 do
         rhs.(rows.(k)) <- rhs.(rows.(k)) -. (coefs.(k) *. st.vals.(j))
@@ -173,7 +174,7 @@ let drift st =
   effective_rhs st r;
   for i = 0 to m - 1 do
     let x = st.x_b.(i) in
-    if x <> 0.0 then begin
+    if not (Float.equal x 0.0) then begin
       let j = st.basis.(i) in
       let rows = st.col_rows.(j) and coefs = st.col_coefs.(j) in
       for k = 0 to Array.length rows - 1 do
@@ -330,7 +331,7 @@ let optimize st cost max_iter =
             end
           end
         done;
-        if !t_best = infinity then Phase_unbounded
+        if Float.equal !t_best infinity then Phase_unbounded
         else begin
           (* Fault injection: a perturbed step length models the
              numerical corruption of a near-singular pivot. *)
@@ -461,7 +462,7 @@ let reset st =
   Array.fill st.pos_in_basis 0 st.max_cols (-1);
   let resid = Array.copy st.b in
   for v = 0 to n - 1 do
-    if st.vals.(v) <> 0.0 then begin
+    if not (Float.equal st.vals.(v) 0.0) then begin
       let rows = st.col_rows.(v) and coefs = st.col_coefs.(v) in
       for k = 0 to Array.length rows - 1 do
         resid.(rows.(k)) <- resid.(rows.(k)) -. (coefs.(k) *. st.vals.(v))
@@ -585,8 +586,8 @@ let solve_state st =
 (* ---------- bound / RHS edits and warm re-optimization ---------- *)
 
 let set_var_bounds st v ~lb ~ub =
-  if v < 0 || v >= st.n then invalid_arg "Simplex.set_var_bounds: not a structural var";
-  if lb > ub then invalid_arg "Simplex.set_var_bounds: lb > ub";
+  if v < 0 || v >= st.n then Invariant.invalid ~where:"Simplex.set_var_bounds" "not a structural var";
+  if lb > ub then Invariant.invalid ~where:"Simplex.set_var_bounds" "lb > ub";
   st.lb.(v) <- lb;
   st.ub.(v) <- ub;
   if st.pos_in_basis.(v) < 0 then begin
@@ -595,7 +596,7 @@ let set_var_bounds st v ~lb ~ub =
   end
 
 let set_rhs st i rhs =
-  if i < 0 || i >= st.m then invalid_arg "Simplex.set_rhs: bad row";
+  if i < 0 || i >= st.m then Invariant.invalid ~where:"Simplex.set_rhs" "bad row";
   st.b.(i) <- rhs
 
 let set_budget st budget = st.budget <- budget
@@ -670,7 +671,7 @@ let dual_restore st =
                 else if alpha > 0.0 then 1.0
                 else -1.0
               in
-              if dir <> 0.0 then begin
+              if not (Float.equal dir 0.0) then begin
                 let d = st.cost2.(j) -. col_dot st y j in
                 let ratio = abs_float d /. abs_float alpha in
                 if

@@ -2,6 +2,7 @@ open Agingfp_cgrra
 module Coord = Agingfp_util.Coord
 module Heap = Agingfp_util.Heap
 
+module Invariant = Agingfp_util.Invariant
 type params = {
   capacity : int;
   max_iterations : int;
@@ -34,7 +35,7 @@ let channel_of dim a b =
   if ay = by && abs (ax - bx) = 1 then (ay * (dim - 1)) + min ax bx
   else if ax = bx && abs (ay - by) = 1 then
     (dim * (dim - 1)) + (min ay by * dim) + ax
-  else invalid_arg "Router.channel_of: cells not adjacent"
+  else Invariant.invalid ~where:"Router.channel_of" "cells not adjacent"
 
 let neighbours dim cell =
   let x = cell mod dim and y = cell / dim in
@@ -91,7 +92,7 @@ let route_context ?(params = default_params) design mapping ~ctx =
       let src_pe = Mapping.pe_of mapping ~ctx ~op:u in
       let dst_pe = Mapping.pe_of mapping ~ctx ~op:v in
       if src_pe = dst_pe then
-        invalid_arg "Router.route_context: zero-length net (ops share a PE)";
+        Invariant.invalid ~where:"Router.route_context" "zero-length net (ops share a PE)";
       nets := { ctx; src_op = u; dst_op = v; src_pe; dst_pe } :: !nets);
   let nets = Array.of_list (List.rev !nets) in
   (* Longest nets first: they have the fewest detour options. *)

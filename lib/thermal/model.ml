@@ -3,6 +3,7 @@ module Matrix = Agingfp_linalg.Matrix
 module Solve = Agingfp_linalg.Solve
 module Ascii_table = Agingfp_util.Ascii_table
 
+module Invariant = Agingfp_util.Invariant
 type params = {
   ambient_k : float;
   g_vertical : float;
@@ -51,7 +52,7 @@ let steady_solver ?(params = default_params) ~dim () =
   let g = conductance_matrix params dim in
   let f = Solve.factorize g in
   fun power ->
-    if Array.length power <> n then invalid_arg "Thermal.steady_state: power size mismatch";
+    if Array.length power <> n then Invariant.invalid ~where:"Thermal.steady_state" "power size mismatch";
     let rhs = Array.map (fun p -> p +. (params.g_vertical *. params.ambient_k)) power in
     Solve.solve_factored f rhs
 
@@ -61,9 +62,9 @@ let steady_state ?(params = default_params) ~dim power =
 let transient ?(params = default_params) ~dim ~power ~t0 ~dt steps =
   let n = dim * dim in
   if Array.length power <> n || Array.length t0 <> n then
-    invalid_arg "Thermal.transient: size mismatch";
+    Invariant.invalid ~where:"Thermal.transient" "size mismatch";
   let stability = params.capacitance /. ((4.0 *. params.g_lateral) +. params.g_vertical) in
-  if dt >= stability then invalid_arg "Thermal.transient: dt violates stability bound";
+  if dt >= stability then Invariant.invalid ~where:"Thermal.transient" "dt violates stability bound";
   let t = Array.copy t0 in
   let next = Array.make n 0.0 in
   for _ = 1 to steps do

@@ -14,12 +14,12 @@ let render ?align ~header rows =
     match align with Some a -> a | None -> Array.make ncols Right
   in
   if Array.length align <> ncols then
-    invalid_arg "Ascii_table.render: align/header length mismatch";
+    Invariant.invalid ~where:"Ascii_table.render" "align/header length mismatch";
   let full_rows =
     List.map
       (fun row ->
         let n = Array.length row in
-        if n > ncols then invalid_arg "Ascii_table.render: row too wide";
+        if n > ncols then Invariant.invalid ~where:"Ascii_table.render" "row too wide";
         Array.init ncols (fun i -> if i < n then row.(i) else ""))
       rows
   in

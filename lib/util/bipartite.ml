@@ -5,12 +5,12 @@ type t = {
 }
 
 let create ~n_left ~n_right =
-  if n_left < 0 || n_right < 0 then invalid_arg "Bipartite.create: negative size";
+  if n_left < 0 || n_right < 0 then Invariant.invalid ~where:"Bipartite.create" "negative size";
   { n_left; n_right; adj = Array.make (max 1 n_left) [] }
 
 let add_edge t l r =
   if l < 0 || l >= t.n_left || r < 0 || r >= t.n_right then
-    invalid_arg "Bipartite.add_edge: endpoint out of range";
+    Invariant.invalid ~where:"Bipartite.add_edge" "endpoint out of range";
   t.adj.(l) <- r :: t.adj.(l)
 
 let infinity_dist = max_int

@@ -55,7 +55,7 @@ let create ?(clock = monotonic_now) ?deadline_s ?allowance () =
     match deadline_s with
     | None -> None
     | Some s ->
-      if s < 0.0 then invalid_arg "Budget.create: negative deadline";
+      if s < 0.0 then Invariant.invalid ~where:"Budget.create" "negative deadline";
       Some (Int64.add now (Int64.of_float (s *. 1e9)))
   in
   { clock; created_ns = now; deadline_ns; allowance = Option.map Atomic.make allowance;
@@ -72,7 +72,7 @@ let min_deadline a b =
 let effective_deadline t = t.deadline_ns
 
 let with_deadline parent ~deadline_s =
-  if deadline_s < 0.0 then invalid_arg "Budget.with_deadline: negative deadline";
+  if deadline_s < 0.0 then Invariant.invalid ~where:"Budget.with_deadline" "negative deadline";
   let now = parent.clock () in
   let own = Int64.add now (Int64.of_float (deadline_s *. 1e9)) in
   {
@@ -84,7 +84,7 @@ let with_deadline parent ~deadline_s =
   }
 
 let slice parent ~fraction =
-  if fraction <= 0.0 then invalid_arg "Budget.slice: fraction must be positive";
+  if fraction <= 0.0 then Invariant.invalid ~where:"Budget.slice" "fraction must be positive";
   match effective_deadline parent with
   | None ->
     { clock = parent.clock;

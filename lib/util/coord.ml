@@ -46,7 +46,7 @@ let transform o p =
 let transform_all o ps = List.map (transform o) ps
 
 let bounding_box = function
-  | [] -> invalid_arg "Coord.bounding_box: empty list"
+  | [] -> Invariant.invalid ~where:"Coord.bounding_box" "empty list"
   | p :: ps ->
     let mn = List.fold_left (fun acc q -> { x = min acc.x q.x; y = min acc.y q.y }) p ps in
     let mx = List.fold_left (fun acc q -> { x = max acc.x q.x; y = max acc.y q.y }) p ps in

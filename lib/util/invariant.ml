@@ -5,6 +5,19 @@ let message ~where what = Printf.sprintf "invariant violated in %s: %s" where wh
 let fail ~where fmt =
   Format.kasprintf (fun what -> raise (Violation (message ~where what))) fmt
 
+(* Public-API precondition failures. Callers keep the stdlib
+   [Invalid_argument] contract (message "where: what", exactly what the
+   bare [invalid_arg] sites used to produce), but every raise goes
+   through this module so codelint's no-failwith rule can insist on a
+   structured `where` everywhere in lib/. *)
+let invalid ~where fmt =
+  Format.kasprintf
+    (fun what ->
+      (invalid_arg [@codelint.allow "no-failwith"
+                     "this is the sanctioned wrapper the rule points to"])
+        (where ^ ": " ^ what))
+    fmt
+
 let () =
   Printexc.register_printer (function
     | Violation msg -> Some msg

@@ -18,3 +18,11 @@ val fail : where:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [fail ~where fmt ...] raises {!Violation} with the formatted
     message. [where] names the module or function whose invariant
     broke, e.g. ["Rotation.freeze_plan"]. *)
+
+val invalid : where:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [invalid ~where fmt ...] raises [Invalid_argument] with message
+    ["<where>: <what>"] — the repo's single sanctioned spelling of a
+    public-API precondition failure. Unlike {!fail} (an internal bug),
+    [invalid] blames the caller, so it keeps the stdlib
+    [Invalid_argument] contract; codelint's no-failwith rule rejects
+    bare [invalid_arg] in lib/ in favour of this wrapper. *)

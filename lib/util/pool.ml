@@ -77,7 +77,7 @@ let worker_loop t () =
   loop ()
 
 let create ~domains =
-  if domains < 1 || domains > 128 then invalid_arg "Pool.create: domains must be in [1, 128]";
+  if domains < 1 || domains > 128 then Invariant.invalid ~where:"Pool.create" "domains must be in [1, 128]";
   let t =
     {
       mutex = Mutex.create ();
@@ -173,7 +173,9 @@ let map t f xs =
     let results = Array.make n None in
     run_indexed t n (fun i -> results.(i) <- Some (f xs.(i)));
     Array.map
-      (function Some r -> r | None -> assert false (* run_indexed re-raised *))
+      (function
+        | Some r -> r
+        | None -> Invariant.fail ~where:"Pool.map" "task settled without a result (run_indexed re-raises)")
       results
   end
 
@@ -215,7 +217,11 @@ let get ?(clamp = true) domains =
               let pools =
                 Mutex.lock registry_mutex;
                 Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex)
-                  (fun () -> Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
+                  (fun () ->
+                    (Hashtbl.fold (fun _ p acc -> p :: acc) registry []
+                    [@codelint.allow "det-order"
+                      "every registered pool is shut down; drain order is \
+                       irrelevant"]))
               in
               List.iter shutdown pools)
         end;

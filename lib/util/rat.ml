@@ -221,7 +221,7 @@ let one = of_int 1
 let of_float f =
   match Float.classify_float f with
   | Float.FP_nan | Float.FP_infinite ->
-    invalid_arg "Rat.of_float: not a finite value"
+    Invariant.invalid ~where:"Rat.of_float" "not a finite value"
   | Float.FP_zero -> zero
   | Float.FP_normal | Float.FP_subnormal ->
     (* f = m * 2^e with 0.5 <= |m| < 1, so |m| * 2^53 is an exact

@@ -18,11 +18,11 @@ let split t =
   { state = s }
 
 let split_n t n =
-  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  if n < 0 then Invariant.invalid ~where:"Rng.split_n" "negative count";
   Array.init n (fun _ -> split t)
 
 let int t bound =
-  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 0 then Invariant.invalid ~where:"Rng.int" "bound must be positive";
   let r = Int64.to_int (next_int64 t) land max_int in
   r mod bound
 
@@ -34,7 +34,7 @@ let float t bound =
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 let pick t arr =
-  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  if Array.length arr = 0 then Invariant.invalid ~where:"Rng.pick" "empty array";
   arr.(int t (Array.length arr))
 
 let shuffle t arr =

@@ -11,7 +11,7 @@ let geomean xs =
   end
 
 let max_by f xs =
-  if Array.length xs = 0 then invalid_arg "Stats.max_by: empty array";
+  if Array.length xs = 0 then Invariant.invalid ~where:"Stats.max_by" "empty array";
   let best = ref xs.(0) in
   let best_v = ref (f xs.(0)) in
   for i = 1 to Array.length xs - 1 do
