@@ -1218,6 +1218,265 @@ let bench_smoke_lp () =
 
 (* ---------- driver ---------- *)
 
+(* ---------- serve: the remap daemon under load ---------- *)
+
+(* Drives the Table-I mix through a loopback client against a live
+   `agingfp serve` daemon and writes BENCH_serve.json: per-benchmark
+   cold/warm service latency (client-measured, end to end), sustained
+   concurrent throughput, the shed rate of an undersized instance at
+   capacity, the warm-cache hit ratio, and an audit sweep across every
+   injected fault class. The headline robustness claims: p99 stays
+   within the per-request deadline, repeats hit the warm cache, and no
+   response anywhere in the run carries an unaudited floorplan. *)
+let bench_serve () =
+  let module Server = Agingfp_serve.Server in
+  let module Client = Agingfp_serve.Client in
+  let module Inject = Agingfp_serve.Inject in
+  header "serve: remap daemon service latency";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let deadline_s = 0.6 in
+  let mix =
+    (("tiny", Benchmarks.tiny ())
+    :: (Array.to_list Benchmarks.table1
+       |> List.filter (fun (s : Benchmarks.spec) -> (not !quick) || s.Benchmarks.dim <= 8)
+       |> List.map (fun (s : Benchmarks.spec) ->
+              (s.Benchmarks.bname, Benchmarks.generate s))))
+    |> List.map (fun (name, d) -> (name, Serial.design_to_string d))
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers = 2;
+      queue_capacity = 32;
+      cache_capacity = 64;
+    }
+  in
+  let server = Server.create ~config () in
+  let th = Thread.create Server.run server in
+  let port = Server.port server in
+  let path = Printf.sprintf "/remap?deadline=%g" deadline_s in
+  let post ?(path = path) body =
+    match Client.request ~host:"127.0.0.1" ~port ~body path with
+    | Ok r -> r
+    | Error msg ->
+      Printf.printf "WARNING: request failed: %s\n%!" msg;
+      { Client.status = 0; headers = []; body = "" }
+  in
+  let audited = ref 0 and unaudited = ref 0 in
+  let note_audit (r : Client.response) =
+    (* Every response that carries a floorplan must say so and be
+       audited; errors are exempt but counted separately. *)
+    if r.Client.status = 200 || r.Client.status = 503 then
+      if
+        contains r.Client.body "\"audit_ok\":true"
+        || Client.header "x-agingfp-audit" r = Some "pass"
+      then incr audited
+      else incr unaudited
+  in
+  (* Phase 1: cold + warm pass per benchmark, serially, with the
+     client clock as the latency reference. *)
+  let rows =
+    List.map
+      (fun (name, body) ->
+        let cold, cold_s = time_it (fun () -> post body) in
+        let warm, warm_s = time_it (fun () -> post body) in
+        note_audit cold;
+        note_audit warm;
+        let rung (r : Client.response) =
+          Option.value ~default:"?" (Client.header "x-agingfp-rung" r)
+        in
+        let cache (r : Client.response) =
+          Option.value ~default:"?" (Client.header "x-agingfp-cache" r)
+        in
+        Printf.printf "  %-5s cold %6.3fs (%-13s) warm %6.3fs (%-13s %s)\n%!" name cold_s
+          (rung cold) warm_s (rung warm) (cache warm);
+        (name, cold_s, warm_s, rung cold, rung warm, cache warm))
+      mix
+  in
+  let latencies =
+    List.concat_map (fun (_, c, w, _, _, _) -> [ c; w ]) rows |> Array.of_list
+  in
+  Array.sort Float.compare latencies;
+  let percentile p =
+    let n = Array.length latencies in
+    latencies.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let p50 = percentile 0.50
+  and p99 = percentile 0.99
+  and worst = latencies.(Array.length latencies - 1) in
+  let warm_hits =
+    List.length (List.filter (fun (_, _, _, _, _, c) -> c = "hit") rows)
+  in
+  let hit_ratio = float_of_int warm_hits /. float_of_int (List.length rows) in
+  Printf.printf
+    "mix of %d designs, deadline %.2fs: p50 %.3fs p99 %.3fs max %.3fs, warm hit ratio \
+     %.2f\n%!"
+    (List.length mix) deadline_s p50 p99 worst hit_ratio;
+  if p99 > deadline_s then Printf.printf "WARNING: p99 exceeds the request deadline\n%!";
+  if hit_ratio < 0.99 then Printf.printf "WARNING: warm repeats missed the cache\n%!";
+  (* Phase 2: sustained concurrent throughput on the smallest designs
+     (the service overhead dominates there, which is the point). *)
+  let sustained_n = if !quick then 20 else 80 in
+  let client_threads = 4 in
+  let small =
+    List.filteri (fun i _ -> i < 3) mix |> List.map snd |> Array.of_list
+  in
+  let sustained = Array.make sustained_n 0.0 in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < sustained_n then begin
+        let r, dt = time_it (fun () -> post small.(i mod Array.length small)) in
+        note_audit r;
+        sustained.(i) <- dt;
+        go ()
+      end
+    in
+    go ()
+  in
+  let _, sustained_wall =
+    time_it (fun () ->
+        let ts = List.init client_threads (fun _ -> Thread.create worker ()) in
+        List.iter Thread.join ts)
+  in
+  Array.sort Float.compare sustained;
+  let spct p =
+    sustained.(min (sustained_n - 1) (int_of_float (ceil (p *. float_of_int sustained_n)) - 1))
+  in
+  let req_per_s = float_of_int sustained_n /. sustained_wall in
+  Printf.printf
+    "sustained: %d requests over %d client threads in %.2fs = %.1f req/s (p50 %.3fs p99 \
+     %.3fs)\n%!"
+    sustained_n client_threads sustained_wall req_per_s (spct 0.50) (spct 0.99);
+  (* Phase 3: fault sweep — every class armed at full probability for
+     a few requests; the run passes when nothing unaudited escapes and
+     the daemon keeps serving afterwards. *)
+  let fault_classes =
+    [
+      ("raise", { Inject.none with Inject.seed = 11; p_worker_raise = 1.0 });
+      ("poison", { Inject.none with Inject.seed = 11; p_cache_poison = 1.0 });
+      ("expire", { Inject.none with Inject.seed = 11; p_mid_deadline = 1.0 });
+      ("slow", { Inject.none with Inject.seed = 11; slow_write_delay_s = 0.02 });
+    ]
+  in
+  let tiny_body = List.assoc "tiny" mix in
+  let fault_rows =
+    List.map
+      (fun (cls, spec) ->
+        let statuses =
+          Inject.with_spec spec (fun () ->
+              List.init 3 (fun _ ->
+                  let r =
+                    if spec.Inject.slow_write_delay_s > 0.0 then
+                      match
+                        Client.request ~host:"127.0.0.1" ~port ~body:tiny_body
+                          ~slow_write_delay_s:spec.Inject.slow_write_delay_s path
+                      with
+                      | Ok r -> r
+                      | Error _ -> { Client.status = 0; headers = []; body = "" }
+                    else post tiny_body
+                  in
+                  note_audit r;
+                  r.Client.status))
+        in
+        let after = post tiny_body in
+        note_audit after;
+        Printf.printf "  fault %-6s statuses %s; serves %d afterwards\n%!" cls
+          (String.concat "," (List.map string_of_int statuses))
+          after.Client.status;
+        (cls, statuses, after.Client.status))
+      fault_classes
+  in
+  (* Phase 4: shed rate of a deliberately undersized instance (1
+     worker, queue of 1) under a concurrent burst. *)
+  let small_config =
+    { config with Server.workers = 1; queue_capacity = 1 }
+  in
+  let small_server = Server.create ~config:small_config () in
+  let small_th = Thread.create Server.run small_server in
+  let small_port = Server.port small_server in
+  let burst_n = if !quick then 16 else 48 in
+  let served = Atomic.make 0 and shed = Atomic.make 0 and other = Atomic.make 0 in
+  let burst_worker () =
+    for _ = 1 to burst_n / 8 do
+      match
+        Client.request ~host:"127.0.0.1" ~port:small_port ~body:tiny_body path
+      with
+      | Ok r ->
+        if r.Client.status = 429 then Atomic.incr shed
+        else if r.Client.status = 200 || r.Client.status = 503 then Atomic.incr served
+        else Atomic.incr other
+      | Error _ -> Atomic.incr other
+    done
+  in
+  let ts = List.init 8 (fun _ -> Thread.create burst_worker ()) in
+  List.iter Thread.join ts;
+  let shed_rate = float_of_int (Atomic.get shed) /. float_of_int burst_n in
+  Printf.printf
+    "overload (1 worker, queue 1): %d requests -> %d served, %d shed (rate %.2f), %d \
+     other\n%!"
+    burst_n (Atomic.get served) (Atomic.get shed) shed_rate (Atomic.get other);
+  Server.request_stop small_server;
+  Thread.join small_th;
+  (* Server-side counters, embedded verbatim (the body is JSON). *)
+  let stats_body =
+    match Client.request ~meth:"GET" ~host:"127.0.0.1" ~port "/stats" with
+    | Ok r when r.Client.status = 200 -> r.Client.body
+    | _ -> ""
+  in
+  Server.request_stop server;
+  Thread.join th;
+  Printf.printf "faults: %d audited floorplan responses, %d unaudited\n%!" !audited
+    !unaudited;
+  if !unaudited > 0 then Printf.printf "WARNING: unaudited responses escaped\n%!";
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc "{\n  \"deadline_s\": %g,\n  \"mix\": [\n" deadline_s;
+  List.iteri
+    (fun i (name, c, w, rc, rw, cache) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"cold_s\": %.4f, \"warm_s\": %.4f, \"cold_rung\": \
+         \"%s\", \"warm_rung\": \"%s\", \"warm_cache\": \"%s\"}%s\n"
+        name c w rc rw cache
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"p50_s\": %.4f,\n  \"p99_s\": %.4f,\n  \"max_s\": %.4f,\n" p50 p99
+    worst;
+  Printf.fprintf oc "  \"p99_within_deadline\": %b,\n" (p99 <= deadline_s);
+  Printf.fprintf oc "  \"warm_hit_ratio\": %.4f,\n" hit_ratio;
+  Printf.fprintf oc
+    "  \"sustained\": {\"requests\": %d, \"client_threads\": %d, \"seconds\": %.3f, \
+     \"req_per_s\": %.2f, \"p50_s\": %.4f, \"p99_s\": %.4f},\n"
+    sustained_n client_threads sustained_wall req_per_s (spct 0.50) (spct 0.99);
+  Printf.fprintf oc
+    "  \"overload\": {\"requests\": %d, \"served\": %d, \"shed\": %d, \"shed_rate\": \
+     %.3f},\n"
+    burst_n (Atomic.get served) (Atomic.get shed) shed_rate;
+  Printf.fprintf oc "  \"faults\": {\n";
+  List.iteri
+    (fun i (cls, statuses, after) ->
+      Printf.fprintf oc "    \"%s\": {\"statuses\": [%s], \"serves_after\": %d}%s\n" cls
+        (String.concat ", " (List.map string_of_int statuses))
+        after
+        (if i = List.length fault_rows - 1 then "" else ","))
+    fault_rows;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"audited_responses\": %d,\n  \"unaudited_responses\": %d,\n"
+    !audited !unaudited;
+  Printf.fprintf oc "  \"server_stats\": %s\n}\n"
+    (if stats_body = "" then "null" else stats_body);
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json (%.1f req/s sustained, p99 %.3fs vs deadline \
+                 %.2fs)\n%!"
+    req_per_s p99 deadline_s
+
 let all_experiments =
   [
     ("table1", bench_table1);
@@ -1236,6 +1495,7 @@ let all_experiments =
     ("table1-seeds", bench_table1_seeds);
     ("smoke-lp", bench_smoke_lp);
     ("presolve", bench_presolve);
+    ("serve", bench_serve);
     ("micro", bench_micro);
   ]
 

@@ -622,6 +622,55 @@ let with_logs verbose f =
   setup_logs (if verbose then Some Logs.Debug else Some Logs.Warning);
   f ()
 
+(* ---------- the remap daemon ---------- *)
+
+let cmd_serve host port workers queue default_deadline max_deadline cache_capacity
+    max_body_kb read_timeout inject_faults =
+  let module Server = Agingfp_serve.Server in
+  let module Inject = Agingfp_serve.Inject in
+  let fault_spec =
+    match inject_faults with None -> Ok Inject.none | Some s -> Inject.of_string s
+  in
+  match fault_spec with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok spec ->
+    Inject.install spec;
+    let config =
+      {
+        Server.default_config with
+        host;
+        port;
+        workers;
+        queue_capacity = queue;
+        default_deadline_s = default_deadline;
+        max_deadline_s = max_deadline;
+        cache_capacity;
+        limits =
+          {
+            Agingfp_serve.Http.default_limits with
+            max_body_bytes = max_body_kb * 1024;
+            read_timeout_s = read_timeout;
+          };
+      }
+    in
+    let server = Server.create ~config () in
+    (* Graceful drain on SIGTERM/SIGINT: the handler runs at an OCaml
+       safe point but must not take locks, so it only flips atomics
+       and pokes the self-pipe; the acceptor does the reliable
+       broadcast. SIGPIPE is ignored so a peer closing mid-response
+       surfaces as EPIPE on the write, which Http swallows. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let drain = Sys.Signal_handle (fun _ -> Server.request_stop server) in
+    Sys.set_signal Sys.sigterm drain;
+    Sys.set_signal Sys.sigint drain;
+    Printf.printf "agingfp serve: listening on %s:%d (%d workers, queue %d)\n%!" host
+      (Server.port server) workers queue;
+    Server.run server;
+    Printf.printf "agingfp serve: drained\n%!";
+    0
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"Show the Table-I benchmark suite")
     Term.(const (fun verbose -> with_logs verbose cmd_list) $ verbose_arg)
@@ -725,12 +774,85 @@ let heatmap_cmd =
       const (fun verbose b s d m -> with_logs verbose (fun () -> cmd_heatmap b s d m))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg)
 
+let serve_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT" ~doc:"Port to bind (0 picks an ephemeral port).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains solving requests.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; beyond it requests are shed with 429 and a \
+                Retry-After estimate.")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "default-deadline" ] ~docv:"SEC"
+          ~doc:"Deadline for requests that do not carry one.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "max-deadline" ] ~docv:"SEC" ~doc:"Upper bound on client deadlines.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Warm-state cache capacity (design+baseline fingerprints, LRU).")
+  in
+  let max_body_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-body" ] ~docv:"KB" ~doc:"Largest accepted request body, in KiB.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "read-timeout" ] ~docv:"SEC"
+          ~doc:"Budget for reading one whole request (slow-loris defence).")
+  in
+  let serve_faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-faults" ] ~docv:"SPEC"
+          ~doc:"Arm the seeded server fault injector. SPEC is comma-separated \
+                key=value with keys seed, raise, poison, expire, slow — e.g. \
+                seed=42,raise=0.1,poison=0.2.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the remap daemon: HTTP requests in, audited floorplans out, with \
+             admission control, warm-state caching and graceful degradation under \
+             overload")
+    Term.(
+      const (fun verbose host port workers queue dd md cache body rt faults ->
+          with_logs verbose (fun () ->
+              cmd_serve host port workers queue dd md cache body rt faults))
+      $ verbose_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
+      $ default_deadline_arg $ max_deadline_arg $ cache_arg $ max_body_arg
+      $ read_timeout_arg $ serve_faults_arg)
+
 let main_cmd =
   let doc = "MILP-based aging-aware floorplanner for multi-context CGRRAs" in
   Cmd.group (Cmd.info "agingfp" ~version:"1.0.0" ~doc)
     [
       list_cmd; mttf_cmd; remap_cmd; suite_cmd; heatmap_cmd; related_cmd; export_lp_cmd;
-      route_cmd; lint_cmd;
+      route_cmd; lint_cmd; serve_cmd;
     ]
 
 (* Exit codes of the structured fatal handler; 1/2 stay cmdliner's

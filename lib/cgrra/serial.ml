@@ -52,6 +52,27 @@ let float_of line s =
   | Some v -> v
   | None -> failf line "expected number, got %S" s
 
+(* Device characterization values must be finite and non-negative:
+   [nan]/[inf] parse as floats but would poison every downstream
+   delay/stress computation, and this is untrusted network input by
+   the time `agingfp serve` feeds it here. *)
+let char_of line s =
+  let v = float_of line s in
+  if not (Float.is_finite v) || v < 0.0 then
+    failf line "characterization values must be finite and non-negative, got %S" s;
+  v
+
+(* Counts drive [Array.init]/[List.init]: a negative or absurd value
+   must become a [Parse_error] at this line, not an [Invalid_argument]
+   or a multi-gigabyte allocation attempt. *)
+let max_ops_per_context = 100_000
+let max_edges_per_context = 1_000_000
+
+let count_of line ~what ~limit s =
+  let v = int_of line s in
+  if v < 0 || v > limit then failf line "%s out of range [0, %d]" what limit;
+  v
+
 let design_of_string_exn text =
   let r = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
     let header, ln = next r in
@@ -74,11 +95,11 @@ let design_of_string_exn text =
       match words chars_line with
       | [ "chars"; a; d; io; clk; uw ] ->
         {
-          Chars.alu_delay_ns = float_of ln a;
-          dmu_delay_ns = float_of ln d;
-          io_delay_ns = float_of ln io;
-          clock_period_ns = float_of ln clk;
-          unit_wire_delay_ns = float_of ln uw;
+          Chars.alu_delay_ns = char_of ln a;
+          dmu_delay_ns = char_of ln d;
+          io_delay_ns = char_of ln io;
+          clock_period_ns = char_of ln clk;
+          unit_wire_delay_ns = char_of ln uw;
         }
       | _ -> failf ln "expected 'chars <5 numbers>'"
     in
@@ -96,7 +117,8 @@ let design_of_string_exn text =
             match words ctx_line with
             | [ "context"; i; "ops"; n; "edges"; m ] ->
               if int_of ln i <> expect then failf ln "context index mismatch";
-              (int_of ln n, int_of ln m)
+              ( count_of ln ~what:"op count" ~limit:max_ops_per_context n,
+                count_of ln ~what:"edge count" ~limit:max_edges_per_context m )
             | _ -> failf ln "expected 'context <i> ops <n> edges <m>'"
           in
           let ops =
@@ -111,7 +133,8 @@ let design_of_string_exn text =
                     | Some k -> k
                     | None -> failf ln "unknown op kind %S" kind
                   in
-                  Op.make ~id ~kind ~bitwidth:(int_of ln bw)
+                  (try Op.make ~id ~kind ~bitwidth:(int_of ln bw)
+                   with Invalid_argument msg -> failf ln "bad op: %s" msg)
                 | _ -> failf ln "expected 'op <id> <kind> <bitwidth>'")
           in
           let edges =
@@ -167,7 +190,7 @@ let mapping_of_string text =
             match words ctx_line with
             | [ "context"; i; n ] ->
               if int_of ln i <> expect then failf ln "context index mismatch";
-              int_of ln n
+              count_of ln ~what:"op count" ~limit:max_ops_per_context n
             | _ -> failf ln "expected 'context <i> <n>'"
           in
           let row_line, ln = next r in
@@ -178,7 +201,12 @@ let mapping_of_string text =
     let end_line, ln = next r in
     if end_line <> "end" then failf ln "expected 'end'";
     Ok (Mapping.of_arrays arrays)
-  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  (* Belt and braces for untrusted input: any constructor that slips
+     an [Invalid_argument] through still reads as a parse failure,
+     never an exception escaping to the caller. *)
+  | Invalid_argument msg -> Error (Printf.sprintf "line %d: %s" r.pos msg)
 
 (* ---------- files ---------- *)
 

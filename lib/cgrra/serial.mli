@@ -37,7 +37,12 @@ val design_of_string : string -> (Design.t, string) result
 val design_of_string_exn : string -> Design.t
 (** Raising variant of {!design_of_string} ({!Parse_error}) — for
     callers like the CLI whose top-level handler classifies failure
-    by exception rather than by message string. *)
+    by exception rather than by message string. Hardened for
+    untrusted input: {!Parse_error} is the {e only} exception that
+    escapes — counts are bounds-checked before any allocation,
+    characterization values must be finite and non-negative, and
+    constructor [Invalid_argument]s are rewritten to parse errors
+    with a line number. *)
 
 val mapping_to_string : Mapping.t -> string
 

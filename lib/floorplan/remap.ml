@@ -280,6 +280,25 @@ type solver_cache = {
 
 let new_cache () = { mono = None; per_ctx = Hashtbl.create 8 }
 
+(* Warm state carried across repeated solves of the {e same}
+   (design, baseline, params) triple — the server's re-submission
+   path. One solver cache per mode, because Freeze and Rotate build
+   structurally different instances (the reference geometry differs).
+   Reuse is sound even when budget pressure made an earlier build see
+   a different candidate set: a cached instance is only ever
+   rebudgeted through [set_st_target] (consistent with its own
+   structure), stale LP guidance merely steers the rounding, and every
+   floorplan still passes [Mapping.validate] + the independent audit.
+   A warm value must not be shared by two concurrent solves — simplex
+   states belong to one domain at a time. *)
+type warm = {
+  freeze_cache : solver_cache ref;
+  rotate_cache : solver_cache ref;
+}
+
+let new_warm () =
+  { freeze_cache = ref (new_cache ()); rotate_cache = ref (new_cache ()) }
+
 (* In debug builds every freshly built Eq. (3) instance is linted
    before its first solve; errors surface loudly, advisory findings go
    to the debug log. *)
@@ -888,8 +907,8 @@ let same_reason_class a b =
   | Budget.Fault _, Budget.Fault _ -> true
   | _ -> false
 
-let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~reference
-    ~frozen =
+let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~lb
+    ~reference ~frozen =
   let monitored = Paths.monitored ~params:params.path_params design baseline in
   let candidates =
     Candidates.build ~budget ~params:params.candidate_params design reference ~frozen
@@ -915,8 +934,10 @@ let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~ref
   (* Δ-relaxation attempts differ only in ST_target, i.e. in the
      stress-budget RHS: one cache serves the entire ladder warm. After
      an injected fault the cached simplex states are suspect and the
-     cache is dropped wholesale. *)
-  let cache = ref (new_cache ()) in
+     cache is dropped wholesale. A caller-provided ref (from a {!warm}
+     value) additionally carries the assembled states across whole
+     solves; the poisoning reset then propagates to the holder. *)
+  let cache = match cache with Some c -> c | None -> ref (new_cache ()) in
   (* One ladder rung: the Δ-relaxation loop restricted to [machinery],
      bounded by [rbudget]. [Error Budget.Optimal] means the loop ran
      to natural exhaustion — weaker LP-based machinery cannot do
@@ -1150,14 +1171,22 @@ let solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~ref
       degradation = !trail;
     }
 
-let run_mode params design baseline ~budget ~baseline_cpd ~st_up ~lb m =
+let run_mode ?warm params design baseline ~budget ~baseline_cpd ~st_up ~lb m =
   (* The reference floorplan: the baseline itself (Freeze), or each
      context rigidly re-oriented (Rotate) — identical path delays
      either way. All candidate/displacement geometry is relative to
      the reference; CPD acceptance is always against the baseline. *)
   let reference, frozen = Rotation.reference ~seed:params.seed m design baseline in
-  solve_with_plan params design baseline ~budget ~baseline_cpd ~st_up ~lb ~reference
-    ~frozen
+  let cache =
+    Option.map
+      (fun w ->
+        match m with
+        | Rotation.Freeze -> w.freeze_cache
+        | Rotation.Rotate -> w.rotate_cache)
+      warm
+  in
+  solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~lb
+    ~reference ~frozen
 
 let budget_of_params params =
   match params.deadline_s with
@@ -1176,7 +1205,7 @@ let budget_of_params params =
    the ladder gets whatever it leaves. *)
 let step1_fraction = 0.15
 
-let solve_both ?(params = default_params) design baseline =
+let solve_both ?warm ?(params = default_params) design baseline =
   (match Mapping.validate design baseline with
   | Ok () -> ()
   | Error msg -> Invariant.invalid ~where:"Remap.solve_both" "invalid baseline: %s" msg);
@@ -1189,12 +1218,13 @@ let solve_both ?(params = default_params) design baseline =
       design baseline
   in
   let frozen_res =
-    run_mode params design baseline
+    run_mode ?warm params design baseline
       ~budget:(Budget.slice budget ~fraction:0.5)
       ~baseline_cpd ~st_up ~lb Rotation.Freeze
   in
   let rotated =
-    run_mode params design baseline ~budget ~baseline_cpd ~st_up ~lb Rotation.Rotate
+    run_mode ?warm params design baseline ~budget ~baseline_cpd ~st_up ~lb
+      Rotation.Rotate
   in
   (* The complete method: rotation widens the search space, but a
      particular re-orientation can still lose to the identity
@@ -1206,7 +1236,7 @@ let solve_both ?(params = default_params) design baseline =
   in
   (frozen_res, rotate_best)
 
-let solve ?(params = default_params) ~mode design baseline =
+let solve ?warm ?(params = default_params) ~mode design baseline =
   match mode with
   | Rotation.Freeze ->
     (match Mapping.validate design baseline with
@@ -1220,5 +1250,6 @@ let solve ?(params = default_params) ~mode design baseline =
         ~budget:(Budget.slice budget ~fraction:step1_fraction)
         design baseline
     in
-    run_mode params design baseline ~budget ~baseline_cpd ~st_up ~lb Rotation.Freeze
-  | Rotation.Rotate -> snd (solve_both ~params design baseline)
+    run_mode ?warm params design baseline ~budget ~baseline_cpd ~st_up ~lb
+      Rotation.Freeze
+  | Rotation.Rotate -> snd (solve_both ?warm ~params design baseline)

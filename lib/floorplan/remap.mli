@@ -152,14 +152,34 @@ val build_formulation :
     solve first, budgeted at the Step-1 lower bound, plus that bound —
     the model [agingfp export-lp] writes and [agingfp lint] checks. *)
 
-val solve : ?params:params -> mode:Rotation.mode -> Design.t -> Mapping.t -> result
+(** {2 Warm state across solves}
+
+    Assembled simplex states survive one {!solve} call and warm-start
+    the next — the payoff when the {e same} (design, baseline, params)
+    triple is solved repeatedly, as in `agingfp serve`'s fleet
+    re-submission path. *)
+
+type warm
+(** Opaque warm-solve state: one solver cache per
+    {!Rotation.mode} (Freeze and Rotate build structurally different
+    instances). Must not be shared by two concurrent solves — simplex
+    states belong to one domain at a time. Correctness never depends
+    on its contents: cached instances are rebudgeted consistently with
+    their own structure and every result still passes the independent
+    {!Audit}. *)
+
+val new_warm : unit -> warm
+
+val solve :
+  ?warm:warm -> ?params:params -> mode:Rotation.mode -> Design.t -> Mapping.t -> result
 (** Run the full flow against an aging-unaware baseline mapping. The
     returned mapping is always valid and its CPD never exceeds the
     baseline CPD. [Rotate] is the complete method: it also evaluates
     the identity (freeze) orientation and keeps whichever floorplan
     levels stress further, so Rotate is never worse than Freeze. *)
 
-val solve_both : ?params:params -> Design.t -> Mapping.t -> result * result
+val solve_both :
+  ?warm:warm -> ?params:params -> Design.t -> Mapping.t -> result * result
 (** [(freeze, rotate)] sharing the Step-1 search and the freeze run —
     what Table I reports per benchmark, at roughly half the cost of
     two independent {!solve} calls. *)

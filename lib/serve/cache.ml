@@ -1,0 +1,126 @@
+(* LRU warm-state cache with checkout semantics.
+
+   The server's warm state (assembled simplex bases, per-fabric
+   thermal factorizations) is mutable and belongs to one domain at a
+   time, so a plain get/put LRU would hand the same simplex state to
+   two concurrent workers. [take] therefore *removes* the entry on
+   hit — the worker owns it exclusively until it [put]s it back — and
+   a concurrent request for the same key simply misses and solves
+   cold. Recency is a doubly-linked list walked only through its
+   endpoints (no Hashtbl iteration anywhere, so eviction order is
+   deterministic by construction). All operations are mutex-guarded:
+   workers on different domains share one cache. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option; (* towards most-recent *)
+  mutable next : 'a node option; (* towards least-recent *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable poisoned : int;
+  mutex : Mutex.t;
+}
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  poisoned : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    Agingfp_util.Invariant.invalid ~where:"Cache.create" "capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    poisoned = 0;
+    mutex = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Unlink [n] from the recency list. Caller holds the mutex. *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+(* Push [n] as most-recent. Caller holds the mutex. *)
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+
+(* Checkout: on hit the entry is removed and owned by the caller until
+   it is [put] back; a concurrent [take] of the same key misses. *)
+let take t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table key;
+        t.hits <- t.hits + 1;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+(* Insert (or re-insert after checkout) as most-recent; evicts the
+   least-recent entry when over capacity. Re-putting a key that was
+   raced back in keeps the newest value and counts the displaced one
+   as an eviction. *)
+let put t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some old ->
+        unlink t old;
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1
+      | None -> ());
+      let n = { key; value; prev = None; next = None } in
+      push_front t n;
+      Hashtbl.replace t.table key n;
+      if Hashtbl.length t.table > t.capacity then
+        match t.tail with
+        | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.table lru.key;
+          t.evictions <- t.evictions + 1
+        | None -> ())
+
+(* A checked-out entry failed validation and was discarded instead of
+   re-inserted; the counter feeds /stats and the poisoning tests. *)
+let note_poisoned t = locked t (fun () -> t.poisoned <- t.poisoned + 1)
+
+let stats t =
+  locked t (fun () ->
+      {
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        poisoned = t.poisoned;
+      })

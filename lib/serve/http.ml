@@ -1,0 +1,269 @@
+(* Minimal hardened HTTP/1.1 framing over stdlib [Unix] sockets.
+
+   Only what the remap daemon needs: read one request with hard limits
+   on header size, header count, body size and total read time, and
+   write one [Connection: close] response. Every malformed, truncated,
+   oversized or dawdling input maps to a structured {!error} with the
+   right status code — nothing in here raises on bad peer behaviour,
+   so a worker can never be killed by a client. *)
+
+module Budget = Agingfp_util.Budget
+
+type limits = {
+  max_header_bytes : int;  (* whole request line + header block *)
+  max_headers : int;
+  max_body_bytes : int;
+  read_timeout_s : float;  (* budget for reading the entire request *)
+}
+
+let default_limits =
+  {
+    max_header_bytes = 8 * 1024;
+    max_headers = 64;
+    max_body_bytes = 4 * 1024 * 1024;
+    read_timeout_s = 10.0;
+  }
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;  (* names lowercased *)
+  body : string;
+}
+
+type error = { status : int; message : string }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 411 -> "Length Required"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let err status fmt = Printf.ksprintf (fun message -> Error { status; message }) fmt
+
+(* ---------- reading ---------- *)
+
+(* One [Unix.read], classified. [`Timeout] covers both SO_RCVTIMEO
+   expiry (EAGAIN/EWOULDBLOCK) and the overall read budget; any other
+   socket error reads as the peer going away. *)
+let read_chunk ~budget fd buf =
+  if Budget.expired budget then `Timeout
+  else
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> `Eof
+    | n -> `Data n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      if Budget.expired budget then `Timeout else `Again
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+    | exception Unix.Unix_error (_, _, _) -> `Eof
+
+(* Scan for the end of the header block: CRLFCRLF, tolerating bare
+   LFLF from hand-rolled clients. Returns (end_of_headers, body_start). *)
+let header_end s =
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then Some (i, i + 2)
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then Some (i, i + 3)
+      else scan (i + 1)
+    else scan (i + 1)
+  in
+  scan 0
+
+let split_lines block =
+  String.split_on_char '\n' block
+  |> List.map (fun l ->
+         let l = if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l
+         in
+         l)
+  |> List.filter (fun l -> l <> "")
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '+' ->
+        Buffer.add_char b ' ';
+        go (i + 1)
+      | '%' when i + 2 < n -> (
+        match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+        | Some h, Some l ->
+          Buffer.add_char b (Char.chr ((h * 16) + l));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char b '%';
+          go (i + 1))
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1))
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_query q =
+  String.split_on_char '&' q
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (percent_decode kv, "")
+           | Some i ->
+             Some
+               ( percent_decode (String.sub kv 0 i),
+                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_request_line line =
+  match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+  | [ meth; target; version ]
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+    let path, query =
+      match String.index_opt target '?' with
+      | None -> (target, [])
+      | Some i ->
+        ( String.sub target 0 i,
+          parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+    in
+    Ok (meth, path, query)
+  | _ -> err 400 "malformed request line %S" line
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> err 400 "malformed header %S" line
+  | Some i ->
+    Ok
+      ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let header name headers = List.assoc_opt (String.lowercase_ascii name) headers
+
+(* Read one full request under [limits]. The caller is expected to
+   have set SO_RCVTIMEO so individual reads unblock; the overall
+   budget bounds the sum (slow-loris: many tiny writes each under the
+   socket timeout still hit the request budget). *)
+let read_request limits fd =
+  let budget = Budget.create ~deadline_s:limits.read_timeout_s () in
+  let chunk = Bytes.create 4096 in
+  let acc = Buffer.create 1024 in
+  (* Phase 1: the header block. *)
+  let rec read_headers () =
+    match header_end (Buffer.contents acc) with
+    | Some (eoh, body_start) -> Ok (eoh, body_start)
+    | None ->
+      if Buffer.length acc > limits.max_header_bytes then
+        err 431 "header block exceeds %d bytes" limits.max_header_bytes
+      else (
+        match read_chunk ~budget fd chunk with
+        | `Data n ->
+          Buffer.add_subbytes acc chunk 0 n;
+          read_headers ()
+        | `Again -> read_headers ()
+        | `Timeout -> err 408 "request header not received within %.3fs" limits.read_timeout_s
+        | `Eof ->
+          if Buffer.length acc = 0 then err 400 "empty request"
+          else err 400 "connection closed mid-header")
+  in
+  Result.bind (read_headers ()) (fun (eoh, body_start) ->
+      let text = Buffer.contents acc in
+      let block = String.sub text 0 eoh in
+      match split_lines block with
+      | [] -> err 400 "empty request"
+      | request_line :: header_lines ->
+        if List.length header_lines > limits.max_headers then
+          err 431 "more than %d headers" limits.max_headers
+        else
+          Result.bind (parse_request_line request_line) (fun (meth, path, query) ->
+              let rec collect acc = function
+                | [] -> Ok (List.rev acc)
+                | l :: rest ->
+                  Result.bind (parse_header l) (fun h -> collect (h :: acc) rest)
+              in
+              Result.bind (collect [] header_lines) (fun headers ->
+                  (* Phase 2: the body, framed by Content-Length. *)
+                  let clen =
+                    match header "content-length" headers with
+                    | None -> Ok 0
+                    | Some v -> (
+                      match int_of_string_opt v with
+                      | Some n when n >= 0 -> Ok n
+                      | _ -> err 400 "bad Content-Length %S" v)
+                  in
+                  Result.bind clen (fun clen ->
+                      if meth = "POST" && header "content-length" headers = None then
+                        err 411 "POST requires Content-Length"
+                      else if clen > limits.max_body_bytes then
+                        err 413 "body of %d bytes exceeds limit %d" clen
+                          limits.max_body_bytes
+                      else begin
+                        let body = Buffer.create (min clen 65536) in
+                        Buffer.add_string body
+                          (String.sub text body_start (String.length text - body_start));
+                        let rec read_body () =
+                          if Buffer.length body >= clen then
+                            Ok (Buffer.sub body 0 clen)
+                          else (
+                            match read_chunk ~budget fd chunk with
+                            | `Data n ->
+                              Buffer.add_subbytes body chunk 0 n;
+                              read_body ()
+                            | `Again -> read_body ()
+                            | `Timeout ->
+                              err 408 "request body not received within %.3fs"
+                                limits.read_timeout_s
+                            | `Eof ->
+                              err 400 "connection closed after %d of %d body bytes"
+                                (Buffer.length body) clen)
+                        in
+                        Result.map
+                          (fun body -> { meth; path; query; headers; body })
+                          (read_body ())
+                      end))))
+
+(* ---------- writing ---------- *)
+
+(* Best-effort full write: the peer may have gone away (EPIPE,
+   ECONNRESET) or be too slow (SO_SNDTIMEO -> EAGAIN); response
+   delivery is never worth crashing a worker over. *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go 0
+
+let write_response ?(headers = []) ~status ~content_type ~body fd =
+  let b = Buffer.create (String.length body + 256) in
+  Printf.bprintf b "HTTP/1.1 %d %s\r\n" status (reason_phrase status);
+  Printf.bprintf b "Content-Type: %s\r\n" content_type;
+  Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
+  Printf.bprintf b "Connection: close\r\n";
+  List.iter (fun (k, v) -> Printf.bprintf b "%s: %s\r\n" k v) headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)

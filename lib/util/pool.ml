@@ -16,6 +16,12 @@ type t = {
   settled : Condition.t; (* submitters: some batch made progress *)
   mutable batches : batch list;
   mutable stop : bool;
+  (* Lock-free mirror of [stop] for {!request_stop}: signal handlers
+     must not take [mutex] (the interrupted thread may hold it), so
+     they flip this atomic instead and the drain completes later in
+     normal context ({!shutdown}). Workers read it in their wait
+     predicate, [stop] proper stays mutex-guarded. *)
+  stop_requested : bool Atomic.t;
   mutable workers : unit Domain.t list;
   domains : int;
 }
@@ -60,7 +66,7 @@ let worker_loop t () =
             match try_claim t with
             | Some _ as c -> c
             | None ->
-              if t.stop then None
+              if t.stop || Atomic.get t.stop_requested then None
               else begin
                 Condition.wait t.work t.mutex;
                 wait ()
@@ -85,6 +91,7 @@ let create ~domains =
       settled = Condition.create ();
       batches = [];
       stop = false;
+      stop_requested = Atomic.make false;
       workers = [];
       domains;
     }
@@ -92,7 +99,19 @@ let create ~domains =
   t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
   t
 
-let shutdown t =
+(* Async-signal-safe stop request: one atomic store, no locks, no
+   allocation. Idle workers are not woken (a reliable wakeup needs the
+   mutex-held broadcast below); they observe the flag at their next
+   wakeup, and {!shutdown} — called from normal context during the
+   drain — delivers the broadcast that makes termination prompt. *)
+let request_stop t = Atomic.set t.stop_requested true
+
+(* Join the worker domains. Idempotent and safe to race: whichever
+   caller wins the lock takes the worker list, everyone else joins
+   nothing. Registry deregistration lives in [shutdown] below, once
+   the registry exists. *)
+let drain t =
+  Atomic.set t.stop_requested true;
   let workers =
     locked t (fun () ->
         let ws = t.workers in
@@ -200,12 +219,25 @@ let cleanup_registered = ref false
 
 let effective_jobs jobs = max 1 (min jobs (default_jobs ()))
 
+(* Full drain plus registry deregistration, so a long-running daemon
+   can shut pools down and re-[get] fresh ones without the at_exit
+   sweep ever walking a dead pool. [drain] and the registry edit take
+   their locks strictly in sequence, never nested, so this cannot
+   deadlock against [get] or the at_exit sweep. *)
+let shutdown t =
+  drain t;
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) (fun () ->
+      match Hashtbl.find_opt registry t.domains with
+      | Some p when p == t -> Hashtbl.remove registry t.domains
+      | _ -> ())
+
 let get ?(clamp = true) domains =
   let domains = if clamp then effective_jobs domains else max 1 domains in
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) (fun () ->
       match Hashtbl.find_opt registry domains with
-      | Some t when not t.stop -> t
+      | Some t when not (t.stop || Atomic.get t.stop_requested) -> t
       | _ ->
         let t = create ~domains in
         Hashtbl.replace registry domains t;

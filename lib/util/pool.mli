@@ -85,6 +85,18 @@ val run : t -> (unit -> unit) array -> unit
     parallelism (parallel branch & bound runs one node-pump per
     domain). Exception policy as {!map}. *)
 
+val request_stop : t -> unit
+(** Async-signal-safe stop request: a single atomic store, no locks,
+    no allocation — the one {!t} operation a signal handler may call.
+    Marks the pool as stopping (idle workers notice at their next
+    wakeup, {!get} stops handing the pool out); the actual drain must
+    still be performed by {!shutdown} from normal context. *)
+
 val shutdown : t -> unit
-(** Join the worker domains. Idempotent. Submitting to a shut-down
-    pool executes sequentially on the caller. *)
+(** Join the worker domains and, for pools obtained through {!get},
+    drop them from the process-global registry so a later {!get}
+    builds a fresh pool and the at-exit sweep never walks a dead one.
+    Idempotent, and safe to call concurrently from several threads
+    (whoever wins joins the workers; everyone else is a no-op).
+    Submitting to a shut-down pool executes sequentially on the
+    caller. *)

@@ -429,6 +429,94 @@ let prop_serial_mapping_roundtrip =
       | Ok m2 -> Mapping.equal m m2
       | Error _ -> false)
 
+(* ---------- Serial hardening (untrusted network input) ---------- *)
+
+(* The remap daemon feeds raw HTTP bodies into these parsers, so the
+   failure contract must be total: the [Result] entry points return
+   [Ok]/[Error] and never raise, [design_of_string_exn] raises
+   {!Serial.Parse_error} and nothing else, and parsing terminates on
+   every input. The fuzz below mangles a canonical serialization three
+   ways — truncation, duplicated line ranges, random byte flips — and
+   lets any other exception escape as a property failure. *)
+
+let tiny_design_text = lazy (Serial.design_to_string (Benchmarks.tiny ()))
+
+let tiny_mapping_text =
+  lazy
+    (Serial.mapping_to_string
+       (Mapping.create (fun ctx op -> (op + ctx) mod 16) (Benchmarks.tiny ())))
+
+let mangle rng text =
+  let n = String.length text in
+  match Rng.int rng 3 with
+  | 0 -> String.sub text 0 (Rng.int rng (n + 1))
+  | 1 ->
+    let lines = Array.of_list (String.split_on_char '\n' text) in
+    let nl = Array.length lines in
+    let start = Rng.int rng nl in
+    let len = 1 + Rng.int rng (nl - start) in
+    let dup = Array.sub lines start len in
+    let at = Rng.int rng (nl + 1) in
+    let spliced =
+      Array.concat [ Array.sub lines 0 at; dup; Array.sub lines at (nl - at) ]
+    in
+    String.concat "\n" (Array.to_list spliced)
+  | _ ->
+    let b = Bytes.of_string text in
+    for _ = 1 to 1 + Rng.int rng 8 do
+      Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256))
+    done;
+    Bytes.to_string b
+
+let prop_serial_design_fuzz_total =
+  QCheck2.Test.make ~name:"mangled design input never raises from design_of_string"
+    ~count:500 QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      match Serial.design_of_string (mangle rng (Lazy.force tiny_design_text)) with
+      | Ok _ | Error _ -> true)
+
+let prop_serial_mapping_fuzz_total =
+  QCheck2.Test.make ~name:"mangled mapping input never raises from mapping_of_string"
+    ~count:500 QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      match Serial.mapping_of_string (mangle rng (Lazy.force tiny_mapping_text)) with
+      | Ok _ | Error _ -> true)
+
+let prop_serial_exn_contract =
+  QCheck2.Test.make
+    ~name:"design_of_string_exn raises Parse_error and nothing else" ~count:500
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      match Serial.design_of_string_exn (mangle rng (Lazy.force tiny_design_text)) with
+      | _ -> true
+      | exception Serial.Parse_error (_, _) -> true)
+
+(* Hostile inputs that historically escaped the [Result] contract:
+   count fields drive allocation, so they are bounds-checked before
+   any [Array.init]; characterization floats must be finite; op
+   constructor rejections are rewritten into parse errors. *)
+let test_serial_rejects_hostile_counts () =
+  let design_with line =
+    "agingfp-design v1\nname t\nfabric 4\nchars 1 2 1 5 0.1\ncontexts 1\n" ^ line
+  in
+  let cases =
+    [
+      ("negative op count", design_with "context 0 ops -1 edges 0\nend\n");
+      ("huge op count", design_with "context 0 ops 999999999 edges 0\nend\n");
+      ("huge edge count", design_with "context 0 ops 1 edges 99999999999\nop 0 alu 8\nend\n");
+      ("nan chars", "agingfp-design v1\nname t\nfabric 4\nchars nan 2 1 5 0.1\ncontexts 1\ncontext 0 ops 1 edges 0\nop 0 alu 8\nend\n");
+      ("negative chars", "agingfp-design v1\nname t\nfabric 4\nchars -1 2 1 5 0.1\ncontexts 1\ncontext 0 ops 1 edges 0\nop 0 alu 8\nend\n");
+      ("zero bitwidth", design_with "context 0 ops 1 edges 0\nop 0 alu 0\nend\n");
+    ]
+  in
+  List.iter
+    (fun (what, text) ->
+      Alcotest.(check bool) what true (Result.is_error (Serial.design_of_string text)))
+    cases;
+  Alcotest.(check bool) "mapping huge op count" true
+    (Result.is_error
+       (Serial.mapping_of_string "agingfp-mapping v1\ncontexts 1\ncontext 0 999999999\nend\n"))
+
 let () =
   Alcotest.run "cgrra"
     [
@@ -524,11 +612,16 @@ let () =
           Alcotest.test_case "rejects truncated" `Quick test_serial_rejects_truncated;
           Alcotest.test_case "error line numbers" `Quick test_serial_error_mentions_line;
           Alcotest.test_case "file roundtrip" `Quick test_serial_file_roundtrip;
+          Alcotest.test_case "rejects hostile counts" `Quick
+            test_serial_rejects_hostile_counts;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_benchmark_dfgs_single_dmu_per_path;
           QCheck_alcotest.to_alcotest prop_generated_designs_fit_fabric;
           QCheck_alcotest.to_alcotest prop_serial_mapping_roundtrip;
+          QCheck_alcotest.to_alcotest prop_serial_design_fuzz_total;
+          QCheck_alcotest.to_alcotest prop_serial_mapping_fuzz_total;
+          QCheck_alcotest.to_alcotest prop_serial_exn_contract;
         ] );
     ]

@@ -523,6 +523,22 @@ let test_budget_spend_propagates () =
   Alcotest.(check bool) "parent drained via child" true (Budget.expired parent);
   Alcotest.(check bool) "child sees inherited dryness" true (Budget.expired child)
 
+(* A budget carved from an already-expired parent must be born expired
+   — the daemon relies on this: a request whose deadline passed while
+   it queued falls straight down the degradation ladder instead of
+   starting an open-ended solve. *)
+let test_budget_child_of_expired_parent () =
+  let clock, advance = fake_clock () in
+  let parent = Budget.create ~clock ~deadline_s:1.0 () in
+  advance 2.0;
+  Alcotest.(check bool) "parent expired" true (Budget.expired parent);
+  let sliced = Budget.slice parent ~fraction:0.5 in
+  Alcotest.(check bool) "slice born expired" true (Budget.expired sliced);
+  check_float "slice has nothing left" 0.0 (Budget.remaining_s sliced);
+  let capped = Budget.with_deadline parent ~deadline_s:10.0 in
+  Alcotest.(check bool) "with_deadline born expired" true (Budget.expired capped);
+  check_float "with_deadline has nothing left" 0.0 (Budget.remaining_s capped)
+
 let test_budget_worst () =
   let open Budget in
   Alcotest.(check bool) "fault beats deadline" true
@@ -533,6 +549,39 @@ let test_budget_worst () =
     (worst Node_limit Iteration_limit = Iteration_limit);
   Alcotest.(check bool) "optimal loses to all" true (worst Optimal Node_limit = Node_limit);
   Alcotest.(check bool) "optimal vs optimal" true (worst Optimal Optimal = Optimal)
+
+(* ---------- Pool lifecycle ---------- *)
+
+module Pool = Agingfp_util.Pool
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~domains:2 in
+  let hits = Atomic.make 0 in
+  Pool.run p (Array.init 4 (fun _ () -> Atomic.incr hits));
+  Alcotest.(check int) "batch ran" 4 (Atomic.get hits);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check pass) "double shutdown is a no-op" () ()
+
+let test_pool_get_after_shutdown () =
+  let p = Pool.get 2 in
+  Pool.shutdown p;
+  let q = Pool.get 2 in
+  Alcotest.(check bool) "registry replaces a drained pool" true (p != q);
+  let doubled = Pool.map q (fun x -> 2 * x) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "replacement pool works" [| 2; 4; 6 |] doubled;
+  Pool.shutdown q
+
+(* The daemon's drain path: a signal handler may only flip the atomic
+   ([request_stop]); the joining shutdown happens later from normal
+   context and must still work (and stay idempotent). *)
+let test_pool_request_stop_then_shutdown () =
+  let p = Pool.create ~domains:2 in
+  Pool.run p (Array.init 2 (fun _ () -> ()));
+  Pool.request_stop p;
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check pass) "stop then shutdown drains cleanly" () ()
 
 let () =
   Alcotest.run "util"
@@ -608,7 +657,16 @@ let () =
             test_budget_slice_stricter;
           Alcotest.test_case "spend propagates upward" `Quick
             test_budget_spend_propagates;
+          Alcotest.test_case "child of expired parent born expired" `Quick
+            test_budget_child_of_expired_parent;
           Alcotest.test_case "worst stop reason" `Quick test_budget_worst;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "get after shutdown" `Quick test_pool_get_after_shutdown;
+          Alcotest.test_case "request_stop then shutdown" `Quick
+            test_pool_request_stop_then_shutdown;
         ] );
       ( "properties",
         [
