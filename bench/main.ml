@@ -32,6 +32,8 @@ module Ascii_table = Agingfp_util.Ascii_table
 module Stats = Agingfp_util.Stats
 module Coord = Agingfp_util.Coord
 module Milp = Agingfp_lp.Milp
+module Node_store = Agingfp_lp.Node_store
+module Brancher = Agingfp_lp.Brancher
 module LpModel = Agingfp_lp.Model
 module LpExpr = Agingfp_lp.Expr
 module Simplex = Agingfp_lp.Simplex
@@ -1124,6 +1126,103 @@ let bench_smoke_lp () =
     domains_available
     (base_dt /. (let _, dt, _ = List.nth milp_legs 2 in dt))
     (suite_1 /. suite_4);
+  (* Tree scenario: the explicit-node search itself. Traversal orders
+     and branching rules must all land on the same optimum at
+     mip_gap = 0; a 1e-3 gap tolerance should stop earlier with a
+     certified incumbent; and the gap-at-time curves show how fast
+     each job count closes the dual gap under a hard deadline. *)
+  header "smoke-lp: explicit tree search — traversal, branching, gap termination";
+  let module UBudget = Agingfp_util.Budget in
+  let tree_params =
+    { Milp.default_params with Milp.node_limit = 100_000; first_solution = false }
+  in
+  let run_tree ?(params = tree_params) label =
+    let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
+    let objective =
+      match result with Milp.Feasible sol -> sol.Agingfp_lp.Simplex.objective | _ -> nan
+    in
+    Printf.printf "  %-24s %6.3fs  %6d nodes  stop %-10s gap %-8s objective %.4f\n%!"
+      label dt stats.Milp.nodes
+      (UBudget.stop_reason_to_string stats.Milp.stop)
+      (if Float.is_finite stats.Milp.gap then Printf.sprintf "%.2g" stats.Milp.gap
+       else "inf")
+      objective;
+    (objective, stats, dt)
+  in
+  let traversal_legs =
+    List.map
+      (fun t ->
+        let o, s, dt =
+          run_tree
+            ~params:{ tree_params with Milp.traversal = t }
+            (Node_store.strategy_to_string t)
+        in
+        (Node_store.strategy_to_string t, o, s, dt))
+      [ Node_store.Dfs; Node_store.Best_first; Node_store.Hybrid ]
+  in
+  let branching_legs =
+    List.map
+      (fun b ->
+        let o, s, dt =
+          run_tree
+            ~params:{ tree_params with Milp.branching = b }
+            (Brancher.rule_to_string b)
+        in
+        (Brancher.rule_to_string b, o, s, dt))
+      [ Brancher.Most_fractional; Brancher.Pseudocost ]
+  in
+  let _, ref_obj, _, _ = List.hd traversal_legs in
+  List.iter
+    (fun (l, o, _, _) ->
+      if abs_float (o -. ref_obj) > 1e-6 then
+        Printf.printf "WARNING: %s objective differs (%.6f vs %.6f)\n" l o ref_obj)
+    (traversal_legs @ branching_legs);
+  let gaptol = 1e-3 in
+  let gap_obj, gap_run_stats, gap_dt =
+    run_tree ~params:{ tree_params with Milp.mip_gap = gaptol } "mip-gap 1e-3"
+  in
+  (match gap_run_stats.Milp.stop with
+  | UBudget.Gap_limit when gap_run_stats.Milp.gap > gaptol ->
+    Printf.printf "WARNING: gap-limit stop with gap %.3g above the tolerance\n"
+      gap_run_stats.Milp.gap
+  | _ -> ());
+  if
+    Float.is_finite ref_obj
+    && abs_float (gap_obj -. ref_obj)
+       > gaptol *. Float.max 1.0 (abs_float ref_obj) +. 1e-9
+  then
+    Printf.printf "WARNING: gap-limit objective drifted past the tolerance (%.6f vs %.6f)\n"
+      gap_obj ref_obj;
+  let deadlines = if !quick then [ 0.01; 0.05 ] else [ 0.005; 0.01; 0.025; 0.05; 0.1 ] in
+  let gap_curves =
+    List.map
+      (fun jobs ->
+        let curve =
+          List.map
+            (fun t ->
+              let params =
+                {
+                  tree_params with
+                  Milp.jobs;
+                  budget = UBudget.create ~deadline_s:t ();
+                }
+              in
+              let (_, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
+              (t, stats.Milp.gap, stats.Milp.nodes,
+               float_of_int stats.Milp.nodes /. Float.max dt 1e-6))
+            deadlines
+        in
+        Printf.printf "  gap-at-time jobs=%d: %s\n%!" jobs
+          (String.concat "  "
+             (List.map
+                (fun (t, g, n, _) ->
+                  Printf.sprintf "%.3fs->%s(%dn)" t
+                    (if Float.is_finite g then Printf.sprintf "%.2g" g else "inf")
+                    n)
+                curve));
+        (jobs, curve))
+      [ 1; 2; 4 ]
+  in
   let json_leg (stats : Milp.stats) dt =
     Printf.sprintf
       "{\"seconds\": %.4f, \"nodes\": %d, \"lp_iterations\": %d, \"warm_solves\": %d, \
@@ -1138,6 +1237,39 @@ let bench_smoke_lp () =
        \"peak_fill_nnz\": %d}"
       dt stats.Milp.lp_iterations (per_pivot_us dt stats) stats.Milp.refactorizations
       stats.Milp.drift_refreshes stats.Milp.eta_updates stats.Milp.fill_in
+  in
+  let tree_json =
+    let jf g = if Float.is_finite g then Printf.sprintf "%.6g" g else "null" in
+    let leg (l, o, (s : Milp.stats), dt) =
+      Printf.sprintf
+        "{\"name\": \"%s\", \"seconds\": %.4f, \"nodes\": %d, \"lp_iterations\": %d, \
+         \"objective\": %.4f, \"gap\": %s}"
+        l dt s.Milp.nodes s.Milp.lp_iterations o (jf s.Milp.gap)
+    in
+    Printf.sprintf
+      "{\"traversals\": [%s],\n\
+      \          \"branching\": [%s],\n\
+      \          \"gap_limit\": {\"mip_gap\": %.4g, \"seconds\": %.4f, \"nodes\": %d, \
+       \"stop\": \"%s\", \"gap\": %s, \"objective\": %.4f},\n\
+      \          \"gap_at_time\": [%s]}"
+      (String.concat ", " (List.map leg traversal_legs))
+      (String.concat ", " (List.map leg branching_legs))
+      gaptol gap_dt gap_run_stats.Milp.nodes
+      (UBudget.stop_reason_to_string gap_run_stats.Milp.stop)
+      (jf gap_run_stats.Milp.gap) gap_obj
+      (String.concat ", "
+         (List.map
+            (fun (jobs, curve) ->
+              Printf.sprintf "{\"jobs\": %d, \"curve\": [%s]}" jobs
+                (String.concat ", "
+                   (List.map
+                      (fun (t, g, n, nps) ->
+                        Printf.sprintf
+                          "{\"deadline_s\": %.4f, \"gap\": %s, \"nodes\": %d, \
+                           \"nodes_per_s\": %.1f}"
+                          t (jf g) n nps)
+                      curve)))
+            gap_curves))
   in
   let oc = open_out "BENCH_lp.json" in
   let p = cold_stats.Milp.presolve in
@@ -1178,7 +1310,8 @@ let bench_smoke_lp () =
     \  \"parallel\": {\"domains_available\": %d,\n\
     \               \"milp\": [%s],\n\
     \               \"suite\": {\"benchmarks\": %d, \"jobs1_s\": %.4f, \"jobs4_s\": \
-     %.4f, \"speedup\": %.3f}}\n\
+     %.4f, \"speedup\": %.3f}},\n\
+    \  \"tree\": %s\n\
      }\n"
     (LpModel.num_vars lp) (LpModel.num_constraints lp)
     p.Agingfp_lp.Presolve.rounds p.Agingfp_lp.Presolve.rows_removed
@@ -1209,7 +1342,7 @@ let bench_smoke_lp () =
                %.4f}"
               j dt (base_dt /. dt) obj)
           milp_legs))
-    (Array.length suite_tasks) suite_1 suite_4 (suite_1 /. suite_4);
+    (Array.length suite_tasks) suite_1 suite_4 (suite_1 /. suite_4) tree_json;
   close_out oc;
   Printf.printf "wrote BENCH_lp.json (speedup %.2fx, iteration ratio %.2fx)\n%!"
     (cold_dt /. warm_dt)

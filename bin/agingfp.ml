@@ -22,6 +22,8 @@ module Model = Agingfp_lp.Model
 module Lp_format = Agingfp_lp.Lp_format
 module Analyze = Agingfp_lp.Analyze
 module Milp = Agingfp_lp.Milp
+module Node_store = Agingfp_lp.Node_store
+module Brancher = Agingfp_lp.Brancher
 module Faults = Agingfp_lp.Faults
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
@@ -148,10 +150,14 @@ let solver_stats_table () =
   let s = Milp.cumulative () in
   let p = s.Milp.presolve in
   let row name v = [| name; string_of_int v |] in
+  let frow name v = [| name; (if Float.is_nan v then "-" else Printf.sprintf "%g" v) |] in
   Ascii_table.render
     ~header:[| "solver metric"; "value" |]
     [
       row "B&B nodes" s.Milp.nodes;
+      (* A gap is only meaningful once a tree search actually ran. *)
+      frow "optimality gap (worst)" (if s.Milp.nodes = 0 then nan else s.Milp.gap);
+      frow "dual bound (last solve)" s.Milp.dual_bound;
       row "warm LP solves" s.Milp.warm_solves;
       row "cold LP solves" s.Milp.cold_solves;
       row "LP iterations" s.Milp.lp_iterations;
@@ -188,20 +194,28 @@ let solver_stats_table () =
          p.Agingfp_lp.Presolve.per_rule)
 
 let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
-    techmap stats certify deadline inject_faults jobs =
+    techmap stats certify deadline gap traversal branching inject_faults jobs =
   let fault_spec =
     match inject_faults with
     | None -> Ok Faults.none
     | Some s -> Faults.of_string s
   in
+  let search_opts =
+    match (Node_store.strategy_of_string traversal, Brancher.rule_of_string branching) with
+    | None, _ ->
+      Error (Printf.sprintf "unknown traversal %S (dfs|best-first|hybrid)" traversal)
+    | _, None ->
+      Error (Printf.sprintf "unknown branching %S (most-fractional|pseudocost)" branching)
+    | Some t, Some b -> Ok (t, b)
+  in
   match
     (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s,
-     fault_spec)
+     fault_spec, search_opts)
   with
-  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+  | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _ | _, _, _, Error msg ->
     prerr_endline msg;
     1
-  | Ok design, Ok mode, Ok fault_spec ->
+  | Ok design, Ok mode, Ok fault_spec, Ok (traversal, branching) ->
     (match save_design with
     | Some path -> (
       match Serial.save_design path design with
@@ -217,6 +231,13 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
         Remap.certify;
         deadline_s = deadline;
         jobs = resolve_jobs jobs;
+        milp =
+          {
+            Remap.default_params.Remap.milp with
+            Milp.mip_gap = gap;
+            traversal;
+            branching;
+          };
       }
     in
     set_diag "remap";
@@ -240,6 +261,19 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
       r.Remap.new_cpd_ns;
     Format.printf "MTTF increase       : %.2fx@." imp;
     Format.printf "solve rung          : %a@." Remap.pp_rung r.Remap.rung;
+    if Float.is_finite r.Remap.gap then
+      Format.printf "MILP gap            : %g (dual bound %g)@." r.Remap.gap
+        r.Remap.dual_bound;
+    (match r.Remap.rung_stats with
+    | [] -> ()
+    | entries ->
+      Format.printf "solver work by rung :@.";
+      List.iter
+        (fun (rung, (s : Milp.stats)) ->
+          Format.printf "  - %a: %d nodes, %d LP iterations (%d warm + %d cold solves)@."
+            Remap.pp_rung rung s.Milp.nodes s.Milp.lp_iterations s.Milp.warm_solves
+            s.Milp.cold_solves)
+        entries);
     (match r.Remap.degradation with
     | [] -> ()
     | steps ->
@@ -298,10 +332,15 @@ let cmd_suite jobs quick deadline =
     let freeze_res, rotate_res = Remap.solve_both ~params design baseline in
     let secs = Budget.elapsed_s t in
     let imp r = Mttf.improvement design ~baseline ~remapped:r.Remap.mapping in
+    let nodes r =
+      List.fold_left (fun acc (_, s) -> acc + s.Milp.nodes) 0 r.Remap.rung_stats
+    in
     ( spec,
       imp freeze_res,
       imp rotate_res,
       rotate_res.Remap.rung,
+      rotate_res.Remap.gap,
+      nodes freeze_res + nodes rotate_res,
       secs,
       Audit.ok freeze_res.Remap.audit && Audit.ok rotate_res.Remap.audit )
   in
@@ -315,7 +354,7 @@ let cmd_suite jobs quick deadline =
   set_diag "report";
   let rows =
     List.map
-      (fun ((spec : Benchmarks.spec), fr, rr, rung, secs, ok) ->
+      (fun ((spec : Benchmarks.spec), fr, rr, rung, gap, nodes, secs, ok) ->
         [|
           spec.Benchmarks.bname;
           Printf.sprintf "%.2fx" fr;
@@ -323,6 +362,8 @@ let cmd_suite jobs quick deadline =
           Printf.sprintf "%.2fx" rr;
           Printf.sprintf "%.2fx" spec.Benchmarks.paper_rotate;
           Format.asprintf "%a" Remap.pp_rung rung;
+          (if Float.is_nan gap then "-" else Printf.sprintf "%.3g" gap);
+          string_of_int nodes;
           Printf.sprintf "%.2f" secs;
           (if ok then "ok" else "FAILED");
         |])
@@ -332,12 +373,13 @@ let cmd_suite jobs quick deadline =
     (Ascii_table.render
        ~header:
          [|
-           "name"; "freeze"; "paper"; "rotate"; "paper"; "rung"; "sec"; "audit";
+           "name"; "freeze"; "paper"; "rotate"; "paper"; "rung"; "gap"; "nodes"; "sec";
+           "audit";
          |]
        rows);
   Printf.printf "%d benchmarks in %.2f s with --jobs %d\n" (List.length results) wall_s
     jobs;
-  if List.for_all (fun (_, _, _, _, _, ok) -> ok) results then 0 else 1
+  if List.for_all (fun (_, _, _, _, _, _, _, ok) -> ok) results then 0 else 1
 
 let cmd_heatmap benchmark source dim mode_s =
   match (load_design benchmark source dim, mode_of_string mode_s) with
@@ -596,6 +638,28 @@ let deadline_arg =
               expiry the degradation ladder falls back to ever cheaper machinery and \
               at worst returns the audited baseline floorplan.")
 
+let gap_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "gap" ] ~docv:"G"
+        ~doc:"Relative MILP optimality-gap tolerance: branch & bound stops once the \
+              incumbent is proven within G of the global dual bound (stop reason \
+              gap-limit). 0 (the default) searches to a full optimality proof.")
+
+let traversal_arg =
+  Arg.(
+    value & opt string "hybrid"
+    & info [ "traversal" ] ~docv:"ORDER"
+        ~doc:"Branch & bound node-selection order: dfs, best-first, or hybrid \
+              (plunge depth-first, jump to the best dual bound when the dive dies).")
+
+let branching_arg =
+  Arg.(
+    value & opt string "pseudocost"
+    & info [ "branching" ] ~docv:"RULE"
+        ~doc:"Branching-variable rule: pseudocost (reliability-initialized by \
+              strong-branching probes) or most-fractional.")
+
 let inject_faults_arg =
   Arg.(
     value
@@ -684,12 +748,16 @@ let mttf_cmd =
 let remap_cmd =
   Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
     Term.(
-      const (fun verbose b s d m q df sd sf tm stats certify deadline faults jobs ->
+      const
+        (fun verbose b s d m q df sd sf tm stats certify deadline gap trav branch faults
+             jobs ->
           with_logs verbose (fun () ->
-              cmd_remap b s d m q df sd sf tm stats certify deadline faults jobs))
+              cmd_remap b s d m q df sd sf tm stats certify deadline gap trav branch
+                faults jobs))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
       $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg
-      $ certify_arg $ deadline_arg $ inject_faults_arg $ jobs_arg)
+      $ certify_arg $ deadline_arg $ gap_arg $ traversal_arg $ branching_arg
+      $ inject_faults_arg $ jobs_arg)
 
 let quick_arg =
   Arg.(

@@ -93,6 +93,9 @@ type result = {
   audit : Audit.report;
   rung : rung;
   degradation : degradation_step list;
+  gap : float;
+  dual_bound : float;
+  rung_stats : (rung * Milp.stats) list;
 }
 
 (* ---------- solution certification (Lp.Certify) ---------- *)
@@ -316,10 +319,12 @@ let lint_instance inst =
 
 (* Rebudget a cached instance + state and re-solve its LP relaxation
    warm; on a cache miss, [build] makes the instance and the first
-   solve runs cold. Feeds the global Milp counters either way. When
-   [certify] is set, any optimal point is re-verified in exact
-   arithmetic against the (rebudgeted) model before it is trusted. *)
-let cached_lp_solve ~certify ~budget ~get ~set ~build ~st_target ~committed =
+   solve runs cold. Feeds the global Milp counters either way, and
+   reports the same delta to [stats_note] so the caller can attribute
+   the work to a ladder rung. When [certify] is set, any optimal point
+   is re-verified in exact arithmetic against the (rebudgeted) model
+   before it is trusted. *)
+let cached_lp_solve ~certify ~budget ~stats_note ~get ~set ~build ~st_target ~committed =
   let inst, st, fresh =
     match get () with
     | Some (inst, st) ->
@@ -341,13 +346,24 @@ let cached_lp_solve ~certify ~budget ~get ~set ~build ~st_target ~committed =
   let s0 = Simplex.state_stats st in
   let status = if fresh then Simplex.solve_state st else Simplex.reoptimize st in
   let s1 = Simplex.state_stats st in
-  Milp.note_lp_solve
-    ~warm:(s1.Simplex.warm_solves > s0.Simplex.warm_solves)
-    ~iterations:(s1.Simplex.lp_iterations - s0.Simplex.lp_iterations)
+  let warm = s1.Simplex.warm_solves > s0.Simplex.warm_solves in
+  let iterations = s1.Simplex.lp_iterations - s0.Simplex.lp_iterations in
+  Milp.note_lp_solve ~warm ~iterations
     ~refactorizations:(s1.Simplex.refactorizations - s0.Simplex.refactorizations)
     ~eta_updates:(s1.Simplex.eta_updates - s0.Simplex.eta_updates)
     ~fill_in:s1.Simplex.fill_in
     ~drift_refreshes:(s1.Simplex.drift_refreshes - s0.Simplex.drift_refreshes) ();
+  stats_note ~milp:false
+    {
+      Milp.zero_stats with
+      Milp.warm_solves = (if warm then 1 else 0);
+      cold_solves = (if warm then 0 else 1);
+      lp_iterations = iterations;
+      refactorizations = s1.Simplex.refactorizations - s0.Simplex.refactorizations;
+      eta_updates = s1.Simplex.eta_updates - s0.Simplex.eta_updates;
+      fill_in = s1.Simplex.fill_in;
+      drift_refreshes = s1.Simplex.drift_refreshes - s0.Simplex.drift_refreshes;
+    };
   (match status with
   | Simplex.Optimal sol when certify ->
     (* [set_st_target] keeps the instance's model current, so the
@@ -389,7 +405,7 @@ let paths_ok design mapping monitored ctx =
 (* ---------- per-context MILP solve ---------- *)
 
 let solve_context params design baseline ~candidates ~monitored ~st_target ~committed
-    ~cache ~budget ~machinery ~note ctx current =
+    ~cache ~budget ~machinery ~note ~stats_note ctx current =
   (* Fast path: LP relaxation + structured rounding; fall back to the
      paper's two-step MILP when rounding misses or breaks a path
      budget. The ladder's [machinery] caps what this is allowed to
@@ -418,7 +434,7 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
   if machinery = Heuristic then try_rounding (fun _ _ -> 0.0)
   else begin
     let inst, lp_status =
-      cached_lp_solve ~certify:params.certify ~budget
+      cached_lp_solve ~certify:params.certify ~budget ~stats_note
         ~get:(fun () -> Hashtbl.find_opt cache.per_ctx ctx)
         ~set:(fun entry -> Hashtbl.replace cache.per_ctx ctx entry)
         ~build:(fun () ->
@@ -471,6 +487,7 @@ let solve_context params design baseline ~candidates ~monitored ~st_target ~comm
           let milp_result, milp_stats =
             Milp.relax_and_fix_with_stats ~params:fallback_params lp_model
           in
+          stats_note ~milp:true milp_stats;
           if params.certify then
             note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
           (match (milp_result, milp_stats.Milp.stop) with
@@ -527,8 +544,8 @@ let estimate_binaries design candidates =
   !total
 
 let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
-    ?(note = fun _ _ -> ()) params design baseline ~candidates ~monitored ~frozen
-    ~st_target =
+    ?(note = fun _ _ -> ()) ?(stats_note = fun ~milp:_ _ -> ()) params design baseline
+    ~candidates ~monitored ~frozen ~st_target =
   let cache = match cache with Some c -> c | None -> new_cache () in
   let monolithic =
     match params.strategy with
@@ -591,7 +608,7 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
     round_all (fun _ _ _ -> 0.0)
   else if monolithic then (
     let inst, lp_status =
-      cached_lp_solve ~certify:params.certify ~budget
+      cached_lp_solve ~certify:params.certify ~budget ~stats_note
         ~get:(fun () -> cache.mono)
         ~set:(fun entry -> cache.mono <- Some entry)
         ~build:(fun () ->
@@ -625,6 +642,7 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
           let milp_result, milp_stats =
             Milp.relax_and_fix_with_stats ~params:milp_params lp_model
           in
+          stats_note ~milp:true milp_stats;
           if params.certify then
             note_certificate ~kind:`Milp (Certify.result lp_model milp_result);
           (match (milp_result, milp_stats.Milp.stop) with
@@ -651,7 +669,8 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
             else
               match
                 solve_context params design baseline ~candidates ~monitored ~st_target
-                  ~committed:committed' ~cache ~budget ~machinery ~note ctx !current
+                  ~committed:committed' ~cache ~budget ~machinery ~note ~stats_note ctx
+                  !current
               with
               | Some mapping -> current := mapping
               | None -> failed := ctx
@@ -689,16 +708,30 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
           (fun ctx ->
             let notes = ref [] in
             let note_local reason detail = notes := (reason, detail) :: !notes in
+            let stats = ref [] in
+            let stats_local ~milp s = stats := (milp, s) :: !stats in
             let committed_spec = Array.copy committed in
             let cache_spec = new_cache () in
             let r =
               solve_context params design baseline ~candidates ~monitored ~st_target
                 ~committed:committed_spec ~cache:cache_spec ~budget:task_budget
-                ~machinery ~note:note_local ctx baseline
+                ~machinery ~note:note_local ~stats_note:stats_local ctx baseline
             in
-            (Option.map (fun m -> Mapping.context_array m ctx) r, List.rev !notes))
+            ( Option.map (fun m -> Mapping.context_array m ctx) r,
+              List.rev !notes,
+              List.rev !stats ))
           order
       in
+      (* Solver-work accounting is unconditional — every speculative
+         task burned its nodes and pivots whether or not its result is
+         committed below — so the stats replay covers all completed
+         tasks up front; the qualitative [note]s replay only for
+         contexts the commit loop actually reaches. *)
+      Array.iter
+        (function
+          | Some (_, _, stats) -> List.iter (fun (m, s) -> stats_note ~milp:m s) stats
+          | None -> ())
+        speculative;
       let committed' = Array.copy committed in
       let current = ref baseline in
       let failed = ref (-1) in
@@ -710,14 +743,15 @@ let attempt ?cache ?(budget = Budget.unlimited) ?(machinery = Full_milp)
               let fallback () =
                 match
                   solve_context params design baseline ~candidates ~monitored ~st_target
-                    ~committed:committed' ~cache ~budget ~machinery ~note ctx !current
+                    ~committed:committed' ~cache ~budget ~machinery ~note ~stats_note ctx
+                    !current
                 with
                 | Some mapping -> current := mapping
                 | None -> failed := ctx
               in
               match speculative.(i) with
               | None -> fallback ()
-              | Some (spec, notes) -> (
+              | Some (spec, notes, _) -> (
                 List.iter (fun (r, d) -> note r d) notes;
                 match spec with
                 | None -> fallback ()
@@ -901,6 +935,7 @@ let build_formulation ?(params = default_params) ~mode design baseline =
 let same_reason_class a b =
   match (a, b) with
   | Budget.Optimal, Budget.Optimal
+  | Budget.Gap_limit, Budget.Gap_limit
   | Budget.Deadline, Budget.Deadline
   | Budget.Node_limit, Budget.Node_limit
   | Budget.Iteration_limit, Budget.Iteration_limit
@@ -918,6 +953,29 @@ let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~
   let delta = max ((st_up -. lb) /. float_of_int params.delta_steps) (0.01 *. st_up +. 1e-9) in
   let start = max lb floor_stress in
   let trail = ref [] in
+  (* Per-rung solver-work accounting and the bound/gap evidence of the
+     branch & bound runs. Every LP relaxation and every B&B inside the
+     ladder reports its stats delta here (parallel paths collect
+     locally and replay on this domain), so per-rung sums match the
+     process-wide {!Milp.cumulative} deltas of the ladder — Step 1 and
+     concurrent unrelated solves excluded. [gap]/[dual_bound] only
+     listen to real B&B runs ([milp:true]): a bare LP relaxation
+     proves nothing about integer optimality. *)
+  let milp_trail = ref [] in
+  let gap_obs = ref nan in
+  let dual_obs = ref nan in
+  let observe_stats machinery ~milp s =
+    (match !milp_trail with
+    | (r, acc) :: rest when r = machinery ->
+      milp_trail := (r, Milp.add_stats acc s) :: rest
+    | rest -> milp_trail := (machinery, s) :: rest);
+    if milp then begin
+      if Float.is_finite s.Milp.gap then
+        gap_obs :=
+          (if Float.is_nan !gap_obs then s.Milp.gap else Float.max !gap_obs s.Milp.gap);
+      if Float.is_finite s.Milp.dual_bound then dual_obs := s.Milp.dual_bound
+    end
+  in
   let note_step rung reason detail =
     if
       not
@@ -999,23 +1057,28 @@ let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~
                 cut := Budget.worst !cut reason;
                 notes := (reason, detail) :: !notes
               in
+              let stats = ref [] in
+              let stats_local ~milp s = stats := (milp, s) :: !stats in
               let r =
                 attempt ~cache:(new_cache ()) ~budget:rbudget ~machinery ~note:note_cut
-                  params design reference ~candidates ~monitored ~frozen ~st_target:st_i
+                  ~stats_note:stats_local params design reference ~candidates ~monitored
+                  ~frozen ~st_target:st_i
               in
-              (r, !cut, List.rev !notes))
+              (r, !cut, List.rev !notes, List.rev !stats))
             sts
         in
         Array.iter
           (function
             | None -> ()
-            | Some (_, _, notes) -> List.iter (fun (r, d) -> note r d) notes)
+            | Some (_, _, notes, stats) ->
+              List.iter (fun (m, s) -> observe_stats machinery ~milp:m s) stats;
+              List.iter (fun (r, d) -> note r d) notes)
           outcomes;
         let rec pick i =
           if i >= window then None
           else
             match outcomes.(i) with
-            | Some (Some mapping, _, _) -> (
+            | Some (Some mapping, _, _, _) -> (
               match acceptable mapping with
               | Some new_cpd -> Some (mapping, sts.(i), iter + i, new_cpd)
               | None -> pick (i + 1))
@@ -1028,7 +1091,7 @@ let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~
             Array.fold_left
               (fun acc o ->
                 match (acc, o) with
-                | None, Some (_, (Budget.Fault _ as f), _) -> Some f
+                | None, Some (_, (Budget.Fault _ as f), _, _) -> Some f
                 | acc, _ -> acc)
               None outcomes
           in
@@ -1049,8 +1112,9 @@ let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~
           note reason detail
         in
         match
-          attempt ~cache:!cache ~budget:rbudget ~machinery ~note:note_cut params design
-            reference ~candidates ~monitored ~frozen ~st_target:st
+          attempt ~cache:!cache ~budget:rbudget ~machinery ~note:note_cut
+            ~stats_note:(observe_stats machinery) params design reference ~candidates
+            ~monitored ~frozen ~st_target:st
         with
         | Some mapping -> (
           match acceptable mapping with
@@ -1106,6 +1170,9 @@ let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~
           audit;
           rung;
           degradation = !trail;
+          gap = !gap_obs;
+          dual_bound = !dual_obs;
+          rung_stats = List.rev !milp_trail;
         }
     else begin
       Log.err (fun k -> k "%s: %a" (Design.name design) Audit.pp audit);
@@ -1169,6 +1236,9 @@ let solve_with_plan ?cache params design baseline ~budget ~baseline_cpd ~st_up ~
       audit;
       rung = Baseline;
       degradation = !trail;
+      gap = !gap_obs;
+      dual_bound = !dual_obs;
+      rung_stats = List.rev !milp_trail;
     }
 
 let run_mode ?warm params design baseline ~budget ~baseline_cpd ~st_up ~lb m =

@@ -121,6 +121,23 @@ type result = {
   degradation : degradation_step list;
       (** chronological downgrades recorded on the way to [rung];
           empty when the full machinery succeeded undisturbed *)
+  gap : float;
+      (** worst (largest) finite relative optimality gap reported by
+          any branch & bound run inside the ladder: [0.0] when every
+          B&B that ran proved optimality, [<= mip_gap] when searches
+          stopped on {!Agingfp_util.Budget.Gap_limit}, [nan] when no
+          B&B ran at all (rounding succeeded without it, or the flow
+          never got that far) *)
+  dual_bound : float;
+      (** the most recent finite global dual bound those runs
+          reported, in the MILP's objective space; [nan] when none *)
+  rung_stats : (rung * Agingfp_lp.Milp.stats) list;
+      (** solver work per ladder rung attempted, in ladder order: every
+          LP relaxation and B&B inside a rung (including speculative
+          parallel tasks) accumulates into its entry, so summing
+          [nodes]/[lp_iterations] across entries reproduces the
+          {!Agingfp_lp.Milp.cumulative} delta of the ladder (Step 1's
+          bisection solves excluded — they run before the ladder) *)
 }
 
 (** {2 Solution certification}

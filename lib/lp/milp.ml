@@ -14,6 +14,9 @@ type params = {
   warm_start : bool;
   budget : Budget.t;
   jobs : int;
+  mip_gap : float;
+  traversal : Node_store.strategy;
+  branching : Brancher.rule;
 }
 
 let default_params =
@@ -26,6 +29,9 @@ let default_params =
     warm_start = true;
     budget = Budget.unlimited;
     jobs = 1;
+    mip_gap = 0.0;
+    traversal = Node_store.Hybrid;
+    branching = Brancher.Pseudocost;
   }
 
 type stats = {
@@ -38,6 +44,8 @@ type stats = {
   eta_updates : int;
   fill_in : int;
   drift_refreshes : int;
+  dual_bound : float;
+  gap : float;
   stop : Budget.stop_reason;
 }
 
@@ -52,6 +60,8 @@ let zero_stats =
     eta_updates = 0;
     fill_in = 0;
     drift_refreshes = 0;
+    dual_bound = Float.nan;
+    gap = 0.0;
     stop = Budget.Optimal;
   }
 
@@ -69,16 +79,22 @@ let add_stats a b =
     (* Fill is a footprint, not a flow: aggregate the peak. *)
     fill_in = max a.fill_in b.fill_in;
     drift_refreshes = a.drift_refreshes + b.drift_refreshes;
+    (* Dual bounds of different models are not comparable; keep the
+       most recent solve's (aggregation order is chronological). *)
+    dual_bound = (if Float.is_nan b.dual_bound then a.dual_bound else b.dual_bound);
+    (* The aggregate is only as certified as its loosest member. *)
+    gap = Float.max a.gap b.gap;
     stop = worst_stop a.stop b.stop;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d nodes, %d warm / %d cold LP solves, %d LP iterations, stop %a; kernel: %d \
-     refactorizations (%d drift), %d eta updates, peak fill %d; presolve: %a"
-    s.nodes s.warm_solves s.cold_solves s.lp_iterations Budget.pp_stop_reason s.stop
-    s.refactorizations s.drift_refreshes s.eta_updates s.fill_in
-    Presolve.pp_reductions s.presolve
+    "%d nodes, %d warm / %d cold LP solves, %d LP iterations, gap %g (dual bound %g), \
+     stop %a; kernel: %d refactorizations (%d drift), %d eta updates, peak fill %d; \
+     presolve: %a"
+    s.nodes s.warm_solves s.cold_solves s.lp_iterations s.gap s.dual_bound
+    Budget.pp_stop_reason s.stop s.refactorizations s.drift_refreshes s.eta_updates
+    s.fill_in Presolve.pp_reductions s.presolve
 
 (* Cumulative counters across all solves since the last reset — the
    remap pipeline runs many MILPs/LPs per floorplan, and the CLI
@@ -114,53 +130,60 @@ let pp_result ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"
   | Unknown -> Format.pp_print_string ppf "unknown (budget exhausted)"
 
-(* Most fractional integer variable, or None if all integral. *)
-let fractional_var params int_vars (sol : Simplex.solution) =
-  let best = ref None in
-  let best_frac = ref params.integrality_tol in
-  List.iter
-    (fun v ->
-      let x = sol.values.(v) in
-      let frac = abs_float (x -. Float.round x) in
-      if frac > !best_frac then begin
-        best := Some v;
-        best_frac := frac
-      end)
-    int_vars;
-  !best
-
 let solution_sign dir = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0
 
-(* ---------- parallel branch & bound ---------- *)
+(* ---------- tree search ---------- *)
 
 module Pool = Agingfp_util.Pool
 
-(* An open node is represented relative to the root: the bound changes
-   accumulated on the path down (most recent first) plus the parent's
-   relaxation objective, which prunes the node against the shared
-   incumbent before any LP work is spent on it. *)
-type pnode = { fixes : (int * float * float) list; bound : float option }
+(* Strong-branching probes seed pseudocosts only this close to the
+   root (deeper nodes inherit reliable averages from their ancestors'
+   observations) and only for this many unreliable candidates per
+   node — each probe costs two warm LP solves. *)
+let strong_branch_depth = 2
+let strong_branch_width = 4
 
-(* Search the tree with [jobs] domains pumping a shared LIFO node
-   queue. The shared presolved [model] is never mutated: every worker
-   owns a private model copy and a private assembled solver state, so
-   warm bases stay domain-local (a [Simplex.state] must not cross
-   domains). The incumbent, node counter and stop bookkeeping live
-   under one mutex.
+(* Relative optimality gap of [primal] against [dual], both in
+   minimize-sign space. [infinity] while nothing is proven (the root
+   is still open), [0] once the tree is drained. *)
+let rel_gap ~primal ~dual =
+  if Float.is_finite dual then
+    let scale = Float.max (Float.max (Float.abs primal) (Float.abs dual)) 1e-9 in
+    Float.max 0.0 ((primal -. dual) /. scale)
+  else if dual > 0.0 then 0.0
+  else infinity
 
-   Soundness of the shared-incumbent prune: a node whose parent
-   relaxation is not strictly better than the incumbent cannot contain
-   a strictly better integer point, so dropping it never changes the
-   optimal objective — only the node count. Same argument as the
-   sequential post-solve prune, applied one level earlier. *)
-let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
+(* One search engine for every traversal and every [jobs] count: an
+   explicit {!Node_store} tree pumped by [jobs] workers. The shared
+   presolved [model] is never mutated: every worker owns a private
+   model copy and a private assembled solver state, so warm bases stay
+   domain-local (a [Simplex.state] must not cross domains). The
+   incumbent, node counter, brancher state and stop bookkeeping live
+   under one mutex; [jobs = 1] runs the identical code on the calling
+   domain with no pool involved, so sequential solves stay
+   deterministic and pool-free.
+
+   Soundness of the shared-incumbent prune: a node whose inherited
+   dual bound is not strictly better than the incumbent cannot contain
+   a strictly better integer point, so closing it unexplored never
+   changes the optimal objective — only the node count.
+
+   Soundness of gap termination: {!Node_store.dual_bound} is a valid
+   bound on every integer point still reachable (open and in-flight
+   subtrees), and every closed subtree is dominated by the incumbent;
+   so once [(primal - dual) / scale <= mip_gap] the incumbent is
+   certified within the tolerance of the global optimum. *)
+let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
   let n_vars = Model.num_vars model in
   let root_lb = Array.init n_vars (Model.var_lb model) in
   let root_ub = Array.init n_vars (Model.var_ub model) in
   let mx = Mutex.create () in
   let cond = Condition.create () in
-  let queue = ref [ { fixes = []; bound = None } ] in
-  let active = ref 0 in
+  let store = Node_store.create ~workers:jobs in
+  ignore
+    (Node_store.add store ~parent:(-1) ~depth:0 ~bound:neg_infinity ~fixes:[]
+       ~branch:None);
+  let brancher = Brancher.create params.branching ~nvars:n_vars in
   let nodes = ref 0 in
   let incumbent = ref None in
   let halt = ref false in
@@ -177,24 +200,60 @@ let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
     note_stop reason;
     halt := true
   in
-  let better obj =
+  (* [better_bound] compares in minimize-sign space (node bounds);
+     [better] takes a raw model-space objective. Mixing the two
+     double-applies [sign] and mis-prunes Maximize searches. *)
+  let better_bound b =
     match !incumbent with
     | None -> true
-    | Some (s : Simplex.solution) -> sign *. obj < (sign *. s.objective) -. 1e-9
+    | Some (s : Simplex.solution) -> b < (sign *. s.objective) -. 1e-9
   in
-  let rec take () =
+  let better obj = better_bound (sign *. obj) in
+  let gap_reached () =
+    params.mip_gap > 0.0
+    &&
+    match !incumbent with
+    | None -> false
+    | Some (s : Simplex.solution) ->
+      rel_gap ~primal:(sign *. s.objective) ~dual:(Node_store.dual_bound store)
+      <= params.mip_gap
+  in
+  (* Pop the next node to expand. A node abandoned by a budget stop is
+     deliberately never [finish]ed: its bound keeps anchoring the
+     global dual bound, so an interrupted search never overstates what
+     it proved. *)
+  let rec take wid =
     if !halt then None
     else
-      match !queue with
-      | n :: rest ->
-        queue := rest;
-        incr active;
-        Some n
-      | [] ->
-        if !active = 0 then None
+      match Node_store.take store ~wid params.traversal with
+      | Some n ->
+        if Budget.expired params.budget then begin
+          give_up (Budget.status params.budget);
+          None
+        end
+        else if !nodes >= params.node_limit then begin
+          give_up Budget.Node_limit;
+          None
+        end
+        else if not (better_bound n.Node_store.bound) then begin
+          (* Pruned by the incumbent: closed without LP work. *)
+          Node_store.finish store ~wid;
+          take wid
+        end
+        else if gap_reached () then begin
+          note_stop Budget.Gap_limit;
+          halt := true;
+          None
+        end
+        else begin
+          incr nodes;
+          Some n
+        end
+      | None ->
+        if Node_store.active_count store = 0 then None
         else begin
           Condition.wait cond mx;
-          take ()
+          take wid
         end
   in
   let worker_stats = Array.make jobs None in
@@ -203,7 +262,7 @@ let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
     let wst = Simplex.assemble ~params:lp_params wmodel in
     let solved_once = ref false in
     let applied = ref [] in
-    let enter n =
+    let enter (n : Node_store.node) =
       (* Reset whatever the previous node changed, then apply this
          node's path root-first so the deepest branching wins when a
          variable was branched on twice. *)
@@ -216,82 +275,160 @@ let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
         (fun (v, lb, ub) ->
           Model.set_bounds wmodel v ~lb ~ub;
           Simplex.set_var_bounds wst v ~lb ~ub)
-        (List.rev n.fixes);
-      applied := n.fixes
+        (List.rev n.Node_store.fixes);
+      applied := n.Node_store.fixes
     in
-    let process n =
-      let proceed =
-        locked (fun () ->
-            if !halt then false
-            else if Budget.expired params.budget then begin
-              give_up (Budget.status params.budget);
-              false
-            end
-            else if !nodes >= params.node_limit then begin
-              give_up Budget.Node_limit;
-              false
-            end
-            else
-              match n.bound with
-              | Some b when not (better b) -> false (* pruned by incumbent *)
-              | _ ->
-                incr nodes;
-                true)
+    let close_node () =
+      locked (fun () ->
+          Node_store.finish store ~wid;
+          Condition.broadcast cond)
+    in
+    (* Strong-branching probe: bound [v] one way, reoptimize from the
+       node's basis, undo. Returns the sign-space objective
+       degradation ([1e12] when the probe proves that child
+       infeasible — the strongest possible split), or [None] when the
+       probe LP could not finish; the bounds are restored either way
+       and the next [enter]/reoptimize recovers from whatever basis
+       the probe left behind. *)
+    let probe ~(sol : Simplex.solution) v dir =
+      let lb = Model.var_lb wmodel v and ub = Model.var_ub wmodel v in
+      let x = sol.Simplex.values.(v) in
+      (match dir with
+      | Node_store.Down ->
+        Simplex.set_var_bounds wst v ~lb ~ub:(Float.of_int (int_of_float (floor x)))
+      | Node_store.Up ->
+        Simplex.set_var_bounds wst v ~lb:(Float.of_int (int_of_float (ceil x))) ~ub);
+      let status = Simplex.reoptimize wst in
+      Simplex.set_var_bounds wst v ~lb ~ub;
+      match status with
+      | Simplex.Optimal s -> Some ((sign *. s.objective) -. (sign *. sol.objective))
+      | Simplex.Infeasible -> Some 1e12
+      | Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Deadline
+      | Simplex.Fault _ -> None
+    in
+    let process (n : Node_store.node) =
+      enter n;
+      let status =
+        if (not !solved_once) || not params.warm_start then Simplex.solve_state wst
+        else Simplex.reoptimize wst
       in
-      if proceed then begin
-        enter n;
-        let status =
-          if (not !solved_once) || not params.warm_start then Simplex.solve_state wst
-          else Simplex.reoptimize wst
+      solved_once := true;
+      match status with
+      | Simplex.Infeasible -> close_node ()
+      | Simplex.Unbounded ->
+        Log.warn (fun k -> k "unbounded LP relaxation during branch & bound");
+        close_node ()
+      | Simplex.Iteration_limit -> locked (fun () -> give_up Budget.Iteration_limit)
+      | Simplex.Deadline -> locked (fun () -> give_up Budget.Deadline)
+      | Simplex.Fault msg ->
+        (* A faulted solver state cannot be trusted for siblings; stop
+           the whole search and keep the incumbent found so far. *)
+        locked (fun () -> give_up (Budget.Fault msg))
+      | Simplex.Optimal sol ->
+        let obj = sign *. sol.objective in
+        let candidates =
+          Brancher.fractional ~integrality_tol:params.integrality_tol int_vars
+            sol.Simplex.values
         in
-        solved_once := true;
-        match status with
-        | Simplex.Infeasible -> ()
-        | Simplex.Unbounded ->
-          Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
-        | Simplex.Iteration_limit -> locked (fun () -> give_up Budget.Iteration_limit)
-        | Simplex.Deadline -> locked (fun () -> give_up Budget.Deadline)
-        | Simplex.Fault msg ->
-          (* Same contract as the sequential search: a faulted solver
-             state cannot be trusted for siblings; stop the whole
-             search and keep the incumbent found so far. *)
-          locked (fun () -> give_up (Budget.Fault msg))
-        | Simplex.Optimal sol ->
+        let action =
           locked (fun () ->
+              (* This node's own relaxation is one free pseudocost
+                 observation of the branching that created it. *)
+              (match n.Node_store.branch with
+              | Some b when Float.is_finite n.Node_store.bound ->
+                Brancher.observe brancher ~var:b.Node_store.var ~dir:b.Node_store.dir
+                  ~frac:b.Node_store.frac ~delta:(obj -. n.Node_store.bound)
+              | _ -> ());
+              if not (better sol.objective) then `Close
+              else
+                match candidates with
+                | [] -> `Incumbent
+                | _ :: _ ->
+                  (* Probes pay off only when the dual bound matters:
+                     a feasibility dive (first_solution) skips them. *)
+                  let probes =
+                    if
+                      params.first_solution
+                      || n.Node_store.depth >= strong_branch_depth
+                    then []
+                    else
+                      List.filteri
+                        (fun i _ -> i < strong_branch_width)
+                        (List.filter
+                           (fun (v, _) -> Brancher.unreliable brancher ~var:v)
+                           candidates)
+                  in
+                  `Branch probes)
+        in
+        (match action with
+        | `Close -> close_node ()
+        | `Incumbent ->
+          locked (fun () ->
+              (* Re-check under the lock: a sibling worker may have
+                 landed a better incumbent since the decision. *)
               if better sol.objective then begin
-                match fractional_var params int_vars sol with
-                | None ->
-                  incumbent := Some { sol with Simplex.values = Array.copy sol.values };
-                  if params.first_solution then halt := true
-                | Some v ->
-                  let x = sol.values.(v) in
-                  let lb = Model.var_lb wmodel v and ub = Model.var_ub wmodel v in
-                  let down =
-                    { fixes = (v, lb, Float.of_int (int_of_float (floor x))) :: n.fixes;
-                      bound = Some sol.objective }
-                  in
-                  let up =
-                    { fixes = (v, Float.of_int (int_of_float (ceil x)), ub) :: n.fixes;
-                      bound = Some sol.objective }
-                  in
-                  (* LIFO: push the child nearest the relaxed value
-                     last-popped-first, mirroring the sequential dive
-                     order. *)
-                  let first, second = if x -. floor x > 0.5 then (up, down) else (down, up) in
-                  queue := first :: second :: !queue;
-                  Condition.broadcast cond
-              end)
-      end
+                incumbent := Some { sol with Simplex.values = Array.copy sol.values };
+                if params.first_solution then halt := true
+              end;
+              Node_store.finish store ~wid;
+              Condition.broadcast cond)
+        | `Branch probes ->
+          (* Strong-branching probes run outside the lock on this
+             worker's private solver state. *)
+          let observations =
+            List.concat_map
+              (fun (v, x) ->
+                let obs dir frac =
+                  match probe ~sol v dir with
+                  | Some delta -> [ (v, dir, frac, delta) ]
+                  | None -> []
+                in
+                let fdown = x -. floor x in
+                obs Node_store.Down fdown @ obs Node_store.Up (1.0 -. fdown))
+              probes
+          in
+          locked (fun () ->
+              List.iter
+                (fun (v, dir, frac, delta) ->
+                  Brancher.observe brancher ~var:v ~dir ~frac ~delta)
+                observations;
+              match Brancher.select brancher candidates with
+              | None -> Node_store.finish store ~wid (* unreachable: candidates <> [] *)
+              | Some v ->
+                let x = sol.Simplex.values.(v) in
+                let lb = Model.var_lb wmodel v and ub = Model.var_ub wmodel v in
+                let fdown = x -. floor x in
+                let child dir fix frac =
+                  ignore
+                    (Node_store.add store ~parent:n.Node_store.id
+                       ~depth:(n.Node_store.depth + 1) ~bound:obj
+                       ~fixes:(fix :: n.Node_store.fixes)
+                       ~branch:(Some { Node_store.var = v; dir; frac }))
+                in
+                let down_fix = (v, lb, Float.of_int (int_of_float (floor x))) in
+                let up_fix = (v, Float.of_int (int_of_float (ceil x)), ub) in
+                (* Far child first, near child second: the near child
+                   gets the larger id, so LIFO diving (Dfs and
+                   Hybrid's plunge) explores the child nearest the
+                   relaxed value first — the old solver's dive
+                   order. *)
+                if fdown > 0.5 then begin
+                  child Node_store.Down down_fix fdown;
+                  child Node_store.Up up_fix (1.0 -. fdown)
+                end
+                else begin
+                  child Node_store.Up up_fix (1.0 -. fdown);
+                  child Node_store.Down down_fix fdown
+                end;
+                Node_store.finish store ~wid;
+                Condition.broadcast cond))
     in
     let rec loop () =
-      match locked take with
+      match locked (fun () -> take wid) with
       | None -> ()
       | Some n ->
         (try process n
          with Faults.Injected where -> locked (fun () -> give_up (Budget.Fault where)));
-        locked (fun () ->
-            decr active;
-            Condition.broadcast cond);
         loop ()
     in
     Fun.protect
@@ -303,8 +440,27 @@ let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
         worker_stats.(wid) <- Some (Simplex.state_stats wst))
       loop
   in
-  let pool = Pool.get jobs in
-  Pool.run pool (Array.init jobs (fun wid () -> worker wid ()));
+  if jobs > 1 then begin
+    let pool = Pool.get jobs in
+    Pool.run pool (Array.init jobs (fun wid () -> worker wid ()))
+  end
+  else worker 0 ();
+  (* The frontier left behind is exactly what was not proven: its
+     minimum is the global dual bound. A drained tree proves the
+     incumbent optimal (or the model infeasible). *)
+  let frontier = Node_store.dual_bound store in
+  let dual_sign =
+    match !incumbent with
+    | Some (s : Simplex.solution) when (not (Float.is_finite frontier)) && frontier > 0.0
+      ->
+      sign *. s.objective
+    | _ -> frontier
+  in
+  let gap =
+    match !incumbent with
+    | None -> if (not (Float.is_finite dual_sign)) && dual_sign > 0.0 then 0.0 else infinity
+    | Some s -> rel_gap ~primal:(sign *. s.objective) ~dual:dual_sign
+  in
   let kernel =
     Array.fold_left
       (fun acc -> function
@@ -322,7 +478,9 @@ let parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model =
           })
       zero_stats worker_stats
   in
-  (!incumbent, !budget_hit, { kernel with nodes = !nodes; stop = !stop })
+  ( !incumbent,
+    !budget_hit,
+    { kernel with nodes = !nodes; stop = !stop; dual_bound = sign *. dual_sign; gap } )
 
 let solve_with_stats ?(params = default_params) model0 =
   let dir, obj0 = Model.objective model0 in
@@ -356,116 +514,7 @@ let solve_with_stats ?(params = default_params) model0 =
     in
     let jobs = max 1 params.jobs in
     let incumbent, budget_hit, search =
-      if jobs > 1 then parallel_search ~params ~sign ~int_vars ~lp_params ~jobs model
-      else begin
-    let st = Simplex.assemble ~params:lp_params model in
-    let nodes = ref 0 in
-    let incumbent = ref None in
-    let budget_hit = ref false in
-    let stop = ref Budget.Optimal in
-    let note_stop r = stop := worst_stop !stop r in
-    let better obj =
-      match !incumbent with
-      | None -> true
-      | Some (s : Simplex.solution) -> sign *. obj < (sign *. s.objective) -. 1e-9
-    in
-    (* DFS; bounds are mutated in place (both on the reduced model and
-       the assembled solver state) and restored on unwind. Node 1 runs
-       a cold solve; every later node re-optimizes the warm state from
-       its parent's basis. *)
-    let fault_hit () = match !stop with Budget.Fault _ -> true | _ -> false in
-    let rec node () =
-      if fault_hit () then ()
-      else if Budget.expired params.budget then begin
-        budget_hit := true;
-        note_stop (Budget.status params.budget)
-      end
-      else if !nodes >= params.node_limit then begin
-        budget_hit := true;
-        note_stop Budget.Node_limit
-      end
-      else begin
-        incr nodes;
-        let status =
-          if !nodes = 1 || not params.warm_start then Simplex.solve_state st
-          else Simplex.reoptimize st
-        in
-        match status with
-        | Simplex.Infeasible -> ()
-        | Simplex.Unbounded ->
-          (* An unbounded relaxation of a bounded-binary model signals a
-             modelling error; treat the node as hopeless. *)
-          Log.warn (fun k -> k "unbounded LP relaxation during branch & bound")
-        | Simplex.Iteration_limit ->
-          budget_hit := true;
-          note_stop Budget.Iteration_limit
-        | Simplex.Deadline ->
-          budget_hit := true;
-          note_stop Budget.Deadline
-        | Simplex.Fault msg ->
-          (* Prune this subtree but keep searching siblings is unsafe —
-             the solver state may carry the fault's damage. Stop the
-             whole search and return the best incumbent so far. *)
-          budget_hit := true;
-          note_stop (Budget.Fault msg)
-        | Simplex.Optimal sol ->
-          if not (better sol.objective) then ()
-          else begin
-            match fractional_var params int_vars sol with
-            | None -> incumbent := Some sol
-            | Some v ->
-              let x = sol.values.(v) in
-              let lb = Model.var_lb model v and ub = Model.var_ub model v in
-              let set_bounds ~lb ~ub =
-                Model.set_bounds model v ~lb ~ub;
-                Simplex.set_var_bounds st v ~lb ~ub
-              in
-              let explore_down () =
-                set_bounds ~lb ~ub:(Float.of_int (int_of_float (floor x)));
-                node ();
-                set_bounds ~lb ~ub
-              in
-              let explore_up () =
-                set_bounds ~lb:(Float.of_int (int_of_float (ceil x))) ~ub;
-                node ();
-                set_bounds ~lb ~ub
-              in
-              let stop () = params.first_solution && !incumbent <> None in
-              (* Explore the child nearest the relaxed value first. *)
-              if x -. floor x > 0.5 then begin
-                explore_up ();
-                if not (stop ()) then explore_down ()
-              end
-              else begin
-                explore_down ();
-                if not (stop ()) then explore_up ()
-              end
-          end
-      end
-    in
-    (try node ()
-     with Faults.Injected where ->
-       (* An injected mid-solve exception must not lose the incumbent:
-          the supervision contract is best-effort-so-far, never
-          nothing. *)
-       budget_hit := true;
-       note_stop (Budget.Fault where));
-    let sstats = Simplex.state_stats st in
-    ( !incumbent,
-      !budget_hit,
-      {
-        zero_stats with
-        nodes = !nodes;
-        warm_solves = sstats.warm_solves;
-        cold_solves = sstats.cold_solves;
-        lp_iterations = sstats.lp_iterations;
-        refactorizations = sstats.refactorizations;
-        eta_updates = sstats.eta_updates;
-        fill_in = sstats.fill_in;
-        drift_refreshes = sstats.drift_refreshes;
-        stop = !stop;
-      } )
-      end
+      tree_search ~params ~sign ~int_vars ~lp_params ~jobs model
     in
     let stats = { search with presolve = reductions } in
     accumulate stats;
@@ -507,13 +556,13 @@ let relax_and_fix_with_stats ?(threshold = 0.95) ?(params = default_params) mode
     (Infeasible, root_stats ~iterations:0)
   | Simplex.Unbounded | Simplex.Iteration_limit ->
     note_lp_solve ~warm:false ~iterations:0 ();
-    (Unknown, root_stats ~iterations:0)
+    (Unknown, { (root_stats ~iterations:0) with gap = infinity })
   | Simplex.Deadline ->
     note_lp_solve ~warm:false ~iterations:0 ();
-    (Unknown, { (root_stats ~iterations:0) with stop = Budget.Deadline })
+    (Unknown, { (root_stats ~iterations:0) with stop = Budget.Deadline; gap = infinity })
   | Simplex.Fault msg ->
     note_lp_solve ~warm:false ~iterations:0 ();
-    (Unknown, { (root_stats ~iterations:0) with stop = Budget.Fault msg })
+    (Unknown, { (root_stats ~iterations:0) with stop = Budget.Fault msg; gap = infinity })
   | Simplex.Optimal relaxed ->
     note_lp_solve ~warm:false ~iterations:relaxed.iterations ();
     let int_vars = Model.integer_vars model0 in

@@ -1,12 +1,21 @@
 (** Mixed-integer solving on top of {!Simplex}.
 
+    The search is a real branch & bound tree ({!Node_store}): explicit
+    nodes with parent links and per-node dual bounds, a pluggable
+    traversal strategy (depth-first diving, best-bound-first, or a
+    plunge-then-jump hybrid), pseudocost branching seeded by
+    strong-branching probes ({!Brancher}), a global dual bound
+    maintained as the minimum over open nodes, and early termination
+    once the relative optimality gap reaches [mip_gap] (stop reason
+    {!Agingfp_util.Budget.Gap_limit} — a certified stop, not a budget
+    cut).
+
     Two entry points:
 
-    - {!solve}: presolve ({!Presolve}) followed by branch & bound with
-      most-fractional branching and a node budget. The root node runs
-      a cold simplex solve; every descendant re-optimizes the same
-      warm solver state from its parent's basis (dual-simplex
-      recovery), so child nodes skip column assembly and phase 1.
+    - {!solve}: presolve ({!Presolve}) followed by the tree search.
+      The root node runs a cold simplex solve; every descendant
+      re-optimizes a warm solver state (dual-simplex recovery), so
+      child nodes skip column assembly and phase 1.
     - {!relax_and_fix}: the paper's two-step MILP (§V.B Step 1) —
       solve the LP relaxation, pre-map every binary whose relaxed
       value exceeds a threshold (0.95 in the paper) to 1, then run
@@ -20,7 +29,8 @@
 type result =
   | Feasible of Simplex.solution
       (** Integer-feasible; optimal when the search ran to completion
-          with an objective, first-found otherwise. *)
+          with an objective, within [mip_gap] of optimal on a
+          [Gap_limit] stop, first-found otherwise. *)
   | Infeasible
   | Unknown  (** Budget exhausted before any integer solution. *)
 
@@ -31,10 +41,12 @@ type params = {
   first_solution : bool;
       (** Stop at the first integer-feasible node. The floorplanner's
           formulation (3) has a null objective, so any feasible point
-          is as good as any other; this is the default. *)
+          is as good as any other; this is the default. Strong
+          branching probes are skipped in this mode — they only pay
+          for dual-bound growth. *)
   presolve : bool;  (** Run {!Presolve} before the search. Default [true]. *)
   warm_start : bool;
-      (** Re-optimize child nodes from the parent basis instead of
+      (** Re-optimize tree nodes from the previous basis instead of
           solving each node cold. Default [true]. *)
   budget : Agingfp_util.Budget.t;
       (** Wall-clock/allowance budget checked at every node entry and
@@ -43,16 +55,36 @@ type params = {
           stops and returns the best incumbent found so far. Default
           {!Agingfp_util.Budget.unlimited}. *)
   jobs : int;
-      (** Domains used for the branch & bound search. [1] (the
-          default) runs the classic sequential DFS unchanged; [jobs >
-          1] pumps a shared node queue from [jobs] domains of a
-          {!Agingfp_util.Pool}, each with its own warm solver state,
-          pruning against an incumbent shared under a mutex. The
+      (** Domains pumping the shared node tree. [1] (the default) runs
+          the identical search on the calling domain with no pool —
+          sequential solves stay deterministic and byte-identical to
+          what a 1-worker pool would produce. [jobs > 1] draws open
+          nodes from the shared {!Node_store} under the incumbent
+          mutex, each worker with its own warm solver state. The
           parallel search returns the same status and — when run to
           completion with [first_solution = false] — the same optimal
           objective as the sequential one; node counts and which
           optimal point is reported may differ. Values [< 1] are
           treated as [1]. *)
+  mip_gap : float;
+      (** Relative optimality-gap tolerance: with an incumbent at
+          (sign-corrected) objective [p] and global dual bound [d],
+          the search stops once [(p - d) / max(|p|, |d|, 1e-9) <=
+          mip_gap], reporting stop reason [Gap_limit] and the achieved
+          gap in {!stats}. [0.0] (the default) disables early gap
+          termination and reproduces the run-to-completion proof. *)
+  traversal : Node_store.strategy;
+      (** Node selection order. [Hybrid] (the default) dives like
+          [Dfs] while the current plunge survives and jumps to the
+          best dual bound when it dies; [Best_first] grows the dual
+          bound fastest; [Dfs] is the classic memory-light dive.
+          All three reach the same status/objective at [mip_gap =
+          0.0] with [first_solution = false]. *)
+  branching : Brancher.rule;
+      (** Branching-variable rule. [Pseudocost] (the default) is
+          reliability-initialized by a few strong-branching probes at
+          shallow depth; [Most_fractional] is the classic fallback.
+          Both reach the same final objective on complete searches. *)
 }
 
 val default_params : params
@@ -62,7 +94,7 @@ val default_params : params
 type stats = {
   presolve : Presolve.reductions;
   nodes : int;          (** branch & bound nodes explored *)
-  warm_solves : int;    (** node LPs served from a parent basis *)
+  warm_solves : int;    (** node LPs served from a previous basis *)
   cold_solves : int;    (** full phase-1 LP solves *)
   lp_iterations : int;  (** total simplex pivots/bound flips *)
   refactorizations : int;
@@ -71,10 +103,25 @@ type stats = {
   fill_in : int;        (** peak nonzeros of live factors + eta file *)
   drift_refreshes : int;
       (** refactorizations forced by measured residual drift *)
+  dual_bound : float;
+      (** global dual bound in the original objective space: a lower
+          bound for minimization, an upper bound for maximization.
+          Equals the incumbent objective when the search proved
+          optimality; [nan] when no tree search ran. Aggregation
+          keeps the most recent solve's bound (bounds of different
+          models are not comparable). *)
+  gap : float;
+      (** achieved relative optimality gap: [0] on a completed proof,
+          [<= mip_gap] on a [Gap_limit] stop, the honest distance
+          between incumbent and dual bound on any other early stop
+          ([infinity] when nothing was proven). Aggregation keeps the
+          maximum — an aggregate is only as certified as its loosest
+          member. *)
   stop : Agingfp_util.Budget.stop_reason;
       (** Why the search ended: [Optimal] means it ran to natural
           completion (proved optimality/infeasibility or hit
-          [first_solution]); anything else names the budget limit or
+          [first_solution]); [Gap_limit] is a certified
+          gap-tolerance stop; anything else names the budget limit or
           fault that cut it short. Aggregation keeps the most severe
           reason. *)
 }
@@ -114,7 +161,9 @@ val solve_with_stats : ?params:params -> Model.t -> result * stats
 val relax_and_fix : ?threshold:float -> ?params:params -> Model.t -> result
 (** [threshold] defaults to 0.95 as in the paper. The input model is
     not modified; reported solutions are checked against the original
-    model before being returned. *)
+    model before being returned. Note: when the pre-fixed residual
+    solves, the reported [gap]/[dual_bound] are relative to the
+    residual model — the pre-mapping is a heuristic restriction. *)
 
 val relax_and_fix_with_stats :
   ?threshold:float -> ?params:params -> Model.t -> result * stats

@@ -1,0 +1,147 @@
+(* Explicit branch & bound tree: every open node carries its parent
+   link, depth and the dual bound inherited from its parent's LP
+   relaxation, so the store can answer the two questions the old
+   LIFO-of-fix-lists could not:
+
+   - "which node next?" under a pluggable traversal strategy (depth
+     first, best first, or a plunge-then-jump hybrid), and
+   - "what is the global dual bound?" — the minimum (in minimize-sign
+     space) over every open and in-flight node, which is what turns an
+     incumbent into a certified bounded-suboptimality result.
+
+   The store is a plain data structure: callers serialize access (the
+   search holds one mutex around every call). Two lazy-deletion heaps
+   index the same open set — one in LIFO order for diving, one in
+   (bound, id) order for best-first — and every heap key ends with the
+   node id, so traversal order is a pure function of the insertion
+   sequence: no hashtable iteration order, no physical addresses, no
+   ambient entropy. *)
+
+module Heap = Agingfp_util.Heap
+
+type strategy = Dfs | Best_first | Hybrid
+
+let strategy_to_string = function
+  | Dfs -> "dfs"
+  | Best_first -> "best-first"
+  | Hybrid -> "hybrid"
+
+let strategy_of_string = function
+  | "dfs" -> Some Dfs
+  | "best-first" | "best_first" | "best" -> Some Best_first
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
+let pp_strategy ppf s = Format.pp_print_string ppf (strategy_to_string s)
+
+type dir = Down | Up
+
+type branch = { var : int; dir : dir; frac : float }
+
+type node = {
+  id : int;
+  parent : int;  (* -1 for the root *)
+  depth : int;
+  bound : float;
+      (* dual bound in minimize-sign space: the parent's LP relaxation
+         objective ([neg_infinity] at the root, where nothing is
+         proven yet). *)
+  fixes : (int * float * float) list;  (* path bound changes, deepest first *)
+  branch : branch option;  (* how this node was split off its parent *)
+}
+
+(* LIFO for diving: the newest node (largest id) first. *)
+let cmp_dfs (a : int) (b : int) = Int.compare b a
+
+(* Best bound first; node id breaks ties deterministically. *)
+let cmp_best (ba, ia) (bb, ib) =
+  match Float.compare ba bb with 0 -> Int.compare ia ib | c -> c
+
+type t = {
+  mutable next_id : int;
+  open_tbl : (int, node) Hashtbl.t;  (* queued, not yet taken *)
+  dfs : int Heap.t;
+  best : (float * int) Heap.t;
+  active : bool array;  (* per-worker: currently expanding a node *)
+  active_bound : float array;
+  mutable last_expanded : int;  (* parent id of the most recent children *)
+}
+
+let create ~workers =
+  {
+    next_id = 0;
+    open_tbl = Hashtbl.create 64;
+    dfs = Heap.create cmp_dfs;
+    best = Heap.create cmp_best;
+    active = Array.make (max 1 workers) false;
+    active_bound = Array.make (max 1 workers) infinity;
+    last_expanded = -1;
+  }
+
+let add t ~parent ~depth ~bound ~fixes ~branch =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let n = { id; parent; depth; bound; fixes; branch } in
+  Hashtbl.replace t.open_tbl id n;
+  Heap.push t.dfs id;
+  Heap.push t.best (bound, id);
+  t.last_expanded <- parent;
+  id
+
+let open_count t = Hashtbl.length t.open_tbl
+
+let active_count t = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.active
+
+(* Skip heap entries whose node has already been taken through the
+   other heap; stale tops are discarded permanently (a node never
+   re-enters the open set under the same id). *)
+let rec dfs_top t =
+  match Heap.peek t.dfs with
+  | None -> None
+  | Some id -> (
+    match Hashtbl.find_opt t.open_tbl id with
+    | Some n -> Some n
+    | None ->
+      ignore (Heap.pop t.dfs);
+      dfs_top t)
+
+let rec best_top t =
+  match Heap.peek t.best with
+  | None -> None
+  | Some (_, id) -> (
+    match Hashtbl.find_opt t.open_tbl id with
+    | Some n -> Some n
+    | None ->
+      ignore (Heap.pop t.best);
+      best_top t)
+
+let claim t ~wid (n : node) =
+  Hashtbl.remove t.open_tbl n.id;
+  t.active.(wid) <- true;
+  t.active_bound.(wid) <- n.bound;
+  Some n
+
+let take t ~wid strategy =
+  match strategy with
+  | Dfs -> ( match dfs_top t with None -> None | Some n -> claim t ~wid n)
+  | Best_first -> ( match best_top t with None -> None | Some n -> claim t ~wid n)
+  | Hybrid -> (
+    (* Plunge while the dive is alive: prefer a child of the node
+       whose children were pushed last (that is exactly the DFS top
+       when the dive continues). When the dive dies — the last
+       expansion produced no surviving children — jump to the best
+       dual bound. *)
+    match dfs_top t with
+    | Some n when n.parent = t.last_expanded -> claim t ~wid n
+    | _ -> ( match best_top t with None -> None | Some n -> claim t ~wid n))
+
+let finish t ~wid =
+  t.active.(wid) <- false;
+  t.active_bound.(wid) <- infinity
+
+(* Global dual bound in minimize-sign space: the minimum over open and
+   in-flight nodes. [infinity] once the tree is drained — every leaf
+   was closed, so the incumbent (if any) is proven optimal. *)
+let dual_bound t =
+  let opened = match best_top t with None -> infinity | Some n -> n.bound in
+  Array.fold_left Float.min opened t.active_bound

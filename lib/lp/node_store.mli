@@ -1,0 +1,89 @@
+(** Explicit branch & bound node tree with a global dual bound.
+
+    Stores the open frontier of a B&B search as real nodes — parent
+    link, depth, path bound-changes and the dual bound inherited from
+    the parent's LP relaxation — indexed by two lazy-deletion heaps so
+    the search can pop nodes depth-first, best-bound-first, or with a
+    plunge-then-jump hybrid, and can always read the global dual bound
+    (the minimum over open and in-flight nodes) needed for
+    optimality-gap termination.
+
+    Determinism: every heap key ends with the node id (assigned in
+    creation order), so traversal is a pure function of the insertion
+    sequence — independent of hash seeds ([OCAMLRUNPARAM=R]) and of
+    physical addresses. The store itself is not thread-safe; the
+    search serializes access under its incumbent mutex. *)
+
+type strategy =
+  | Dfs         (** newest node first: the classic diving search *)
+  | Best_first  (** lowest dual bound first (ties: oldest node) *)
+  | Hybrid
+      (** plunge like [Dfs] while the current dive keeps producing
+          children, jump to the best-bound node when it dies — depth
+          first's quick incumbents with best first's bound growth *)
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> strategy option
+val pp_strategy : Format.formatter -> strategy -> unit
+
+type dir = Down | Up
+
+type branch = {
+  var : int;    (** branching variable *)
+  dir : dir;    (** which side of the split this node is *)
+  frac : float;
+      (** fractional distance rounded away in this direction at the
+          parent's relaxation (pseudocost denominator) *)
+}
+
+type node = {
+  id : int;
+  parent : int;  (** [-1] for the root *)
+  depth : int;
+  bound : float;
+      (** dual bound in minimize-sign space — the parent's LP
+          relaxation objective; [neg_infinity] at the root *)
+  fixes : (int * float * float) list;
+      (** [(var, lb, ub)] bound changes on the path from the root,
+          deepest first *)
+  branch : branch option;  (** how this node was split off its parent *)
+}
+
+type t
+
+val create : workers:int -> t
+(** A store tracking in-flight nodes for [workers] concurrent
+    consumers (worker ids [0 .. workers-1]). *)
+
+val add :
+  t ->
+  parent:int ->
+  depth:int ->
+  bound:float ->
+  fixes:(int * float * float) list ->
+  branch:branch option ->
+  int
+(** Enqueue a node; returns its id (creation order, the deterministic
+    tie-break key). *)
+
+val take : t -> wid:int -> strategy -> node option
+(** Pop the next node under [strategy] and mark it in-flight for
+    worker [wid] (its bound keeps anchoring {!dual_bound} until
+    {!finish}). [None] when the open set is empty — in-flight nodes of
+    other workers may still produce children. *)
+
+val finish : t -> wid:int -> unit
+(** Close worker [wid]'s in-flight node: it was solved and either
+    pruned, integral, infeasible, or its children were {!add}ed. Not
+    calling this (search aborted mid-node) conservatively keeps the
+    node's bound in {!dual_bound}. *)
+
+val open_count : t -> int
+val active_count : t -> int
+
+val dual_bound : t -> float
+(** Global dual bound in minimize-sign space: the minimum over every
+    open and in-flight node. [infinity] when the tree is drained (the
+    incumbent, if any, is proven optimal). Monotone non-decreasing
+    over a run: children inherit their parent's relaxation objective,
+    which is never below the parent's own bound. *)

@@ -490,6 +490,29 @@ let handle_remap t fd ~arrived ~queue_wait (req : Http.request) =
                             ("detail", Json.Str s.Remap.detail);
                           ])
                       result.Remap.degradation) );
+               (* JSON has no inf/nan: Null when no branch & bound ran
+                  (or nothing was proven), numbers otherwise. *)
+               ( "gap",
+                 if Float.is_finite result.Remap.gap then Json.Float result.Remap.gap
+                 else Json.Null );
+               ( "dual_bound",
+                 if Float.is_finite result.Remap.dual_bound then
+                   Json.Float result.Remap.dual_bound
+                 else Json.Null );
+               ( "rung_stats",
+                 Json.List
+                   (List.map
+                      (fun (rung, (s : Agingfp_lp.Milp.stats)) ->
+                        Json.Obj
+                          [
+                            ("rung", Json.Str (Remap.rung_to_string rung));
+                            ("nodes", Json.Int s.Agingfp_lp.Milp.nodes);
+                            ( "lp_iterations",
+                              Json.Int s.Agingfp_lp.Milp.lp_iterations );
+                            ("warm_solves", Json.Int s.Agingfp_lp.Milp.warm_solves);
+                            ("cold_solves", Json.Int s.Agingfp_lp.Milp.cold_solves);
+                          ])
+                      result.Remap.rung_stats) );
                ("st_target", Json.Float result.Remap.st_target);
                ("st_lower_bound", Json.Float result.Remap.st_lower_bound);
                ("st_up", Json.Float result.Remap.st_up);

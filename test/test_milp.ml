@@ -1,0 +1,334 @@
+(* Tests for the explicit branch & bound tree: traversal strategies,
+   pseudocost vs most-fractional branching, the global dual bound and
+   gap termination, and the node store's deterministic ordering. *)
+
+module Expr = Agingfp_lp.Expr
+module Model = Agingfp_lp.Model
+module Simplex = Agingfp_lp.Simplex
+module Milp = Agingfp_lp.Milp
+module Node_store = Agingfp_lp.Node_store
+module Brancher = Agingfp_lp.Brancher
+module Budget = Agingfp_util.Budget
+module Rng = Agingfp_util.Rng
+
+let get_feasible = function
+  | Milp.Feasible s -> s
+  | r -> Alcotest.failf "expected feasible, got %a" Milp.pp_result r
+
+(* Random binary Maximize models, same family as test_lp's brute-force
+   cross-check: small enough to enumerate, contested enough to branch. *)
+let random_model rng =
+  let nvars = 3 + Rng.int rng 5 in
+  let ncons = 1 + Rng.int rng 4 in
+  let cons =
+    List.init ncons (fun _ ->
+        let coefs = List.init nvars (fun v -> (v, float_of_int (Rng.int rng 7 - 3))) in
+        let rhs = float_of_int (Rng.int rng 8 - 2) in
+        let rel = if Rng.int rng 3 = 0 then Model.Ge else Model.Le in
+        (coefs, rel, rhs))
+  in
+  let obj = List.init nvars (fun v -> (v, float_of_int (Rng.int rng 11 - 5))) in
+  let m = Model.create () in
+  let vars = Array.init nvars (fun _ -> Model.add_binary m) in
+  List.iter
+    (fun (coefs, rel, rhs) ->
+      let lhs = Expr.sum (List.map (fun (v, c) -> Expr.var ~coef:c vars.(v)) coefs) in
+      ignore (Model.add_constraint m lhs rel rhs))
+    cons;
+  Model.set_objective m Model.Maximize
+    (Expr.sum (List.map (fun (v, c) -> Expr.var ~coef:c vars.(v)) obj));
+  m
+
+let base_params = { Milp.default_params with Milp.first_solution = false }
+
+(* A fixed Eq.(3)-flavoured knapsack/assignment mix big enough that the
+   search actually builds a tree (the tiny random models often solve at
+   the root). *)
+let structured_model () =
+  let m = Model.create () in
+  let n_ops = 7 and n_pes = 4 in
+  let x = Array.init n_ops (fun _ -> Array.init n_pes (fun _ -> Model.add_binary m)) in
+  for op = 0 to n_ops - 1 do
+    ignore
+      (Model.add_constraint m
+         (Expr.sum (List.init n_pes (fun pe -> Expr.var x.(op).(pe))))
+         Model.Eq 1.0)
+  done;
+  let stress op = 1.0 +. float_of_int ((op * 7) mod 5) /. 4.0 in
+  for pe = 0 to n_pes - 1 do
+    ignore
+      (Model.add_constraint m
+         (Expr.sum (List.init n_ops (fun op -> Expr.var ~coef:(stress op) x.(op).(pe))))
+         Model.Le 3.6)
+  done;
+  Model.set_objective m Model.Minimize
+    (Expr.sum
+       (List.concat
+          (List.init n_ops (fun op ->
+               List.init n_pes (fun pe ->
+                   Expr.var
+                     ~coef:(float_of_int (((op * 13) + (pe * 5)) mod 7) /. 7.0)
+                     x.(op).(pe))))));
+  m
+
+(* ---------- traversal / branching equivalence ---------- *)
+
+let prop_traversals_agree =
+  QCheck2.Test.make ~name:"traversal strategies agree at mip_gap = 0" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let solve traversal =
+        Milp.solve ~params:{ base_params with Milp.traversal } m
+      in
+      match
+        (solve Node_store.Dfs, solve Node_store.Best_first, solve Node_store.Hybrid)
+      with
+      | Milp.Feasible a, Milp.Feasible b, Milp.Feasible c ->
+        abs_float (a.Simplex.objective -. b.Simplex.objective) < 1e-6
+        && abs_float (a.Simplex.objective -. c.Simplex.objective) < 1e-6
+      | Milp.Infeasible, Milp.Infeasible, Milp.Infeasible -> true
+      | _ -> false)
+
+let prop_branching_rules_agree =
+  QCheck2.Test.make ~name:"pseudocost and most-fractional agree" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let solve branching =
+        Milp.solve ~params:{ base_params with Milp.branching } m
+      in
+      match (solve Brancher.Pseudocost, solve Brancher.Most_fractional) with
+      | Milp.Feasible a, Milp.Feasible b ->
+        abs_float (a.Simplex.objective -. b.Simplex.objective) < 1e-6
+      | Milp.Infeasible, Milp.Infeasible -> true
+      | _ -> false)
+
+(* Every traversal x branching x jobs combination lands on the same
+   optimum of the structured instance. *)
+let test_combination_matrix () =
+  let m = structured_model () in
+  let reference =
+    (get_feasible (Milp.solve ~params:base_params m)).Simplex.objective
+  in
+  List.iter
+    (fun traversal ->
+      List.iter
+        (fun branching ->
+          List.iter
+            (fun jobs ->
+              let params = { base_params with Milp.traversal; branching; jobs } in
+              let sol = get_feasible (Milp.solve ~params m) in
+              Alcotest.(check (float 1e-6))
+                (Printf.sprintf "%s/%s/jobs=%d"
+                   (Node_store.strategy_to_string traversal)
+                   (Brancher.rule_to_string branching)
+                   jobs)
+                reference sol.Simplex.objective)
+            [ 1; 2 ])
+        [ Brancher.Pseudocost; Brancher.Most_fractional ])
+    [ Node_store.Dfs; Node_store.Best_first; Node_store.Hybrid ]
+
+(* jobs = 1 must be the sequential search itself, bit for bit. *)
+let test_jobs1_identical_to_sequential () =
+  let m = structured_model () in
+  let solve () =
+    Milp.solve_with_stats ~params:{ base_params with Milp.jobs = 1 } m
+  in
+  let r1, s1 = solve () in
+  let r2, s2 = solve () in
+  let a = get_feasible r1 and b = get_feasible r2 in
+  Alcotest.(check (array (float 0.0))) "values" a.Simplex.values b.Simplex.values;
+  Alcotest.(check int) "nodes" s1.Milp.nodes s2.Milp.nodes;
+  Alcotest.(check (float 0.0)) "dual bound" s1.Milp.dual_bound s2.Milp.dual_bound
+
+(* ---------- dual bound and gap ---------- *)
+
+let test_proof_closes_gap () =
+  let m = structured_model () in
+  let result, stats = Milp.solve_with_stats ~params:base_params m in
+  let sol = get_feasible result in
+  Alcotest.(check (float 1e-9)) "gap closed" 0.0 stats.Milp.gap;
+  Alcotest.(check (float 1e-6)) "dual bound = objective" sol.Simplex.objective
+    stats.Milp.dual_bound;
+  match stats.Milp.stop with
+  | Budget.Optimal -> ()
+  | r -> Alcotest.failf "expected optimal stop, got %a" Budget.pp_stop_reason r
+
+(* Gap-tolerance stops are certified: the reported gap respects the
+   tolerance and the incumbent is within gap * scale of the true
+   optimum. *)
+let prop_gap_stop_certified =
+  QCheck2.Test.make ~name:"gap-limit stops are within tolerance" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let tol = 0.05 in
+      let exact = Milp.solve ~params:base_params m in
+      let gapped, stats =
+        Milp.solve_with_stats ~params:{ base_params with Milp.mip_gap = tol } m
+      in
+      match (exact, gapped) with
+      | Milp.Feasible e, Milp.Feasible g ->
+        let scale =
+          Float.max (Float.max (abs_float e.Simplex.objective) 1e-9)
+            (abs_float stats.Milp.dual_bound)
+        in
+        let within_proof =
+          match stats.Milp.stop with
+          | Budget.Gap_limit -> stats.Milp.gap <= tol +. 1e-9
+          | Budget.Optimal -> stats.Milp.gap <= 1e-9
+          | _ -> false
+        in
+        within_proof
+        && abs_float (g.Simplex.objective -. e.Simplex.objective)
+           <= (tol *. scale) +. 1e-6
+      | Milp.Infeasible, Milp.Infeasible -> true
+      | _ -> false)
+
+(* Reported gaps never tighten as the tolerance loosens, and a looser
+   tolerance never spends more nodes. *)
+let prop_gap_monotone =
+  QCheck2.Test.make ~name:"looser gap never searches more" ~count:80
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let run tol =
+        snd (Milp.solve_with_stats ~params:{ base_params with Milp.mip_gap = tol } m)
+      in
+      let tight = run 0.01 and loose = run 0.25 in
+      loose.Milp.nodes <= tight.Milp.nodes)
+
+(* An interrupted search must not claim a proof: gap stays honest
+   (positive or infinite) when the node budget cut the search and a
+   better point was still reachable. *)
+let test_node_limit_gap_honest () =
+  (* Deterministically find an instance whose proof needs real
+     branching — the structured model and many random ones close at
+     the root, where a node limit can never fire. *)
+  let rec find seed =
+    if seed > 500 then Alcotest.fail "no branching instance in 500 seeds"
+    else
+      let m = random_model (Rng.create seed) in
+      let _, full = Milp.solve_with_stats ~params:base_params m in
+      if full.Milp.nodes >= 5 then (m, full) else find (seed + 1)
+  in
+  let m, full = find 0 in
+  let limited = { base_params with Milp.node_limit = 2 } in
+  let result, stats = Milp.solve_with_stats ~params:limited m in
+  (match stats.Milp.stop with
+  | Budget.Node_limit -> ()
+  | r -> Alcotest.failf "expected node-limit stop, got %a" Budget.pp_stop_reason r);
+  (match result with
+  | Milp.Feasible sol ->
+    if
+      stats.Milp.gap < 1e-9
+      && abs_float (sol.Simplex.objective -. full.Milp.dual_bound) > 1e-6
+    then Alcotest.fail "cut search claimed a zero gap on a suboptimal incumbent"
+  | Milp.Infeasible | Milp.Unknown -> ());
+  Alcotest.(check bool) "nodes within limit" true (stats.Milp.nodes <= 2)
+
+(* ---------- node store determinism ---------- *)
+
+let test_node_store_order () =
+  let mk () =
+    let t = Node_store.create ~workers:1 in
+    ignore
+      (Node_store.add t ~parent:(-1) ~depth:0 ~bound:neg_infinity ~fixes:[] ~branch:None);
+    List.iter
+      (fun bound ->
+        ignore (Node_store.add t ~parent:0 ~depth:1 ~bound ~fixes:[] ~branch:None))
+      [ 3.0; 1.0; 2.0 ];
+    t
+  in
+  let drain strategy =
+    let t = mk () in
+    let rec go acc =
+      match Node_store.take t ~wid:0 strategy with
+      | None -> List.rev acc
+      | Some n ->
+        Node_store.finish t ~wid:0;
+        go (n.Node_store.id :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list int)) "dfs is LIFO" [ 3; 2; 1; 0 ] (drain Node_store.Dfs);
+  Alcotest.(check (list int))
+    "best-first by (bound, id)" [ 0; 2; 3; 1 ] (drain Node_store.Best_first)
+
+let test_node_store_dual_bound () =
+  let t = Node_store.create ~workers:1 in
+  ignore
+    (Node_store.add t ~parent:(-1) ~depth:0 ~bound:neg_infinity ~fixes:[] ~branch:None);
+  Alcotest.(check (float 0.0)) "root bound" neg_infinity (Node_store.dual_bound t);
+  (match Node_store.take t ~wid:0 Node_store.Best_first with
+  | Some n -> Alcotest.(check int) "root popped" 0 n.Node_store.id
+  | None -> Alcotest.fail "empty store");
+  (* In flight: the root's bound still anchors the dual bound. *)
+  Alcotest.(check (float 0.0)) "in-flight bound" neg_infinity (Node_store.dual_bound t);
+  ignore (Node_store.add t ~parent:0 ~depth:1 ~bound:5.0 ~fixes:[] ~branch:None);
+  ignore (Node_store.add t ~parent:0 ~depth:1 ~bound:7.0 ~fixes:[] ~branch:None);
+  Node_store.finish t ~wid:0;
+  Alcotest.(check (float 0.0)) "frontier min" 5.0 (Node_store.dual_bound t);
+  (match Node_store.take t ~wid:0 Node_store.Best_first with
+  | Some n -> Alcotest.(check (float 0.0)) "best child" 5.0 n.Node_store.bound
+  | None -> Alcotest.fail "empty store");
+  Node_store.finish t ~wid:0;
+  (match Node_store.take t ~wid:0 Node_store.Best_first with
+  | Some _ -> Node_store.finish t ~wid:0
+  | None -> Alcotest.fail "empty store");
+  Alcotest.(check (float 0.0)) "drained" infinity (Node_store.dual_bound t)
+
+(* ---------- brancher ---------- *)
+
+let test_brancher_pseudocost_prefers_observed () =
+  let b = Brancher.create Brancher.Pseudocost ~nvars:3 in
+  (* Variable 1 has hurt both children before; variable 0 never
+     observed. At equal fractions the observed degrader must win. *)
+  Brancher.observe b ~var:1 ~dir:Node_store.Down ~frac:0.5 ~delta:10.0;
+  Brancher.observe b ~var:1 ~dir:Node_store.Up ~frac:0.5 ~delta:10.0;
+  (match Brancher.select b [ (0, 0.5); (1, 0.5) ] with
+  | Some 1 -> ()
+  | Some v -> Alcotest.failf "expected var 1, got %d" v
+  | None -> Alcotest.fail "no selection");
+  Alcotest.(check bool) "var 0 unreliable" true (Brancher.unreliable b ~var:0);
+  Alcotest.(check bool) "var 1 reliable" false (Brancher.unreliable b ~var:1)
+
+let test_brancher_most_fractional_order () =
+  let b = Brancher.create Brancher.Most_fractional ~nvars:4 in
+  (match Brancher.select b [ (0, 0.9); (1, 0.5); (2, 0.5) ] with
+  | Some 1 -> ()
+  | Some v -> Alcotest.failf "expected var 1 (first maximum), got %d" v
+  | None -> Alcotest.fail "no selection")
+
+let () =
+  Alcotest.run "milp-tree"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "combination matrix" `Quick test_combination_matrix;
+          Alcotest.test_case "jobs=1 deterministic" `Quick
+            test_jobs1_identical_to_sequential;
+          Alcotest.test_case "proof closes gap" `Quick test_proof_closes_gap;
+          Alcotest.test_case "node-limit gap honest" `Quick test_node_limit_gap_honest;
+        ] );
+      ( "node-store",
+        [
+          Alcotest.test_case "traversal order" `Quick test_node_store_order;
+          Alcotest.test_case "dual bound" `Quick test_node_store_dual_bound;
+        ] );
+      ( "brancher",
+        [
+          Alcotest.test_case "pseudocost prefers observed" `Quick
+            test_brancher_pseudocost_prefers_observed;
+          Alcotest.test_case "most-fractional order" `Quick
+            test_brancher_most_fractional_order;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_traversals_agree;
+          QCheck_alcotest.to_alcotest prop_branching_rules_agree;
+          QCheck_alcotest.to_alcotest prop_gap_stop_certified;
+          QCheck_alcotest.to_alcotest prop_gap_monotone;
+        ] );
+    ]
