@@ -38,6 +38,8 @@ module LpModel = Agingfp_lp.Model
 module LpExpr = Agingfp_lp.Expr
 module Simplex = Agingfp_lp.Simplex
 module Basis = Agingfp_lp.Basis
+module Cuts = Agingfp_lp.Cuts
+module Heuristics = Agingfp_lp.Heuristics
 module Pool = Agingfp_util.Pool
 
 let quick = ref false
@@ -886,6 +888,9 @@ let bench_smoke_lp () =
     "instance: %d vars (%d wear), %d rows (%d path), per-PE budget %.3f\n%!"
     (LpModel.num_vars lp) npes (LpModel.num_constraints lp) !n_path_rows budget;
   let run ?(presolve = true) ?(label = "") warm =
+    (* Cuts and heuristics are benchmarked in their own ablation below;
+       keep the presolve/warm legs measuring exactly what they always
+       did. *)
     let params =
       {
         Milp.default_params with
@@ -893,6 +898,8 @@ let bench_smoke_lp () =
         first_solution = false;
         warm_start = warm;
         presolve;
+        cuts = Cuts.off;
+        heuristics = Heuristics.off;
       }
     in
     let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
@@ -938,6 +945,78 @@ let bench_smoke_lp () =
       warm_obj;
   if warm_stats.Milp.warm_solves = 0 then
     Printf.printf "WARNING: warm run performed no warm solves\n";
+  (* Cut separation + heuristic seeding ablation on the same instance
+     and the same warm search: separation family legs with heuristics
+     off, then the full stack. Every leg must land on the same
+     optimum — cuts are accelerations, not relaxations. *)
+  header "smoke-lp: Gomory/cover separation + diving/pump ablation";
+  let run_cuts label cuts heuristics =
+    let params =
+      {
+        Milp.default_params with
+        Milp.node_limit = 400;
+        first_solution = false;
+        cuts;
+        heuristics;
+      }
+    in
+    let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
+    let objective =
+      match result with Milp.Feasible sol -> sol.Agingfp_lp.Simplex.objective | _ -> nan
+    in
+    (label, objective, stats, dt)
+  in
+  let cut_legs =
+    [
+      run_cuts "off" Cuts.off Heuristics.off;
+      run_cuts "gomory" { Cuts.default_config with Cuts.cover = false } Heuristics.off;
+      run_cuts "cover" { Cuts.default_config with Cuts.gomory = false } Heuristics.off;
+      run_cuts "both" Cuts.default_config Heuristics.off;
+      run_cuts "both+heur" Cuts.default_config Heuristics.default_config;
+    ]
+  in
+  let jgap g = if Float.is_finite g then Printf.sprintf "%.4f" g else "null" in
+  print_endline
+    (Ascii_table.render
+       ~header:
+         [|
+           "cuts"; "nodes"; "LP iters"; "separated"; "active"; "aged"; "heur";
+           "root gap closed"; "seconds"; "objective";
+         |]
+       (List.map
+          (fun (label, obj, (s : Milp.stats), dt) ->
+            [|
+              label;
+              string_of_int s.Milp.nodes;
+              string_of_int s.Milp.lp_iterations;
+              string_of_int s.Milp.cuts_separated;
+              string_of_int s.Milp.cuts_active;
+              string_of_int s.Milp.cuts_aged_out;
+              string_of_int s.Milp.heuristic_incumbents;
+              jgap s.Milp.root_gap_closed;
+              Printf.sprintf "%.3f" dt;
+              Printf.sprintf "%.4f" obj;
+            |])
+          cut_legs));
+  List.iter
+    (fun (label, obj, _, _) ->
+      if abs_float (obj -. cold_obj) > 1e-6 then
+        Printf.printf "WARNING: cuts leg %s changed the optimum (%.6f vs %.6f)\n" label
+          obj cold_obj)
+    cut_legs;
+  (match List.rev cut_legs with
+  | (_, _, full_stats, _) :: _ ->
+    if full_stats.Milp.nodes >= warm_stats.Milp.nodes && warm_stats.Milp.nodes > 1 then
+      Printf.printf "WARNING: full cut+heuristic stack did not reduce nodes (%d vs %d)\n"
+        full_stats.Milp.nodes warm_stats.Milp.nodes;
+    (match
+       List.find_opt (fun (l, _, _, _) -> l = "both") cut_legs
+     with
+    | Some (_, _, s, _)
+      when Float.is_finite s.Milp.root_gap_closed && s.Milp.root_gap_closed <= 0.0 ->
+      Printf.printf "WARNING: cut rounds closed none of the root gap\n"
+    | _ -> ())
+  | [] -> ());
   (* Kernel scenario: the same instance solved with the dense
      reference basis inverse and with the sparse LU kernel. Both use
      the warm-started B&B; only [lp_params.kernel] differs. Per-pivot
@@ -1133,8 +1212,17 @@ let bench_smoke_lp () =
      each job count closes the dual gap under a hard deadline. *)
   header "smoke-lp: explicit tree search — traversal, branching, gap termination";
   let module UBudget = Agingfp_util.Budget in
+  (* Traversal/branching comparisons need a real tree: with root cuts
+     the instance closes in a handful of nodes and every leg looks the
+     same. *)
   let tree_params =
-    { Milp.default_params with Milp.node_limit = 100_000; first_solution = false }
+    {
+      Milp.default_params with
+      Milp.node_limit = 100_000;
+      first_solution = false;
+      cuts = Cuts.off;
+      heuristics = Heuristics.off;
+    }
   in
   let run_tree ?(params = tree_params) label =
     let (result, stats), dt = time_it (fun () -> Milp.solve_with_stats ~params lp) in
@@ -1271,6 +1359,19 @@ let bench_smoke_lp () =
                       curve)))
             gap_curves))
   in
+  let cuts_json =
+    let jf g = if Float.is_finite g then Printf.sprintf "%.6g" g else "null" in
+    let leg (label, obj, (s : Milp.stats), dt) =
+      Printf.sprintf
+        "\"%s\": {\"seconds\": %.4f, \"nodes\": %d, \"lp_iterations\": %d, \
+         \"cuts_separated\": %d, \"cuts_active\": %d, \"cuts_aged_out\": %d, \
+         \"heuristic_incumbents\": %d, \"root_gap_closed\": %s, \"objective\": %.4f}"
+        label dt s.Milp.nodes s.Milp.lp_iterations s.Milp.cuts_separated
+        s.Milp.cuts_active s.Milp.cuts_aged_out s.Milp.heuristic_incumbents
+        (jf s.Milp.root_gap_closed) obj
+    in
+    Printf.sprintf "{%s}" (String.concat ",\n           " (List.map leg cut_legs))
+  in
   let oc = open_out "BENCH_lp.json" in
   let p = cold_stats.Milp.presolve in
   let per_rule_json =
@@ -1300,6 +1401,7 @@ let bench_smoke_lp () =
     \               \"per_rule\": {%s}},\n\
     \  \"cold\": %s,\n\
     \  \"warm\": %s,\n\
+    \  \"cuts\": %s,\n\
     \  \"speedup\": %.3f,\n\
     \  \"iteration_ratio\": %.3f,\n\
     \  \"kernel\": {\"dense\": %s,\n\
@@ -1321,7 +1423,7 @@ let bench_smoke_lp () =
     p.Agingfp_lp.Presolve.nnz_fillin nopre_stats.Milp.nodes
     cold_stats.Milp.nodes nopre_stats.Milp.lp_iterations
     cold_stats.Milp.lp_iterations nopre_dt cold_dt per_rule_json
-    (json_leg cold_stats cold_dt) (json_leg warm_stats warm_dt)
+    (json_leg cold_stats cold_dt) (json_leg warm_stats warm_dt) cuts_json
     (cold_dt /. warm_dt)
     (float_of_int cold_stats.Milp.lp_iterations
     /. float_of_int (max 1 warm_stats.Milp.lp_iterations))

@@ -24,6 +24,8 @@ module Analyze = Agingfp_lp.Analyze
 module Milp = Agingfp_lp.Milp
 module Node_store = Agingfp_lp.Node_store
 module Brancher = Agingfp_lp.Brancher
+module Cuts = Agingfp_lp.Cuts
+module Heuristics = Agingfp_lp.Heuristics
 module Faults = Agingfp_lp.Faults
 module Router = Agingfp_route.Router
 module Ascii_table = Agingfp_util.Ascii_table
@@ -158,6 +160,12 @@ let solver_stats_table () =
       (* A gap is only meaningful once a tree search actually ran. *)
       frow "optimality gap (worst)" (if s.Milp.nodes = 0 then nan else s.Milp.gap);
       frow "dual bound (last solve)" s.Milp.dual_bound;
+      row "cuts separated" s.Milp.cuts_separated;
+      row "cuts active" s.Milp.cuts_active;
+      row "cuts aged out" s.Milp.cuts_aged_out;
+      row "heuristic incumbents" s.Milp.heuristic_incumbents;
+      (* nan whenever no root separation phase ran — rendered "-". *)
+      frow "root gap closed" s.Milp.root_gap_closed;
       row "warm LP solves" s.Milp.warm_solves;
       row "cold LP solves" s.Milp.cold_solves;
       row "LP iterations" s.Milp.lp_iterations;
@@ -193,20 +201,45 @@ let solver_stats_table () =
                |])
          p.Agingfp_lp.Presolve.per_rule)
 
+let cuts_config_of_string = function
+  | "off" -> Some Cuts.off
+  | "gomory" -> Some { Cuts.default_config with Cuts.cover = false }
+  | "cover" -> Some { Cuts.default_config with Cuts.gomory = false }
+  | "both" -> Some Cuts.default_config
+  | _ -> None
+
+let heuristics_config_of_string = function
+  | "off" -> Some Heuristics.off
+  | "dive" -> Some { Heuristics.default_config with Heuristics.pump = false }
+  | "pump" -> Some { Heuristics.default_config with Heuristics.diving = false }
+  | "both" -> Some Heuristics.default_config
+  | _ -> None
+
 let cmd_remap benchmark source dim mode_s quiet design_file save_design save_floorplan
-    techmap stats certify deadline gap traversal branching inject_faults jobs =
+    techmap stats certify deadline gap traversal branching cuts heuristics inject_faults
+    jobs =
   let fault_spec =
     match inject_faults with
     | None -> Ok Faults.none
     | Some s -> Faults.of_string s
   in
   let search_opts =
-    match (Node_store.strategy_of_string traversal, Brancher.rule_of_string branching) with
-    | None, _ ->
+    match
+      ( Node_store.strategy_of_string traversal,
+        Brancher.rule_of_string branching,
+        cuts_config_of_string cuts,
+        heuristics_config_of_string heuristics )
+    with
+    | None, _, _, _ ->
       Error (Printf.sprintf "unknown traversal %S (dfs|best-first|hybrid)" traversal)
-    | _, None ->
+    | _, None, _, _ ->
       Error (Printf.sprintf "unknown branching %S (most-fractional|pseudocost)" branching)
-    | Some t, Some b -> Ok (t, b)
+    | _, _, None, _ ->
+      Error (Printf.sprintf "unknown cuts setting %S (off|gomory|cover|both)" cuts)
+    | _, _, _, None ->
+      Error
+        (Printf.sprintf "unknown heuristics setting %S (off|dive|pump|both)" heuristics)
+    | Some t, Some b, Some c, Some h -> Ok (t, b, c, h)
   in
   match
     (load_design ?design_file ~techmap benchmark source dim, mode_of_string mode_s,
@@ -215,7 +248,7 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
   | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _ | _, _, _, Error msg ->
     prerr_endline msg;
     1
-  | Ok design, Ok mode, Ok fault_spec, Ok (traversal, branching) ->
+  | Ok design, Ok mode, Ok fault_spec, Ok (traversal, branching, cuts, heuristics) ->
     (match save_design with
     | Some path -> (
       match Serial.save_design path design with
@@ -237,6 +270,8 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
             Milp.mip_gap = gap;
             traversal;
             branching;
+            cuts;
+            heuristics;
           };
       }
     in
@@ -270,9 +305,11 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
       Format.printf "solver work by rung :@.";
       List.iter
         (fun (rung, (s : Milp.stats)) ->
-          Format.printf "  - %a: %d nodes, %d LP iterations (%d warm + %d cold solves)@."
+          Format.printf
+            "  - %a: %d nodes, %d LP iterations (%d warm + %d cold solves, %d cuts, \
+             %d heuristic incumbents)@."
             Remap.pp_rung rung s.Milp.nodes s.Milp.lp_iterations s.Milp.warm_solves
-            s.Milp.cold_solves)
+            s.Milp.cold_solves s.Milp.cuts_separated s.Milp.heuristic_incumbents)
         entries);
     (match r.Remap.degradation with
     | [] -> ()
@@ -316,7 +353,17 @@ let cmd_remap benchmark source dim mode_s quiet design_file save_design save_flo
    sequentially (inner jobs = 1) — one level of parallelism saturates
    the machine without oversubscribing it. Results are collected in
    input order, so the report is identical at any job count. *)
-let cmd_suite jobs quick deadline =
+let cmd_suite jobs quick deadline cuts_s heuristics_s =
+  match (cuts_config_of_string cuts_s, heuristics_config_of_string heuristics_s) with
+  | None, _ ->
+    prerr_endline
+      (Printf.sprintf "unknown cuts setting %S (off|gomory|cover|both)" cuts_s);
+    1
+  | _, None ->
+    prerr_endline
+      (Printf.sprintf "unknown heuristics setting %S (off|dive|pump|both)" heuristics_s);
+    1
+  | Some cuts, Some heuristics ->
   let jobs = resolve_jobs jobs in
   let specs =
     let all = Array.to_list Benchmarks.table1 in
@@ -327,7 +374,13 @@ let cmd_suite jobs quick deadline =
     diag_benchmark := spec.Benchmarks.bname;
     let design = Benchmarks.generate spec in
     let baseline = Placer.aging_unaware design in
-    let params = { Remap.default_params with Remap.deadline_s = deadline } in
+    let params =
+      {
+        Remap.default_params with
+        Remap.deadline_s = deadline;
+        milp = { Remap.default_params.Remap.milp with Milp.cuts; heuristics };
+      }
+    in
     let t = Budget.create () in
     let freeze_res, rotate_res = Remap.solve_both ~params design baseline in
     let secs = Budget.elapsed_s t in
@@ -335,12 +388,22 @@ let cmd_suite jobs quick deadline =
     let nodes r =
       List.fold_left (fun acc (_, s) -> acc + s.Milp.nodes) 0 r.Remap.rung_stats
     in
+    let cuts r =
+      List.fold_left (fun acc (_, s) -> acc + s.Milp.cuts_separated) 0 r.Remap.rung_stats
+    in
+    let heur r =
+      List.fold_left
+        (fun acc (_, s) -> acc + s.Milp.heuristic_incumbents)
+        0 r.Remap.rung_stats
+    in
     ( spec,
       imp freeze_res,
       imp rotate_res,
       rotate_res.Remap.rung,
       rotate_res.Remap.gap,
       nodes freeze_res + nodes rotate_res,
+      cuts freeze_res + cuts rotate_res,
+      heur freeze_res + heur rotate_res,
       secs,
       Audit.ok freeze_res.Remap.audit && Audit.ok rotate_res.Remap.audit )
   in
@@ -354,7 +417,7 @@ let cmd_suite jobs quick deadline =
   set_diag "report";
   let rows =
     List.map
-      (fun ((spec : Benchmarks.spec), fr, rr, rung, gap, nodes, secs, ok) ->
+      (fun ((spec : Benchmarks.spec), fr, rr, rung, gap, nodes, cuts, heur, secs, ok) ->
         [|
           spec.Benchmarks.bname;
           Printf.sprintf "%.2fx" fr;
@@ -364,6 +427,8 @@ let cmd_suite jobs quick deadline =
           Format.asprintf "%a" Remap.pp_rung rung;
           (if Float.is_nan gap then "-" else Printf.sprintf "%.3g" gap);
           string_of_int nodes;
+          string_of_int cuts;
+          string_of_int heur;
           Printf.sprintf "%.2f" secs;
           (if ok then "ok" else "FAILED");
         |])
@@ -373,13 +438,13 @@ let cmd_suite jobs quick deadline =
     (Ascii_table.render
        ~header:
          [|
-           "name"; "freeze"; "paper"; "rotate"; "paper"; "rung"; "gap"; "nodes"; "sec";
-           "audit";
+           "name"; "freeze"; "paper"; "rotate"; "paper"; "rung"; "gap"; "nodes"; "cuts";
+           "heur"; "sec"; "audit";
          |]
        rows);
   Printf.printf "%d benchmarks in %.2f s with --jobs %d\n" (List.length results) wall_s
     jobs;
-  if List.for_all (fun (_, _, _, _, _, _, _, ok) -> ok) results then 0 else 1
+  if List.for_all (fun (_, _, _, _, _, _, _, _, _, ok) -> ok) results then 0 else 1
 
 let cmd_heatmap benchmark source dim mode_s =
   match (load_design benchmark source dim, mode_of_string mode_s) with
@@ -660,6 +725,23 @@ let branching_arg =
         ~doc:"Branching-variable rule: pseudocost (reliability-initialized by \
               strong-branching probes) or most-fractional.")
 
+let cuts_arg =
+  Arg.(
+    value & opt string "both"
+    & info [ "cuts" ] ~docv:"FAMILY"
+        ~doc:"Cutting-plane separation: off, gomory (mixed-integer Gomory cuts from \
+              the warm tableau), cover (lifted knapsack covers from the Eq.(3) \
+              capacity rows), or both (the default). Cuts are managed by a shared \
+              pool with activity aging and never change the reported optimum.")
+
+let heuristics_arg =
+  Arg.(
+    value & opt string "both"
+    & info [ "heuristics" ] ~docv:"KIND"
+        ~doc:"Root primal heuristics that seed the incumbent before node 1: off, \
+              dive (least-fractional diving), pump (feasibility pump), or both (the \
+              default). Candidates are audit-checked before installation.")
+
 let inject_faults_arg =
   Arg.(
     value
@@ -749,15 +831,15 @@ let remap_cmd =
   Cmd.v (Cmd.info "remap" ~doc:"Run the aging-aware re-mapping flow (Algorithm 1)")
     Term.(
       const
-        (fun verbose b s d m q df sd sf tm stats certify deadline gap trav branch faults
-             jobs ->
+        (fun verbose b s d m q df sd sf tm stats certify deadline gap trav branch cuts
+             heur faults jobs ->
           with_logs verbose (fun () ->
               cmd_remap b s d m q df sd sf tm stats certify deadline gap trav branch
-                faults jobs))
+                cuts heur faults jobs))
       $ verbose_arg $ benchmark_arg $ source_arg $ dim_arg $ mode_arg $ quiet_arg
       $ design_file_arg $ save_design_arg $ save_floorplan_arg $ techmap_arg $ stats_arg
       $ certify_arg $ deadline_arg $ gap_arg $ traversal_arg $ branching_arg
-      $ inject_faults_arg $ jobs_arg)
+      $ cuts_arg $ heuristics_arg $ inject_faults_arg $ jobs_arg)
 
 let quick_arg =
   Arg.(
@@ -770,9 +852,9 @@ let suite_cmd =
        ~doc:"Run the Table-I benchmark sweep, optionally fanning the independent \
              benchmarks out over a domain pool (--jobs)")
     Term.(
-      const (fun verbose jobs quick deadline ->
-          with_logs verbose (fun () -> cmd_suite jobs quick deadline))
-      $ verbose_arg $ jobs_arg $ quick_arg $ deadline_arg)
+      const (fun verbose jobs quick deadline cuts heuristics ->
+          with_logs verbose (fun () -> cmd_suite jobs quick deadline cuts heuristics))
+      $ verbose_arg $ jobs_arg $ quick_arg $ deadline_arg $ cuts_arg $ heuristics_arg)
 
 let out_arg =
   Arg.(

@@ -30,6 +30,14 @@ val create : kind -> int -> t
 val kind : t -> kind
 val dim : t -> int
 
+val resize : t -> int -> unit
+(** [resize t m'] changes the basis dimension in place — the cut
+    separator appends rows to a live state and needs the kernel to
+    follow. Any live factorization is invalidated (the owner must call
+    {!factorize} before the next ftran/btran); the lifetime counters
+    are preserved so solver statistics stay cumulative. No-op when the
+    dimension is unchanged. *)
+
 val factorize : t -> col:(int -> int array * float array) -> unit
 (** [factorize t ~col] factors the basis whose position [i] holds the
     sparse column [col i]. Discards any pending eta updates.

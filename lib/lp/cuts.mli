@@ -1,0 +1,146 @@
+(** Cutting planes for the MILP core: Gomory mixed-integer cuts from
+    the warm simplex tableau, lifted knapsack cover cuts from the
+    Eq. (3) capacity structure, and the pool that manages their life
+    cycle across the branch & bound tree.
+
+    Every cut produced here is valid for the integer hull of the
+    {e root} (presolved) model — Gomory shifts use the global variable
+    bounds supplied by the caller rather than node-tightened branching
+    bounds, and slack substitution goes through the defining row
+    equations — so the pool can share cuts between tree nodes and
+    workers. Validity is enforced twice: numerically at separation
+    time (worst-case right-hand-side relaxation for dropped
+    coefficients, a small safety margin on every cut) and exactly at
+    the incumbent via {!check_all} in rational arithmetic. *)
+
+type provenance =
+  | Gomory of { basic_var : int }
+      (** Derived from the tableau row where structural [basic_var]
+          sat basic at a fractional value. *)
+  | Cover of { row : int }
+      (** Lifted minimal cover of (a knapsack relaxation of) model row
+          [row]. *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+
+type cut = {
+  id : int;           (** pool index; worker row = base rows + id *)
+  provenance : provenance;
+  terms : (int * float) list;
+      (** structural-variable space, sorted by variable *)
+  rhs : float;        (** sense is always [terms <= rhs] *)
+}
+
+val pp_cut : Format.formatter -> cut -> unit
+
+(** {1 Configuration} *)
+
+type config = {
+  gomory : bool;
+  cover : bool;
+  max_rounds_root : int;  (** separation rounds at the root *)
+  max_rounds_node : int;  (** separation rounds per eligible tree node *)
+  node_depth : int;       (** separate only at nodes of depth <= this *)
+  max_cuts : int;
+      (** pool capacity — also the row slots reserved per worker state *)
+  max_per_round : int;    (** admitted cuts per separation round *)
+  min_violation : float;  (** violation needed to accept / reactivate *)
+  age_limit : int;
+      (** consecutive slack observations before deactivation *)
+}
+
+val default_config : config
+val off : config
+(** Both families disabled; [enabled off = false]. *)
+
+val enabled : config -> bool
+
+(** {1 Cut pool}
+
+    The pool owns every cut ever admitted. Cuts are append-only — a
+    cut's [id] doubles as its row offset in the worker LP states, so
+    slots are never reclaimed; deactivation relaxes the row instead
+    ({!Simplex.set_row_enforced}). Under [jobs > 1] the caller guards
+    pool access with the tree mutex. *)
+
+type pool
+
+val create_pool : config -> pool
+val pool_config : pool -> config
+
+val size : pool -> int
+(** Cuts ever admitted (active + aged out). *)
+
+val get : pool -> int -> cut
+val is_active : pool -> int -> bool
+
+val active_flags : pool -> bool array
+(** Snapshot of per-cut activity, indexed by id — what workers diff
+    against to lazily enforce/relax their own cut rows. *)
+
+val admit :
+  pool -> provenance:provenance -> terms:(int * float) list -> rhs:float -> int option
+(** Admit a separated cut. [None] when the pool is at capacity or the
+    cut duplicates one already seen (exact term/rhs match). *)
+
+val observe : pool -> (int -> float) -> unit
+(** Feed one LP optimum to the aging machinery: active cuts with slack
+    age (and deactivate past [age_limit]); inactive cuts violated by
+    the point reactivate. *)
+
+type pool_stats = {
+  separated : int;   (** cuts ever admitted *)
+  active : int;      (** currently active *)
+  aged_out : int;    (** deactivations (lifetime count) *)
+  reactivated : int; (** reactivations of aged-out cuts *)
+}
+
+val pool_stats : pool -> pool_stats
+
+(** {1 Separation} *)
+
+val separate_gomory :
+  st:Simplex.state ->
+  is_int:(int -> bool) ->
+  global_lb:float array ->
+  global_ub:float array ->
+  row_terms:(int -> (int * float) list) ->
+  row_rhs:(int -> float) ->
+  row_rel:(int -> Model.relation) ->
+  max_cuts:int ->
+  min_violation:float ->
+  (provenance * (int * float) list * float * float) list
+(** Gomory mixed-integer cuts from the current optimal basis of [st]:
+    one candidate per integer structural variable basic at a
+    fractional value, most fractional first. [global_lb]/[global_ub]
+    are the root bounds the shifts use; [row_terms]/[row_rhs]/[row_rel]
+    describe every live row (model rows and appended cut rows) for
+    slack substitution. Returns [(provenance, terms, rhs, violation)]
+    in decreasing violation order, at most [max_cuts], each violated
+    by more than [min_violation] at the current point. *)
+
+val separate_cover :
+  model_rows:(int * (int * float) list * Model.relation * float) list ->
+  is_binary:(int -> bool) ->
+  global_lb:float array ->
+  global_ub:float array ->
+  values:float array ->
+  max_cuts:int ->
+  min_violation:float ->
+  (provenance * (int * float) list * float * float) list
+(** Lifted minimal-cover cuts from knapsack relaxations of the given
+    model rows ([Le] directly, [Ge] negated; non-binary terms pushed
+    to the right-hand side at their worst case over the global box).
+    Same result convention as {!separate_gomory}. *)
+
+(** {1 Exact audit} *)
+
+val check : ?tol:float -> cut -> (int -> float) -> (unit, string) result
+(** Exact rational check that the assignment satisfies the cut within
+    [tol] (default [1e-6]): Σ c_v·x_v ≤ rhs + tol evaluated in
+    {!Agingfp_util.Rat}. The [Error] names the cut and its
+    provenance. *)
+
+val check_all : ?tol:float -> pool -> (int -> float) -> (unit, string) result
+(** {!check} over every cut ever admitted (active or aged out) —
+    validity does not expire with activity. First violation wins. *)

@@ -2,6 +2,7 @@ let src = Logs.Src.create "agingfp.milp" ~doc:"Branch and bound MILP"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Budget = Agingfp_util.Budget
+module Invariant = Agingfp_util.Invariant
 
 type result = Feasible of Simplex.solution | Infeasible | Unknown
 
@@ -17,6 +18,8 @@ type params = {
   mip_gap : float;
   traversal : Node_store.strategy;
   branching : Brancher.rule;
+  cuts : Cuts.config;
+  heuristics : Heuristics.config;
 }
 
 let default_params =
@@ -32,6 +35,8 @@ let default_params =
     mip_gap = 0.0;
     traversal = Node_store.Hybrid;
     branching = Brancher.Pseudocost;
+    cuts = Cuts.default_config;
+    heuristics = Heuristics.default_config;
   }
 
 type stats = {
@@ -47,6 +52,11 @@ type stats = {
   dual_bound : float;
   gap : float;
   stop : Budget.stop_reason;
+  cuts_separated : int;
+  cuts_active : int;
+  cuts_aged_out : int;
+  heuristic_incumbents : int;
+  root_gap_closed : float;
 }
 
 let zero_stats =
@@ -63,6 +73,11 @@ let zero_stats =
     dual_bound = Float.nan;
     gap = 0.0;
     stop = Budget.Optimal;
+    cuts_separated = 0;
+    cuts_active = 0;
+    cuts_aged_out = 0;
+    heuristic_incumbents = 0;
+    root_gap_closed = Float.nan;
   }
 
 let worst_stop = Budget.worst
@@ -85,16 +100,25 @@ let add_stats a b =
     (* The aggregate is only as certified as its loosest member. *)
     gap = Float.max a.gap b.gap;
     stop = worst_stop a.stop b.stop;
+    cuts_separated = a.cuts_separated + b.cuts_separated;
+    cuts_active = a.cuts_active + b.cuts_active;
+    cuts_aged_out = a.cuts_aged_out + b.cuts_aged_out;
+    heuristic_incumbents = a.heuristic_incumbents + b.heuristic_incumbents;
+    (* Like dual_bound: per-model, keep the most recent solve's. *)
+    root_gap_closed =
+      (if Float.is_nan b.root_gap_closed then a.root_gap_closed else b.root_gap_closed);
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d nodes, %d warm / %d cold LP solves, %d LP iterations, gap %g (dual bound %g), \
-     stop %a; kernel: %d refactorizations (%d drift), %d eta updates, peak fill %d; \
-     presolve: %a"
+     stop %a; cuts: %d separated, %d active, %d aged out (root gap closed %g); \
+     heuristics: %d incumbents; kernel: %d refactorizations (%d drift), %d eta updates, \
+     peak fill %d; presolve: %a"
     s.nodes s.warm_solves s.cold_solves s.lp_iterations s.gap s.dual_bound
-    Budget.pp_stop_reason s.stop s.refactorizations s.drift_refreshes s.eta_updates
-    s.fill_in Presolve.pp_reductions s.presolve
+    Budget.pp_stop_reason s.stop s.cuts_separated s.cuts_active s.cuts_aged_out
+    s.root_gap_closed s.heuristic_incumbents s.refactorizations s.drift_refreshes
+    s.eta_updates s.fill_in Presolve.pp_reductions s.presolve
 
 (* Cumulative counters across all solves since the last reset — the
    remap pipeline runs many MILPs/LPs per floorplan, and the CLI
@@ -177,6 +201,36 @@ let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
   let n_vars = Model.num_vars model in
   let root_lb = Array.init n_vars (Model.var_lb model) in
   let root_ub = Array.init n_vars (Model.var_ub model) in
+  (* Cutting-plane infrastructure, shared across workers. The pool and
+     every Gomory shift see only ROOT (presolved) bounds, never
+     node-tightened branching bounds, so each admitted cut is valid for
+     the whole tree and can be appended to any worker's state. *)
+  let cut_cfg = params.cuts in
+  let cuts_on = Cuts.enabled cut_cfg && int_vars <> [] in
+  let pool = Cuts.create_pool cut_cfg in
+  let base_rows = Model.num_constraints model in
+  let int_mark = Array.make (max 1 n_vars) false in
+  List.iter (fun v -> int_mark.(v) <- true) int_vars;
+  let is_binary v = int_mark.(v) && root_lb.(v) >= -1e-9 && root_ub.(v) <= 1.0 +. 1e-9 in
+  let model_terms = Array.make (max 1 base_rows) [] in
+  let model_rel = Array.make (max 1 base_rows) Model.Le in
+  let model_rhs = Array.make (max 1 base_rows) 0.0 in
+  for i = 0 to base_rows - 1 do
+    let lhs, rel, rhs = Model.constraint_row model i in
+    model_terms.(i) <- Expr.terms lhs;
+    model_rel.(i) <- rel;
+    model_rhs.(i) <- rhs
+  done;
+  let cover_rows =
+    List.init base_rows (fun i -> (i, model_terms.(i), model_rel.(i), model_rhs.(i)))
+  in
+  (* Root-phase bookkeeping for the gap-closed statistic: sign-space
+     root objective before the first separation round and after the
+     last one. *)
+  let root_obj0 = ref None in
+  let root_obj1 = ref None in
+  let heur_found = ref 0 in
+  let heur_on = Heuristics.enabled params.heuristics && int_vars <> [] in
   let mx = Mutex.create () in
   let cond = Condition.create () in
   let store = Node_store.create ~workers:jobs in
@@ -259,9 +313,140 @@ let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
   let worker_stats = Array.make jobs None in
   let worker wid () =
     let wmodel = Model.copy model in
-    let wst = Simplex.assemble ~params:lp_params wmodel in
+    let extra_rows = if cuts_on then cut_cfg.Cuts.max_cuts else 0 in
+    let wst = Simplex.assemble ~params:lp_params ~extra_rows wmodel in
     let solved_once = ref false in
     let applied = ref [] in
+    (* Worker-local mirror of the shared pool. Cut [id] lives at row
+       [base_rows + id] in every worker state (cuts are append-only and
+       applied in id order), and each worker keeps a private copy of
+       the cut's terms so separation never touches the pool outside the
+       lock. *)
+    let wcut_terms = Array.make (max 1 extra_rows) [] in
+    let wcut_rhs = Array.make (max 1 extra_rows) 0.0 in
+    let wcut_enforced = Array.make (max 1 extra_rows) true in
+    let wn_cuts = ref 0 in
+    let sync_cuts () =
+      if cuts_on then begin
+        let news, flags =
+          locked (fun () ->
+              let k = Cuts.size pool in
+              ( Array.init (k - !wn_cuts) (fun t ->
+                    let c = Cuts.get pool (!wn_cuts + t) in
+                    (c.Cuts.terms, c.Cuts.rhs)),
+                Cuts.active_flags pool ))
+        in
+        Array.iter
+          (fun (terms, rhs) ->
+            ignore (Simplex.add_row wst ~terms ~rel:Model.Le ~rhs);
+            wcut_terms.(!wn_cuts) <- terms;
+            wcut_rhs.(!wn_cuts) <- rhs;
+            wcut_enforced.(!wn_cuts) <- true;
+            incr wn_cuts)
+          news;
+        for id = 0 to !wn_cuts - 1 do
+          let want = flags.(id) in
+          if want <> wcut_enforced.(id) then begin
+            Simplex.set_row_enforced wst (base_rows + id) want;
+            wcut_enforced.(id) <- want
+          end
+        done
+      end
+    in
+    let row_terms i = if i < base_rows then model_terms.(i) else wcut_terms.(i - base_rows) in
+    let row_rhs i = if i < base_rows then model_rhs.(i) else wcut_rhs.(i - base_rows) in
+    let row_rel i = if i < base_rows then model_rel.(i) else Model.Le in
+    (* One separation round at the current optimum: collect violated
+       Gomory and cover candidates, offer the most violated to the
+       shared pool, then append whatever the pool holds that this state
+       does not (including other workers' cuts). Returns the number of
+       rows added to [wst]. *)
+    let separate_round (sol : Simplex.solution) =
+      let before = !wn_cuts in
+      let gom =
+        if cut_cfg.Cuts.gomory then
+          Cuts.separate_gomory ~st:wst
+            ~is_int:(fun v -> int_mark.(v))
+            ~global_lb:root_lb ~global_ub:root_ub ~row_terms ~row_rhs ~row_rel
+            ~max_cuts:cut_cfg.Cuts.max_per_round ~min_violation:cut_cfg.Cuts.min_violation
+        else []
+      in
+      let cov =
+        if cut_cfg.Cuts.cover then
+          Cuts.separate_cover ~model_rows:cover_rows ~is_binary ~global_lb:root_lb
+            ~global_ub:root_ub ~values:sol.Simplex.values
+            ~max_cuts:cut_cfg.Cuts.max_per_round ~min_violation:cut_cfg.Cuts.min_violation
+        else []
+      in
+      let cands =
+        List.filteri
+          (fun i _ -> i < cut_cfg.Cuts.max_per_round)
+          (List.stable_sort
+             (fun (_, _, _, va) (_, _, _, vb) -> Float.compare vb va)
+             (gom @ cov))
+      in
+      locked (fun () ->
+          List.iter
+            (fun (provenance, terms, rhs, _) ->
+              ignore (Cuts.admit pool ~provenance ~terms ~rhs))
+            cands);
+      sync_cuts ();
+      !wn_cuts - before
+    in
+    (* Separation rounds: append violated cuts, dual-simplex repair on
+       the warm basis, repeat. [Infeasible] is a sound node closure —
+       every pooled cut is valid for the integer hull, so a
+       cut-infeasible LP contains no integer point. Any other
+       non-optimal status keeps the previous (weaker but still valid)
+       relaxation optimum; the stale rows stay harmlessly enforced. *)
+    let rec cut_loop rounds (sol : Simplex.solution) =
+      if rounds <= 0 || Budget.expired params.budget then Some sol
+      else if separate_round sol = 0 then Some sol
+      else
+        match Simplex.reoptimize wst with
+        | Simplex.Optimal sol' -> cut_loop (rounds - 1) sol'
+        | Simplex.Infeasible -> None
+        | Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Deadline
+        | Simplex.Fault _ -> Some sol
+    in
+    (* Root primal heuristics (diving + feasibility pump) on this
+       worker's own state, under a sliced budget. Outcomes have already
+       passed Model.check_feasible; install whichever beat the
+       incumbent. *)
+    let run_root_heuristics (sol : Simplex.solution) =
+      if heur_on && not (Budget.expired params.budget) then begin
+        let hbudget =
+          if Budget.is_unlimited params.budget then Budget.unlimited
+          else
+            Budget.slice params.budget
+              ~fraction:params.heuristics.Heuristics.budget_fraction
+        in
+        Simplex.set_budget wst hbudget;
+        let hres =
+          Heuristics.run params.heuristics ~model:wmodel ~st:wst ~int_vars ~budget:hbudget
+            ~relaxed:sol
+        in
+        Simplex.set_budget wst lp_params.Simplex.budget;
+        List.iter
+          (fun (o : Heuristics.outcome) ->
+            locked (fun () ->
+                if better o.Heuristics.objective then begin
+                  incumbent :=
+                    Some
+                      {
+                        Simplex.values = o.Heuristics.values;
+                        objective = o.Heuristics.objective;
+                        iterations = 0;
+                      };
+                  incr heur_found;
+                  Log.debug (fun k ->
+                      k "heuristic incumbent (%s): objective %g" o.Heuristics.source
+                        o.Heuristics.objective);
+                  if params.first_solution then halt := true
+                end))
+          hres.Heuristics.found
+      end
+    in
     let enter (n : Node_store.node) =
       (* Reset whatever the previous node changed, then apply this
          node's path root-first so the deepest branching wins when a
@@ -308,6 +493,9 @@ let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
     in
     let process (n : Node_store.node) =
       enter n;
+      (* Pick up cuts other workers admitted since this worker's last
+         node, plus any activity flips from pool aging. *)
+      sync_cuts ();
       let status =
         if (not !solved_once) || not params.warm_start then Simplex.solve_state wst
         else Simplex.reoptimize wst
@@ -324,7 +512,35 @@ let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
         (* A faulted solver state cannot be trusted for siblings; stop
            the whole search and keep the incumbent found so far. *)
         locked (fun () -> give_up (Budget.Fault msg))
-      | Simplex.Optimal sol ->
+      | Simplex.Optimal sol0 -> (
+        let at_root = n.Node_store.depth = 0 in
+        if at_root then begin
+          locked (fun () ->
+              if !root_obj0 = None then root_obj0 := Some (sign *. sol0.objective));
+          (* In feasibility mode (first_solution) the incumbent IS the
+             goal: pump/dive straight away and skip the dual-bound work
+             below if something lands. *)
+          if params.first_solution then run_root_heuristics sol0
+        end;
+        let rounds =
+          if (not cuts_on) || locked (fun () -> !halt) then 0
+          else if at_root then cut_cfg.Cuts.max_rounds_root
+          else if n.Node_store.depth <= cut_cfg.Cuts.node_depth then
+            cut_cfg.Cuts.max_rounds_node
+          else 0
+        in
+        match cut_loop rounds sol0 with
+        | None ->
+          (* The cut rows made this node's LP infeasible: since pooled
+             cuts are globally valid, the node holds no integer point. *)
+          close_node ()
+        | Some sol ->
+        if at_root then begin
+          locked (fun () -> root_obj1 := Some (sign *. sol.objective));
+          if not params.first_solution then run_root_heuristics sol
+        end;
+        if cuts_on && !wn_cuts > 0 then
+          locked (fun () -> Cuts.observe pool (fun v -> sol.Simplex.values.(v)));
         let obj = sign *. sol.objective in
         let candidates =
           Brancher.fractional ~integrality_tol:params.integrality_tol int_vars
@@ -421,7 +637,7 @@ let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
                   child Node_store.Down down_fix fdown
                 end;
                 Node_store.finish store ~wid;
-                Condition.broadcast cond))
+                Condition.broadcast cond)))
     in
     let rec loop () =
       match locked (fun () -> take wid) with
@@ -478,9 +694,49 @@ let tree_search ~params ~sign ~int_vars ~lp_params ~jobs model =
           })
       zero_stats worker_stats
   in
+  (* Audit-grade guarantee: the incumbent must satisfy every cut ever
+     admitted — active or aged out — exactly, in rational arithmetic.
+     A violation means a separation bug produced an invalid inequality
+     and the "optimum" cannot be trusted; fail loudly with the cut's
+     provenance rather than return it. *)
+  (match !incumbent with
+  | Some (s : Simplex.solution) when cuts_on && Cuts.size pool > 0 ->
+    let vals = Array.copy s.Simplex.values in
+    List.iter (fun v -> vals.(v) <- Float.round vals.(v)) int_vars;
+    (match Cuts.check_all pool (fun v -> vals.(v)) with
+    | Ok () -> ()
+    | Error msg ->
+      Invariant.fail ~where:"Milp.tree_search" "incumbent violates pooled cut: %s" msg)
+  | _ -> ());
+  let pstats = Cuts.pool_stats pool in
+  let root_gap_closed =
+    match (!root_obj0, !root_obj1, !incumbent) with
+    | Some o0, Some o1, Some (s : Simplex.solution) when cuts_on ->
+      let denom = (sign *. s.objective) -. o0 in
+      if denom > 1e-9 then begin
+        (* Clamp rounding noise only: a genuinely negative ratio would
+           mean separation LOOSENED the relaxation, which valid cut
+           rows cannot do — let it surface instead of hiding it. *)
+        let r = (o1 -. o0) /. denom in
+        if r < 0.0 && r > -1e-9 then 0.0 else Float.min 1.0 r
+      end
+      else Float.nan
+    | _ -> Float.nan
+  in
   ( !incumbent,
     !budget_hit,
-    { kernel with nodes = !nodes; stop = !stop; dual_bound = sign *. dual_sign; gap } )
+    {
+      kernel with
+      nodes = !nodes;
+      stop = !stop;
+      dual_bound = sign *. dual_sign;
+      gap;
+      cuts_separated = pstats.Cuts.separated;
+      cuts_active = pstats.Cuts.active;
+      cuts_aged_out = pstats.Cuts.aged_out;
+      heuristic_incumbents = !heur_found;
+      root_gap_closed;
+    } )
 
 let solve_with_stats ?(params = default_params) model0 =
   let dir, obj0 = Model.objective model0 in

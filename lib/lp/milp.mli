@@ -85,6 +85,27 @@ type params = {
           reliability-initialized by a few strong-branching probes at
           shallow depth; [Most_fractional] is the classic fallback.
           Both reach the same final objective on complete searches. *)
+  cuts : Cuts.config;
+      (** Cutting-plane separation ({!Cuts}): Gomory mixed-integer
+          cuts from the warm tableau plus lifted knapsack covers,
+          managed by a shared cut pool with activity aging. Rounds run
+          at the root and at shallow tree nodes; every admitted cut is
+          valid for the integer hull of the presolved model, so
+          cuts-on and cuts-off searches agree on status and objective
+          at [mip_gap = 0.0]. The incumbent is exactly audited against
+          the whole pool in rational arithmetic before it is returned
+          ({!Cuts.check_all}); a violation raises
+          {!Agingfp_util.Invariant.Violation}. Default
+          {!Cuts.default_config}; {!Cuts.off} disables separation. *)
+  heuristics : Heuristics.config;
+      (** Root primal heuristics ({!Heuristics}): diving and the
+          feasibility pump, run on the root relaxation under
+          [budget_fraction] of the solve budget to seed the incumbent
+          before node 1. Candidates are installed only after passing
+          {!Model.check_feasible}. With [first_solution] they run
+          before separation (an incumbent ends the search); otherwise
+          after, on the cut-tightened relaxation. Default
+          {!Heuristics.default_config}; {!Heuristics.off} disables. *)
 }
 
 val default_params : params
@@ -124,6 +145,21 @@ type stats = {
           gap-tolerance stop; anything else names the budget limit or
           fault that cut it short. Aggregation keeps the most severe
           reason. *)
+  cuts_separated : int;
+      (** cuts admitted to the pool (Gomory + cover, all workers) *)
+  cuts_active : int;  (** pool cuts still active when the search ended *)
+  cuts_aged_out : int;
+      (** lifetime deactivations by the activity-aging machinery *)
+  heuristic_incumbents : int;
+      (** incumbents installed by diving / the feasibility pump *)
+  root_gap_closed : float;
+      (** fraction of the root integrality gap closed by root
+          separation rounds: [(root_after_cuts - root_lp) /
+          (final_objective - root_lp)] in sign space, clamped to
+          [0, 1]. [nan] when cuts were off, no tree search ran, the
+          search found no incumbent, or the root relaxation was
+          already tight. Aggregation keeps the most recent non-[nan]
+          value (like [dual_bound], it is per-model). *)
 }
 
 val zero_stats : stats

@@ -61,9 +61,10 @@ let pp_status ppf = function
    bound hot path of the Eq. (3) MILPs. *)
 type state = {
   n : int;                   (* structural variable count *)
-  m : int;
+  mutable m : int;           (* live rows: model rows + appended cut rows *)
+  m_max : int;               (* row capacity reserved at assembly *)
   max_cols : int;
-  mutable ncols : int;       (* n + m + nart *)
+  mutable ncols : int;       (* n + m_max + nart *)
   col_rows : int array array;
   col_coefs : float array array;
   lb : float array;
@@ -74,10 +75,14 @@ type state = {
   pos_in_basis : int array;
   x_b : float array;
   vals : float array;        (* value of each nonbasic column *)
-  rhs_scratch : float array; (* m-sized: recompute_basics / drift checks *)
+  rhs_scratch : float array; (* m_max-sized: recompute_basics / drift checks *)
+  nat_slb : float array;     (* natural slack bounds per row, for re-enforcement *)
+  nat_sub : float array;
   n_artificial_base : int;   (* first artificial column index *)
   mutable nart : int;
+  mutable rows_dirty : bool; (* rows appended since the kernel last resized *)
   cost2 : float array;       (* sign-folded phase-2 cost *)
+  mutable saved_cost : float array option; (* model cost while overridden *)
   obj : Expr.t;
   params : params;
   mutable budget : Budget.t; (* replaceable between solves on one state *)
@@ -368,19 +373,27 @@ let nearest_bound lb ub = if lb > neg_infinity then lb else if ub < infinity the
 
 (* ---------- assembly and cold solve ---------- *)
 
-let assemble ?(params = default_params) model =
+let assemble ?(params = default_params) ?(extra_rows = 0) model =
+  if extra_rows < 0 then Invariant.invalid ~where:"Simplex.assemble" "negative extra_rows";
   let n = Model.num_vars model in
   let m = Model.num_constraints model in
+  let m_max = m + extra_rows in
   let dir, obj = Model.objective model in
   let sign = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
   let acc_rows = Array.make (max n 1) [] in
   let acc_coefs = Array.make (max n 1) [] in
-  let b = Array.make (max m 1) 0.0 in
-  let max_cols = n + m + m in
+  let b = Array.make (max m_max 1) 0.0 in
+  (* Column layout: [0, n) structurals, [n, n + m_max) one slack slot
+     per row of capacity (slots beyond the live rows stay fixed at
+     [0,0] with an empty column, so pricing never touches them), then
+     m_max artificial slots. *)
+  let max_cols = n + m_max + m_max in
   let col_rows = Array.make (max max_cols 1) [||] in
   let col_coefs = Array.make (max max_cols 1) [||] in
   let lb = Array.make (max max_cols 1) 0.0 in
   let ub = Array.make (max max_cols 1) 0.0 in
+  let nat_slb = Array.make (max m_max 1) 0.0 in
+  let nat_sub = Array.make (max m_max 1) 0.0 in
   Model.iter_constraints model (fun i lhs rel rhs ->
       b.(i) <- rhs;
       (match rel with
@@ -393,6 +406,8 @@ let assemble ?(params = default_params) model =
       | Model.Eq ->
         lb.(n + i) <- 0.0;
         ub.(n + i) <- 0.0);
+      nat_slb.(i) <- lb.(n + i);
+      nat_sub.(i) <- ub.(n + i);
       List.iter
         (fun (v, c) ->
           acc_rows.(v) <- i :: acc_rows.(v);
@@ -419,22 +434,27 @@ let assemble ?(params = default_params) model =
   {
     n;
     m;
+    m_max;
     max_cols;
-    ncols = n + m;
+    ncols = n + m_max;
     col_rows;
     col_coefs;
     lb;
     ub;
     b;
     bas = Basis.create params.kernel m;
-    basis = Array.make (max m 1) (-1);
+    basis = Array.make (max m_max 1) (-1);
     pos_in_basis = Array.make (max max_cols 1) (-1);
-    x_b = Array.make (max m 1) 0.0;
+    x_b = Array.make (max m_max 1) 0.0;
     vals = Array.make (max max_cols 1) 0.0;
-    rhs_scratch = Array.make (max m 1) 0.0;
-    n_artificial_base = n + m;
+    rhs_scratch = Array.make (max m_max 1) 0.0;
+    nat_slb;
+    nat_sub;
+    n_artificial_base = n + m_max;
     nart = 0;
+    rows_dirty = false;
     cost2;
+    saved_cost = None;
     obj;
     params;
     budget = params.budget;
@@ -448,6 +468,8 @@ let assemble ?(params = default_params) model =
    row residuals where their bounds allow, artificials elsewhere. *)
 let reset st =
   let n = st.n and m = st.m in
+  if Basis.dim st.bas <> m then Basis.resize st.bas m;
+  st.rows_dirty <- false;
   for v = 0 to n - 1 do
     st.vals.(v) <- nearest_bound st.lb.(v) st.ub.(v)
   done;
@@ -490,7 +512,7 @@ let reset st =
       st.x_b.(i) <- abs_float resid.(i)
     end
   done;
-  st.ncols <- n + m + st.nart;
+  st.ncols <- st.n_artificial_base + st.nart;
   (* The initial slack/artificial basis is a ±1 diagonal; factorizing
      it through the kernel is O(m) and cannot be singular. *)
   factorize_basis st
@@ -600,6 +622,156 @@ let set_rhs st i rhs =
   st.b.(i) <- rhs
 
 let set_budget st budget = st.budget <- budget
+
+(* ---------- in-place row append (cutting planes) ---------- *)
+
+let num_rows st = st.m
+let row_capacity st = st.m_max
+let structural_count st = st.n
+
+(* Append one inequality row into a reserved slot without
+   re-assembling: entries go to the touched structural columns, the
+   row's slack slot is activated and made basic in the new row, and
+   the state is flagged so the next [reoptimize] resizes the kernel
+   and refactorizes before touching the factors. Making the slack
+   basic keeps the appended basis block-triangular over the old one,
+   so warmth is preserved: one refactorization plus a dual-simplex
+   repair of the (possibly bound-violated) new slack. *)
+let add_row st ~terms ~rel ~rhs =
+  let i = st.m in
+  if i >= st.m_max then
+    Invariant.invalid ~where:"Simplex.add_row" "row capacity exhausted (%d rows)" st.m_max;
+  if not (Float.is_finite rhs) then
+    Invariant.invalid ~where:"Simplex.add_row" "non-finite rhs";
+  (* Coalesce duplicate variables: the kernels scatter column entries
+     with assignment, so a (row, col) pair must appear at most once. *)
+  let terms =
+    List.sort (fun (a, _) (b, _) -> compare (a : int) b) terms
+    |> List.fold_left
+         (fun acc (v, c) ->
+           match acc with
+           | (v', c') :: rest when v' = v -> (v', c' +. c) :: rest
+           | _ -> (v, c) :: acc)
+         []
+  in
+  List.iter
+    (fun (v, c) ->
+      if v < 0 || v >= st.n then
+        Invariant.invalid ~where:"Simplex.add_row" "term on non-structural column %d" v;
+      if not (Float.is_finite c) then
+        Invariant.invalid ~where:"Simplex.add_row" "non-finite coefficient on %d" v)
+    terms;
+  List.iter
+    (fun (v, c) ->
+      if not (Float.equal c 0.0) then begin
+        st.col_rows.(v) <- Array.append st.col_rows.(v) [| i |];
+        st.col_coefs.(v) <- Array.append st.col_coefs.(v) [| c |]
+      end)
+    terms;
+  let j = st.n + i in
+  let slb, sub =
+    match rel with
+    | Model.Le -> (0.0, infinity)
+    | Model.Ge -> (neg_infinity, 0.0)
+    | Model.Eq -> Invariant.invalid ~where:"Simplex.add_row" "only inequality rows can be appended"
+  in
+  st.col_rows.(j) <- [| i |];
+  st.col_coefs.(j) <- [| 1.0 |];
+  st.lb.(j) <- slb;
+  st.ub.(j) <- sub;
+  st.nat_slb.(i) <- slb;
+  st.nat_sub.(i) <- sub;
+  st.vals.(j) <- 0.0;
+  st.b.(i) <- rhs;
+  st.basis.(i) <- j;
+  st.pos_in_basis.(j) <- i;
+  st.m <- i + 1;
+  st.rows_dirty <- true;
+  i
+
+(* Enforce / relax a row by its slack bounds: a relaxed row keeps its
+   slot in the factorization (no renumbering, warmth preserved) but
+   its free slack absorbs any violation, so it can never bind. This is
+   how the cut pool deactivates aged-out cuts. *)
+let set_row_enforced st i enforced =
+  if i < 0 || i >= st.m then Invariant.invalid ~where:"Simplex.set_row_enforced" "bad row";
+  let j = st.n + i in
+  if enforced then begin
+    st.lb.(j) <- st.nat_slb.(i);
+    st.ub.(j) <- st.nat_sub.(i);
+    if st.pos_in_basis.(j) < 0 then begin
+      let x = st.vals.(j) in
+      st.vals.(j) <- (if x < st.lb.(j) then st.lb.(j) else if x > st.ub.(j) then st.ub.(j) else x)
+    end
+  end
+  else begin
+    st.lb.(j) <- neg_infinity;
+    st.ub.(j) <- infinity
+  end
+
+(* ---------- objective override (feasibility pump) ---------- *)
+
+(* Replace the minimized cost vector with an arbitrary linear form
+   over the structural variables, saving the model cost for
+   [reset_cost]. Solutions extracted while the override is active
+   still report the MODEL objective (the pump wants the point, not
+   the distance value). *)
+let set_cost st terms =
+  (match st.saved_cost with
+  | Some _ -> ()
+  | None -> st.saved_cost <- Some (Array.copy st.cost2));
+  Array.fill st.cost2 0 st.max_cols 0.0;
+  List.iter
+    (fun (v, c) ->
+      if v < 0 || v >= st.n then
+        Invariant.invalid ~where:"Simplex.set_cost" "term on non-structural column %d" v;
+      st.cost2.(v) <- c)
+    terms
+
+let reset_cost st =
+  match st.saved_cost with
+  | None -> ()
+  | Some c ->
+    Array.blit c 0 st.cost2 0 st.max_cols;
+    st.saved_cost <- None
+
+(* ---------- basis introspection (cut separation) ---------- *)
+
+let basis_column st i =
+  if i < 0 || i >= st.m then Invariant.invalid ~where:"Simplex.basis_column" "bad position";
+  st.basis.(i)
+
+let column_position st j =
+  if j < 0 || j >= st.max_cols then Invariant.invalid ~where:"Simplex.column_position" "bad column";
+  st.pos_in_basis.(j)
+
+let column_value st j =
+  if j < 0 || j >= st.max_cols then Invariant.invalid ~where:"Simplex.column_value" "bad column";
+  let p = st.pos_in_basis.(j) in
+  if p >= 0 then st.x_b.(p) else st.vals.(j)
+
+let column_bounds st j =
+  if j < 0 || j >= st.max_cols then Invariant.invalid ~where:"Simplex.column_bounds" "bad column";
+  (st.lb.(j), st.ub.(j))
+
+(* Row [pos] of B⁻¹A over the nonbasic columns — the raw material of a
+   Gomory cut. Only meaningful against live factors: the caller must
+   hold an optimal (or at least factorized) basis with no pending row
+   appends. *)
+let tableau_row st ~pos =
+  if pos < 0 || pos >= st.m then Invariant.invalid ~where:"Simplex.tableau_row" "bad position";
+  if st.rows_dirty then
+    Invariant.invalid ~where:"Simplex.tableau_row" "rows appended since last factorization";
+  let brow = Array.make st.m 0.0 in
+  Basis.btran_unit st.bas pos brow;
+  let acc = ref [] in
+  for j = st.ncols - 1 downto 0 do
+    if st.pos_in_basis.(j) < 0 then begin
+      let a = col_dot st brow j in
+      if abs_float a > 1e-11 then acc := (j, a) :: !acc
+    end
+  done;
+  !acc
 
 type dual_result = Dual_feasible | Dual_infeasible | Dual_stall | Dual_deadline
 
@@ -739,6 +911,16 @@ let reoptimize st =
   else begin
     let iters0 = st.n_iters in
     let attempt () =
+      (* Rows appended since the last (re)factorization: grow the
+         kernel and refactor before any ftran/btran. The appended
+         basis is block-triangular over the old one — [[B old, 0],
+         [r, 1]] with the new slack unit-basic in the new row — so a
+         previously nonsingular basis stays nonsingular. *)
+      if st.rows_dirty then begin
+        Basis.resize st.bas st.m;
+        st.rows_dirty <- false;
+        factorize_basis st
+      end;
       recompute_basics st;
       match dual_restore st with
       | Dual_infeasible -> Some Infeasible

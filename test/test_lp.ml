@@ -11,6 +11,8 @@ module Basis = Agingfp_lp.Basis
 module Lp_format = Agingfp_lp.Lp_format
 module Analyze = Agingfp_lp.Analyze
 module Certify = Agingfp_lp.Certify
+module Cuts = Agingfp_lp.Cuts
+module Heuristics = Agingfp_lp.Heuristics
 module Rng = Agingfp_util.Rng
 
 let get_optimal = function
@@ -745,7 +747,16 @@ let test_milp_stats_warm_branching () =
     (Expr.sum
        (Array.to_list
           (Array.mapi (fun i x -> Expr.var ~coef:(w.(i) +. float_of_int (i mod 3)) x) xs)));
-  let params = { Milp.default_params with first_solution = false } in
+  (* Cuts and heuristics would close this instance at the root; this
+     test is about the branching machinery, so pin them off. *)
+  let params =
+    {
+      Milp.default_params with
+      first_solution = false;
+      cuts = Cuts.off;
+      heuristics = Heuristics.off;
+    }
+  in
   let result, stats = Milp.solve_with_stats ~params m in
   let s = get_feasible result in
   Alcotest.(check bool) "search branched" true (stats.Milp.nodes > 1);
@@ -905,8 +916,16 @@ let budget_knapsack () =
   m
 
 let test_milp_node_limit_incumbent () =
+  (* Node-limit semantics need a search that actually visits nodes:
+     root cuts and heuristics close the knapsack before branching. *)
   let base =
-    { Milp.default_params with first_solution = false; presolve = false }
+    {
+      Milp.default_params with
+      first_solution = false;
+      presolve = false;
+      cuts = Cuts.off;
+      heuristics = Heuristics.off;
+    }
   in
   (* Full run: how many nodes a complete proof takes, and the optimum. *)
   let full_result, full_stats = Milp.solve_with_stats ~params:base (budget_knapsack ()) in

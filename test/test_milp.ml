@@ -10,6 +10,9 @@ module Node_store = Agingfp_lp.Node_store
 module Brancher = Agingfp_lp.Brancher
 module Budget = Agingfp_util.Budget
 module Rng = Agingfp_util.Rng
+module Cuts = Agingfp_lp.Cuts
+module Heuristics = Agingfp_lp.Heuristics
+module Certify = Agingfp_lp.Certify
 
 let get_feasible = function
   | Milp.Feasible s -> s
@@ -206,15 +209,18 @@ let test_node_limit_gap_honest () =
   (* Deterministically find an instance whose proof needs real
      branching — the structured model and many random ones close at
      the root, where a node limit can never fire. *)
+  (* Cuts and root heuristics close almost every random instance at
+     the root — the node limit can only fire on a bare tree search. *)
+  let bare = { base_params with Milp.cuts = Cuts.off; heuristics = Heuristics.off } in
   let rec find seed =
     if seed > 500 then Alcotest.fail "no branching instance in 500 seeds"
     else
       let m = random_model (Rng.create seed) in
-      let _, full = Milp.solve_with_stats ~params:base_params m in
+      let _, full = Milp.solve_with_stats ~params:bare m in
       if full.Milp.nodes >= 5 then (m, full) else find (seed + 1)
   in
   let m, full = find 0 in
-  let limited = { base_params with Milp.node_limit = 2 } in
+  let limited = { bare with Milp.node_limit = 2 } in
   let result, stats = Milp.solve_with_stats ~params:limited m in
   (match stats.Milp.stop with
   | Budget.Node_limit -> ()
@@ -227,6 +233,172 @@ let test_node_limit_gap_honest () =
     then Alcotest.fail "cut search claimed a zero gap on a suboptimal incumbent"
   | Milp.Infeasible | Milp.Unknown -> ());
   Alcotest.(check bool) "nodes within limit" true (stats.Milp.nodes <= 2)
+
+(* ---------- cuts and heuristics ---------- *)
+
+(* Separation and incumbent seeding are pure accelerations: every leg
+   (off, Gomory only, cover only, both; heuristics off) must agree
+   with the bare tree search on status and objective at mip_gap = 0. *)
+let prop_cuts_agree =
+  QCheck2.Test.make ~name:"cuts/heuristics legs agree with bare search" ~count:100
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let bare =
+        { base_params with Milp.cuts = Cuts.off; heuristics = Heuristics.off }
+      in
+      let legs =
+        [
+          base_params;
+          { base_params with Milp.cuts = { Cuts.default_config with Cuts.cover = false } };
+          { base_params with Milp.cuts = { Cuts.default_config with Cuts.gomory = false } };
+          { base_params with Milp.heuristics = Heuristics.off };
+        ]
+      in
+      let reference = Milp.solve ~params:bare m in
+      List.for_all
+        (fun params ->
+          match (reference, Milp.solve ~params m) with
+          | Milp.Feasible a, Milp.Feasible b ->
+            abs_float (a.Simplex.objective -. b.Simplex.objective) <= 1e-6
+          | Milp.Infeasible, Milp.Infeasible -> true
+          | _ -> false)
+        legs)
+
+(* A heuristic incumbent short-circuits the tree, so it must never be
+   able to smuggle an infeasible or fractional point out of the solver:
+   whatever comes back feasible is feasible for and integral in the
+   ORIGINAL model. *)
+let prop_heuristic_incumbents_feasible =
+  QCheck2.Test.make ~name:"heuristic incumbents are audit-feasible" ~count:150
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let params = { Milp.default_params with Milp.first_solution = true } in
+      match Milp.solve ~params m with
+      | Milp.Feasible sol ->
+        Model.check_feasible m (fun v -> sol.Simplex.values.(v)) = Ok ()
+        && List.for_all
+             (fun v -> Float.round sol.Simplex.values.(v) = sol.Simplex.values.(v))
+             (Model.integer_vars m)
+      | Milp.Infeasible | Milp.Unknown -> true)
+
+(* Valid cut rows can only tighten an LP relaxation, so the root bound
+   after separation is never further from the final objective than
+   before: the reported fraction closed is nan (no root phase) or in
+   [0, 1] — Milp only absorbs sub-1e-9 rounding noise at 0. *)
+let prop_root_gap_closed_bounded =
+  QCheck2.Test.make ~name:"cut rounds never widen the root gap" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let m = random_model rng in
+      let _, stats = Milp.solve_with_stats ~params:base_params m in
+      let g = stats.Milp.root_gap_closed in
+      Float.is_nan g || (g >= 0.0 && g <= 1.0))
+
+let test_cut_pool_aging () =
+  let cfg = { Cuts.default_config with Cuts.age_limit = 1; max_cuts = 4 } in
+  let pool = Cuts.create_pool cfg in
+  let id =
+    match
+      Cuts.admit pool ~provenance:(Cuts.Gomory { basic_var = 0 }) ~terms:[ (0, 1.0) ]
+        ~rhs:0.0
+    with
+    | Some id -> id
+    | None -> Alcotest.fail "pool rejected the first cut"
+  in
+  Alcotest.(check bool) "duplicate rejected" true
+    (Cuts.admit pool ~provenance:(Cuts.Cover { row = 0 }) ~terms:[ (0, 1.0) ] ~rhs:0.0
+    = None);
+  Alcotest.(check bool) "fresh cut active" true (Cuts.is_active pool id);
+  (* Slack observations age the cut past the limit and deactivate it. *)
+  Cuts.observe pool (fun _ -> -1.0);
+  Cuts.observe pool (fun _ -> -1.0);
+  Alcotest.(check bool) "aged out" false (Cuts.is_active pool id);
+  Alcotest.(check int) "aged-out counted" 1 (Cuts.pool_stats pool).Cuts.aged_out;
+  (* A violating point reactivates it. *)
+  Cuts.observe pool (fun _ -> 1.0);
+  Alcotest.(check bool) "reactivated" true (Cuts.is_active pool id);
+  Alcotest.(check int) "reactivation counted" 1 (Cuts.pool_stats pool).Cuts.reactivated
+
+let test_certify_cuts_verdicts () =
+  let pool = Cuts.create_pool Cuts.default_config in
+  ignore
+    (Cuts.admit pool ~provenance:(Cuts.Cover { row = 3 })
+       ~terms:[ (0, 1.0); (1, 1.0) ]
+       ~rhs:1.0);
+  let sol values = { Simplex.values; objective = 0.0; iterations = 0 } in
+  (match Certify.cuts pool (sol [| 1.0; 0.0 |]) with
+  | Certify.Certified -> ()
+  | v -> Alcotest.failf "expected certified, got %a" Certify.pp_verdict v);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  match Certify.cuts pool (sol [| 1.0; 1.0 |]) with
+  | Certify.Rejected [ msg ] ->
+    Alcotest.(check bool) "provenance reported" true (contains msg "cover")
+  | v -> Alcotest.failf "expected one rejection, got %a" Certify.pp_verdict v
+
+(* In-place row append + dual-simplex repair must agree exactly with
+   assembling the extended model from scratch. *)
+let test_add_row_warm_matches_cold () =
+  let base () =
+    let m = Model.create () in
+    let x = Model.add_var ~lb:0.0 ~ub:10.0 m in
+    let y = Model.add_var ~lb:0.0 ~ub:10.0 m in
+    ignore
+      (Model.add_constraint m
+         (Expr.add (Expr.var x) (Expr.var ~coef:2.0 y))
+         Model.Le 14.0);
+    Model.set_objective m Model.Maximize
+      (Expr.add (Expr.var ~coef:3.0 x) (Expr.var ~coef:2.0 y));
+    (m, x, y)
+  in
+  let m, x, y = base () in
+  let st = Simplex.assemble ~extra_rows:2 m in
+  (match Simplex.solve_state st with
+  | Simplex.Optimal _ -> ()
+  | s -> Alcotest.failf "base LP not optimal: %a" Simplex.pp_status s);
+  ignore (Simplex.add_row st ~terms:[ (x, 1.0); (y, 1.0) ] ~rel:Model.Le ~rhs:8.0);
+  let warm =
+    match Simplex.reoptimize st with
+    | Simplex.Optimal s -> s
+    | s -> Alcotest.failf "warm repair failed: %a" Simplex.pp_status s
+  in
+  let m2, x2, y2 = base () in
+  ignore
+    (Model.add_constraint m2 (Expr.add (Expr.var x2) (Expr.var y2)) Model.Le 8.0);
+  let cold =
+    match Simplex.solve m2 with
+    | Simplex.Optimal s -> s
+    | s -> Alcotest.failf "cold solve failed: %a" Simplex.pp_status s
+  in
+  Alcotest.(check (float 1e-9)) "objective" cold.Simplex.objective warm.Simplex.objective;
+  Alcotest.(check (float 1e-9)) "x" cold.Simplex.values.(x2) warm.Simplex.values.(x);
+  Alcotest.(check (float 1e-9)) "y" cold.Simplex.values.(y2) warm.Simplex.values.(y)
+
+(* The fixed Eq.(3)-flavoured instance: the full cut + heuristic stack
+   must cost no more tree nodes than the bare search, at the same
+   optimum, and its gap-closed statistic must stay in range. *)
+let test_cuts_reduce_work () =
+  let bare =
+    { base_params with Milp.cuts = Cuts.off; heuristics = Heuristics.off }
+  in
+  let r0, s0 = Milp.solve_with_stats ~params:bare (structured_model ()) in
+  let r1, s1 = Milp.solve_with_stats ~params:base_params (structured_model ()) in
+  match (r0, r1) with
+  | Milp.Feasible a, Milp.Feasible b ->
+    Alcotest.(check (float 1e-6)) "same optimum" a.Simplex.objective b.Simplex.objective;
+    Alcotest.(check bool)
+      (Printf.sprintf "no more nodes with cuts (%d vs %d)" s1.Milp.nodes s0.Milp.nodes)
+      true
+      (s1.Milp.nodes <= s0.Milp.nodes);
+    let g = s1.Milp.root_gap_closed in
+    Alcotest.(check bool) "gap closed in range" true
+      (Float.is_nan g || (g >= 0.0 && g <= 1.0))
+  | _ -> Alcotest.fail "structured model should be feasible"
 
 (* ---------- node store determinism ---------- *)
 
@@ -324,11 +496,22 @@ let () =
           Alcotest.test_case "most-fractional order" `Quick
             test_brancher_most_fractional_order;
         ] );
+      ( "cuts",
+        [
+          Alcotest.test_case "pool aging + reactivation" `Quick test_cut_pool_aging;
+          Alcotest.test_case "certify cut verdicts" `Quick test_certify_cuts_verdicts;
+          Alcotest.test_case "add-row warm matches cold" `Quick
+            test_add_row_warm_matches_cold;
+          Alcotest.test_case "cuts reduce tree work" `Quick test_cuts_reduce_work;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_traversals_agree;
           QCheck_alcotest.to_alcotest prop_branching_rules_agree;
           QCheck_alcotest.to_alcotest prop_gap_stop_certified;
           QCheck_alcotest.to_alcotest prop_gap_monotone;
+          QCheck_alcotest.to_alcotest prop_cuts_agree;
+          QCheck_alcotest.to_alcotest prop_heuristic_incumbents_feasible;
+          QCheck_alcotest.to_alcotest prop_root_gap_closed_bounded;
         ] );
     ]
